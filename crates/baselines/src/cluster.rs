@@ -1,0 +1,176 @@
+//! Multi-node (MPI-style) execution simulation.
+//!
+//! MPI3SNP's headline feature is cluster distribution: SNP leading
+//! indices are dealt cyclically across ranks, each rank scans its share
+//! with local threads, and a final all-reduce picks the global optimum.
+//! This module simulates that decomposition on one machine so the
+//! baseline's distribution strategy (and its load-balance behaviour) can
+//! be studied without MPI.
+
+use crate::mpi3snp::Mpi3SnpDataset;
+use bitgenome::{GenotypeMatrix, Phenotype};
+use epi_core::combin;
+use epi_core::k2::{K2Scorer, Objective};
+use epi_core::result::{Candidate, TopK};
+
+/// How leading indices are assigned to ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Round-robin by leading index (MPI3SNP's scheme) — balances the
+    /// triangular workload well because expensive and cheap leading
+    /// indices interleave.
+    Cyclic,
+    /// Contiguous index ranges — the naive scheme cyclic distribution
+    /// exists to beat.
+    Blocked,
+}
+
+/// Per-rank accounting from a simulated cluster run.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Leading indices assigned.
+    pub leading_indices: usize,
+    /// Triples evaluated.
+    pub combos: u64,
+}
+
+/// Result of a simulated cluster scan.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Globally best candidates, lowest score first.
+    pub top: Vec<Candidate>,
+    /// Per-rank work accounting.
+    pub ranks: Vec<RankReport>,
+}
+
+impl ClusterResult {
+    /// Load imbalance: `max(combos) / mean(combos)` across ranks
+    /// (1.0 = perfect balance).
+    pub fn imbalance(&self) -> f64 {
+        let combos: Vec<f64> = self.ranks.iter().map(|r| r.combos as f64).collect();
+        let max = combos.iter().cloned().fold(0.0, f64::max);
+        let mean = combos.iter().sum::<f64>() / combos.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Simulate an MPI3SNP-style cluster scan over `ranks` ranks.
+pub fn cluster_scan(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    ranks: usize,
+    distribution: Distribution,
+    top_k: usize,
+) -> ClusterResult {
+    assert!(ranks >= 1);
+    let m = genotypes.num_snps();
+    let ds = Mpi3SnpDataset::encode(genotypes, phenotype);
+    let scorer = K2Scorer::new(genotypes.num_samples());
+
+    let assignment: Vec<Vec<usize>> = match distribution {
+        Distribution::Cyclic => {
+            let mut a = vec![Vec::new(); ranks];
+            for i0 in 0..m {
+                a[i0 % ranks].push(i0);
+            }
+            a
+        }
+        Distribution::Blocked => {
+            let per = m.div_ceil(ranks);
+            (0..ranks)
+                .map(|r| (r * per..((r + 1) * per).min(m)).collect())
+                .collect()
+        }
+    };
+
+    // each "rank" runs serially here; the intra-rank thread pool is
+    // already exercised by Mpi3SnpScanner
+    let mut reports = Vec::with_capacity(ranks);
+    let mut global = TopK::new(top_k);
+    for (rank, leading) in assignment.iter().enumerate() {
+        let mut local = TopK::new(top_k);
+        let mut combos = 0u64;
+        for &i0 in leading {
+            for t in combin::triples_with_leading(m, i0) {
+                let table = ds.table_for_triple(t);
+                local.push(scorer.score(&table), t);
+                combos += 1;
+            }
+        }
+        reports.push(RankReport {
+            rank,
+            leading_indices: leading.len(),
+            combos,
+        });
+        global.merge(local); // the MPI all-reduce
+    }
+
+    ClusterResult {
+        top: global.into_sorted(),
+        ranks: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    #[test]
+    fn cluster_matches_single_node_result() {
+        let (g, p) = dataset(14, 96, 4);
+        let single = crate::mpi3snp::Mpi3SnpScanner::new(&g, &p).scan(3, 1);
+        for dist in [Distribution::Cyclic, Distribution::Blocked] {
+            for ranks in [1usize, 2, 3, 5] {
+                let res = cluster_scan(&g, &p, ranks, dist, 3);
+                assert_eq!(res.top, single.top, "{dist:?} ranks={ranks}");
+                let total: u64 = res.ranks.iter().map(|r| r.combos).sum();
+                assert_eq!(total, combin::num_triples(14));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_balances_better_than_blocked() {
+        let (g, p) = dataset(40, 32, 9);
+        let cyclic = cluster_scan(&g, &p, 4, Distribution::Cyclic, 1);
+        let blocked = cluster_scan(&g, &p, 4, Distribution::Blocked, 1);
+        assert!(
+            cyclic.imbalance() < blocked.imbalance(),
+            "cyclic {} vs blocked {}",
+            cyclic.imbalance(),
+            blocked.imbalance()
+        );
+        // triangular workload: the first blocked rank hoards the work
+        assert!(blocked.imbalance() > 1.5);
+        assert!(cyclic.imbalance() < 1.2);
+    }
+
+    #[test]
+    fn more_ranks_than_snps_is_fine() {
+        let (g, p) = dataset(5, 40, 2);
+        let res = cluster_scan(&g, &p, 16, Distribution::Cyclic, 1);
+        assert_eq!(res.ranks.len(), 16);
+        let total: u64 = res.ranks.iter().map(|r| r.combos).sum();
+        assert_eq!(total, combin::num_triples(5));
+    }
+}

@@ -1,0 +1,25 @@
+//! # baselines — state-of-the-art comparators (Table III)
+//!
+//! The paper compares its best approach against MPI3SNP
+//! (Ponte-Fernández et al.), a hand-tuned CUDA detector, and a CPU+iGPU
+//! framework. We rebuild the *algorithmic structure* of the reference
+//! baseline in Rust so the Table III speedup ratios can be measured
+//! apples-to-apples on the same host:
+//!
+//! * [`mpi3snp`] — MPI3SNP-style detector: binarized three-plane
+//!   case/control-split representation and per-triple bitwise
+//!   AND/POPCNT table construction, but **no** genotype-2 inference, **no**
+//!   cache blocking and **no** explicit vectorisation — the properties the
+//!   paper's §II credits for its advantage. A matching GPU kernel profile
+//!   feeds the `gpu-sim` timing model for the GPU rows of Table III.
+//! * [`naive`] — dense per-sample counting without bit packing (the
+//!   pre-BOOST baseline), useful to demonstrate what binarisation alone
+//!   buys.
+
+pub mod cluster;
+pub mod mpi3snp;
+pub mod naive;
+
+pub use cluster::{cluster_scan, ClusterResult, Distribution};
+pub use mpi3snp::{Mpi3SnpDataset, Mpi3SnpScanner};
+pub use naive::naive_scan;

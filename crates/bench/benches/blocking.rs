@@ -1,0 +1,37 @@
+//! Benchmark: ⟨B_S, B_P⟩ tiling sweep around the analytic optimum — the
+//! cache-blocking ablation of §IV-A (V3/V4's key parameter).
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epi_core::combin;
+use epi_core::scan::{scan, ScanConfig, Version};
+use epi_core::BlockParams;
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let (m, n) = (64usize, 4096usize);
+    let (g, p) = workload(m, n, 13);
+
+    let mut group = c.benchmark_group("block_params");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(combin::num_elements(m, n) as u64));
+    for (bs, bp) in [(1usize, 400usize), (3, 400), (5, 96), (5, 400), (8, 400), (5, 4096)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("bs{bs}_bp{bp}")),
+            &(bs, bp),
+            |b, &(bs, bp)| {
+                let mut cfg = ScanConfig::new(Version::V4);
+                cfg.threads = 1;
+                cfg.block = Some(BlockParams { bs, bp });
+                b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

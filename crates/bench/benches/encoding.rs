@@ -1,0 +1,37 @@
+//! Benchmark: dataset encoding and layout transformation costs — the
+//! "host-side preparation" the GPU flow pays once per dataset.
+
+use bench::workload;
+use bitgenome::layout::{TiledPlanes, TransposedPlanes};
+use bitgenome::{SplitDataset, UnsplitDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let (m, n) = (256usize, 4096usize);
+    let (g, p) = workload(m, n, 77);
+    let split = SplitDataset::encode(&g, &p);
+
+    let mut group = c.benchmark_group("encoding");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    group.throughput(Throughput::Elements((m * n) as u64));
+    group.bench_function("unsplit_3plane", |b| {
+        b.iter(|| black_box(UnsplitDataset::encode(&g, &p)))
+    });
+    group.bench_function("split_2plane", |b| {
+        b.iter(|| black_box(SplitDataset::encode(&g, &p)))
+    });
+    group.bench_function("transpose", |b| {
+        b.iter(|| black_box(TransposedPlanes::from_class(split.controls(), m)))
+    });
+    group.bench_function("tile_bs64", |b| {
+        b.iter(|| black_box(TiledPlanes::from_class(split.controls(), m, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

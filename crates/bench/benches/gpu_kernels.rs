@@ -1,0 +1,47 @@
+//! Benchmark: the functional GPU thread kernel across the three data
+//! layouts (GPU V2/V3/V4) plus the V1 phenotype kernel — host-side cost
+//! of the simulated per-thread work.
+
+use bench::workload;
+use bitgenome::layout::{RowMajorPlanes, TiledPlanes, TransposedPlanes};
+use bitgenome::{SplitDataset, UnsplitDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::kernels::{thread_split, thread_v1};
+use std::hint::black_box;
+
+fn bench_gpu_threads(c: &mut Criterion) {
+    let (m, n) = (32usize, 4096usize);
+    let (g, p) = workload(m, n, 33);
+    let unsplit = UnsplitDataset::encode(&g, &p);
+    let split = SplitDataset::encode(&g, &p);
+    let row_c = RowMajorPlanes::new(split.controls(), m);
+    let row_k = RowMajorPlanes::new(split.cases(), m);
+    let tr_c = TransposedPlanes::from_class(split.controls(), m);
+    let tr_k = TransposedPlanes::from_class(split.cases(), m);
+    let ti_c = TiledPlanes::from_class(split.controls(), m, 8);
+    let ti_k = TiledPlanes::from_class(split.cases(), m, 8);
+    let triple = (3u32, 14, 29);
+
+    let mut group = c.benchmark_group("gpu_thread_kernel");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("v1_unsplit", |b| {
+        b.iter(|| black_box(thread_v1(&unsplit, black_box(triple))))
+    });
+    group.bench_function("v2_row_major", |b| {
+        b.iter(|| black_box(thread_split(&row_c, &row_k, black_box(triple))))
+    });
+    group.bench_function("v3_transposed", |b| {
+        b.iter(|| black_box(thread_split(&tr_c, &tr_k, black_box(triple))))
+    });
+    group.bench_function("v4_tiled", |b| {
+        b.iter(|| black_box(thread_split(&ti_c, &ti_k, black_box(triple))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_threads);
+criterion_main!(benches);

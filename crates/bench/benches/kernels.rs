@@ -1,0 +1,57 @@
+//! Micro-benchmark: the 27-cell accumulation kernel per SIMD tier — the
+//! paper's vectorisation ablation at the instruction level (§IV-A V4).
+
+use bitgenome::{SimdLevel, Word};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn planes(len: usize, seed: u64) -> Vec<Vec<Word>> {
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    (0..6).map(|_| (0..len).map(|_| next()).collect()).collect()
+}
+
+fn bench_accumulate27(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulate27");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    // 512 u64 words = 32768 samples per class — a realistic streak.
+    let len = 512usize;
+    let data = planes(len, 42);
+    group.throughput(Throughput::Elements((len * 64) as u64));
+    for level in SimdLevel::available() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut acc = [0u32; 27];
+                    epi_core::simd::accumulate27(
+                        level,
+                        (
+                            black_box(&data[0][..]),
+                            &data[1],
+                            &data[2],
+                            &data[3],
+                            &data[4],
+                            &data[5],
+                        ),
+                        &mut acc,
+                    );
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulate27);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmark: interaction-order scaling — the pairwise module, the
+//! specialised triple kernel and the generic k-way kernel side by side.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use epi_core::pairs::scan_pairs;
+use epi_core::scan::{scan, ScanConfig, Version};
+use std::hint::black_box;
+
+fn bench_orders(c: &mut Criterion) {
+    let (m, n) = (28usize, 1024usize);
+    let (g, p) = workload(m, n, 3);
+
+    let mut group = c.benchmark_group("interaction_orders");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("k2_pairs_specialised", |b| {
+        b.iter(|| black_box(scan_pairs(&g, &p, 1, 1).combos))
+    });
+    group.bench_function("k2_generic", |b| {
+        b.iter(|| black_box(epi_core::kway::scan_kway(&g, &p, 2, 1, 1).combos))
+    });
+    group.bench_function("k3_v4_specialised", |b| {
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.threads = 1;
+        b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+    });
+    group.bench_function("k3_generic", |b| {
+        b.iter(|| black_box(epi_core::kway::scan_kway(&g, &p, 3, 1, 1).combos))
+    });
+    group.bench_function("k4_generic", |b| {
+        b.iter(|| black_box(epi_core::kway::scan_kway(&g, &p, 4, 1, 1).combos))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

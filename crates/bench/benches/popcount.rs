@@ -1,0 +1,47 @@
+//! Micro-benchmark: population-count primitives — the instruction the
+//! whole study turns on (§V-D).
+
+use bitgenome::popcnt::{popcount, popcount_and3, popcount_and4};
+use bitgenome::Word;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn words(len: usize, seed: u64) -> Vec<Word> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        })
+        .collect()
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let len = 4096usize;
+    let a = words(len, 1);
+    let b = words(len, 2);
+    let d = words(len, 3);
+    let e = words(len, 4);
+
+    let mut group = c.benchmark_group("popcount");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    group.throughput(Throughput::Bytes((len * 8) as u64));
+    group.bench_function("plain", |bch| {
+        bch.iter(|| black_box(popcount(black_box(&a))))
+    });
+    group.bench_function("and3", |bch| {
+        bch.iter(|| black_box(popcount_and3(black_box(&a), &b, &d)))
+    });
+    group.bench_function("and4", |bch| {
+        bch.iter(|| black_box(popcount_and4(black_box(&a), &b, &d, &e)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_popcount);
+criterion_main!(benches);

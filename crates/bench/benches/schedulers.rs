@@ -1,0 +1,35 @@
+//! Benchmark: task-distribution strategies — the paper's dynamic pool
+//! versus Rayon work stealing versus a static split (§IV-A).
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epi_core::combin;
+use epi_core::scan::{scan, ScanConfig, Scheduler, Version};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (m, n) = (96usize, 2048usize);
+    let (g, p) = workload(m, n, 21);
+
+    let mut group = c.benchmark_group("schedulers");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(combin::num_elements(m, n) as u64));
+    for (name, sched) in [
+        ("dynamic_pool", Scheduler::Pool),
+        ("rayon", Scheduler::Rayon),
+        ("static", Scheduler::Static),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &sched| {
+            let mut cfg = ScanConfig::new(Version::V4);
+            cfg.scheduler = sched;
+            b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

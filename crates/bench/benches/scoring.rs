@@ -1,0 +1,64 @@
+//! Benchmark: objective-function evaluation. The paper measures scoring
+//! at ≈ 4 % of kernel time (§V-A) — this quantifies our K2 fast path and
+//! the table-construction/score split.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use epi_core::k2::{K2Scorer, MutualInformation, Objective};
+use epi_core::table27::{ContingencyTable, CELLS};
+use std::hint::black_box;
+
+fn sample_table(seed: u32) -> ContingencyTable {
+    let mut t = ContingencyTable::new();
+    let mut s = seed;
+    for class in 0..2 {
+        for i in 0..CELLS {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            t.counts[class][i] = s % 600;
+        }
+    }
+    t
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let tables: Vec<ContingencyTable> = (0..256).map(sample_table).collect();
+    let k2 = K2Scorer::new(32 * 600 * 2);
+    let mi = MutualInformation;
+
+    let mut group = c.benchmark_group("scoring");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    group.throughput(Throughput::Elements(tables.len() as u64));
+    group.bench_function("k2_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tables {
+                acc += k2.score(black_box(t));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("k2_cells_fast_path", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tables {
+                acc += k2.score_cells(black_box(t.controls()), t.cases());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("neg_mutual_information", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tables {
+                acc += mi.score(black_box(t));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

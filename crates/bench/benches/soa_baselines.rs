@@ -1,0 +1,38 @@
+//! Benchmark: this work (V4) against the re-implemented state-of-the-art
+//! baselines — the measured substrate behind Table III's CPU rows.
+
+use baselines::mpi3snp::Mpi3SnpScanner;
+use baselines::naive::naive_scan;
+use bench::workload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use epi_core::combin;
+use epi_core::scan::{scan, ScanConfig, Version};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let (m, n) = (48usize, 1600usize);
+    let (g, p) = workload(m, n, 55);
+
+    let mut group = c.benchmark_group("table3_cpu");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(combin::num_elements(m, n) as u64));
+    group.bench_function("this_work_v4", |b| {
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.threads = 1;
+        b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+    });
+    group.bench_function("mpi3snp_style", |b| {
+        let scanner = Mpi3SnpScanner::new(&g, &p);
+        b.iter(|| black_box(scanner.scan(1, 1).combos))
+    });
+    group.bench_function("naive_dense", |b| {
+        b.iter(|| black_box(naive_scan(&g, &p, 1, 1).combos))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

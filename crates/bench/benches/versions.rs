@@ -1,0 +1,36 @@
+//! Full-scan benchmark of the four CPU approaches (the Fig. 2/3 kernel
+//! ladder) on a fixed workload, reported in elements/s.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epi_core::combin;
+use epi_core::scan::{scan, ScanConfig, Version};
+use std::hint::black_box;
+
+fn bench_versions(c: &mut Criterion) {
+    let (m, n) = (64usize, 2048usize);
+    let (g, p) = workload(m, n, 9);
+    let elements = combin::num_elements(m, n) as u64;
+
+    let mut group = c.benchmark_group("scan_versions");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(elements));
+    for version in Version::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(version.name()),
+            &version,
+            |b, &version| {
+                let mut cfg = ScanConfig::new(version);
+                cfg.threads = 1; // single-core: isolates kernel quality
+                b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Cache-residency validation of the ⟨B_S, B_P⟩ tiling (§IV-A): replays
+//! the blocked scanner's exact address stream through a set-associative
+//! LRU model of each CPU's L1 and reports hit rates — the mechanism
+//! behind the V3 speedup, without hardware counters.
+//!
+//! Run with: `cargo run --release -p bench --bin cache_residency`
+
+use bench::TextTable;
+use cachesim::replay_blocked_scan;
+use devices::CpuDevice;
+use epi_core::BlockParams;
+
+fn main() {
+    let m = 64;
+    let words = 2048; // 131072 samples per class, paper-scale streams
+    println!("replaying blocked-scan address streams: {m} SNPs, {words} u64 words/class\n");
+
+    let mut t = TextTable::new(vec![
+        "device", "L1", "B_S", "B_P", "FT bytes", "hit rate",
+    ]);
+    for d in CpuDevice::table1() {
+        let params = BlockParams::paper_policy(&d.l1d, d.vector_bits);
+        let r = replay_blocked_scan(m, [words, words], params, &d.l1d, 4);
+        t.row(vec![
+            d.id.to_string(),
+            format!("{}KiB/{}w", d.l1d.size_bytes / 1024, d.l1d.ways),
+            params.bs.to_string(),
+            params.bp.to_string(),
+            r.ft_bytes.to_string(),
+            format!("{:.3}", r.hit_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("mis-tiled configurations on the Ice Lake SP L1 (48 KiB / 12-way):\n");
+    let icx = CpuDevice::by_id("CI3").unwrap();
+    let mut t = TextTable::new(vec!["config", "B_S", "B_P", "FT bytes", "hit rate"]);
+    for (label, bs, bp) in [
+        ("paper policy", 5usize, 400usize),
+        ("tiny blocks", 2, 64),
+        ("sample window >> L1", 5, 1 << 20),
+        ("FT >> L1", 12, 400),
+        ("both oversized", 16, 1 << 20),
+    ] {
+        let params = BlockParams { bs, bp };
+        let r = replay_blocked_scan(m, [words, words], params, &icx.l1d, 4);
+        t.row(vec![
+            label.to_string(),
+            bs.to_string(),
+            bp.to_string(),
+            params.ft_bytes().to_string(),
+            format!("{:.3}", r.hit_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("the analytically sized configuration keeps the stream L1-resident;");
+    println!("overflowing either the sample window or the table array collapses it.");
+}

@@ -1,0 +1,90 @@
+//! Regenerates the **§V-D CPU-vs-GPU comparison**: whole-device
+//! throughput, the vector-unit/stream-core occupancy argument, energy
+//! efficiency, and the heterogeneous CI3+GN1 estimate.
+//!
+//! Run with: `cargo run --release -p bench --bin cpu_vs_gpu`
+
+use bench::TextTable;
+use carm::CpuModel;
+use devices::{CpuDevice, GpuDevice};
+use gpu_sim::{GpuTimingModel, GpuVersion};
+
+fn main() {
+    let cpu_model = CpuModel::default();
+    let gpu_model = GpuTimingModel::default();
+
+    println!("=== per-lane / per-stream-core parity (§V-D) ===\n");
+    println!("the paper's point: normalised per cycle and per 32-bit lane, CPUs and");
+    println!("GPUs are comparable — GPUs win on sheer lane count.\n");
+    let mut t = TextTable::new(vec!["device", "kind", "el/cyc/lane-or-SC"]);
+    for p in cpu_model.fig3_series() {
+        t.row(vec![
+            format!("{} ({})", p.device, p.isa),
+            "CPU".into(),
+            format!("{:.3}", p.elems_per_cycle_per_lane),
+        ]);
+    }
+    for p in gpu_model.fig4_series(8192, 16384) {
+        t.row(vec![
+            p.device.to_string(),
+            "GPU".into(),
+            format!("{:.3}", p.elems_per_cycle_per_sc),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("=== whole-device throughput and energy efficiency ===\n");
+    let mut t = TextTable::new(vec!["device", "kind", "G elems/s", "TDP [W]", "G elems/J"]);
+    for (d, p) in CpuDevice::table1().iter().zip(
+        CpuDevice::table1()
+            .iter()
+            .map(|d| cpu_model.predict(d, d.vector_bits >= 512)),
+    ) {
+        t.row(vec![
+            d.id.to_string(),
+            "CPU".into(),
+            format!("{:.0}", p.gelems_per_sec_total),
+            format!("{:.0}", d.tdp_w),
+            format!("{:.2}", p.gelems_per_sec_total / d.tdp_w),
+        ]);
+    }
+    for d in GpuDevice::table2() {
+        let p = gpu_model.predict(&d, GpuVersion::V4, 8192, 16384);
+        t.row(vec![
+            d.id.to_string(),
+            "GPU".into(),
+            format!("{:.0}", p.gelems_per_sec),
+            format!("{:.0}", d.tdp_w),
+            format!("{:.2}", p.gelems_per_joule),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let ci3 = cpu_model.predict(&CpuDevice::by_id("CI3").unwrap(), true);
+    let gn1 = gpu_model.predict(
+        &GpuDevice::by_id("GN1").unwrap(),
+        GpuVersion::V4,
+        8192,
+        16384,
+    );
+    println!(
+        "heterogeneous CI3+GN1 estimate: {:.0} G elems/s (paper: up to ~3300)",
+        ci3.gelems_per_sec_total + gn1.gelems_per_sec
+    );
+    println!("\npaper conclusions checked:");
+    let preds = gpu_model.fig4_series(8192, 16384);
+    let get = |id: &str| preds.iter().find(|p| p.device == id).unwrap();
+    println!(
+        "  A100 > Mi100 overall: {}",
+        get("GN4").gelems_per_sec > get("GA2").gelems_per_sec
+    );
+    println!(
+        "  Mi100 > Titan RTX overall: {}",
+        get("GA2").gelems_per_sec > get("GN3").gelems_per_sec
+    );
+    let best_j = preds
+        .iter()
+        .max_by(|a, b| a.gelems_per_joule.total_cmp(&b.gelems_per_joule))
+        .unwrap();
+    println!("  best G elems/J is Iris Xe MAX: {}", best_j.device == "GI2");
+}

@@ -1,0 +1,69 @@
+//! DVFS energy-efficiency study — the paper's §VI future direction,
+//! realised with the analytic models: for each device, sweep relative
+//! frequency and report the energy-optimal point for the compute-bound
+//! V4 kernel.
+//!
+//! Run with: `cargo run --release -p bench --bin dvfs_study`
+
+use bench::TextTable;
+use carm::CpuModel;
+use devices::{CpuDevice, DvfsModel, GpuDevice};
+use gpu_sim::{GpuTimingModel, GpuVersion};
+
+fn main() {
+    let dvfs = DvfsModel::default();
+    println!(
+        "DVFS model: static fraction {:.0}%, dynamic exponent {:.0}",
+        dvfs.static_fraction * 100.0,
+        dvfs.exponent
+    );
+    println!(
+        "energy-optimal relative frequency (closed form): {:.2}\n",
+        dvfs.optimal_f_rel()
+    );
+
+    println!("=== efficiency sweep (relative to nominal frequency) ===\n");
+    let mut t = TextTable::new(vec!["f_rel", "throughput_rel", "power_rel", "efficiency_rel"]);
+    for p in dvfs.sweep(0.4, 7) {
+        t.row(vec![
+            format!("{:.2}", p.f_rel),
+            format!("{:.2}", p.throughput_rel),
+            format!("{:.2}", p.power_rel),
+            format!("{:.2}", p.efficiency_rel),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("=== per-device elements/J at nominal vs energy-optimal clock ===\n");
+    let f_opt = dvfs.optimal_f_rel();
+    let gain = dvfs.efficiency_rel(f_opt);
+    let cpu_model = CpuModel::default();
+    let gpu_model = GpuTimingModel::default();
+    let mut t = TextTable::new(vec![
+        "device", "kind", "Gel/J nominal", "Gel/J at f_opt", "throughput cost",
+    ]);
+    for d in CpuDevice::table1() {
+        let pred = cpu_model.predict(&d, d.vector_bits >= 512);
+        let nominal = pred.gelems_per_sec_total / d.tdp_w;
+        t.row(vec![
+            d.id.to_string(),
+            "CPU".into(),
+            format!("{:.2}", nominal),
+            format!("{:.2}", nominal * gain),
+            format!("-{:.0}%", (1.0 - f_opt) * 100.0),
+        ]);
+    }
+    for d in GpuDevice::table2() {
+        let pred = gpu_model.predict(&d, GpuVersion::V4, 8192, 16384);
+        t.row(vec![
+            d.id.to_string(),
+            "GPU".into(),
+            format!("{:.2}", pred.gelems_per_joule),
+            format!("{:.2}", pred.gelems_per_joule * gain),
+            format!("-{:.0}%", (1.0 - f_opt) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("interpretation: downclocking to ~{:.0}% of nominal trades {:.0}% of", f_opt * 100.0, (1.0 - f_opt) * 100.0);
+    println!("throughput for a {:.0}% gain in elements per joule on compute-bound kernels.", (gain - 1.0) * 100.0);
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Figure 2**: CARM characterisation of approaches V1–V4 on
+//! the Ice Lake SP CPU (Fig. 2a) and the Iris Xe MAX GPU (Fig. 2b), plus
+//! measured points from real host runs of the CPU kernels.
+//!
+//! Run with: `cargo run --release -p bench --bin fig2_carm [snps=N] [samples=N]`
+
+use bench::{arg_usize, workload, TextTable};
+use carm::characterize::{characterize_cpu, characterize_gpu, KernelPoint};
+use carm::{plot, Roofline};
+use devices::{CpuDevice, GpuDevice};
+use epi_core::scan::{scan, ScanConfig, Version};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m = arg_usize(&args, "snps", 128);
+    let n = arg_usize(&args, "samples", 4096);
+
+    let ci3 = CpuDevice::by_id("CI3").unwrap();
+    let gi2 = GpuDevice::by_id("GI2").unwrap();
+
+    println!("=== Fig. 2a: CARM, Intel Xeon Platinum 8360Y (Ice Lake SP) ===\n");
+    let cpu_pts = characterize_cpu(&ci3);
+    print!("{}", plot::render(&Roofline::for_cpu(&ci3), &cpu_pts, 64, 18));
+    table_of_points("modelled (CI3)", &cpu_pts);
+
+    println!("\n=== Fig. 2b: CARM, Intel Iris Xe MAX (Gen12) ===\n");
+    let gpu_pts = characterize_gpu(&gi2);
+    print!("{}", plot::render(&Roofline::for_gpu(&gi2), &gpu_pts, 64, 18));
+    table_of_points("modelled (GI2)", &gpu_pts);
+
+    println!("\n=== Measured host points ({m} SNPs x {n} samples) ===\n");
+    let (g, p) = workload(m, n, 11);
+    let mut measured = Vec::new();
+    for version in Version::ALL {
+        let res = scan(&g, &p, &ScanConfig::new(version));
+        measured.push((version, res.giga_elements_per_sec(),
+            KernelPoint::measured(version, res.elements_per_sec())));
+    }
+    let mut t = TextTable::new(vec!["ver", "AI [intop/B]", "GINTOP/s", "G elems/s"]);
+    for (v, ges, pt) in &measured {
+        t.row(vec![
+            v.name().to_string(),
+            format!("{:.2}", pt.ai),
+            format!("{:.1}", pt.gops),
+            format!("{:.2}", ges),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper ratios for reference: V2 ≈ 2x faster than V1, V3 ≈ 1.2x over V2,");
+    println!("V4 ≈ 7.5x over V3 (Ice Lake SP, large data sets).");
+}
+
+fn table_of_points(label: &str, pts: &[KernelPoint]) {
+    let mut t = TextTable::new(vec!["ver", "AI [intop/B]", "GINTOP/s", "binding roof"]);
+    for p in pts {
+        t.row(vec![
+            p.version.name().to_string(),
+            format!("{:.2}", p.ai),
+            format!("{:.0}", p.gops),
+            p.bound.clone(),
+        ]);
+    }
+    println!("{label}:\n{}", t.render());
+}

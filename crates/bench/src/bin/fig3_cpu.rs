@@ -1,0 +1,95 @@
+//! Regenerates **Figure 3**: CPU performance of the best approach (V4)
+//! for 2048/4096/8192 SNPs × 16384 samples across the five Table I CPUs,
+//! in the paper's three normalisations:
+//!
+//! * (a) Giga elements / s / core
+//! * (b) elements / cycle / core
+//! * (c) elements / cycle / (core × vector width)
+//!
+//! Cross-device panels come from the analytic model (we own one host, not
+//! five); a measured panel for this host follows, normalised with the
+//! detected core count and frequency, at scaled-down SNP counts.
+//!
+//! Run with: `cargo run --release -p bench --bin fig3_cpu [snps=N] [samples=N]`
+
+use bench::{arg_usize, workload, TextTable};
+use carm::CpuModel;
+use devices::HostCpu;
+use epi_core::scan::{scan, ScanConfig, Version};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let model = CpuModel::default();
+    let series = model.fig3_series();
+    // The model is workload-size independent (the kernel is compute bound
+    // once blocked); the paper's size sensitivity is within ~10 %.
+    for (panel, title, get) in [
+        (
+            "3a",
+            "Giga combinations x samples / s / core",
+            Box::new(|p: &carm::cpumodel::CpuPrediction| p.gelems_per_sec_per_core)
+                as Box<dyn Fn(&carm::cpumodel::CpuPrediction) -> f64>,
+        ),
+        (
+            "3b",
+            "combinations x samples / cycle / core",
+            Box::new(|p| p.elems_per_cycle_per_core),
+        ),
+        (
+            "3c",
+            "combinations x samples / cycle / (core x vec width)",
+            Box::new(|p| p.elems_per_cycle_per_lane),
+        ),
+    ] {
+        println!("=== Fig. {panel}: {title} (modelled, all SNP sizes) ===\n");
+        let mut t = TextTable::new(vec!["device", "ISA", "2048", "4096", "8192"]);
+        for p in &series {
+            let v = format!("{:.3}", get(p));
+            t.row(vec![
+                p.device.to_string(),
+                p.isa.to_string(),
+                v.clone(),
+                v.clone(),
+                v,
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    // Measured panel on this host.
+    let host = HostCpu::detect();
+    println!(
+        "=== Measured on this host ({} cores, ~{:.2} GHz, {}) ===\n",
+        host.cores, host.freq_ghz, host.simd
+    );
+    let n = arg_usize(&args, "samples", 16384);
+    let base_m = arg_usize(&args, "snps", 0);
+    let sizes: Vec<usize> = if base_m > 0 {
+        vec![base_m]
+    } else {
+        vec![128, 192, 256]
+    };
+    let mut t = TextTable::new(vec![
+        "snps", "samples", "G elems/s", "Gel/s/core", "el/cyc/core", "el/cyc/lane",
+    ]);
+    for &m in &sizes {
+        let (g, p) = workload(m, n, 3);
+        let res = scan(&g, &p, &ScanConfig::new(Version::V4));
+        let eps = res.elements_per_sec();
+        let per_core = eps / host.cores as f64;
+        let per_cycle = host.per_cycle_per_core(eps, host.cores);
+        let lanes = host.simd.vector_bits() as f64 / 32.0;
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            format!("{:.2}", eps / 1e9),
+            format!("{:.3}", per_core / 1e9),
+            format!("{:.3}", per_cycle),
+            format!("{:.4}", per_cycle / lanes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("note: SNP counts scaled down from the paper's 2048-8192 (full-size scans");
+    println!("are multi-hour on one host); the throughput unit is size-stable.");
+}

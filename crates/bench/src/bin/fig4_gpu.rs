@@ -1,0 +1,82 @@
+//! Regenerates **Figure 4**: GPU performance of the best approach (V4)
+//! for 2048/4096/8192 SNPs × 16384 samples across the nine Table II GPUs
+//! (timing model), in the paper's three normalisations, plus a functional
+//! cross-check that all four simulated kernels agree on a small input.
+//!
+//! Run with: `cargo run --release -p bench --bin fig4_gpu`
+
+use bench::{workload, TextTable};
+use devices::GpuDevice;
+use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};
+
+fn main() {
+    let model = GpuTimingModel::default();
+    let sizes = [2048usize, 4096, 8192];
+    let n = 16384;
+
+    for (panel, title, get) in [
+        (
+            "4a",
+            "Giga combinations x samples / s / CU",
+            Box::new(|p: &gpu_sim::GpuPrediction| p.gelems_per_sec_per_cu)
+                as Box<dyn Fn(&gpu_sim::GpuPrediction) -> f64>,
+        ),
+        (
+            "4b",
+            "combinations x samples / cycle / CU",
+            Box::new(|p| p.elems_per_cycle_per_cu),
+        ),
+        (
+            "4c",
+            "combinations x samples / cycle / stream core",
+            Box::new(|p| p.elems_per_cycle_per_sc),
+        ),
+    ] {
+        println!("=== Fig. {panel}: {title} (modelled) ===\n");
+        let mut t = TextTable::new(vec!["device", "2048", "4096", "8192"]);
+        for d in GpuDevice::table2() {
+            let vals: Vec<String> = sizes
+                .iter()
+                .map(|&m| format!("{:.3}", get(&model.predict(&d, GpuVersion::V4, m, n))))
+                .collect();
+            t.row(vec![d.id.to_string(), vals[0].clone(), vals[1].clone(), vals[2].clone()]);
+        }
+        println!("{}", t.render());
+    }
+
+    println!("=== per-device whole-GPU throughput and efficiency ===\n");
+    let mut t = TextTable::new(vec!["device", "G elems/s", "G elems/J", "bound"]);
+    for d in GpuDevice::table2() {
+        let p = model.predict(&d, GpuVersion::V4, 8192, n);
+        t.row(vec![
+            d.id.to_string(),
+            format!("{:.0}", p.gelems_per_sec),
+            format!("{:.2}", p.gelems_per_joule),
+            format!("{:?}", p.bound),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Functional cross-check: the four kernels the model rates must agree
+    // bit-exactly when actually executed.
+    println!("=== functional cross-check (32 SNPs x 512 samples) ===\n");
+    let (g, p) = workload(32, 512, 77);
+    let mut tops = Vec::new();
+    for v in GpuVersion::ALL {
+        let mut cfg = GpuScanConfig::new(v);
+        cfg.bs = 8;
+        cfg.bsched = 16;
+        cfg.top_k = 3;
+        let res = GpuScan::prepare(&g, &p, &cfg).run(&cfg);
+        println!(
+            "  {}: best {:?} (K2 {:.3}), occupancy {:.1}%",
+            v.name(),
+            res.top[0].triple,
+            res.top[0].score,
+            res.launches.occupancy() * 100.0
+        );
+        tops.push(res.top);
+    }
+    assert!(tops.windows(2).all(|w| w[0] == w[1]), "kernels disagree!");
+    println!("\nall four GPU kernels agree bit-exactly ✓");
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table I** (CPU devices) and **Table II** (GPU devices).
+//!
+//! Run with: `cargo run --release -p bench --bin report_devices`
+
+use bench::TextTable;
+use devices::{CpuDevice, GpuDevice};
+
+fn main() {
+    println!("TABLE I: CPU devices used in the experimental evaluation\n");
+    let mut t = TextTable::new(vec![
+        "System", "CPU Device", "Arch", "Base Freq [GHz]", "Cores", "Vector Width (ISA)",
+    ]);
+    for d in CpuDevice::table1() {
+        t.row(vec![
+            d.id.to_string(),
+            d.name.to_string(),
+            format!("{:?}", d.arch),
+            format!("{:.1}", d.base_ghz),
+            d.cores.to_string(),
+            format!(
+                "{}-bit ({})",
+                d.vector_bits,
+                if d.vector_bits >= 512 { "AVX512" } else { "AVX" }
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("TABLE II: GPU devices used in the experimental evaluation\n");
+    let mut t = TextTable::new(vec![
+        "System", "GPU Device", "Arch", "Boost Freq [GHz]", "CUs", "Stream Cores", "POPCNT/CU",
+    ]);
+    for d in GpuDevice::table2() {
+        t.row(vec![
+            d.id.to_string(),
+            d.name.to_string(),
+            d.arch.to_string(),
+            format!("{:.3}", d.boost_ghz),
+            d.compute_units.to_string(),
+            d.stream_cores.to_string(),
+            format!("{:.0}", d.popcnt_per_cu),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("derived peaks (used by the roofline and timing models):\n");
+    let mut t = TextTable::new(vec![
+        "System", "POPCNT peak [Gop/s]", "INT32 peak [Gop/s]", "DRAM [GB/s]", "TDP [W]",
+    ]);
+    for d in GpuDevice::table2() {
+        t.row(vec![
+            d.id.to_string(),
+            format!("{:.0}", d.popcnt_peak_gops()),
+            format!("{:.0}", d.int_add_peak_gops()),
+            format!("{:.0}", d.dram_gbs),
+            format!("{:.0}", d.tdp_w),
+        ]);
+    }
+    println!("{}", t.render());
+}

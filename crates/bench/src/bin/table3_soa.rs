@@ -1,0 +1,115 @@
+//! Regenerates **Table III**: comparison with state-of-the-art works.
+//!
+//! * CPU rows — *measured* on this host: our best approach (V4) against
+//!   the MPI3SNP-style baseline re-implemented in `baselines`, on
+//!   SNP-scaled versions of the paper's datasets (throughput in the
+//!   paper's size-stable unit; the paper's own CPU rows extrapolate the
+//!   40000-SNP run the same way).
+//! * GPU rows — timing-model predictions of our V4 kernel vs the
+//!   MPI3SNP-style GPU kernel profile on the devices the paper uses.
+//!
+//! Run with: `cargo run --release -p bench --bin table3_soa [scale=N]`
+
+use baselines::mpi3snp::{mpi3snp_gpu_profile, mpi3snp_reuse_decay, Mpi3SnpScanner};
+use bench::{arg_usize, workload, TextTable};
+use devices::GpuDevice;
+use epi_core::scan::{scan, ScanConfig, Version};
+use gpu_sim::timing::KernelProfile;
+use gpu_sim::{GpuTimingModel, GpuVersion};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // SNP counts are divided by `scale` (samples kept) so a laptop-class
+    // run finishes in minutes; scale=1 reproduces paper-size inputs.
+    let scale = arg_usize(&args, "scale", 25).max(1);
+
+    println!("=== Table III, CPU rows (measured on this host) ===\n");
+    println!("datasets: SNPs scaled by 1/{scale}, samples as in the paper\n");
+    let mut t = TextTable::new(vec![
+        "dataset (paper)", "run as", "MPI3SNP-style [Gel/s]", "this work V4 [Gel/s]", "speedup",
+    ]);
+    for (m_paper, n) in [(10_000usize, 1_600usize), (40_000, 6_400)] {
+        let m = (m_paper / scale).max(16);
+        let (g, p) = workload(m, n, 42);
+        let base = Mpi3SnpScanner::new(&g, &p).scan(1, 0);
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.threads = 0;
+        let ours = scan(&g, &p, &cfg);
+        assert_eq!(base.top, ours.top, "baseline and V4 disagree");
+        let b = base.giga_elements_per_sec();
+        let o = ours.giga_elements_per_sec();
+        t.row(vec![
+            format!("{m_paper} x {n}"),
+            format!("{m} x {n}"),
+            format!("{b:.2}"),
+            format!("{o:.2}"),
+            format!("{:.2}x", o / b),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper CPU speedups vs MPI3SNP: 5.8x (Intel 8360Y), 5.7x (AMD 7302P),");
+    println!("up to ~21x extrapolated on the 40000-SNP dataset.\n");
+
+    println!("=== Table III, GPU rows (timing model, paper-size datasets) ===\n");
+    let model = GpuTimingModel::default();
+    let mut t = TextTable::new(vec![
+        "device", "dataset", "MPI3SNP-style [Gel/s]", "this work V4 [Gel/s]", "speedup", "paper",
+    ]);
+    let cases = [
+        ("GN2", 10_000usize, 1_600usize, "1.64x"),
+        ("GN3", 10_000, 1_600, "1.49x"),
+        ("GN2", 40_000, 6_400, "3.31x"),
+        ("GN3", 40_000, 6_400, "3.78x"),
+    ];
+    for (dev, m, n, paper) in cases {
+        let d = GpuDevice::by_id(dev).unwrap();
+        let base = predict_profile(&model, &d, mpi3snp_gpu_profile(), m, n);
+        let ours = model.predict(&d, GpuVersion::V4, m, n).gelems_per_sec;
+        t.row(vec![
+            dev.to_string(),
+            format!("{m} x {n}"),
+            format!("{base:.0}"),
+            format!("{ours:.0}"),
+            format!("{:.2}x", ours / base),
+            paper.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("=== [29]-style comparison (highly tuned CUDA, GPU rows) ===\n");
+    println!("the paper finds near-parity (0.89x-1.05x) on NVIDIA devices; our V4");
+    println!("profile *is* that tuned kernel under the model, so parity is 1.0 by");
+    println!("construction — the interesting row is AMD Mi100, where [29] cannot run:");
+    let mi100 = GpuDevice::by_id("GA2").unwrap();
+    let p = GpuTimingModel::default().predict(&mi100, GpuVersion::V4, 8_000, 8_000);
+    println!(
+        "  Mi100 predicted: {:.0} G elems/s (paper measures 2249; A100 alone exceeds it)",
+        p.gelems_per_sec
+    );
+}
+
+fn predict_profile(
+    _model: &GpuTimingModel,
+    d: &GpuDevice,
+    profile: KernelProfile,
+    m: usize,
+    n: usize,
+) -> f64 {
+    // Same resource math as the model's predict(), with a custom profile
+    // and the baseline's sample-count reuse decay.
+    let popcnt = profile.popcnt_per_word / 32.0 / (d.popcnt_peak_gops() * 1e9);
+    let other = profile.other_per_word / 32.0 / (d.int_add_peak_gops() * 1e9);
+    let compute = match d.vendor {
+        devices::gpu::GpuVendor::Intel => popcnt + other,
+        _ => popcnt.max(other),
+    };
+    let reuse = profile.reuse * mpi3snp_reuse_decay(n);
+    let mem =
+        profile.bytes_per_word / 32.0 / (d.dram_gbs * 1e9 * profile.coalescing * reuse);
+    let eff = match d.vendor {
+        devices::gpu::GpuVendor::Intel => 0.95,
+        _ => 0.88,
+    };
+    let _ = m;
+    eff / compute.max(mem) / 1e9
+}

@@ -1,0 +1,320 @@
+//! GPU-oriented data layouts (paper §IV-B).
+//!
+//! On the GPU every thread evaluates one SNP triple, so consecutive
+//! threads read *different SNPs at the same sample word*. The paper walks
+//! through three layouts:
+//!
+//! * row-major (`[snp][word]`, as on the CPU) — consecutive threads access
+//!   addresses `N` words apart ⇒ gather/scatter (GPU V2);
+//! * [`TransposedPlanes`] (`[word][snp]`) — consecutive threads access
+//!   adjacent addresses ⇒ coalesced loads (GPU V3);
+//! * [`TiledPlanes`] (`[block][word][snp-in-block]`) — blocks of `BS` SNP
+//!   values from the same sample word placed adjacently, bounding the
+//!   stride between consecutive samples of one SNP to `BS` (GPU V4).
+//!
+//! All layouts implement [`SnpLayout`]: the functional GPU simulator uses
+//! [`SnpLayout::load`], while the timing model inspects
+//! [`SnpLayout::address`] to measure real coalescing efficiency instead of
+//! hard-coding one per layout.
+
+use crate::encode::ClassPlanes;
+use crate::word::Word;
+
+/// Uniform addressable view of a per-class two-plane SNP store.
+pub trait SnpLayout {
+    /// Number of SNPs.
+    fn num_snps(&self) -> usize;
+    /// Words per genotype plane.
+    fn num_words(&self) -> usize;
+    /// Samples in this class.
+    fn num_samples(&self) -> usize;
+    /// Zero padding bits per plane.
+    fn pad_bits(&self) -> u32;
+    /// Linear element offset (in words) of `(snp, g, word)` in the store.
+    fn address(&self, snp: usize, g: usize, word: usize) -> usize;
+    /// Load the packed word for `(snp, g ∈ {0,1}, word)`.
+    fn load(&self, snp: usize, g: usize, word: usize) -> Word;
+}
+
+/// Row-major (CPU-style) layout: a thin adapter over [`ClassPlanes`].
+#[derive(Clone, Debug)]
+pub struct RowMajorPlanes<'a> {
+    inner: &'a ClassPlanes,
+    m: usize,
+}
+
+impl<'a> RowMajorPlanes<'a> {
+    /// Wrap packed class planes.
+    pub fn new(inner: &'a ClassPlanes, m: usize) -> Self {
+        Self { inner, m }
+    }
+}
+
+impl SnpLayout for RowMajorPlanes<'_> {
+    #[inline]
+    fn num_snps(&self) -> usize {
+        self.m
+    }
+    #[inline]
+    fn num_words(&self) -> usize {
+        self.inner.num_words()
+    }
+    #[inline]
+    fn num_samples(&self) -> usize {
+        self.inner.num_samples()
+    }
+    #[inline]
+    fn pad_bits(&self) -> u32 {
+        self.inner.pad_bits()
+    }
+    #[inline]
+    fn address(&self, snp: usize, g: usize, word: usize) -> usize {
+        (snp * 2 + g) * self.num_words() + word
+    }
+    #[inline]
+    fn load(&self, snp: usize, g: usize, word: usize) -> Word {
+        self.inner.plane(snp, g)[word]
+    }
+}
+
+/// Fully transposed layout: `[word][g][snp]`.
+#[derive(Clone, Debug)]
+pub struct TransposedPlanes {
+    m: usize,
+    words: usize,
+    n_samples: usize,
+    pad: u32,
+    /// `[word][g][snp]`, flattened.
+    data: Vec<Word>,
+}
+
+impl TransposedPlanes {
+    /// Transpose packed class planes (`m` SNPs).
+    pub fn from_class(planes: &ClassPlanes, m: usize) -> Self {
+        let words = planes.num_words();
+        let mut data = vec![0 as Word; words * 2 * m];
+        for snp in 0..m {
+            for g in 0..2 {
+                let src = planes.plane(snp, g);
+                for (w, &v) in src.iter().enumerate() {
+                    data[(w * 2 + g) * m + snp] = v;
+                }
+            }
+        }
+        Self {
+            m,
+            words,
+            n_samples: planes.num_samples(),
+            pad: planes.pad_bits(),
+            data,
+        }
+    }
+}
+
+impl SnpLayout for TransposedPlanes {
+    #[inline]
+    fn num_snps(&self) -> usize {
+        self.m
+    }
+    #[inline]
+    fn num_words(&self) -> usize {
+        self.words
+    }
+    #[inline]
+    fn num_samples(&self) -> usize {
+        self.n_samples
+    }
+    #[inline]
+    fn pad_bits(&self) -> u32 {
+        self.pad
+    }
+    #[inline]
+    fn address(&self, snp: usize, g: usize, word: usize) -> usize {
+        (word * 2 + g) * self.m + snp
+    }
+    #[inline]
+    fn load(&self, snp: usize, g: usize, word: usize) -> Word {
+        self.data[self.address(snp, g, word)]
+    }
+}
+
+/// SNP-tiled transposed layout: `[block][word][g][snp-in-block]` with
+/// blocks of `bs` SNPs. The SNP dimension is zero-padded to a multiple of
+/// `bs`; padded SNPs are never enumerated by combination generators.
+#[derive(Clone, Debug)]
+pub struct TiledPlanes {
+    m: usize,
+    m_padded: usize,
+    bs: usize,
+    words: usize,
+    n_samples: usize,
+    pad: u32,
+    data: Vec<Word>,
+}
+
+impl TiledPlanes {
+    /// Tile packed class planes (`m` SNPs) with block size `bs`.
+    ///
+    /// # Panics
+    /// Panics if `bs == 0`.
+    pub fn from_class(planes: &ClassPlanes, m: usize, bs: usize) -> Self {
+        assert!(bs > 0, "block size must be positive");
+        let words = planes.num_words();
+        let m_padded = m.div_ceil(bs) * bs;
+        let mut data = vec![0 as Word; m_padded * 2 * words];
+        for snp in 0..m {
+            let (block, s) = (snp / bs, snp % bs);
+            for g in 0..2 {
+                let src = planes.plane(snp, g);
+                for (w, &v) in src.iter().enumerate() {
+                    data[((block * words + w) * 2 + g) * bs + s] = v;
+                }
+            }
+        }
+        Self {
+            m,
+            m_padded,
+            bs,
+            words,
+            n_samples: planes.num_samples(),
+            pad: planes.pad_bits(),
+            data,
+        }
+    }
+
+    /// Tile block size (`BS` in the paper).
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// SNP count after padding to a whole number of blocks.
+    #[inline]
+    pub fn padded_snps(&self) -> usize {
+        self.m_padded
+    }
+}
+
+impl SnpLayout for TiledPlanes {
+    #[inline]
+    fn num_snps(&self) -> usize {
+        self.m
+    }
+    #[inline]
+    fn num_words(&self) -> usize {
+        self.words
+    }
+    #[inline]
+    fn num_samples(&self) -> usize {
+        self.n_samples
+    }
+    #[inline]
+    fn pad_bits(&self) -> u32 {
+        self.pad
+    }
+    #[inline]
+    fn address(&self, snp: usize, g: usize, word: usize) -> usize {
+        let (block, s) = (snp / self.bs, snp % self.bs);
+        ((block * self.words + word) * 2 + g) * self.bs + s
+    }
+    #[inline]
+    fn load(&self, snp: usize, g: usize, word: usize) -> Word {
+        self.data[self.address(snp, g, word)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::GenotypeMatrix;
+
+    fn planes(m: usize, n: usize) -> (ClassPlanes, GenotypeMatrix) {
+        // deterministic pseudo-random genotypes
+        let data: Vec<u8> = (0..m * n).map(|i| ((i * 7 + i / 3) % 3) as u8).collect();
+        let mat = GenotypeMatrix::from_raw(m, n, data);
+        let keep = vec![true; n];
+        (ClassPlanes::encode(&mat, &keep), mat)
+    }
+
+    #[test]
+    fn transposed_matches_row_major() {
+        let (cp, _) = planes(7, 130);
+        let row = RowMajorPlanes::new(&cp, 7);
+        let tr = TransposedPlanes::from_class(&cp, 7);
+        assert_eq!(tr.num_words(), row.num_words());
+        for snp in 0..7 {
+            for g in 0..2 {
+                for w in 0..row.num_words() {
+                    assert_eq!(row.load(snp, g, w), tr.load(snp, g, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_row_major_all_block_sizes() {
+        let (cp, _) = planes(10, 70);
+        let row = RowMajorPlanes::new(&cp, 10);
+        for bs in [1, 2, 3, 4, 8, 16] {
+            let tiled = TiledPlanes::from_class(&cp, 10, bs);
+            assert_eq!(tiled.padded_snps() % bs, 0);
+            for snp in 0..10 {
+                for g in 0..2 {
+                    for w in 0..row.num_words() {
+                        assert_eq!(
+                            row.load(snp, g, w),
+                            tiled.load(snp, g, w),
+                            "bs={bs} snp={snp} g={g} w={w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_addresses_are_unit_stride_across_snps() {
+        let (cp, _) = planes(16, 64);
+        let tr = TransposedPlanes::from_class(&cp, 16);
+        // Consecutive threads handle consecutive SNPs: the address delta at
+        // a fixed (g, word) must be 1 — this is what makes loads coalesced.
+        for snp in 0..15 {
+            assert_eq!(tr.address(snp + 1, 0, 0) - tr.address(snp, 0, 0), 1);
+        }
+    }
+
+    #[test]
+    fn row_major_addresses_stride_by_plane_words() {
+        let (cp, _) = planes(4, 256);
+        let row = RowMajorPlanes::new(&cp, 4);
+        let stride = row.address(1, 0, 0) - row.address(0, 0, 0);
+        assert_eq!(stride, 2 * row.num_words());
+    }
+
+    #[test]
+    fn tiled_sample_stride_is_block_size() {
+        let (cp, _) = planes(8, 256);
+        let bs = 4;
+        let tiled = TiledPlanes::from_class(&cp, 8, bs);
+        // Within a block, consecutive sample words of the same SNP are
+        // 2*BS apart (genotype dimension interleaved).
+        let stride = tiled.address(0, 0, 1) - tiled.address(0, 0, 0);
+        assert_eq!(stride, 2 * bs);
+    }
+
+    #[test]
+    fn addresses_are_unique_and_in_bounds() {
+        let (cp, _) = planes(9, 100);
+        let tiled = TiledPlanes::from_class(&cp, 9, 4);
+        let mut seen = std::collections::HashSet::new();
+        for snp in 0..9 {
+            for g in 0..2 {
+                for w in 0..tiled.num_words() {
+                    let a = tiled.address(snp, g, w);
+                    assert!(a < tiled.padded_snps() * 2 * tiled.num_words());
+                    assert!(seen.insert(a), "duplicate address {a}");
+                }
+            }
+        }
+    }
+}

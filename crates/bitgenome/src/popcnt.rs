@@ -1,0 +1,199 @@
+//! Population-count utilities and SIMD capability detection.
+//!
+//! `POPCNT` is the single most important instruction of the epistasis
+//! kernel (paper §V-D): the optimised approaches are compute-bound on the
+//! population-count path. This module exposes
+//!
+//! * [`SimdLevel`] — the vectorisation tiers the paper distinguishes on
+//!   x86 CPUs (scalar, AVX, AVX-512 without vector `POPCNT`, AVX-512 with
+//!   `VPOPCNTDQ` as introduced by Ice Lake SP), detected at runtime;
+//! * scalar popcount helpers used by reference paths and baselines.
+//!
+//! The fused `AND`+`POPCNT` SIMD kernels live in `epi-core::simd`; this
+//! module only decides which tier those kernels may use.
+
+use crate::word::Word;
+
+/// Vectorisation tier available for the popcount pipeline, ordered from
+/// least to most capable. Mirrors the per-architecture dispatch of the
+/// paper's §IV-A: AVX on Zen/Zen2/Skylake, AVX-512 with scalar `POPCNT` +
+/// extracts on Skylake-SP, AVX-512 `VPOPCNTDQ` on Ice Lake SP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// 64-bit scalar ops with hardware `POPCNT`.
+    Scalar,
+    /// 256-bit AVX2 logic ops, scalar `POPCNT` via lane extraction.
+    Avx2,
+    /// 512-bit AVX-512F/BW logic ops, scalar `POPCNT` via lane extraction
+    /// (the Skylake-SP configuration — pays two extracts per popcount).
+    Avx512,
+    /// 512-bit AVX-512 with `VPOPCNTDQ` vector popcount (Ice Lake SP+).
+    Avx512Vpopcnt,
+}
+
+impl SimdLevel {
+    /// Best tier supported by the executing CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512vpopcntdq")
+                && is_x86_feature_detected!("avx512f")
+            {
+                return SimdLevel::Avx512Vpopcnt;
+            }
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+                return SimdLevel::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    }
+
+    /// All tiers supported on this machine, weakest first. Useful for
+    /// benchmarking every available path.
+    pub fn available() -> Vec<Self> {
+        let best = Self::detect();
+        [
+            SimdLevel::Scalar,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+            SimdLevel::Avx512Vpopcnt,
+        ]
+        .into_iter()
+        .filter(|l| *l <= best)
+        .collect()
+    }
+
+    /// Vector register width in bits (64 for the scalar tier).
+    pub const fn vector_bits(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 64,
+            SimdLevel::Avx2 => 256,
+            SimdLevel::Avx512 | SimdLevel::Avx512Vpopcnt => 512,
+        }
+    }
+
+    /// Number of 64-bit lanes processed per vector op.
+    pub const fn lanes(self) -> usize {
+        self.vector_bits() / 64
+    }
+
+    /// Whether the popcount itself is vectorised (vs. per-lane scalar).
+    pub const fn has_vector_popcnt(self) -> bool {
+        matches!(self, SimdLevel::Avx512Vpopcnt)
+    }
+
+    /// Short human-readable name (matches the paper's terminology).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "AVX",
+            SimdLevel::Avx512 => "AVX512",
+            SimdLevel::Avx512Vpopcnt => "AVX512+VPOPCNT",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Total set bits in a word slice.
+#[inline]
+pub fn popcount(words: &[Word]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Set bits in the three-way intersection `a & b & c`.
+#[inline]
+pub fn popcount_and3(a: &[Word], b: &[Word], c: &[Word]) -> u64 {
+    debug_assert!(a.len() == b.len() && b.len() == c.len());
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .map(|((&x, &y), &z)| u64::from((x & y & z).count_ones()))
+        .sum()
+}
+
+/// Set bits in `a & b & c & d` (V1's phenotype-masked count).
+#[inline]
+pub fn popcount_and4(a: &[Word], b: &[Word], c: &[Word], d: &[Word]) -> u64 {
+    debug_assert!(a.len() == b.len() && b.len() == c.len() && c.len() == d.len());
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .zip(d)
+        .map(|(((&x, &y), &z), &w)| u64::from((x & y & z & w).count_ones()))
+        .sum()
+}
+
+/// Set bits in `a & b & c & !d` (V1's control-side count: the intersection
+/// restricted to samples whose phenotype bit is clear).
+#[inline]
+pub fn popcount_and3_not(a: &[Word], b: &[Word], c: &[Word], d: &[Word]) -> u64 {
+    debug_assert!(a.len() == b.len() && b.len() == c.len() && c.len() == d.len());
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .zip(d)
+        .map(|(((&x, &y), &z), &w)| u64::from((x & y & z & !w).count_ones()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_consistent_with_available() {
+        let best = SimdLevel::detect();
+        let avail = SimdLevel::available();
+        assert_eq!(*avail.last().unwrap(), best);
+        assert_eq!(avail[0], SimdLevel::Scalar);
+        // strictly increasing
+        for pair in avail.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn lane_geometry() {
+        assert_eq!(SimdLevel::Scalar.lanes(), 1);
+        assert_eq!(SimdLevel::Avx2.lanes(), 4);
+        assert_eq!(SimdLevel::Avx512.lanes(), 8);
+        assert_eq!(SimdLevel::Avx512Vpopcnt.lanes(), 8);
+        assert!(SimdLevel::Avx512Vpopcnt.has_vector_popcnt());
+        assert!(!SimdLevel::Avx512.has_vector_popcnt());
+    }
+
+    #[test]
+    fn popcount_matches_naive() {
+        let words = [0b1011u64, u64::MAX, 0, 1 << 63];
+        assert_eq!(popcount(&words), (3 + 64) + 1);
+    }
+
+    #[test]
+    fn and3_and4_consistency() {
+        let a = [0xF0F0_F0F0_F0F0_F0F0u64, 0xFFFF_0000_FFFF_0000];
+        let b = [0xFF00_FF00_FF00_FF00u64, 0x0F0F_0F0F_0F0F_0F0F];
+        let c = [u64::MAX, u64::MAX];
+        let d = [0xAAAA_AAAA_AAAA_AAAAu64, 0x5555_5555_5555_5555];
+        let n3 = popcount_and3(&a, &b, &c);
+        let n4 = popcount_and4(&a, &b, &c, &d);
+        let n3n = popcount_and3_not(&a, &b, &c, &d);
+        // case + control counts partition the 3-way intersection
+        assert_eq!(n4 + n3n, n3);
+    }
+
+    #[test]
+    fn popcount_and3_zero_when_disjoint() {
+        let a = [0b0001u64];
+        let b = [0b0010u64];
+        let c = [0b0100u64];
+        assert_eq!(popcount_and3(&a, &b, &c), 0);
+    }
+}

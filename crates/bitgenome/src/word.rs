@@ -1,0 +1,95 @@
+//! Machine-word primitives for bit-packed sample sets.
+//!
+//! The paper packs samples into 32-bit integers for portability across all
+//! evaluated devices. On a 64-bit host the natural packing unit is `u64`
+//! (each word covers two of the paper's 32-bit words); analytic models in
+//! the `carm` crate convert to 32-bit word units where the paper's
+//! instruction counts are defined.
+
+/// The packing unit: one bit per sample.
+pub type Word = u64;
+
+/// Number of sample bits per [`Word`].
+pub const WORD_BITS: usize = Word::BITS as usize;
+
+/// Number of words needed to hold `n` sample bits.
+#[inline]
+pub const fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// Mask with the low `n % WORD_BITS` bits set, covering the valid sample
+/// bits of the *last* word of a plane over `n` samples. All-ones when `n`
+/// is a multiple of [`WORD_BITS`].
+#[inline]
+pub const fn tail_mask(n: usize) -> Word {
+    let rem = n % WORD_BITS;
+    if rem == 0 {
+        Word::MAX
+    } else {
+        (1 << rem) - 1
+    }
+}
+
+/// Number of zero padding bits in the packed representation of `n` samples.
+#[inline]
+pub const fn pad_bits(n: usize) -> u32 {
+    (words_for(n) * WORD_BITS - n) as u32
+}
+
+/// Set bit `i` in a packed bit slice.
+#[inline]
+pub fn set_bit(bits: &mut [Word], i: usize) {
+    bits[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+}
+
+/// Read bit `i` from a packed bit slice.
+#[inline]
+pub fn get_bit(bits: &[Word], i: usize) -> bool {
+    (bits[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_rounds_up() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn tail_mask_covers_remainder() {
+        assert_eq!(tail_mask(64), Word::MAX);
+        assert_eq!(tail_mask(128), Word::MAX);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(65), 1);
+        assert_eq!(tail_mask(3), 0b111);
+        assert_eq!(tail_mask(63), Word::MAX >> 1);
+    }
+
+    #[test]
+    fn pad_bits_complements_tail() {
+        for n in 1..300 {
+            let pad = pad_bits(n);
+            assert_eq!(pad as usize, words_for(n) * WORD_BITS - n);
+            assert_eq!(tail_mask(n).count_ones() + pad, WORD_BITS as u32);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bits = vec![0 as Word; 3];
+        for &i in &[0usize, 1, 63, 64, 100, 191] {
+            assert!(!get_bit(&bits, i));
+            set_bit(&mut bits, i);
+            assert!(get_bit(&bits, i));
+        }
+        assert_eq!(bits.iter().map(|w| w.count_ones()).sum::<u32>(), 6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Set-associative LRU cache model.
+
+use devices::CacheGeometry;
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (1.0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A single-level, set-associative, true-LRU cache over byte addresses.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build from a cache geometry descriptor.
+    pub fn new(geometry: &CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            line_bytes: geometry.line_bytes,
+            sets,
+            ways: geometry.ways,
+            tags: vec![u64::MAX; sets * geometry.ways],
+            stamps: vec![0; sets * geometry.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access one byte address (reads and writes are modelled alike).
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        let base = set * self.ways;
+
+        // hit?
+        for way in 0..self.ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        // miss: evict LRU way
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            if self.tags[base + way] == u64::MAX {
+                victim = way;
+                break;
+            }
+            if self.stamps[base + way] < oldest {
+                oldest = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Access a contiguous byte range (e.g. one packed word).
+    pub fn access_range(&mut self, addr: u64, bytes: usize) {
+        let first = addr / self.line_bytes as u64;
+        let last = (addr + bytes as u64 - 1) / self.line_bytes as u64;
+        for line in first..=last {
+            self.access(line * self.line_bytes as u64);
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters but keep cache contents (for warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 KiB, 4-way, 64 B lines => 16 sets
+        Cache::new(&CacheGeometry::kib(4, 4))
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..64).map(|i| i * 64).collect(); // 4 KiB exactly
+        for &a in &lines {
+            c.access(a);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &a in &lines {
+                assert!(c.access(a));
+            }
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = tiny();
+        // 8 KiB streamed cyclically through a 4 KiB LRU cache: every
+        // access evicts the line needed furthest in the future-past.
+        let lines: Vec<u64> = (0..128).map(|i| i * 64).collect();
+        for _ in 0..4 {
+            for &a in &lines {
+                c.access(a);
+            }
+        }
+        assert!(
+            c.stats().hit_rate() < 0.05,
+            "cyclic overflow must thrash: {}",
+            c.stats().hit_rate()
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set? construct 4-way with 16 sets; use addresses mapping to
+        // set 0: line numbers multiples of 16.
+        let mut c = tiny();
+        let addr = |i: u64| i * 16 * 64; // same set, different tags
+        for i in 0..4 {
+            c.access(addr(i));
+        }
+        c.access(addr(0)); // refresh tag 0
+        c.access(addr(4)); // evicts tag 1 (LRU)
+        assert!(c.access(addr(0)), "tag 0 refreshed, must survive");
+        assert!(!c.access(addr(1)), "tag 1 was LRU, must be gone");
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut c = tiny();
+        c.access_range(60, 8); // straddles lines 0 and 1
+        assert_eq!(c.stats().misses, 2);
+        c.access_range(60, 4); // line 0 only
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        assert_eq!(tiny().capacity(), 4096);
+        assert_eq!(Cache::new(&CacheGeometry::kib(48, 12)).capacity(), 48 * 1024);
+    }
+}

@@ -1,0 +1,78 @@
+//! Memory-access records and trace collection.
+
+/// One memory access: a byte address and a length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Starting byte address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub bytes: u32,
+}
+
+/// Collects an access trace (tests and offline analysis); hot paths
+/// stream straight into a [`crate::Cache`] instead.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    accesses: Vec<Access>,
+}
+
+impl TraceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one access.
+    pub fn record(&mut self, addr: u64, bytes: u32) {
+        self.accesses.push(Access { addr, bytes });
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Total bytes touched (with multiplicity).
+    pub fn total_bytes(&self) -> u64 {
+        self.accesses.iter().map(|a| u64::from(a.bytes)).sum()
+    }
+
+    /// Distinct cache lines touched.
+    pub fn distinct_lines(&self, line_bytes: u64) -> usize {
+        let mut lines: Vec<u64> = self
+            .accesses
+            .iter()
+            .flat_map(|a| {
+                let first = a.addr / line_bytes;
+                let last = (a.addr + u64::from(a.bytes) - 1) / line_bytes;
+                first..=last
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut r = TraceRecorder::new();
+        r.record(0, 8);
+        r.record(64, 8);
+        r.record(4, 8); // overlaps line 0 (and line 0 only at 64B lines)
+        assert_eq!(r.trace().len(), 3);
+        assert_eq!(r.total_bytes(), 24);
+        assert_eq!(r.distinct_lines(64), 2);
+    }
+
+    #[test]
+    fn straddling_access_spans_lines() {
+        let mut r = TraceRecorder::new();
+        r.record(60, 8); // lines 0 and 1
+        assert_eq!(r.distinct_lines(64), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based invariants of the cache model.
+
+use cachesim::Cache;
+use devices::CacheGeometry;
+use proptest::prelude::*;
+
+fn address_trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 20), 1..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(trace in address_trace()) {
+        let mut c = Cache::new(&CacheGeometry::kib(8, 4));
+        for &a in &trace {
+            c.access(a);
+        }
+        prop_assert_eq!(c.stats().accesses(), trace.len() as u64);
+        let hr = c.stats().hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+    }
+
+    #[test]
+    fn bigger_cache_never_hits_less_fully_assoc(trace in address_trace()) {
+        // LRU inclusion property holds for fully-associative caches (one
+        // set): doubling capacity can only add hits.
+        let small_geom = CacheGeometry { size_bytes: 16 * 64, ways: 16, line_bytes: 64 };
+        let large_geom = CacheGeometry { size_bytes: 32 * 64, ways: 32, line_bytes: 64 };
+        let mut small = Cache::new(&small_geom);
+        let mut large = Cache::new(&large_geom);
+        for &a in &trace {
+            small.access(a);
+            large.access(a);
+        }
+        prop_assert!(large.stats().hits >= small.stats().hits);
+    }
+
+    #[test]
+    fn immediate_reaccess_always_hits(trace in address_trace()) {
+        let mut c = Cache::new(&CacheGeometry::kib(4, 4));
+        for &a in &trace {
+            c.access(a);
+            prop_assert!(c.access(a), "immediate re-access of {a} missed");
+        }
+    }
+
+    #[test]
+    fn first_touch_of_each_line_misses(trace in address_trace()) {
+        let mut c = Cache::new(&CacheGeometry::kib(64, 8));
+        let mut distinct = std::collections::HashSet::new();
+        let mut compulsory = 0u64;
+        for &a in &trace {
+            if distinct.insert(a / 64) {
+                compulsory += 1;
+            }
+            c.access(a);
+        }
+        // misses are at least the compulsory ones
+        prop_assert!(c.stats().misses >= compulsory.min(trace.len() as u64) - 0);
+        prop_assert!(c.stats().misses >= 1);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents(addr in 0u64..(1 << 16)) {
+        let mut c = Cache::new(&CacheGeometry::kib(4, 4));
+        c.access(addr);
+        c.reset_stats();
+        prop_assert_eq!(c.stats().accesses(), 0);
+        prop_assert!(c.access(addr), "contents must survive a stats reset");
+    }
+}

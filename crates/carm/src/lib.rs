@@ -1,0 +1,25 @@
+//! # carm — Cache-Aware Roofline Model
+//!
+//! An implementation of the Cache-Aware Roofline Model (Ilic, Pratas,
+//! Sousa, IEEE CAL 2014) used by the paper (§V-A, Fig. 2) to characterise
+//! its four approaches: for a kernel with arithmetic intensity `AI`
+//! (intops/byte), attainable performance under each memory level's
+//! bandwidth roof `B` and each compute ceiling `P` is
+//! `min(P, AI · B)`.
+//!
+//! * [`roofline`] — roof construction for the paper's CPU and GPU devices
+//!   and attainable-performance queries;
+//! * [`characterize`] — placing kernels (analytic AI from
+//!   `epi_core::costs`, measured or modelled throughput) on a roofline;
+//! * [`cpumodel`] — the analytic per-device CPU throughput model that
+//!   regenerates the cross-device panels of Fig. 3;
+//! * [`plot`] — ASCII log-log roofline rendering for the bench harness.
+
+pub mod characterize;
+pub mod cpumodel;
+pub mod plot;
+pub mod roofline;
+
+pub use characterize::{characterize_cpu, characterize_gpu, KernelPoint};
+pub use cpumodel::CpuModel;
+pub use roofline::{Roof, Roofline};

@@ -1,0 +1,135 @@
+//! ASCII log-log roofline rendering for the bench harness (Fig. 2 style).
+
+use crate::characterize::KernelPoint;
+use crate::roofline::{Roof, Roofline};
+
+/// Render a roofline and kernel points on a log₂-log₂ character grid.
+///
+/// X axis: arithmetic intensity, `2^x_min ..= 2^x_max` intops/byte.
+/// Y axis: GINTOP/s, autoscaled to cover the roofs and points.
+pub fn render(
+    roofline: &Roofline,
+    points: &[KernelPoint],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 20 && height >= 8, "canvas too small");
+    let x_min = -4.0f64; // 2^-4 as in Fig. 2
+    let x_max = 6.0f64; // 2^6
+
+    // Autoscale y from the attainable range and the points.
+    let mut y_max = f64::MIN;
+    let mut y_min = f64::MAX;
+    for i in 0..=width {
+        let ai = exp2_lerp(x_min, x_max, i as f64 / width as f64);
+        let p = roofline.attainable(ai).max(1e-9);
+        y_max = y_max.max(p.log2());
+        y_min = y_min.min(p.log2());
+    }
+    for p in points {
+        if p.gops > 0.0 {
+            y_max = y_max.max(p.gops.log2());
+            y_min = y_min.min(p.gops.log2());
+        }
+    }
+    let y_max = y_max.ceil() + 1.0;
+    let y_min = (y_min.floor() - 1.0).max(y_max - 14.0);
+
+    let mut grid = vec![vec![b' '; width + 1]; height + 1];
+
+    // Roofline envelope.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..=width {
+        let ai = exp2_lerp(x_min, x_max, i as f64 / width as f64);
+        let p = roofline.attainable(ai).max(1e-9).log2();
+        if let Some(row) = to_row(p, y_min, y_max, height) {
+            grid[row][i] = b'-';
+        }
+    }
+
+    // Kernel points, labelled 1-4.
+    for p in points {
+        if p.gops <= 0.0 {
+            continue;
+        }
+        let xi = ((p.ai.log2() - x_min) / (x_max - x_min) * width as f64).round();
+        if !(0.0..=(width as f64)).contains(&xi) {
+            continue;
+        }
+        if let Some(row) = to_row(p.gops.log2(), y_min, y_max, height) {
+            let label = match p.version {
+                epi_core::scan::Version::V1 => b'1',
+                epi_core::scan::Version::V2 => b'2',
+                epi_core::scan::Version::V3 => b'3',
+                epi_core::scan::Version::V4 => b'4',
+            };
+            grid[row][xi as usize] = label;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}  [y: 2^{:.0}..2^{:.0} GINTOP/s, x: 2^-4..2^6 intop/byte]\n",
+        roofline.device, y_min, y_max
+    ));
+    for row in grid {
+        out.push_str("  |");
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width + 1));
+    out.push('\n');
+    for roof in &roofline.roofs {
+        match roof {
+            Roof::Compute { name, gops } => {
+                out.push_str(&format!("  {name}: {gops:.0} GINTOP/s\n"));
+            }
+            Roof::Memory { name, gbs } => {
+                out.push_str(&format!("  {name}: {gbs:.0} GB/s\n"));
+            }
+        }
+    }
+    out
+}
+
+fn exp2_lerp(lo: f64, hi: f64, t: f64) -> f64 {
+    (lo + (hi - lo) * t).exp2()
+}
+
+fn to_row(log2_val: f64, y_min: f64, y_max: f64, height: usize) -> Option<usize> {
+    if log2_val < y_min || log2_val > y_max {
+        return None;
+    }
+    let frac = (log2_val - y_min) / (y_max - y_min);
+    Some(height - (frac * height as f64).round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize_cpu;
+    use devices::CpuDevice;
+
+    #[test]
+    fn render_contains_points_and_roofs() {
+        let d = CpuDevice::by_id("CI3").unwrap();
+        let rl = Roofline::for_cpu(&d);
+        let pts = characterize_cpu(&d);
+        let s = render(&rl, &pts, 60, 20);
+        for label in ["1", "2", "3", "4"] {
+            assert!(s.contains(label), "missing point {label}\n{s}");
+        }
+        assert!(s.contains("Int32 Vector ADD Peak"));
+        assert!(s.contains("DRAM→C"));
+        // plausible canvas size
+        assert!(s.lines().count() > 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn rejects_tiny_canvas() {
+        let d = CpuDevice::by_id("CI1").unwrap();
+        render(&Roofline::for_cpu(&d), &[], 5, 3);
+    }
+}

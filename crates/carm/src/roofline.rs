@@ -1,0 +1,274 @@
+//! Roofline construction and attainable-performance queries.
+
+use devices::{CpuDevice, GpuDevice};
+
+/// One roof: either a compute ceiling (GINTOP/s) or a memory slope
+/// (GB/s seen from the core — the *cache-aware* part: every level is
+/// measured core-side, not at the memory itself).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Roof {
+    /// Flat compute ceiling in GINTOP/s.
+    Compute {
+        /// Label, e.g. "Int32 Vector ADD Peak".
+        name: String,
+        /// Peak throughput in GINTOP/s.
+        gops: f64,
+    },
+    /// Bandwidth slope in GB/s.
+    Memory {
+        /// Label, e.g. "L1→C".
+        name: String,
+        /// Core-side bandwidth in GB/s.
+        gbs: f64,
+    },
+}
+
+impl Roof {
+    /// Attainable performance at arithmetic intensity `ai` under this
+    /// roof alone.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        match self {
+            Roof::Compute { gops, .. } => *gops,
+            Roof::Memory { gbs, .. } => ai * gbs,
+        }
+    }
+
+    /// Roof label.
+    pub fn name(&self) -> &str {
+        match self {
+            Roof::Compute { name, .. } | Roof::Memory { name, .. } => name,
+        }
+    }
+}
+
+/// A complete roofline: several memory slopes and compute ceilings.
+#[derive(Clone, Debug)]
+pub struct Roofline {
+    /// Device label.
+    pub device: String,
+    /// All roofs, strongest (highest) first within each kind.
+    pub roofs: Vec<Roof>,
+}
+
+impl Roofline {
+    /// CARM roofs of a Table I CPU: L1/L2/L3/DRAM slopes (vector loads)
+    /// plus scalar and vector integer-ADD ceilings.
+    pub fn for_cpu(d: &CpuDevice) -> Self {
+        let cyc_per_sec = d.cores as f64 * d.base_ghz; // G cycles/s, all cores
+        let roofs = vec![
+            Roof::Memory {
+                name: "L1→C".into(),
+                gbs: cyc_per_sec * d.l1_bytes_per_cycle,
+            },
+            Roof::Memory {
+                name: "L2→C".into(),
+                gbs: cyc_per_sec * d.l2_bytes_per_cycle,
+            },
+            Roof::Memory {
+                name: "L3→C".into(),
+                gbs: cyc_per_sec * d.l3_bytes_per_cycle,
+            },
+            Roof::Memory {
+                name: "DRAM→C".into(),
+                gbs: d.dram_gbs,
+            },
+            Roof::Compute {
+                name: "Int32 Vector ADD Peak".into(),
+                gops: d.vector_add_peak_gops(),
+            },
+            Roof::Compute {
+                name: "Scalar ADD Peak".into(),
+                gops: d.scalar_add_peak_gops(),
+            },
+        ];
+        Self {
+            device: format!("{} ({})", d.name, d.id),
+            roofs,
+        }
+    }
+
+    /// Scalar-only variants of the CPU roofs (the paper draws "slashed"
+    /// scalar ceilings and scalar-load bandwidth in Fig. 2a). Scalar loads
+    /// move 8 B/cycle-port instead of a full vector register.
+    pub fn for_cpu_scalar(d: &CpuDevice) -> Self {
+        let cyc_per_sec = d.cores as f64 * d.base_ghz;
+        let scalar_ratio = 16.0 / d.l1_bytes_per_cycle.max(16.0);
+        let roofs = vec![
+            Roof::Memory {
+                name: "L1→C (scalar)".into(),
+                gbs: cyc_per_sec * d.l1_bytes_per_cycle * scalar_ratio,
+            },
+            Roof::Memory {
+                name: "L2→C (scalar)".into(),
+                gbs: cyc_per_sec * d.l2_bytes_per_cycle * scalar_ratio.min(1.0),
+            },
+            Roof::Memory {
+                name: "L3→C (scalar)".into(),
+                gbs: cyc_per_sec * d.l3_bytes_per_cycle,
+            },
+            Roof::Memory {
+                name: "DRAM→C".into(),
+                gbs: d.dram_gbs,
+            },
+            Roof::Compute {
+                name: "Scalar ADD Peak".into(),
+                gops: d.scalar_add_peak_gops(),
+            },
+        ];
+        Self {
+            device: format!("{} ({}, scalar)", d.name, d.id),
+            roofs,
+        }
+    }
+
+    /// CARM roofs of a Table II GPU: shared-local-memory, L2/L3 and DRAM
+    /// slopes plus the 32-bit integer ADD ceiling (Fig. 2b's layout).
+    pub fn for_gpu(d: &GpuDevice) -> Self {
+        let roofs = vec![
+            Roof::Memory {
+                // register-file/SLM bandwidth scales with stream cores
+                name: "SLM→C".into(),
+                gbs: d.stream_cores as f64 * d.boost_ghz * 4.0,
+            },
+            Roof::Memory {
+                name: "L3→C".into(),
+                gbs: d.dram_gbs * 4.0,
+            },
+            Roof::Memory {
+                name: "DRAM→C".into(),
+                gbs: d.dram_gbs,
+            },
+            Roof::Compute {
+                name: "Int32 Vector ADD Peak".into(),
+                gops: d.int_add_peak_gops(),
+            },
+            Roof::Compute {
+                name: "POPCNT Peak".into(),
+                gops: d.popcnt_peak_gops(),
+            },
+        ];
+        Self {
+            device: format!("{} ({})", d.name, d.id),
+            roofs,
+        }
+    }
+
+    /// Attainable performance at `ai` under the *best* roofs: bounded by
+    /// the fastest memory slope and the highest compute ceiling.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        let best_mem = self
+            .roofs
+            .iter()
+            .filter(|r| matches!(r, Roof::Memory { .. }))
+            .map(|r| r.attainable(ai))
+            .fold(0.0f64, f64::max);
+        let best_comp = self
+            .roofs
+            .iter()
+            .filter(|r| matches!(r, Roof::Compute { .. }))
+            .map(|r| r.attainable(ai))
+            .fold(0.0f64, f64::max);
+        best_mem.min(best_comp)
+    }
+
+    /// Attainable performance when the kernel is served by one named
+    /// memory level (e.g. blocked kernels hitting L1/L2 vs naive kernels
+    /// streaming from DRAM) under one named compute ceiling.
+    pub fn attainable_under(&self, ai: f64, memory: &str, compute: &str) -> Option<f64> {
+        let mem = self.roof(memory)?.attainable(ai);
+        let comp = self.roof(compute)?.attainable(ai);
+        Some(mem.min(comp))
+    }
+
+    /// Find a roof by name.
+    pub fn roof(&self, name: &str) -> Option<&Roof> {
+        self.roofs.iter().find(|r| r.name() == name)
+    }
+
+    /// The ridge point (AI where the top memory slope meets the top
+    /// compute ceiling): kernels left of it are memory-bound.
+    pub fn ridge_ai(&self) -> f64 {
+        let best_mem = self
+            .roofs
+            .iter()
+            .filter_map(|r| match r {
+                Roof::Memory { gbs, .. } => Some(*gbs),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        let best_comp = self
+            .roofs
+            .iter()
+            .filter_map(|r| match r {
+                Roof::Compute { gops, .. } => Some(*gops),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        best_comp / best_mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci3() -> CpuDevice {
+        CpuDevice::by_id("CI3").unwrap()
+    }
+
+    #[test]
+    fn attainable_is_min_of_best_roofs() {
+        let r = Roofline::for_cpu(&ci3());
+        // Far left: memory-bound, grows linearly with AI.
+        let low = r.attainable(0.01);
+        assert!((r.attainable(0.02) / low - 2.0).abs() < 1e-9);
+        // Far right: flat at the compute peak.
+        let peak = ci3().vector_add_peak_gops();
+        assert!((r.attainable(1e6) - peak).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let r = Roofline::for_cpu(&ci3());
+        let ridge = r.ridge_ai();
+        assert!(ridge > 0.0);
+        let eps = 1e-3;
+        let left = r.attainable(ridge * (1.0 - eps));
+        let right = r.attainable(ridge * (1.0 + eps));
+        // left of ridge still rising, right of ridge flat
+        assert!(left < right + 1e-6);
+        assert!((r.attainable(ridge * 2.0) - right).abs() / right < eps * 10.0);
+    }
+
+    #[test]
+    fn memory_levels_are_ordered() {
+        let r = Roofline::for_cpu(&ci3());
+        let bw = |n: &str| match r.roof(n).unwrap() {
+            Roof::Memory { gbs, .. } => *gbs,
+            _ => unreachable!(),
+        };
+        assert!(bw("L1→C") > bw("L2→C"));
+        assert!(bw("L2→C") > bw("L3→C"));
+        assert!(bw("L3→C") > bw("DRAM→C"));
+    }
+
+    #[test]
+    fn gpu_roofline_popcnt_below_alu() {
+        for d in GpuDevice::table2() {
+            let r = Roofline::for_gpu(&d);
+            let alu = r.roof("Int32 Vector ADD Peak").unwrap().attainable(1.0);
+            let pc = r.roof("POPCNT Peak").unwrap().attainable(1.0);
+            assert!(pc < alu, "{}: popcnt {pc} vs alu {alu}", d.id);
+        }
+    }
+
+    #[test]
+    fn attainable_under_specific_roofs() {
+        let r = Roofline::for_cpu(&ci3());
+        let ai = 2.375; // V2's AI
+        let l1 = r.attainable_under(ai, "L1→C", "Int32 Vector ADD Peak").unwrap();
+        let dram = r.attainable_under(ai, "DRAM→C", "Int32 Vector ADD Peak").unwrap();
+        assert!(l1 > dram);
+        assert!(r.attainable_under(ai, "nope", "Scalar ADD Peak").is_none());
+    }
+}

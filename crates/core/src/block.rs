@@ -1,0 +1,163 @@
+//! Loop-tiling parameter selection (§IV-A).
+//!
+//! The blocked approaches process `B_S³` SNP combinations over `B_P`
+//! samples at a time. Both the frequency tables and the data block must
+//! fit in the L1 data cache; the paper splits L1 *by ways*:
+//!
+//! * frequency tables need `2 · 27 · B_S³ · 4 B ≤ sizeFT`,
+//! * the data block needs `B_S · B_P · 4 B · 2 ≤ sizeBlock`,
+//!
+//! with `sizeFT` / `sizeBlock` chosen as a number of L1 ways. The worked
+//! example: Ice Lake SP, 48 KiB / 12-way L1, 7 ways for the tables
+//! (28 KiB) and 4 ways for the block (16 KiB) ⇒ `B_S ≤ 5.1`,
+//! `B_P ≤ 409.6` ⇒ `⟨5, 400⟩` after rounding `B_P` to a whole number of
+//! vector registers.
+
+use devices::CacheGeometry;
+
+/// Bytes per packed 32-bit word (the paper's `β_int`).
+const BETA_INT: usize = 4;
+
+/// Tiling parameters for the blocked CPU approaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockParams {
+    /// SNPs per block (`B_S`).
+    pub bs: usize,
+    /// Packed 32-bit words per block (`B_P`). Note the paper *calls*
+    /// these samples, but its sizing formula `B_S·B_P·β_int·2 ≤ sizeBlock`
+    /// charges 4 bytes per unit, so `B_P` counts words: the Ice Lake
+    /// `⟨5, 400⟩` block covers 400 × 32 = 12 800 samples.
+    pub bp: usize,
+}
+
+impl BlockParams {
+    /// Derive `⟨B_S, B_P⟩` from an L1 way split.
+    ///
+    /// `ft_ways` of the L1 hold the frequency tables and `block_ways` hold
+    /// the three SNP blocks; `vector_bits` is the SIMD register width used
+    /// to round `B_P` down to a whole number of registers of 32-bit words
+    /// (pass 64 for scalar code).
+    pub fn for_cache(l1: &CacheGeometry, ft_ways: usize, block_ways: usize, vector_bits: usize) -> Self {
+        assert!(ft_ways + block_ways <= l1.ways, "way split exceeds L1");
+        let size_ft = l1.ways_bytes(ft_ways);
+        let size_block = l1.ways_bytes(block_ways);
+        Self::for_sizes(size_ft, size_block, vector_bits)
+    }
+
+    /// Derive `⟨B_S, B_P⟩` from explicit byte budgets.
+    pub fn for_sizes(size_ft: usize, size_block: usize, vector_bits: usize) -> Self {
+        // B_S³ · β · 2 · 27 ≤ sizeFT
+        let denom = BETA_INT * 2 * 27;
+        let bs_cubed = size_ft / denom;
+        let mut bs = (bs_cubed as f64).cbrt().floor() as usize;
+        // floating cbrt can land one too low or high; fix up exactly
+        while (bs + 1).pow(3) * denom <= size_ft {
+            bs += 1;
+        }
+        while bs > 1 && bs.pow(3) * denom > size_ft {
+            bs -= 1;
+        }
+        let bs = bs.max(1);
+
+        // B_S · B_P · β · 2 ≤ sizeBlock
+        let mut bp = size_block / (bs * BETA_INT * 2);
+        // round down to a whole number of 32-bit lanes per vector register
+        let lanes = (vector_bits / 32).max(1);
+        if bp >= lanes {
+            bp -= bp % lanes;
+        }
+        let bp = bp.max(lanes);
+        Self { bs, bp }
+    }
+
+    /// Default parameters for a device's L1, following the paper's policy:
+    /// 7 ways for the frequency tables, and for the block 4 ways on
+    /// 12-way caches (one way left to the prefetcher) or the remaining
+    /// 1 way on 8-way caches.
+    pub fn paper_policy(l1: &CacheGeometry, vector_bits: usize) -> Self {
+        let ft_ways = 7.min(l1.ways - 1);
+        let block_ways = if l1.ways >= 12 { 4 } else { l1.ways - ft_ways };
+        Self::for_cache(l1, ft_ways, block_ways, vector_bits)
+    }
+
+    /// Frequency-table bytes this configuration needs.
+    pub fn ft_bytes(&self) -> usize {
+        self.bs.pow(3) * BETA_INT * 2 * 27
+    }
+
+    /// Data-block bytes (three SNP planes · two genotypes) per block.
+    pub fn block_bytes(&self) -> usize {
+        self.bs * self.bp * BETA_INT * 2
+    }
+
+    /// Sample-block length in this crate's 64-bit packing units (each
+    /// u64 covers two of the paper's 32-bit words), minimum one word.
+    pub fn bp_words(&self) -> usize {
+        (self.bp / 2).max(1)
+    }
+
+    /// Samples covered by one sample block.
+    pub fn bp_samples(&self) -> usize {
+        self.bp * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_icelake() {
+        // 48 KiB, 12 ways; 7 ways FT (28 KiB), 4 ways block (16 KiB),
+        // AVX-512 => <5, 400>.
+        let l1 = CacheGeometry::kib(48, 12);
+        let p = BlockParams::for_cache(&l1, 7, 4, 512);
+        assert_eq!(p, BlockParams { bs: 5, bp: 400 });
+    }
+
+    #[test]
+    fn paper_config_other_cpus() {
+        // 32 KiB, 8 ways; 7 ways FT (28 KiB), 1 way block (4 KiB),
+        // AVX => <5, 96> (the paper's configuration for non-ICX CPUs).
+        let l1 = CacheGeometry::kib(32, 8);
+        let p = BlockParams::for_cache(&l1, 7, 1, 256);
+        assert_eq!(p, BlockParams { bs: 5, bp: 96 });
+    }
+
+    #[test]
+    fn paper_policy_matches_worked_examples() {
+        assert_eq!(
+            BlockParams::paper_policy(&CacheGeometry::kib(48, 12), 512),
+            BlockParams { bs: 5, bp: 400 }
+        );
+        assert_eq!(
+            BlockParams::paper_policy(&CacheGeometry::kib(32, 8), 256),
+            BlockParams { bs: 5, bp: 96 }
+        );
+    }
+
+    #[test]
+    fn budgets_respected() {
+        for (ft_kib, blk_kib, vec) in [(28, 16, 512), (28, 4, 256), (8, 8, 128), (56, 32, 512)] {
+            let p = BlockParams::for_sizes(ft_kib * 1024, blk_kib * 1024, vec);
+            assert!(p.ft_bytes() <= ft_kib * 1024, "{p:?}");
+            assert!(p.block_bytes() <= blk_kib * 1024 || p.bp == vec / 32, "{p:?}");
+            assert!(p.bs >= 1 && p.bp >= 1);
+        }
+    }
+
+    #[test]
+    fn bs_is_maximal() {
+        // one more SNP per block must overflow the FT budget
+        let p = BlockParams::for_sizes(28 * 1024, 16 * 1024, 512);
+        assert!((p.bs + 1).pow(3) * 4 * 2 * 27 > 28 * 1024);
+    }
+
+    #[test]
+    fn bp_rounds_to_vector_multiple() {
+        let p = BlockParams::for_sizes(28 * 1024, 16 * 1024, 512);
+        assert_eq!(p.bp % 16, 0);
+        let p = BlockParams::for_sizes(28 * 1024, 4 * 1024, 256);
+        assert_eq!(p.bp % 8, 0);
+    }
+}

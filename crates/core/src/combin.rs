@@ -1,0 +1,191 @@
+//! Combination enumeration for the exhaustive scan.
+//!
+//! The search space is all `C(M, 3)` strictly increasing SNP triples
+//! `(i0, i1, i2)`. The parallel drivers split this space by leading index
+//! or by block triple; this module supplies the counting and iteration
+//! primitives they share.
+
+use crate::result::Triple;
+
+/// `C(n, k)` without overflow for the sizes used here (`u128` interim).
+pub fn n_choose_k(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * u128::from(n - i) / u128::from(i + 1);
+    }
+    num as u64
+}
+
+/// Number of three-way combinations for `m` SNPs.
+#[inline]
+pub fn num_triples(m: usize) -> u64 {
+    n_choose_k(m as u64, 3)
+}
+
+/// The paper's "total number of elements": combinations × samples.
+#[inline]
+pub fn num_elements(m: usize, n: usize) -> u128 {
+    u128::from(num_triples(m)) * n as u128
+}
+
+/// Iterator over all strictly increasing triples of `0..m`.
+#[derive(Clone, Debug)]
+pub struct TripleIter {
+    m: u32,
+    next: Option<Triple>,
+}
+
+impl TripleIter {
+    /// Iterate all `C(m, 3)` triples in lexicographic order.
+    pub fn new(m: usize) -> Self {
+        let m = m as u32;
+        let next = if m >= 3 { Some((0, 1, 2)) } else { None };
+        Self { m, next }
+    }
+}
+
+impl Iterator for TripleIter {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        let cur = self.next?;
+        let (mut a, mut b, mut c) = cur;
+        if c + 1 < self.m {
+            c += 1;
+        } else if b + 2 < self.m {
+            b += 1;
+            c = b + 1;
+        } else if a + 3 < self.m {
+            a += 1;
+            b = a + 1;
+            c = b + 1;
+        } else {
+            self.next = None;
+            return Some(cur);
+        }
+        self.next = Some((a, b, c));
+        Some(cur)
+    }
+}
+
+/// Triples with a fixed leading index `i0`: `(i0, i1, i2)` with
+/// `i0 < i1 < i2 < m`. The dynamic scheduler hands one leading index to a
+/// worker at a time, giving naturally shrinking task sizes that balance
+/// load (the paper's dynamic OpenMP schedule).
+pub fn triples_with_leading(m: usize, i0: usize) -> impl Iterator<Item = Triple> {
+    let m = m as u32;
+    let i0 = i0 as u32;
+    (i0 + 1..m).flat_map(move |i1| (i1 + 1..m).map(move |i2| (i0, i1, i2)))
+}
+
+/// Number of triples with leading index `i0`: `C(m - i0 - 1, 2)`.
+#[inline]
+pub fn triples_for_leading(m: usize, i0: usize) -> u64 {
+    n_choose_k((m - i0 - 1) as u64, 2)
+}
+
+/// Ordered block triples `(b0, b1, b2)` with `b0 ≤ b1 ≤ b2 < nb` — the
+/// task granularity of the blocked approaches (Algorithm 1's outer loop).
+pub fn block_triples(nb: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for b0 in 0..nb {
+        for b1 in b0..nb {
+            for b2 in b1..nb {
+                out.push((b0, b1, b2));
+            }
+        }
+    }
+    out
+}
+
+/// Number of ordered block triples: `C(nb + 2, 3)` (multiset coefficient).
+#[inline]
+pub fn num_block_triples(nb: usize) -> u64 {
+    n_choose_k(nb as u64 + 2, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(n_choose_k(5, 3), 10);
+        assert_eq!(n_choose_k(3, 3), 1);
+        assert_eq!(n_choose_k(2, 3), 0);
+        assert_eq!(n_choose_k(8192, 3), 8192 * 8191 * 8190 / 6);
+        assert_eq!(n_choose_k(40_000, 3), 40_000 * 39_999 * 39_998 / 6);
+    }
+
+    #[test]
+    fn triple_iter_counts_and_order() {
+        for m in [3usize, 4, 5, 10, 17] {
+            let triples: Vec<Triple> = TripleIter::new(m).collect();
+            assert_eq!(triples.len() as u64, num_triples(m));
+            // strictly increasing components, lexicographic order
+            for t in &triples {
+                assert!(t.0 < t.1 && t.1 < t.2 && (t.2 as usize) < m);
+            }
+            for pair in triples.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_iter_degenerate() {
+        assert_eq!(TripleIter::new(0).count(), 0);
+        assert_eq!(TripleIter::new(2).count(), 0);
+        assert_eq!(TripleIter::new(3).count(), 1);
+    }
+
+    #[test]
+    fn leading_partition_covers_everything() {
+        let m = 12;
+        let mut collected: Vec<Triple> = (0..m)
+            .flat_map(|i0| triples_with_leading(m, i0))
+            .collect();
+        collected.sort_unstable();
+        let all: Vec<Triple> = TripleIter::new(m).collect();
+        assert_eq!(collected, all);
+        let total: u64 = (0..m).map(|i0| triples_for_leading(m, i0)).sum();
+        assert_eq!(total, num_triples(m));
+    }
+
+    #[test]
+    fn leading_counts_match_iterators() {
+        let m = 9;
+        for i0 in 0..m {
+            assert_eq!(
+                triples_with_leading(m, i0).count() as u64,
+                triples_for_leading(m, i0)
+            );
+        }
+    }
+
+    #[test]
+    fn block_triples_count() {
+        for nb in 1..8 {
+            assert_eq!(block_triples(nb).len() as u64, num_block_triples(nb));
+        }
+        // ordered, no duplicates
+        let bt = block_triples(5);
+        let mut sorted = bt.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), bt.len());
+        assert!(bt.iter().all(|&(a, b, c)| a <= b && b <= c));
+    }
+
+    #[test]
+    fn elements_unit_matches_paper() {
+        // 10000 SNPs, 1600 samples (Table III first row)
+        assert_eq!(n_choose_k(10_000, 3), 166_616_670_000);
+        let e = num_elements(10_000, 1600);
+        assert_eq!(e, 166_616_670_000u128 * 1600);
+    }
+}

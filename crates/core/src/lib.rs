@@ -1,0 +1,39 @@
+//! # epi-core — exhaustive three-way epistasis detection
+//!
+//! The paper's primary contribution: four progressively optimised CPU
+//! approaches for exhaustive third-order epistasis detection (§IV-A,
+//! Algorithm 1), scored with the Bayesian K2 objective (§III, Eq. 1):
+//!
+//! * **V1** ([`versions::v1`]) — naive: three stored genotype planes plus
+//!   a phenotype bit vector; 27 × 6 = 162 logic ops per processed word.
+//! * **V2** ([`versions::v2`]) — phenotype split + genotype-2 inference by
+//!   `NOR`: memory traffic −1/3, compute −65 % (57 ops per word).
+//! * **V3** ([`versions::v3`]) — V2 + loop tiling: `B_S³` SNP combinations
+//!   and `B_P`-sample blocks sized so the frequency tables and the data
+//!   block both fit in L1 ([`block::BlockParams`]).
+//! * **V4** ([`versions::v4`]) — V3 + explicit SIMD (AVX2 / AVX-512 /
+//!   AVX-512 `VPOPCNTDQ`, runtime-dispatched; [`simd`]).
+//!
+//! [`scan`] provides the parallel drivers (dynamic thread pool with
+//! per-thread local results and a final reduction, exactly the scheme of
+//! §IV-A), and [`result`] the top-K solution collection.
+
+pub mod block;
+pub mod combin;
+pub mod costs;
+pub mod k2;
+pub mod kway;
+pub mod pairs;
+pub mod permute;
+pub mod pool;
+pub mod result;
+pub mod scan;
+pub mod simd;
+pub mod table27;
+pub mod versions;
+
+pub use block::BlockParams;
+pub use k2::{K2Scorer, LnFactTable, MutualInformation, Objective};
+pub use result::{Candidate, TopK, Triple};
+pub use scan::{scan, ScanConfig, ScanResult, Scheduler, Version};
+pub use table27::ContingencyTable;

@@ -1,0 +1,160 @@
+//! Permutation-based significance testing.
+//!
+//! An exhaustive scan always returns *some* lowest-K2 triple; GWAS
+//! practice asks whether that score is lower than expected under the null
+//! hypothesis of no genotype–phenotype association. The standard answer
+//! is phenotype permutation: re-run the scan on label-shuffled copies and
+//! compare the observed best score against the null distribution of best
+//! scores. Because each permutation is itself a full exhaustive scan,
+//! this is exactly the workload the paper accelerates — significance
+//! testing multiplies the value of a fast kernel.
+
+use crate::result::Candidate;
+use crate::scan::{scan, ScanConfig};
+use bitgenome::{GenotypeMatrix, Phenotype};
+
+/// Result of a permutation test.
+#[derive(Clone, Debug)]
+pub struct SignificanceResult {
+    /// Best candidate on the observed phenotype.
+    pub observed: Candidate,
+    /// Best score of each permuted replicate.
+    pub null_scores: Vec<f64>,
+    /// Permutation p-value with the standard +1 correction:
+    /// `(1 + #{null ≤ observed}) / (1 + P)`.
+    pub p_value: f64,
+}
+
+/// Deterministic SplitMix64 stream (keeps `epi-core` free of external
+/// RNG dependencies; quality is ample for label shuffling).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..=bound` (rejection-free modulo is fine here).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Fisher–Yates shuffle of phenotype labels.
+fn permuted_phenotype(p: &Phenotype, rng: &mut SplitMix64) -> Phenotype {
+    let mut labels = p.labels().to_vec();
+    for i in (1..labels.len()).rev() {
+        labels.swap(i, rng.below(i + 1));
+    }
+    Phenotype::from_labels(labels)
+}
+
+/// Run a permutation test: one observed scan plus `permutations`
+/// label-shuffled scans with the same configuration.
+///
+/// # Panics
+/// Panics if the observed scan returns no candidates (fewer than 3 SNPs).
+pub fn significance_test(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    cfg: &ScanConfig,
+    permutations: usize,
+    seed: u64,
+) -> SignificanceResult {
+    let observed = scan(genotypes, phenotype, cfg)
+        .best()
+        .expect("scan produced no candidates");
+    let mut rng = SplitMix64(seed);
+    let mut null_scores = Vec::with_capacity(permutations);
+    for _ in 0..permutations {
+        let shuffled = permuted_phenotype(phenotype, &mut rng);
+        let best = scan(genotypes, &shuffled, cfg)
+            .best()
+            .expect("permuted scan produced no candidates");
+        null_scores.push(best.score);
+    }
+    let at_least_as_good = null_scores.iter().filter(|&&s| s <= observed.score).count();
+    let p_value = (1 + at_least_as_good) as f64 / (1 + permutations) as f64;
+    SignificanceResult {
+        observed,
+        null_scores,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Version;
+
+    fn noise(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    /// Strongly associated dataset: phenotype determined by three SNPs.
+    fn planted(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let (g, _) = noise(m, n, seed);
+        let labels: Vec<u8> = (0..n)
+            .map(|j| {
+                let risk = (0..3).filter(|&s| g.get(s, j) >= 1).count();
+                u8::from(risk >= 3)
+            })
+            .collect();
+        (g, Phenotype::from_labels(labels))
+    }
+
+    #[test]
+    fn shuffle_preserves_class_sizes() {
+        let (_, p) = noise(4, 101, 3);
+        let mut rng = SplitMix64(1);
+        let q = permuted_phenotype(&p, &mut rng);
+        assert_eq!(q.num_cases(), p.num_cases());
+        assert_eq!(q.num_controls(), p.num_controls());
+        assert_ne!(q.labels(), p.labels());
+    }
+
+    #[test]
+    fn planted_signal_is_significant() {
+        let (g, p) = planted(10, 400, 5);
+        let cfg = ScanConfig::new(Version::V4);
+        let res = significance_test(&g, &p, &cfg, 19, 42);
+        assert_eq!(res.p_value, 1.0 / 20.0, "perfect signal beats all nulls");
+        assert_eq!(res.null_scores.len(), 19);
+    }
+
+    #[test]
+    fn noise_is_not_significant() {
+        let (g, p) = noise(8, 200, 11);
+        let cfg = ScanConfig::new(Version::V4);
+        let res = significance_test(&g, &p, &cfg, 19, 7);
+        assert!(
+            res.p_value > 0.1,
+            "pure noise should not look significant: p = {}",
+            res.p_value
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (g, p) = noise(7, 120, 2);
+        let cfg = ScanConfig::new(Version::V2);
+        let a = significance_test(&g, &p, &cfg, 5, 99);
+        let b = significance_test(&g, &p, &cfg, 5, 99);
+        assert_eq!(a.null_scores, b.null_scores);
+        assert_eq!(a.p_value, b.p_value);
+    }
+}

@@ -1,0 +1,184 @@
+//! Hand-rolled dynamic thread pool.
+//!
+//! The paper parallelises the CPU scan with "a thread pool [where] each
+//! core fetches a task … defined dynamically in order to improve load
+//! balancing", keeping scores thread-local and reducing at the end
+//! (§IV-A). This module is that scheme: a shared atomic task cursor,
+//! scoped worker threads, per-worker state, and a final collection — no
+//! locks in the steady state.
+//!
+//! The higher-level drivers in [`crate::scan`] can also run on Rayon; the
+//! benches compare both (the pool is the closer analogue of the paper's
+//! OpenMP `schedule(dynamic)`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a thread-count request: `0` means "all available cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run `n_tasks` tasks over `threads` workers with dynamic self-scheduling
+/// in chunks of `chunk` tasks, returning every worker's final state.
+///
+/// * `make_state` creates the thread-local state (e.g. a `TopK`);
+/// * `task(idx, state)` processes task `idx`.
+///
+/// Tasks are claimed with a single `fetch_add` per chunk; larger chunks
+/// amortise contention for very cheap tasks, `chunk = 1` maximises balance
+/// for expensive ones.
+pub fn run_dynamic<S, MS, T>(
+    n_tasks: usize,
+    threads: usize,
+    chunk: usize,
+    make_state: MS,
+    task: T,
+) -> Vec<S>
+where
+    S: Send,
+    MS: Fn() -> S + Sync,
+    T: Fn(usize, &mut S) + Sync,
+{
+    let threads = resolve_threads(threads).min(n_tasks.max(1));
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut states: Vec<Option<S>> = Vec::new();
+    states.resize_with(threads, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let make_state = &make_state;
+            let task = &task;
+            handles.push(scope.spawn(move || {
+                let mut state = make_state();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n_tasks {
+                        break;
+                    }
+                    let end = (start + chunk).min(n_tasks);
+                    for idx in start..end {
+                        task(idx, &mut state);
+                    }
+                }
+                state
+            }));
+        }
+        for (slot, handle) in states.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("worker thread panicked"));
+        }
+    });
+
+    states.into_iter().flatten().collect()
+}
+
+/// Run `n_tasks` over `threads` workers with a *static* even split
+/// (contiguous ranges). Provided as the ablation counterpart of
+/// [`run_dynamic`] — the paper chose dynamic scheduling precisely because
+/// triangular triple enumeration makes static splits imbalanced.
+pub fn run_static<S, MS, T>(n_tasks: usize, threads: usize, make_state: MS, task: T) -> Vec<S>
+where
+    S: Send,
+    MS: Fn() -> S + Sync,
+    T: Fn(usize, &mut S) + Sync,
+{
+    let threads = resolve_threads(threads).min(n_tasks.max(1));
+    let per = n_tasks.div_ceil(threads);
+    let mut states: Vec<Option<S>> = Vec::new();
+    states.resize_with(threads, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let make_state = &make_state;
+            let task = &task;
+            handles.push(scope.spawn(move || {
+                let mut state = make_state();
+                let start = t * per;
+                let end = ((t + 1) * per).min(n_tasks);
+                for idx in start..end {
+                    task(idx, &mut state);
+                }
+                state
+            }));
+        }
+        for (slot, handle) in states.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("worker thread panicked"));
+        }
+    });
+
+    states.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dynamic_processes_every_task_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let states = run_dynamic(
+            n,
+            4,
+            7,
+            || 0u64,
+            |idx, count| {
+                hits[idx].fetch_add(1, Ordering::Relaxed);
+                *count += 1;
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(states.iter().sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn static_processes_every_task_exactly_once() {
+        let n = 103;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let states = run_static(n, 5, || 0u64, |idx, count| {
+            hits[idx].fetch_add(1, Ordering::Relaxed);
+            *count += 1;
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(states.iter().sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn sum_reduction_matches_serial() {
+        let n = 500usize;
+        let want: u64 = (0..n as u64).sum();
+        for threads in [1, 2, 8] {
+            let states = run_dynamic(n, threads, 3, || 0u64, |idx, acc| *acc += idx as u64);
+            assert_eq!(states.iter().sum::<u64>(), want);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let states = run_dynamic(0, 4, 1, || 1u32, |_, _| unreachable!());
+        assert!(states.len() <= 1);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_clamped() {
+        let states = run_dynamic(2, 64, 1, || 0u32, |_, c| *c += 1);
+        assert!(states.len() <= 2);
+        assert_eq!(states.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_all() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,472 @@
+//! Full exhaustive-scan drivers.
+//!
+//! A scan enumerates all `C(M,3)` SNP triples, builds each contingency
+//! table with the selected approach (V1–V4), scores it, and returns the
+//! top-K lowest-scoring triples. Parallelisation follows §IV-A: workers
+//! fetch dynamically sized tasks from a shared pool, keep results local,
+//! and a final reduction merges the per-thread collections.
+
+use crate::block::BlockParams;
+use crate::combin;
+use crate::k2::{K2Scorer, MutualInformation, Objective};
+use crate::pool;
+use crate::result::{Candidate, TopK, Triple};
+use crate::simd::SimdLevel;
+use crate::table27::{ContingencyTable, CELLS};
+use crate::versions::{blocked::BlockedScanner, v1, v2};
+use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
+use devices::CacheGeometry;
+use std::time::{Duration, Instant};
+
+/// Which of the paper's four CPU approaches to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Naive: 3 planes + phenotype stream (162 ops/word).
+    V1,
+    /// Phenotype split + NOR-inferred genotype 2 (57 ops/word).
+    V2,
+    /// V2 + L1 cache blocking.
+    V3,
+    /// V3 + SIMD vectorisation (runtime dispatch).
+    V4,
+}
+
+impl Version {
+    /// All four, in order.
+    pub const ALL: [Version; 4] = [Version::V1, Version::V2, Version::V3, Version::V4];
+
+    /// Paper-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Version::V1 => "V1",
+            Version::V2 => "V2",
+            Version::V3 => "V3",
+            Version::V4 => "V4",
+        }
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How tasks are distributed over worker threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Hand-rolled dynamic pool ([`crate::pool`]) — the paper's scheme.
+    #[default]
+    Pool,
+    /// Rayon work stealing.
+    Rayon,
+    /// Static even split (ablation: shows why dynamic wins).
+    Static,
+}
+
+/// Scoring objective selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ObjectiveKind {
+    /// Bayesian K2 score (the paper's objective, Eq. 1).
+    #[default]
+    K2,
+    /// Negated mutual information.
+    NegMutualInformation,
+}
+
+/// Scan configuration.
+#[derive(Clone, Debug)]
+pub struct ScanConfig {
+    /// Approach to run.
+    pub version: Version,
+    /// Worker threads; `0` = all available cores.
+    pub threads: usize,
+    /// Number of best candidates to retain.
+    pub top_k: usize,
+    /// Task distribution strategy.
+    pub scheduler: Scheduler,
+    /// Tiling parameters for V3/V4 (`None` = paper policy for a
+    /// 32 KiB/8-way L1 at the detected vector width).
+    pub block: Option<BlockParams>,
+    /// SIMD tier for V4 (`None` = best available).
+    pub simd: Option<SimdLevel>,
+    /// Objective function.
+    pub objective: ObjectiveKind,
+}
+
+impl ScanConfig {
+    /// Default configuration for one approach.
+    pub fn new(version: Version) -> Self {
+        Self {
+            version,
+            threads: 0,
+            top_k: 1,
+            scheduler: Scheduler::Pool,
+            block: None,
+            simd: None,
+            objective: ObjectiveKind::K2,
+        }
+    }
+
+    /// Effective SIMD tier: V4 uses the configured/detected tier, V1–V3
+    /// are scalar by definition.
+    pub fn effective_simd(&self) -> SimdLevel {
+        match self.version {
+            Version::V4 => self.simd.unwrap_or_else(SimdLevel::detect),
+            _ => SimdLevel::Scalar,
+        }
+    }
+
+    /// Effective tiling parameters for the blocked approaches.
+    pub fn effective_block(&self) -> BlockParams {
+        self.block.unwrap_or_else(|| {
+            BlockParams::paper_policy(
+                &CacheGeometry::kib(32, 8),
+                self.effective_simd().vector_bits(),
+            )
+        })
+    }
+}
+
+/// Outcome of a scan.
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// Best candidates, lowest score first.
+    pub top: Vec<Candidate>,
+    /// Combinations evaluated.
+    pub combos: u64,
+    /// The paper's element count: combinations × samples.
+    pub elements: u128,
+    /// Kernel wall-clock time (excludes encoding).
+    pub elapsed: Duration,
+}
+
+impl ScanResult {
+    /// The single best candidate.
+    pub fn best(&self) -> Option<Candidate> {
+        self.top.first().copied()
+    }
+
+    /// Throughput in elements (combinations × samples) per second.
+    pub fn elements_per_sec(&self) -> f64 {
+        self.elements as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Throughput in the paper's reporting unit: Giga combinations ×
+    /// samples per second.
+    pub fn giga_elements_per_sec(&self) -> f64 {
+        self.elements_per_sec() / 1e9
+    }
+}
+
+fn empty_result() -> ScanResult {
+    ScanResult {
+        top: Vec::new(),
+        combos: 0,
+        elements: 0,
+        elapsed: Duration::ZERO,
+    }
+}
+
+/// Run a full scan on dense inputs: encodes with the layout the approach
+/// needs, then dispatches. Encoding time is excluded from
+/// [`ScanResult::elapsed`].
+///
+/// ```
+/// use bitgenome::{GenotypeMatrix, Phenotype};
+/// use epi_core::scan::{scan, ScanConfig, Version};
+///
+/// // 4 SNPs x 4 samples: SNP genotypes + case/control labels
+/// let g = GenotypeMatrix::from_raw(4, 4, vec![
+///     0, 1, 2, 0,
+///     1, 1, 0, 2,
+///     2, 0, 1, 1,
+///     0, 0, 2, 1,
+/// ]);
+/// let p = Phenotype::from_labels(vec![0, 1, 0, 1]);
+/// let result = scan(&g, &p, &ScanConfig::new(Version::V4));
+/// assert_eq!(result.combos, 4); // C(4,3)
+/// let best = result.best().unwrap();
+/// assert!(best.triple.0 < best.triple.1 && best.triple.1 < best.triple.2);
+/// ```
+pub fn scan(genotypes: &GenotypeMatrix, phenotype: &Phenotype, cfg: &ScanConfig) -> ScanResult {
+    match cfg.version {
+        Version::V1 => {
+            let ds = UnsplitDataset::encode(genotypes, phenotype);
+            scan_unsplit(&ds, cfg)
+        }
+        _ => {
+            let ds = SplitDataset::encode(genotypes, phenotype);
+            scan_split(&ds, cfg)
+        }
+    }
+}
+
+/// V1 scan over a pre-encoded unsplit dataset.
+pub fn scan_unsplit(ds: &UnsplitDataset, cfg: &ScanConfig) -> ScanResult {
+    assert_eq!(cfg.version, Version::V1, "unsplit layout is V1-only");
+    let m = ds.num_snps();
+    let n = ds.num_samples();
+    if m < 3 {
+        return empty_result();
+    }
+    let scorer = build_objective(cfg, n);
+    let start = Instant::now();
+    let states = run_tasks(m, cfg, || TopK::new(cfg.top_k), |i0, top: &mut TopK| {
+        for t in combin::triples_with_leading(m, i0) {
+            let table = v1::table_for_triple(ds, t);
+            top.push(scorer.score(&table), t);
+        }
+    });
+    finish(states, m, n, start, cfg)
+}
+
+/// V2/V3/V4 scan over a pre-encoded split dataset.
+pub fn scan_split(ds: &SplitDataset, cfg: &ScanConfig) -> ScanResult {
+    assert_ne!(cfg.version, Version::V1, "split layout is for V2-V4");
+    let m = ds.num_snps();
+    let n = ds.num_samples();
+    if m < 3 {
+        return empty_result();
+    }
+    let scorer = build_objective(cfg, n);
+
+    match cfg.version {
+        Version::V2 => {
+            let start = Instant::now();
+            let states = run_tasks(m, cfg, || TopK::new(cfg.top_k), |i0, top: &mut TopK| {
+                for t in combin::triples_with_leading(m, i0) {
+                    let table = v2::table_for_triple(ds, t);
+                    top.push(scorer.score(&table), t);
+                }
+            });
+            finish(states, m, n, start, cfg)
+        }
+        _ => {
+            let scanner = BlockedScanner::new(ds, cfg.effective_block(), cfg.effective_simd());
+            let tasks = scanner.tasks();
+            let k2_fast = match cfg.objective {
+                ObjectiveKind::K2 => Some(K2Scorer::new(n)),
+                ObjectiveKind::NegMutualInformation => None,
+            };
+            let scorer = &scorer;
+            let k2_fast = &k2_fast;
+            let start = Instant::now();
+            let states = run_tasks(
+                tasks.len(),
+                cfg,
+                || (TopK::new(cfg.top_k), Vec::new()),
+                |task, state: &mut (TopK, Vec<u32>)| {
+                    let (top, scratch) = state;
+                    let bt = tasks[task];
+                    let mut emit = |t: Triple, ctrl: &[u32; CELLS], case: &[u32; CELLS]| {
+                        let score = match k2_fast {
+                            Some(k2) => k2.score_cells(ctrl, case),
+                            None => scorer.score(&ContingencyTable::from_counts(*ctrl, *case)),
+                        };
+                        top.push(score, t);
+                    };
+                    scanner.scan_block_triple(bt, scratch, &mut emit);
+                },
+            );
+            let tops: Vec<TopK> = states.into_iter().map(|(t, _)| t).collect();
+            finish(tops, m, n, start, cfg)
+        }
+    }
+}
+
+fn build_objective(cfg: &ScanConfig, n: usize) -> Box<dyn Objective> {
+    match cfg.objective {
+        ObjectiveKind::K2 => Box::new(K2Scorer::new(n)),
+        ObjectiveKind::NegMutualInformation => Box::new(MutualInformation),
+    }
+}
+
+/// Distribute `n_tasks` over workers according to the configured
+/// scheduler, returning all worker states.
+fn run_tasks<S, MS, T>(n_tasks: usize, cfg: &ScanConfig, make: MS, task: T) -> Vec<S>
+where
+    S: Send,
+    MS: Fn() -> S + Sync + Send,
+    T: Fn(usize, &mut S) + Sync + Send,
+{
+    match cfg.scheduler {
+        Scheduler::Pool => pool::run_dynamic(n_tasks, cfg.threads, 1, make, task),
+        Scheduler::Static => pool::run_static(n_tasks, cfg.threads, make, task),
+        Scheduler::Rayon => {
+            use rayon::prelude::*;
+            let body = || {
+                (0..n_tasks)
+                    .into_par_iter()
+                    .with_min_len(4)
+                    .fold(&make, |mut s, i| {
+                        task(i, &mut s);
+                        s
+                    })
+                    .collect()
+            };
+            if cfg.threads > 0 {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(cfg.threads)
+                    .build()
+                    .expect("rayon pool")
+                    .install(body)
+            } else {
+                body()
+            }
+        }
+    }
+}
+
+fn finish(states: Vec<TopK>, m: usize, n: usize, start: Instant, cfg: &ScanConfig) -> ScanResult {
+    let elapsed = start.elapsed();
+    let mut merged = TopK::new(cfg.top_k);
+    for s in states {
+        merged.merge(s);
+    }
+    ScanResult {
+        top: merged.into_sorted(),
+        combos: combin::num_triples(m),
+        elements: combin::num_elements(m, n),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    /// Exhaustive serial reference using the dense-table construction.
+    fn reference_best(g: &GenotypeMatrix, p: &Phenotype) -> Candidate {
+        let scorer = K2Scorer::new(p.len());
+        let mut top = TopK::new(1);
+        for t in combin::TripleIter::new(g.num_snps()) {
+            let table = ContingencyTable::from_dense(
+                g,
+                p,
+                (t.0 as usize, t.1 as usize, t.2 as usize),
+            );
+            top.push(scorer.score(&table), t);
+        }
+        top.best().unwrap()
+    }
+
+    #[test]
+    fn all_versions_find_the_same_best_triple() {
+        let (g, p) = dataset(14, 130, 99);
+        let want = reference_best(&g, &p);
+        for version in Version::ALL {
+            let cfg = ScanConfig::new(version);
+            let res = scan(&g, &p, &cfg);
+            let got = res.best().unwrap();
+            assert_eq!(got.triple, want.triple, "{version}");
+            assert!((got.score - want.score).abs() < 1e-9, "{version}");
+            assert_eq!(res.combos, combin::num_triples(14));
+        }
+    }
+
+    #[test]
+    fn all_schedulers_agree() {
+        let (g, p) = dataset(12, 100, 7);
+        let mut reference: Option<Vec<Candidate>> = None;
+        for sched in [Scheduler::Pool, Scheduler::Rayon, Scheduler::Static] {
+            let mut cfg = ScanConfig::new(Version::V4);
+            cfg.scheduler = sched;
+            cfg.top_k = 5;
+            cfg.threads = 3;
+            let res = scan(&g, &p, &cfg);
+            match &reference {
+                None => reference = Some(res.top),
+                Some(want) => assert_eq!(&res.top, want, "{sched:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let (g, p) = dataset(10, 80, 3);
+        let mut cfg = ScanConfig::new(Version::V2);
+        cfg.top_k = 7;
+        let res = scan(&g, &p, &cfg);
+        assert_eq!(res.top.len(), 7);
+        for w in res.top.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let (g, p) = dataset(11, 90, 21);
+        let mut expected = None;
+        for threads in [1usize, 2, 5, 0] {
+            let mut cfg = ScanConfig::new(Version::V3);
+            cfg.threads = threads;
+            cfg.top_k = 3;
+            let res = scan(&g, &p, &cfg);
+            match &expected {
+                None => expected = Some(res.top),
+                Some(want) => assert_eq!(&res.top, want, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn block_params_do_not_change_results() {
+        let (g, p) = dataset(13, 150, 55);
+        let mut expected = None;
+        for (bs, bp) in [(1, 64), (2, 64), (5, 128), (5, 400), (8, 64)] {
+            let mut cfg = ScanConfig::new(Version::V4);
+            cfg.block = Some(BlockParams { bs, bp });
+            cfg.top_k = 4;
+            let res = scan(&g, &p, &cfg);
+            match &expected {
+                None => expected = Some(res.top),
+                Some(want) => assert_eq!(&res.top, want, "bs={bs} bp={bp}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mi_objective_runs_and_differs_from_k2() {
+        let (g, p) = dataset(9, 70, 17);
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.objective = ObjectiveKind::NegMutualInformation;
+        let mi = scan(&g, &p, &cfg);
+        cfg.objective = ObjectiveKind::K2;
+        let k2 = scan(&g, &p, &cfg);
+        assert!(mi.best().is_some() && k2.best().is_some());
+        // scores live on different scales
+        assert_ne!(mi.best().unwrap().score, k2.best().unwrap().score);
+    }
+
+    #[test]
+    fn tiny_inputs_yield_empty_results() {
+        let (g, p) = dataset(2, 10, 1);
+        let res = scan(&g, &p, &ScanConfig::new(Version::V4));
+        assert!(res.top.is_empty());
+        assert_eq!(res.combos, 0);
+    }
+
+    #[test]
+    fn elements_accounting() {
+        let (g, p) = dataset(8, 50, 2);
+        let res = scan(&g, &p, &ScanConfig::new(Version::V2));
+        assert_eq!(res.combos, 56);
+        assert_eq!(res.elements, 56 * 50);
+        assert!(res.elements_per_sec() > 0.0);
+    }
+}

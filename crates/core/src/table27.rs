@@ -1,0 +1,173 @@
+//! The 27 × 2 contingency (frequency) table of §III.
+//!
+//! For three-way detection the genotype combination space has
+//! `3³ = 27` rows and one column per phenotype class. Cell `(gx, gy, gz)`
+//! counts the samples whose genotypes at the evaluated SNP triple are
+//! exactly that combination.
+
+use bitgenome::{CASE, CLASSES, CTRL};
+
+/// Number of genotype combinations for third-order interactions.
+pub const CELLS: usize = 27;
+
+/// Flat cell index of the genotype combination `(gx, gy, gz)`.
+#[inline]
+pub const fn cell_index(gx: usize, gy: usize, gz: usize) -> usize {
+    gx * 9 + gy * 3 + gz
+}
+
+/// Inverse of [`cell_index`].
+#[inline]
+pub const fn cell_combo(idx: usize) -> (usize, usize, usize) {
+    (idx / 9, (idx / 3) % 3, idx % 3)
+}
+
+/// A complete case/control contingency table for one SNP triple.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ContingencyTable {
+    /// `counts[class][cell]` with `class ∈ {CTRL, CASE}`.
+    pub counts: [[u32; CELLS]; CLASSES],
+}
+
+impl ContingencyTable {
+    /// Empty table.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from per-class cell counts.
+    pub fn from_counts(ctrl: [u32; CELLS], case: [u32; CELLS]) -> Self {
+        Self {
+            counts: [ctrl, case],
+        }
+    }
+
+    /// Count for `(class, gx, gy, gz)`.
+    #[inline]
+    pub fn get(&self, class: usize, gx: usize, gy: usize, gz: usize) -> u32 {
+        self.counts[class][cell_index(gx, gy, gz)]
+    }
+
+    /// Control-class counts.
+    #[inline]
+    pub fn controls(&self) -> &[u32; CELLS] {
+        &self.counts[CTRL]
+    }
+
+    /// Case-class counts.
+    #[inline]
+    pub fn cases(&self) -> &[u32; CELLS] {
+        &self.counts[CASE]
+    }
+
+    /// Total samples per class `[controls, cases]`.
+    pub fn class_totals(&self) -> [u64; CLASSES] {
+        [
+            self.counts[CTRL].iter().map(|&c| u64::from(c)).sum(),
+            self.counts[CASE].iter().map(|&c| u64::from(c)).sum(),
+        ]
+    }
+
+    /// Total samples across both classes.
+    pub fn total(&self) -> u64 {
+        self.class_totals().iter().sum()
+    }
+
+    /// Subtract phantom genotype-2 padding counts (see
+    /// `bitgenome::ClassPlanes::pad_bits`): zero padding bits alias to
+    /// genotype 2 at *every* SNP under `NOR` reconstruction, so they
+    /// accumulate exclusively in the all-(2,2,2) cell of each class.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the correction underflows, which would
+    /// indicate the table was not built by a NOR-reconstructing kernel.
+    #[inline]
+    pub fn correct_padding(&mut self, pad_ctrl: u32, pad_case: u32) {
+        let last = cell_index(2, 2, 2);
+        debug_assert!(self.counts[CTRL][last] >= pad_ctrl);
+        debug_assert!(self.counts[CASE][last] >= pad_case);
+        self.counts[CTRL][last] -= pad_ctrl;
+        self.counts[CASE][last] -= pad_case;
+    }
+
+    /// Reference construction straight from dense genotypes — O(N) per
+    /// triple and used as ground truth in tests and baselines.
+    pub fn from_dense(
+        genotypes: &bitgenome::GenotypeMatrix,
+        phenotype: &bitgenome::Phenotype,
+        triple: (usize, usize, usize),
+    ) -> Self {
+        let (x, y, z) = triple;
+        let mut t = Self::new();
+        for j in 0..genotypes.num_samples() {
+            let gx = genotypes.get(x, j) as usize;
+            let gy = genotypes.get(y, j) as usize;
+            let gz = genotypes.get(z, j) as usize;
+            let class = phenotype.get(j) as usize;
+            t.counts[class][cell_index(gx, gy, gz)] += 1;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgenome::{GenotypeMatrix, Phenotype};
+
+    #[test]
+    fn cell_index_bijective() {
+        let mut seen = [false; CELLS];
+        for gx in 0..3 {
+            for gy in 0..3 {
+                for gz in 0..3 {
+                    let i = cell_index(gx, gy, gz);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                    assert_eq!(cell_combo(i), (gx, gy, gz));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_dense_partitions_samples() {
+        let g = GenotypeMatrix::from_raw(
+            3,
+            6,
+            vec![
+                0, 1, 2, 0, 1, 2, //
+                1, 1, 0, 2, 2, 0, //
+                2, 0, 1, 1, 0, 2,
+            ],
+        );
+        let p = Phenotype::from_labels(vec![0, 1, 0, 1, 0, 1]);
+        let t = ContingencyTable::from_dense(&g, &p, (0, 1, 2));
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.class_totals(), [3, 3]);
+        // sample 0: (0,1,2) ctrl
+        assert_eq!(t.get(0, 0, 1, 2), 1);
+        // sample 5: (2,0,2) case
+        assert_eq!(t.get(1, 2, 0, 2), 1);
+    }
+
+    #[test]
+    fn padding_correction_targets_last_cell() {
+        let mut t = ContingencyTable::new();
+        t.counts[CTRL][cell_index(2, 2, 2)] = 10;
+        t.counts[CASE][cell_index(2, 2, 2)] = 7;
+        t.correct_padding(4, 2);
+        assert_eq!(t.get(CTRL, 2, 2, 2), 6);
+        assert_eq!(t.get(CASE, 2, 2, 2), 5);
+    }
+
+    #[test]
+    fn totals_sum_both_classes() {
+        let mut t = ContingencyTable::new();
+        t.counts[CTRL][0] = 3;
+        t.counts[CASE][26] = 4;
+        assert_eq!(t.total(), 7);
+    }
+}

@@ -1,0 +1,291 @@
+//! Approaches V3/V4 — Algorithm 1: loop-tiled (and optionally vectorised)
+//! epistasis detection.
+//!
+//! Each task processes three SNP blocks of `B_S` SNPs over sample blocks
+//! of `B_P` samples, keeping up to `B_S³` frequency tables *and* the
+//! active data block resident in L1 (sizes from
+//! [`crate::block::BlockParams`]). V3 uses the scalar kernel; V4 runs the
+//! same traversal over the SIMD kernels of [`crate::simd`], which is the
+//! paper's final, compute-bound configuration.
+
+use crate::block::BlockParams;
+use crate::result::Triple;
+use crate::simd::{accumulate27, SimdLevel};
+use crate::table27::CELLS;
+use bitgenome::{SplitDataset, CASE, CTRL};
+
+/// Entries per combination in the flat frequency-table scratch:
+/// 27 control + 27 case counts.
+const FT_STRIDE: usize = 2 * CELLS;
+
+/// A blocked scan over one dataset with fixed tiling parameters.
+#[derive(Clone, Copy)]
+pub struct BlockedScanner<'a> {
+    ds: &'a SplitDataset,
+    params: BlockParams,
+    level: SimdLevel,
+}
+
+impl<'a> BlockedScanner<'a> {
+    /// Create a scanner; `level = Scalar` gives V3, any vector tier V4.
+    pub fn new(ds: &'a SplitDataset, params: BlockParams, level: SimdLevel) -> Self {
+        assert!(params.bs >= 1 && params.bp >= 1);
+        Self { ds, params, level }
+    }
+
+    /// Tiling parameters in use.
+    pub fn params(&self) -> BlockParams {
+        self.params
+    }
+
+    /// Number of SNP blocks (`⌈M / B_S⌉`).
+    pub fn num_blocks(&self) -> usize {
+        self.ds.num_snps().div_ceil(self.params.bs)
+    }
+
+    /// All ordered block-triple tasks for the parallel driver.
+    pub fn tasks(&self) -> Vec<(usize, usize, usize)> {
+        crate::combin::block_triples(self.num_blocks())
+    }
+
+    /// Scratch length needed by [`Self::scan_block_triple`].
+    pub fn scratch_len(&self) -> usize {
+        self.params.bs.pow(3) * FT_STRIDE
+    }
+
+    /// Process one block triple: build the frequency tables for every
+    /// valid combination inside it and call
+    /// `emit(triple, ctrl_cells, case_cells)` for each.
+    ///
+    /// `ft` is caller-provided scratch (reused across tasks to stay
+    /// allocation-free); it is resized/zeroed here.
+    pub fn scan_block_triple<F>(
+        &self,
+        bt: (usize, usize, usize),
+        ft: &mut Vec<u32>,
+        emit: &mut F,
+    ) where
+        F: FnMut(Triple, &[u32; CELLS], &[u32; CELLS]),
+    {
+        let bs = self.params.bs;
+        let m = self.ds.num_snps();
+        let (b0, b1, b2) = bt;
+
+        ft.clear();
+        ft.resize(self.scratch_len(), 0);
+
+        // Frequency-table construction, per class then per sample block
+        // (Algorithm 1's p0 loop), so the B_S×B_P data block stays in L1
+        // while all B_S³ combinations sweep over it.
+        for class in [CTRL, CASE] {
+            let cp = self.ds.class(class);
+            let words = cp.num_words();
+            let bpw = self.params.bp_words();
+            let mut w0 = 0;
+            while w0 < words {
+                let wend = (w0 + bpw).min(words);
+                for ii0 in 0..bs {
+                    let s0 = b0 * bs + ii0;
+                    if s0 >= m {
+                        break;
+                    }
+                    let (x0f, x1f) = cp.planes(s0);
+                    let (x0, x1) = (&x0f[w0..wend], &x1f[w0..wend]);
+                    for ii1 in 0..bs {
+                        let s1 = b1 * bs + ii1;
+                        if s1 >= m {
+                            break;
+                        }
+                        if s1 <= s0 {
+                            continue;
+                        }
+                        let (y0f, y1f) = cp.planes(s1);
+                        let (y0, y1) = (&y0f[w0..wend], &y1f[w0..wend]);
+                        for ii2 in 0..bs {
+                            let s2 = b2 * bs + ii2;
+                            if s2 >= m {
+                                break;
+                            }
+                            if s2 <= s1 {
+                                continue;
+                            }
+                            let (z0f, z1f) = cp.planes(s2);
+                            let (z0, z1) = (&z0f[w0..wend], &z1f[w0..wend]);
+                            let combo = (ii0 * bs + ii1) * bs + ii2;
+                            let off = combo * FT_STRIDE + class * CELLS;
+                            let acc: &mut [u32; CELLS] =
+                                (&mut ft[off..off + CELLS]).try_into().unwrap();
+                            accumulate27(self.level, (x0, x1, y0, y1, z0, z1), acc);
+                        }
+                    }
+                }
+                w0 = wend;
+            }
+        }
+
+        // Score every valid combination of this block triple.
+        let pad_ctrl = self.ds.controls().pad_bits();
+        let pad_case = self.ds.cases().pad_bits();
+        let last = crate::table27::cell_index(2, 2, 2);
+        for ii0 in 0..bs {
+            let s0 = b0 * bs + ii0;
+            if s0 >= m {
+                break;
+            }
+            for ii1 in 0..bs {
+                let s1 = b1 * bs + ii1;
+                if s1 >= m {
+                    break;
+                }
+                if s1 <= s0 {
+                    continue;
+                }
+                for ii2 in 0..bs {
+                    let s2 = b2 * bs + ii2;
+                    if s2 >= m {
+                        break;
+                    }
+                    if s2 <= s1 {
+                        continue;
+                    }
+                    let combo = (ii0 * bs + ii1) * bs + ii2;
+                    let off = combo * FT_STRIDE;
+                    // phantom genotype-2 padding correction (see bitgenome)
+                    ft[off + last] -= pad_ctrl;
+                    ft[off + CELLS + last] -= pad_case;
+                    let (ctrl, case) = {
+                        let slice = &ft[off..off + FT_STRIDE];
+                        let (a, b) = slice.split_at(CELLS);
+                        (
+                            <&[u32; CELLS]>::try_from(a).unwrap(),
+                            <&[u32; CELLS]>::try_from(b).unwrap(),
+                        )
+                    };
+                    emit((s0 as u32, s1 as u32, s2 as u32), ctrl, case);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table27::ContingencyTable;
+    use crate::versions::v2;
+    use bitgenome::{GenotypeMatrix, Phenotype};
+    use std::collections::HashMap;
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    fn collect_tables(
+        scanner: &BlockedScanner<'_>,
+    ) -> HashMap<Triple, ContingencyTable> {
+        let mut out = HashMap::new();
+        let mut ft = Vec::new();
+        for bt in scanner.tasks() {
+            scanner.scan_block_triple(bt, &mut ft, &mut |t, ctrl, case| {
+                let prev = out.insert(t, ContingencyTable::from_counts(*ctrl, *case));
+                assert!(prev.is_none(), "triple {t:?} emitted twice");
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_covers_all_triples_exactly_once() {
+        let (g, p) = dataset(13, 97, 5);
+        let ds = SplitDataset::encode(&g, &p);
+        let scanner = BlockedScanner::new(
+            &ds,
+            BlockParams { bs: 4, bp: 64 },
+            SimdLevel::Scalar,
+        );
+        let tables = collect_tables(&scanner);
+        assert_eq!(tables.len() as u64, crate::combin::num_triples(13));
+    }
+
+    #[test]
+    fn blocked_tables_match_v2() {
+        let (g, p) = dataset(11, 140, 23);
+        let ds = SplitDataset::encode(&g, &p);
+        for bs in [1usize, 2, 3, 5] {
+            let scanner = BlockedScanner::new(
+                &ds,
+                BlockParams { bs, bp: 64 },
+                SimdLevel::Scalar,
+            );
+            let tables = collect_tables(&scanner);
+            for (&t, table) in &tables {
+                assert_eq!(*table, v2::table_for_triple(&ds, t), "bs={bs} t={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tiers_agree_with_scalar_blocked() {
+        let (g, p) = dataset(9, 260, 31);
+        let ds = SplitDataset::encode(&g, &p);
+        let reference = collect_tables(&BlockedScanner::new(
+            &ds,
+            BlockParams { bs: 3, bp: 128 },
+            SimdLevel::Scalar,
+        ));
+        for level in SimdLevel::available() {
+            let got = collect_tables(&BlockedScanner::new(
+                &ds,
+                BlockParams { bs: 3, bp: 128 },
+                level,
+            ));
+            assert_eq!(got, reference, "level {level}");
+        }
+    }
+
+    #[test]
+    fn sample_block_splits_do_not_change_results() {
+        let (g, p) = dataset(7, 300, 77);
+        let ds = SplitDataset::encode(&g, &p);
+        let reference = collect_tables(&BlockedScanner::new(
+            &ds,
+            BlockParams { bs: 7, bp: 1 << 20 },
+            SimdLevel::Scalar,
+        ));
+        for bp in [64usize, 128, 192, 256] {
+            let got = collect_tables(&BlockedScanner::new(
+                &ds,
+                BlockParams { bs: 7, bp },
+                SimdLevel::Scalar,
+            ));
+            assert_eq!(got, reference, "bp={bp}");
+        }
+    }
+
+    #[test]
+    fn partial_last_block_handled() {
+        // m=10 with bs=4 leaves a 2-SNP tail block.
+        let (g, p) = dataset(10, 65, 13);
+        let ds = SplitDataset::encode(&g, &p);
+        let scanner = BlockedScanner::new(
+            &ds,
+            BlockParams { bs: 4, bp: 64 },
+            SimdLevel::Scalar,
+        );
+        let tables = collect_tables(&scanner);
+        assert_eq!(tables.len() as u64, crate::combin::num_triples(10));
+        for (&t, table) in &tables {
+            assert_eq!(table.total(), 65, "t={t:?}");
+        }
+    }
+}

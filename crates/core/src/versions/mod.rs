@@ -1,0 +1,17 @@
+//! The four CPU approaches of §IV-A.
+//!
+//! | Version | Data layout | Key idea | Ops/word (paper) |
+//! |---------|-------------|----------|------------------|
+//! | [`v1`]  | 3 planes + phenotype | naive AND/POPCNT per cell | 162 |
+//! | [`v2`]  | split, 2 planes | NOR-inferred genotype 2, no phenotype stream | 57 |
+//! | [`blocked`] (V3) | split, 2 planes | + L1 loop tiling (`B_S`, `B_P`) | 57 |
+//! | [`blocked`] (V4) | split, 2 planes | + SIMD intrinsics dispatch | 57 (vector) |
+//!
+//! Every version exposes a per-triple contingency construction used by the
+//! correctness suite; the full-scan drivers live in [`crate::scan`].
+
+pub mod blocked;
+pub mod v1;
+pub mod v2;
+
+pub use blocked::BlockedScanner;

@@ -1,0 +1,93 @@
+//! Approach V1 — the naive method of Fig. 1.
+//!
+//! All three genotype planes are stored per SNP, together with a packed
+//! phenotype vector. Each of the 27 contingency cells costs, per word:
+//! two ANDs to form `X[gx] & Y[gy] & Z[gz]`, an AND with the phenotype
+//! (cases) or its negation (controls), and a `POPCNT` per class —
+//! 27 × 6 = 162 operations. Completely bound by LLC/DRAM bandwidth on
+//! real data sets (paper Fig. 2), which is exactly why V2–V4 exist.
+
+use crate::table27::{cell_index, ContingencyTable};
+use bitgenome::popcnt::{popcount_and3_not, popcount_and4};
+use bitgenome::{UnsplitDataset, CASE, CTRL};
+
+use crate::result::Triple;
+
+/// Build the full contingency table for one SNP triple.
+pub fn table_for_triple(ds: &UnsplitDataset, triple: Triple) -> ContingencyTable {
+    let (x, y, z) = (triple.0 as usize, triple.1 as usize, triple.2 as usize);
+    let phen = ds.phenotype();
+    let mut t = ContingencyTable::new();
+    for gx in 0..3 {
+        let px = ds.plane(x, gx);
+        for gy in 0..3 {
+            let py = ds.plane(y, gy);
+            for gz in 0..3 {
+                let pz = ds.plane(z, gz);
+                let cell = cell_index(gx, gy, gz);
+                // cases: intersection AND phenotype; controls: AND NOT.
+                t.counts[CASE][cell] = popcount_and4(px, py, pz, phen) as u32;
+                t.counts[CTRL][cell] = popcount_and3_not(px, py, pz, phen) as u32;
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgenome::{GenotypeMatrix, Phenotype};
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let (g, p) = dataset(6, 133, 42);
+        let enc = UnsplitDataset::encode(&g, &p);
+        for &t in &[(0u32, 1u32, 2u32), (1, 3, 5), (0, 2, 4), (3, 4, 5)] {
+            let got = table_for_triple(&enc, t);
+            let want = ContingencyTable::from_dense(
+                &g,
+                &p,
+                (t.0 as usize, t.1 as usize, t.2 as usize),
+            );
+            assert_eq!(got, want, "triple {t:?}");
+        }
+    }
+
+    #[test]
+    fn table_total_equals_samples() {
+        let (g, p) = dataset(4, 77, 7);
+        let enc = UnsplitDataset::encode(&g, &p);
+        let t = table_for_triple(&enc, (0, 1, 3));
+        assert_eq!(t.total(), 77);
+        assert_eq!(
+            t.class_totals(),
+            [p.num_controls() as u64, p.num_cases() as u64]
+        );
+    }
+
+    #[test]
+    fn word_boundary_sample_counts() {
+        for n in [63usize, 64, 65, 127, 128, 129] {
+            let (g, p) = dataset(3, n, n as u64);
+            let enc = UnsplitDataset::encode(&g, &p);
+            let got = table_for_triple(&enc, (0, 1, 2));
+            let want = ContingencyTable::from_dense(&g, &p, (0, 1, 2));
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+}

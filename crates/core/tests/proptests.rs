@@ -1,0 +1,138 @@
+//! Property-based invariants of the detection core.
+
+use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
+use epi_core::k2::{K2Scorer, LnFactTable, Objective};
+use epi_core::result::TopK;
+use epi_core::simd::{accumulate27, accumulate27_scalar, SimdLevel};
+use epi_core::table27::{ContingencyTable, CELLS};
+use epi_core::versions::{v1, v2};
+use epi_core::{combin, BlockParams};
+use proptest::prelude::*;
+
+fn labelled_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
+    (3usize..=12, 10usize..=180).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0u8..=2, m * n),
+            prop::collection::vec(0u8..=1, n),
+        )
+            .prop_map(move |(geno, labels)| {
+                (
+                    GenotypeMatrix::from_raw(m, n, geno),
+                    Phenotype::from_labels(labels),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn v1_v2_dense_tables_agree((g, p) in labelled_strategy()) {
+        let unsplit = UnsplitDataset::encode(&g, &p);
+        let split = SplitDataset::encode(&g, &p);
+        let m = g.num_snps() as u32;
+        for t in [(0u32, 1, 2), (0, m / 2, m - 1)] {
+            if t.0 < t.1 && t.1 < t.2 {
+                let dense = ContingencyTable::from_dense(
+                    &g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
+                prop_assert_eq!(&v1::table_for_triple(&unsplit, t), &dense);
+                prop_assert_eq!(&v2::table_for_triple(&split, t), &dense);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tiers_bitwise_identical(
+        len in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s };
+        let planes: Vec<Vec<u64>> =
+            (0..6).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let view = (
+            &planes[0][..], &planes[1][..], &planes[2][..],
+            &planes[3][..], &planes[4][..], &planes[5][..],
+        );
+        let mut want = [0u32; CELLS];
+        accumulate27_scalar(view, &mut want);
+        for level in SimdLevel::available() {
+            let mut got = [0u32; CELLS];
+            accumulate27(level, view, &mut got);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn k2_additivity_and_bounds(cells in prop::collection::vec(0u32..200, 54)) {
+        let mut table = ContingencyTable::new();
+        table.counts[0].copy_from_slice(&cells[..CELLS]);
+        table.counts[1].copy_from_slice(&cells[CELLS..]);
+        let scorer = K2Scorer::new(table.total() as usize + 2);
+        let score = scorer.score(&table);
+        prop_assert!(score.is_finite());
+        // K2 >= sum_i ln(r_i + 1) >= 0 (each term is minimised by a pure
+        // cell where one class holds everything)
+        prop_assert!(score >= 0.0);
+        // splitting any cell across classes can only increase the score
+        // relative to the pure assignment with the same row totals
+        let mut pure = ContingencyTable::new();
+        for i in 0..CELLS {
+            pure.counts[0][i] = cells[i] + cells[i + CELLS];
+        }
+        prop_assert!(scorer.score(&pure) <= score + 1e-9);
+    }
+
+    #[test]
+    fn lnfact_is_monotone_and_superadditive(n in 1usize..500) {
+        let t = LnFactTable::new(n + 2);
+        prop_assert!(t.lnfact(n + 1) > t.lnfact(n));
+        // ln((a+b)!) >= ln(a!) + ln(b!)
+        let a = n / 2;
+        let b = n - a;
+        prop_assert!(t.lnfact(n) + 1e-12 >= t.lnfact(a) + t.lnfact(b));
+    }
+
+    #[test]
+    fn topk_matches_full_sort(
+        scores in prop::collection::vec(0.0f64..1000.0, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(s, (i as u32, i as u32 + 1, i as u32 + 2));
+        }
+        let got: Vec<f64> = top.into_sorted().iter().map(|c| c.score).collect();
+        let mut want = scores.clone();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triple_enumeration_counts(m in 0usize..40) {
+        prop_assert_eq!(
+            combin::TripleIter::new(m).count() as u64,
+            combin::num_triples(m)
+        );
+    }
+
+    #[test]
+    fn block_params_respect_budgets(
+        ft_kib in 1usize..64,
+        blk_kib in 1usize..64,
+        vec_bits in prop::sample::select(vec![64usize, 128, 256, 512]),
+    ) {
+        let p = BlockParams::for_sizes(ft_kib * 1024, blk_kib * 1024, vec_bits);
+        prop_assert!(p.bs >= 1);
+        prop_assert!(p.bp >= 1);
+        prop_assert!(p.ft_bytes() <= ft_kib * 1024 || p.bs == 1);
+        // bp is a whole number of vector registers (when above one)
+        let lanes = (vec_bits / 32).max(1);
+        prop_assert!(p.bp.is_multiple_of(lanes) || p.bp == lanes);
+    }
+}

@@ -1,0 +1,289 @@
+//! Seedable dataset generator.
+//!
+//! Samples are generated independently: first the genotypes of the planted
+//! SNPs (if any) are drawn and the phenotype is sampled from the
+//! penetrance table; only then are the remaining background SNPs drawn.
+//! With `balance: true` the generator rejection-samples on the phenotype
+//! *before* paying for the background SNPs, so exact case/control quotas
+//! cost only the planted-SNP draws.
+
+use crate::maf::{sample_genotype, MafModel};
+use crate::penetrance::PenetranceTable;
+use crate::truth::GroundTruth;
+use bitgenome::{GenotypeMatrix, Phenotype};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic case-control dataset.
+///
+/// ```
+/// use datagen::DatasetSpec;
+///
+/// let data = DatasetSpec::with_planted_triple(16, 64, [1, 5, 9], 7).generate();
+/// assert_eq!(data.num_snps(), 16);
+/// assert_eq!(data.num_samples(), 64);
+/// assert_eq!(data.truth.unwrap().snps, vec![1, 5, 9]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Number of SNPs (`M`).
+    pub snps: usize,
+    /// Number of samples (`N`).
+    pub samples: usize,
+    /// MAF model for background SNPs.
+    pub maf: MafModel,
+    /// Planted interaction: SNP indices and penetrance table. When `None`
+    /// a pure-noise dataset with `prevalence` disease probability results.
+    pub interaction: Option<(Vec<usize>, PenetranceTable)>,
+    /// Disease prevalence used when no interaction is planted.
+    pub prevalence: f64,
+    /// Enforce an exact 50/50 case-control split via rejection sampling.
+    pub balance: bool,
+    /// RNG seed (datasets are fully reproducible).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A convenient default: `m × n` noise dataset, default MAF range.
+    pub fn noise(m: usize, n: usize, seed: u64) -> Self {
+        Self {
+            snps: m,
+            samples: n,
+            maf: MafModel::default_range(),
+            interaction: None,
+            prevalence: 0.5,
+            balance: false,
+            seed,
+        }
+    }
+
+    /// Noise dataset plus a planted three-way threshold interaction on
+    /// `snps` (must be three distinct indices).
+    pub fn with_planted_triple(m: usize, n: usize, snps: [usize; 3], seed: u64) -> Self {
+        let table = PenetranceTable::threshold(3, 0.15, 0.85, 3);
+        Self {
+            snps: m,
+            samples: n,
+            maf: MafModel::Uniform { lo: 0.2, hi: 0.4 },
+            interaction: Some((snps.to_vec(), table)),
+            prevalence: 0.5,
+            balance: false,
+            seed,
+        }
+    }
+
+    /// Validate the specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.snps == 0 || self.samples == 0 {
+            return Err("dataset must have at least one SNP and one sample".into());
+        }
+        self.maf.validate()?;
+        if !(0.0..=1.0).contains(&self.prevalence) {
+            return Err(format!("prevalence {} outside [0,1]", self.prevalence));
+        }
+        if let Some((snps, table)) = &self.interaction {
+            if snps.len() != table.order() {
+                return Err("planted SNP count must match penetrance order".into());
+            }
+            let mut s = snps.clone();
+            s.sort_unstable();
+            s.dedup();
+            if s.len() != snps.len() {
+                return Err("planted SNPs must be distinct".into());
+            }
+            if let Some(&max) = s.last() {
+                if max >= self.snps {
+                    return Err(format!("planted SNP {max} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate the dataset.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid (see [`DatasetSpec::validate`]).
+    pub fn generate(&self) -> Dataset {
+        self.validate().expect("invalid dataset spec");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.snps;
+        let n = self.samples;
+
+        // Per-SNP MAFs.
+        let mafs: Vec<f64> = (0..m).map(|_| self.maf.sample(&mut rng)).collect();
+
+        let planted: &[usize] = self
+            .interaction
+            .as_ref()
+            .map(|(s, _)| s.as_slice())
+            .unwrap_or(&[]);
+
+        let mut genotypes = GenotypeMatrix::zeros(m, n);
+        let mut labels = vec![0u8; n];
+
+        let mut cases_left = n / 2;
+        let mut controls_left = n - n / 2;
+
+        let mut planted_g = vec![0u8; planted.len()];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..n {
+            // Draw planted genotypes + phenotype first (cheap rejection).
+            let phen = loop {
+                for (slot, &snp) in planted_g.iter_mut().zip(planted) {
+                    *slot = sample_genotype(&mut rng, mafs[snp]);
+                }
+                let p = match &self.interaction {
+                    Some((_, table)) => table.penetrance(&planted_g),
+                    None => self.prevalence,
+                };
+                let phen = u8::from(rng.gen::<f64>() < p);
+                if !self.balance {
+                    break phen;
+                }
+                if phen == 1 && cases_left > 0 {
+                    cases_left -= 1;
+                    break 1;
+                }
+                if phen == 0 && controls_left > 0 {
+                    controls_left -= 1;
+                    break 0;
+                }
+                // quota for this class full: redraw
+            };
+            labels[j] = phen;
+            for (&g, &snp) in planted_g.iter().zip(planted) {
+                genotypes.set(snp, j, g);
+            }
+            // Background SNPs.
+            for snp in 0..m {
+                if planted.contains(&snp) {
+                    continue;
+                }
+                genotypes.set(snp, j, sample_genotype(&mut rng, mafs[snp]));
+            }
+        }
+
+        let truth = self.interaction.as_ref().map(|(snps, _)| {
+            let mut sorted = snps.clone();
+            sorted.sort_unstable();
+            GroundTruth {
+                mafs: sorted.iter().map(|&s| mafs[s]).collect(),
+                snps: sorted,
+                model: "penetrance".into(),
+            }
+        });
+
+        Dataset {
+            genotypes,
+            phenotype: Phenotype::from_labels(labels),
+            mafs,
+            truth,
+        }
+    }
+}
+
+/// A generated dataset: dense genotypes, phenotype and provenance.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `M × N` genotype matrix.
+    pub genotypes: GenotypeMatrix,
+    /// Case/control labels.
+    pub phenotype: Phenotype,
+    /// Per-SNP MAFs used during generation.
+    pub mafs: Vec<f64>,
+    /// Planted interaction, when any.
+    pub truth: Option<GroundTruth>,
+}
+
+impl Dataset {
+    /// Number of SNPs.
+    pub fn num_snps(&self) -> usize {
+        self.genotypes.num_snps()
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.genotypes.num_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let spec = DatasetSpec::noise(10, 64, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.genotypes, b.genotypes);
+        assert_eq!(a.phenotype, b.phenotype);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetSpec::noise(10, 64, 1).generate();
+        let b = DatasetSpec::noise(10, 64, 2).generate();
+        assert_ne!(a.genotypes, b.genotypes);
+    }
+
+    #[test]
+    fn balanced_split_is_exact() {
+        let mut spec = DatasetSpec::noise(5, 101, 3);
+        spec.balance = true;
+        let d = spec.generate();
+        assert_eq!(d.phenotype.num_cases(), 50);
+        assert_eq!(d.phenotype.num_controls(), 51);
+    }
+
+    #[test]
+    fn planted_interaction_recorded_sorted() {
+        let spec = DatasetSpec::with_planted_triple(50, 128, [30, 4, 11], 9);
+        let d = spec.generate();
+        let t = d.truth.unwrap();
+        assert_eq!(t.snps, vec![4, 11, 30]);
+        assert_eq!(t.mafs.len(), 3);
+    }
+
+    #[test]
+    fn planted_signal_raises_case_rate_for_risk_combo() {
+        // With a threshold model, samples whose three planted SNPs all
+        // carry a minor allele must be cases far more often than others.
+        let spec = DatasetSpec::with_planted_triple(6, 4000, [0, 1, 2], 11);
+        let d = spec.generate();
+        let (mut risk_cases, mut risk_tot, mut bg_cases, mut bg_tot) = (0, 0, 0, 0);
+        for j in 0..d.num_samples() {
+            let carriers = (0..3).filter(|&s| d.genotypes.get(s, j) >= 1).count();
+            let case = d.phenotype.get(j) == 1;
+            if carriers == 3 {
+                risk_tot += 1;
+                risk_cases += usize::from(case);
+            } else {
+                bg_tot += 1;
+                bg_cases += usize::from(case);
+            }
+        }
+        let risk_rate = risk_cases as f64 / risk_tot as f64;
+        let bg_rate = bg_cases as f64 / bg_tot as f64;
+        assert!(
+            risk_rate > bg_rate + 0.4,
+            "risk {risk_rate} vs background {bg_rate}"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = DatasetSpec::noise(0, 10, 0);
+        assert!(s.validate().is_err());
+        s = DatasetSpec::noise(10, 10, 0);
+        s.prevalence = 1.5;
+        assert!(s.validate().is_err());
+        let t = PenetranceTable::baseline(3, 0.5);
+        s = DatasetSpec::noise(10, 10, 0);
+        s.interaction = Some((vec![1, 1, 2], t.clone()));
+        assert!(s.validate().is_err());
+        s.interaction = Some((vec![1, 2, 99], t));
+        assert!(s.validate().is_err());
+    }
+}

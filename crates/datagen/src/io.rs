@@ -1,0 +1,239 @@
+//! Dataset serialisation.
+//!
+//! Two formats are supported:
+//!
+//! * **Text** — the layout of the paper's Fig. 1 and of the MPI3SNP sample
+//!   files: one row per SNP with comma-separated genotypes, and a final
+//!   row holding the phenotype. Human-readable, diff-friendly.
+//! * **Binary** — a compact little-endian format (`EPI3` magic) for large
+//!   benchmark inputs: header (`M`, `N`) followed by genotype bytes and
+//!   phenotype bytes.
+
+use crate::generator::Dataset;
+use bitgenome::{GenotypeMatrix, Phenotype};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EPI3";
+
+/// Write a dataset in text format.
+pub fn write_text<W: Write>(w: W, genotypes: &GenotypeMatrix, phenotype: &Phenotype) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let n = genotypes.num_samples();
+    assert_eq!(n, phenotype.len());
+    let mut line = String::with_capacity(2 * n);
+    for snp in 0..genotypes.num_snps() {
+        line.clear();
+        for (j, &g) in genotypes.snp(snp).iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            line.push((b'0' + g) as char);
+        }
+        writeln!(w, "{line}")?;
+    }
+    line.clear();
+    for (j, &p) in phenotype.labels().iter().enumerate() {
+        if j > 0 {
+            line.push(',');
+        }
+        line.push((b'0' + p) as char);
+    }
+    writeln!(w, "{line}")?;
+    w.flush()
+}
+
+/// Read a dataset in text format (last row = phenotype).
+pub fn read_text<R: Read>(r: R) -> io::Result<(GenotypeMatrix, Phenotype)> {
+    let reader = BufReader::new(r);
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<u8>, _> = trimmed
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse::<u8>().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad value {tok:?}: {e}"))
+                })
+            })
+            .collect();
+        rows.push(row?);
+    }
+    if rows.len() < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "need at least one SNP row and a phenotype row",
+        ));
+    }
+    let n = rows[0].len();
+    if rows.iter().any(|r| r.len() != n) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "ragged rows: all rows must have the same sample count",
+        ));
+    }
+    let phen_row = rows.pop().unwrap();
+    if phen_row.iter().any(|&p| p > 1) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "phenotype row may only contain 0/1",
+        ));
+    }
+    let m = rows.len();
+    let mut data = Vec::with_capacity(m * n);
+    for row in &rows {
+        if row.iter().any(|&g| g > 2) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "genotypes may only be 0/1/2",
+            ));
+        }
+        data.extend_from_slice(row);
+    }
+    Ok((
+        GenotypeMatrix::from_raw(m, n, data),
+        Phenotype::from_labels(phen_row),
+    ))
+}
+
+/// Write a dataset in the compact binary format.
+pub fn write_binary<W: Write>(
+    w: W,
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(genotypes.num_snps() as u64).to_le_bytes())?;
+    w.write_all(&(genotypes.num_samples() as u64).to_le_bytes())?;
+    w.write_all(genotypes.raw())?;
+    w.write_all(phenotype.labels())?;
+    w.flush()
+}
+
+/// Read a dataset in the compact binary format.
+pub fn read_binary<R: Read>(r: R) -> io::Result<(GenotypeMatrix, Phenotype)> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an EPI3 binary dataset",
+        ));
+    }
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let m = u64::from_le_bytes(buf) as usize;
+    r.read_exact(&mut buf)?;
+    let n = u64::from_le_bytes(buf) as usize;
+    let mut data = vec![0u8; m * n];
+    r.read_exact(&mut data)?;
+    let mut labels = vec![0u8; n];
+    r.read_exact(&mut labels)?;
+    if data.iter().any(|&g| g > 2) || labels.iter().any(|&p| p > 1) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt dataset payload",
+        ));
+    }
+    Ok((
+        GenotypeMatrix::from_raw(m, n, data),
+        Phenotype::from_labels(labels),
+    ))
+}
+
+/// Convenience: write a [`Dataset`] as text to `path`.
+pub fn save_text<P: AsRef<Path>>(path: P, d: &Dataset) -> io::Result<()> {
+    write_text(std::fs::File::create(path)?, &d.genotypes, &d.phenotype)
+}
+
+/// Convenience: write a [`Dataset`] as binary to `path`.
+pub fn save_binary<P: AsRef<Path>>(path: P, d: &Dataset) -> io::Result<()> {
+    write_binary(std::fs::File::create(path)?, &d.genotypes, &d.phenotype)
+}
+
+/// Convenience: load either format from `path`, sniffing the magic bytes.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<(GenotypeMatrix, Phenotype)> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(MAGIC) {
+        read_binary(&bytes[..])
+    } else {
+        read_text(&bytes[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DatasetSpec;
+
+    fn demo() -> (GenotypeMatrix, Phenotype) {
+        let d = DatasetSpec::noise(8, 37, 5).generate();
+        (d.genotypes, d.phenotype)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (g, p) = demo();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &g, &p).unwrap();
+        let (g2, p2) = read_text(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let (g, p) = demo();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g, &p).unwrap();
+        let (g2, p2) = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE............"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn text_rejects_ragged_rows() {
+        let err = read_text(&b"0,1,2\n0,1\n0,0,1\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn text_rejects_bad_genotype() {
+        let err = read_text(&b"0,3\n0,1\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn text_rejects_bad_phenotype() {
+        let err = read_text(&b"0,1\n0,2\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sniffing_load_roundtrips_both_formats() {
+        let d = DatasetSpec::noise(4, 10, 1).generate();
+        let dir = std::env::temp_dir();
+        let tp = dir.join("epi3_test_text.csv");
+        let bp = dir.join("epi3_test_bin.epi3");
+        save_text(&tp, &d).unwrap();
+        save_binary(&bp, &d).unwrap();
+        let (gt, _) = load(&tp).unwrap();
+        let (gb, _) = load(&bp).unwrap();
+        assert_eq!(gt, d.genotypes);
+        assert_eq!(gb, d.genotypes);
+        let _ = std::fs::remove_file(tp);
+        let _ = std::fs::remove_file(bp);
+    }
+}

@@ -1,0 +1,25 @@
+//! # datagen — synthetic case-control SNP datasets
+//!
+//! The paper evaluates on "synthetic data sets equivalent to real case
+//! scenarios" (§V) ranging from 1 000 to 40 000 SNPs and 1 600 to 16 384
+//! samples. This crate generates such datasets:
+//!
+//! * per-SNP minor-allele frequencies (MAF) with Hardy–Weinberg genotype
+//!   sampling ([`maf`]);
+//! * optional *planted* higher-order interactions driven by penetrance
+//!   tables ([`penetrance`]), so detectors can be validated against a
+//!   known ground truth ([`truth`]);
+//! * a reproducible, seedable generator ([`generator`]);
+//! * text and binary dataset I/O ([`io`]).
+
+pub mod generator;
+pub mod io;
+pub mod maf;
+pub mod penetrance;
+pub mod stats;
+pub mod truth;
+
+pub use generator::{Dataset, DatasetSpec};
+pub use maf::MafModel;
+pub use penetrance::PenetranceTable;
+pub use truth::GroundTruth;

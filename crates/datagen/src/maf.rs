@@ -1,0 +1,134 @@
+//! Minor-allele-frequency models and Hardy–Weinberg genotype sampling.
+
+use rand::Rng;
+
+/// How per-SNP minor allele frequencies are assigned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MafModel {
+    /// Every SNP has the same MAF.
+    Fixed(f64),
+    /// MAF drawn uniformly from `[lo, hi]` per SNP.
+    Uniform { lo: f64, hi: f64 },
+}
+
+impl MafModel {
+    /// Default range used by common epistasis simulators (GAMETES-style).
+    pub fn default_range() -> Self {
+        MafModel::Uniform { lo: 0.05, hi: 0.5 }
+    }
+
+    /// Draw the MAF for one SNP.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            MafModel::Fixed(f) => f,
+            MafModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        }
+    }
+
+    /// Validate the model parameters (frequencies must lie in `(0, 0.5]`
+    /// to actually be *minor* allele frequencies).
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |f: f64| -> Result<(), String> {
+            if !(0.0..=0.5).contains(&f) {
+                Err(format!("MAF {f} outside [0, 0.5]"))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            MafModel::Fixed(f) => check(f),
+            MafModel::Uniform { lo, hi } => {
+                check(lo)?;
+                check(hi)?;
+                if lo > hi {
+                    return Err(format!("MAF range inverted: {lo} > {hi}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Hardy–Weinberg genotype probabilities `[P(0), P(1), P(2)]` for minor
+/// allele frequency `f`: `[(1-f)², 2f(1-f), f²]`.
+#[inline]
+pub fn hwe_probs(f: f64) -> [f64; 3] {
+    let q = 1.0 - f;
+    [q * q, 2.0 * f * q, f * f]
+}
+
+/// Sample one genotype under Hardy–Weinberg equilibrium for MAF `f`.
+#[inline]
+pub fn sample_genotype<R: Rng + ?Sized>(rng: &mut R, f: f64) -> u8 {
+    let [p0, p1, _] = hwe_probs(f);
+    let u: f64 = rng.gen();
+    if u < p0 {
+        0
+    } else if u < p0 + p1 {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hwe_probs_sum_to_one() {
+        for f in [0.0, 0.05, 0.25, 0.5] {
+            let p = hwe_probs(f);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn genotype_frequencies_converge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = 0.3;
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_genotype(&mut rng, f) as usize] += 1;
+        }
+        let want = hwe_probs(f);
+        for g in 0..3 {
+            let got = counts[g] as f64 / n as f64;
+            assert!(
+                (got - want[g]).abs() < 0.01,
+                "g={g}: got {got}, want {}",
+                want[g]
+            );
+        }
+    }
+
+    #[test]
+    fn maf_model_validation() {
+        assert!(MafModel::Fixed(0.25).validate().is_ok());
+        assert!(MafModel::Fixed(0.6).validate().is_err());
+        assert!(MafModel::Uniform { lo: 0.4, hi: 0.1 }.validate().is_err());
+        assert!(MafModel::default_range().validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_sampling_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = MafModel::Uniform { lo: 0.1, hi: 0.2 };
+        for _ in 0..1000 {
+            let f = m.sample(&mut rng);
+            assert!((0.1..=0.2).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_maf_always_homozygous_major() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_genotype(&mut rng, 0.0), 0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Penetrance tables: `P(case | genotype combination)` for a planted
+//! k-way interaction.
+//!
+//! A penetrance table over `k` interacting SNPs has `3^k` entries indexed
+//! by the mixed-radix genotype combination `(g1, …, gk)` — exactly the
+//! index space of the detector's contingency tables, so a planted model
+//! maps one-to-one onto the signal the K2 score searches for.
+
+/// Penetrance table over `3^k` genotype combinations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PenetranceTable {
+    k: usize,
+    probs: Vec<f64>,
+}
+
+impl PenetranceTable {
+    /// Build from explicit probabilities (length must be `3^k`).
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of three matching `k`, or any
+    /// probability is outside `[0, 1]`.
+    pub fn from_probs(k: usize, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), 3usize.pow(k as u32), "need 3^k entries");
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "penetrances must be probabilities"
+        );
+        Self { k, probs }
+    }
+
+    /// Null model: constant disease prevalence regardless of genotype.
+    pub fn baseline(k: usize, prevalence: f64) -> Self {
+        Self::from_probs(k, vec![prevalence; 3usize.pow(k as u32)])
+    }
+
+    /// Multiplicative risk model: each copy of the minor allele at each
+    /// interacting SNP multiplies the odds by `effect`. A classic
+    /// marginal-effect-bearing epistasis model.
+    pub fn multiplicative(k: usize, baseline: f64, effect: f64) -> Self {
+        let n = 3usize.pow(k as u32);
+        let probs = (0..n)
+            .map(|idx| {
+                let copies: u32 = Self::decode(k, idx).iter().map(|&g| g as u32).sum();
+                let odds = baseline / (1.0 - baseline) * effect.powi(copies as i32);
+                (odds / (1.0 + odds)).clamp(0.0, 1.0)
+            })
+            .collect();
+        Self { k, probs }
+    }
+
+    /// Threshold model: elevated risk only when at least `t` of the
+    /// interacting SNPs carry at least one minor allele — a pure
+    /// higher-order interaction with weak marginals for `t = k`.
+    pub fn threshold(k: usize, lo: f64, hi: f64, t: usize) -> Self {
+        let n = 3usize.pow(k as u32);
+        let probs = (0..n)
+            .map(|idx| {
+                let carriers = Self::decode(k, idx).iter().filter(|&&g| g >= 1).count();
+                if carriers >= t {
+                    hi
+                } else {
+                    lo
+                }
+            })
+            .collect();
+        Self { k, probs }
+    }
+
+    /// XOR-like parity model: risk is `hi` when the *parity* of the total
+    /// minor-allele count is odd, `lo` otherwise. Has (near) zero marginal
+    /// effects — only detectable by jointly testing all `k` SNPs, the
+    /// hardest case for non-exhaustive methods and the motivating case for
+    /// exhaustive search (paper §I).
+    pub fn xor_parity(k: usize, lo: f64, hi: f64) -> Self {
+        let n = 3usize.pow(k as u32);
+        let probs = (0..n)
+            .map(|idx| {
+                let copies: u32 = Self::decode(k, idx).iter().map(|&g| g as u32).sum();
+                if copies % 2 == 1 {
+                    hi
+                } else {
+                    lo
+                }
+            })
+            .collect();
+        Self { k, probs }
+    }
+
+    /// Interaction order `k`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Penetrance for a genotype combination given as a slice of length `k`.
+    #[inline]
+    pub fn penetrance(&self, genotypes: &[u8]) -> f64 {
+        debug_assert_eq!(genotypes.len(), self.k);
+        self.probs[Self::encode(genotypes)]
+    }
+
+    /// All `3^k` probabilities, indexed by [`PenetranceTable::encode`].
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mixed-radix (base-3, first SNP most significant) combination index.
+    #[inline]
+    pub fn encode(genotypes: &[u8]) -> usize {
+        genotypes
+            .iter()
+            .fold(0usize, |acc, &g| acc * 3 + g as usize)
+    }
+
+    /// Inverse of [`PenetranceTable::encode`].
+    pub fn decode(k: usize, mut idx: usize) -> Vec<u8> {
+        let mut out = vec![0u8; k];
+        for slot in out.iter_mut().rev() {
+            *slot = (idx % 3) as u8;
+            idx /= 3;
+        }
+        out
+    }
+
+    /// Population-average prevalence under Hardy–Weinberg genotype
+    /// frequencies with per-SNP MAFs `mafs` (length `k`).
+    pub fn expected_prevalence(&self, mafs: &[f64]) -> f64 {
+        assert_eq!(mafs.len(), self.k);
+        let mut total = 0.0;
+        for (idx, &p) in self.probs.iter().enumerate() {
+            let combo = Self::decode(self.k, idx);
+            let mut w = 1.0;
+            for (g, &f) in combo.iter().zip(mafs) {
+                w *= crate::maf::hwe_probs(f)[*g as usize];
+            }
+            total += w * p;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for k in 1..=4 {
+            for idx in 0..3usize.pow(k as u32) {
+                let combo = PenetranceTable::decode(k, idx);
+                assert_eq!(PenetranceTable::encode(&combo), idx);
+                assert!(combo.iter().all(|&g| g <= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_row_major_base3() {
+        assert_eq!(PenetranceTable::encode(&[0, 1, 2]), 5);
+        assert_eq!(PenetranceTable::encode(&[2, 2, 2]), 26);
+        assert_eq!(PenetranceTable::encode(&[1, 0, 0]), 9);
+    }
+
+    #[test]
+    fn baseline_is_flat() {
+        let t = PenetranceTable::baseline(3, 0.2);
+        assert!(t.probs().iter().all(|&p| (p - 0.2).abs() < 1e-15));
+    }
+
+    #[test]
+    fn multiplicative_monotone_in_allele_count() {
+        let t = PenetranceTable::multiplicative(3, 0.1, 2.0);
+        assert!(t.penetrance(&[0, 0, 0]) < t.penetrance(&[1, 0, 0]));
+        assert!(t.penetrance(&[1, 1, 1]) < t.penetrance(&[2, 2, 2]));
+        // symmetric in SNP order for equal totals
+        assert_eq!(t.penetrance(&[2, 0, 0]), t.penetrance(&[0, 0, 2]));
+    }
+
+    #[test]
+    fn threshold_model_steps() {
+        let t = PenetranceTable::threshold(3, 0.05, 0.8, 3);
+        assert_eq!(t.penetrance(&[1, 1, 0]), 0.05);
+        assert_eq!(t.penetrance(&[1, 1, 1]), 0.8);
+        assert_eq!(t.penetrance(&[2, 1, 2]), 0.8);
+    }
+
+    #[test]
+    fn xor_parity_by_total_copies() {
+        let t = PenetranceTable::xor_parity(3, 0.1, 0.9);
+        assert_eq!(t.penetrance(&[0, 0, 0]), 0.1); // 0 copies, even
+        assert_eq!(t.penetrance(&[1, 0, 0]), 0.9); // 1 copy, odd
+        assert_eq!(t.penetrance(&[1, 1, 0]), 0.1); // 2, even
+        assert_eq!(t.penetrance(&[2, 1, 0]), 0.9); // 3, odd
+    }
+
+    #[test]
+    fn expected_prevalence_of_baseline_is_baseline() {
+        let t = PenetranceTable::baseline(3, 0.37);
+        let p = t.expected_prevalence(&[0.1, 0.3, 0.5]);
+        assert!((p - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "3^k")]
+    fn wrong_size_rejected() {
+        PenetranceTable::from_probs(2, vec![0.5; 8]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dataset and penetrance-model statistics.
+//!
+//! Quality-control summaries every GWAS pipeline computes before an
+//! epistasis scan (per-SNP MAF estimates, Hardy–Weinberg χ², class
+//! balance) plus the model-side quantities (marginal penetrances,
+//! broad-sense heritability) that characterise how *hard* a planted
+//! interaction is to detect — XOR-parity models have near-zero marginals
+//! and high interaction heritability, which is the paper's argument for
+//! exhaustive search.
+
+use crate::maf::hwe_probs;
+use crate::penetrance::PenetranceTable;
+use bitgenome::{GenotypeMatrix, Phenotype};
+
+/// Per-SNP quality-control summary.
+#[derive(Clone, Debug)]
+pub struct SnpSummary {
+    /// Observed genotype counts `[n0, n1, n2]`.
+    pub counts: [usize; 3],
+    /// Estimated minor allele frequency.
+    pub maf: f64,
+    /// Hardy–Weinberg equilibrium χ² statistic (1 d.o.f.).
+    pub hwe_chi2: f64,
+}
+
+/// Summarise one SNP.
+pub fn snp_summary(g: &GenotypeMatrix, snp: usize) -> SnpSummary {
+    let counts = g.genotype_counts(snp);
+    let n = g.num_samples() as f64;
+    // allele frequency of the minor allele: (n1 + 2 n2) / 2N
+    let maf = (counts[1] as f64 + 2.0 * counts[2] as f64) / (2.0 * n);
+    let expected = hwe_probs(maf).map(|p| p * n);
+    let mut chi2 = 0.0;
+    for (obs, exp) in counts.iter().zip(expected) {
+        if exp > 0.0 {
+            let d = *obs as f64 - exp;
+            chi2 += d * d / exp;
+        }
+    }
+    SnpSummary {
+        counts,
+        maf,
+        hwe_chi2: chi2,
+    }
+}
+
+/// Whole-dataset summary.
+#[derive(Clone, Debug)]
+pub struct DatasetSummary {
+    /// SNP count.
+    pub snps: usize,
+    /// Sample count.
+    pub samples: usize,
+    /// Case fraction.
+    pub case_fraction: f64,
+    /// Mean estimated MAF.
+    pub mean_maf: f64,
+    /// SNPs whose HWE χ² exceeds 3.84 (nominal p < 0.05).
+    pub hwe_failures: usize,
+}
+
+/// Summarise a dataset.
+pub fn dataset_summary(g: &GenotypeMatrix, p: &Phenotype) -> DatasetSummary {
+    let m = g.num_snps();
+    let mut maf_sum = 0.0;
+    let mut hwe_failures = 0;
+    for snp in 0..m {
+        let s = snp_summary(g, snp);
+        maf_sum += s.maf;
+        if s.hwe_chi2 > 3.84 {
+            hwe_failures += 1;
+        }
+    }
+    DatasetSummary {
+        snps: m,
+        samples: g.num_samples(),
+        case_fraction: p.num_cases() as f64 / p.len() as f64,
+        mean_maf: maf_sum / m as f64,
+        hwe_failures,
+    }
+}
+
+/// Marginal penetrance of one interacting SNP: `P(case | g_i = g)`
+/// averaged over the other loci's HWE genotype distributions.
+pub fn marginal_penetrance(table: &PenetranceTable, mafs: &[f64], locus: usize, g: u8) -> f64 {
+    let k = table.order();
+    assert_eq!(mafs.len(), k);
+    assert!(locus < k && g <= 2);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for idx in 0..3usize.pow(k as u32) {
+        let combo = PenetranceTable::decode(k, idx);
+        if combo[locus] != g {
+            continue;
+        }
+        let mut w = 1.0;
+        for (pos, (&gt, &f)) in combo.iter().zip(mafs).enumerate() {
+            if pos != locus {
+                w *= hwe_probs(f)[gt as usize];
+            }
+        }
+        num += w * table.probs()[idx];
+        den += w;
+    }
+    num / den
+}
+
+/// Largest marginal-effect size across loci: the maximum over loci and
+/// genotypes of `|P(case | g) − prevalence|`. Near zero for pure
+/// interaction models (XOR-parity), large for multiplicative models.
+pub fn max_marginal_effect(table: &PenetranceTable, mafs: &[f64]) -> f64 {
+    let prevalence = table.expected_prevalence(mafs);
+    let mut worst = 0.0f64;
+    for locus in 0..table.order() {
+        for g in 0..3u8 {
+            let m = marginal_penetrance(table, mafs, locus, g);
+            worst = worst.max((m - prevalence).abs());
+        }
+    }
+    worst
+}
+
+/// Broad-sense heritability of a penetrance model on the liability scale
+/// used by GAMETES-style simulators:
+/// `h² = Var(penetrance) / (prevalence · (1 − prevalence))`.
+pub fn heritability(table: &PenetranceTable, mafs: &[f64]) -> f64 {
+    let k = table.order();
+    assert_eq!(mafs.len(), k);
+    let prevalence = table.expected_prevalence(mafs);
+    let mut var = 0.0;
+    for (idx, &pen) in table.probs().iter().enumerate() {
+        let combo = PenetranceTable::decode(k, idx);
+        let mut w = 1.0;
+        for (&g, &f) in combo.iter().zip(mafs) {
+            w *= hwe_probs(f)[g as usize];
+        }
+        let d = pen - prevalence;
+        var += w * d * d;
+    }
+    var / (prevalence * (1.0 - prevalence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DatasetSpec;
+
+    #[test]
+    fn maf_estimate_recovers_generator_maf() {
+        let mut spec = DatasetSpec::noise(4, 20_000, 3);
+        spec.maf = crate::maf::MafModel::Fixed(0.3);
+        let d = spec.generate();
+        for snp in 0..4 {
+            let s = snp_summary(&d.genotypes, snp);
+            assert!((s.maf - 0.3).abs() < 0.02, "snp {snp}: {}", s.maf);
+            // generated under HWE => chi2 should be small
+            assert!(s.hwe_chi2 < 10.0, "snp {snp}: chi2 {}", s.hwe_chi2);
+        }
+    }
+
+    #[test]
+    fn hwe_violation_is_flagged() {
+        // all heterozygous: wildly off HWE for the implied maf of 0.5
+        let g = GenotypeMatrix::from_raw(1, 1000, vec![1; 1000]);
+        let s = snp_summary(&g, 0);
+        assert!((s.maf - 0.5).abs() < 1e-12);
+        assert!(s.hwe_chi2 > 100.0);
+    }
+
+    #[test]
+    fn dataset_summary_aggregates() {
+        let d = DatasetSpec::noise(12, 512, 7).generate();
+        let s = dataset_summary(&d.genotypes, &d.phenotype);
+        assert_eq!(s.snps, 12);
+        assert_eq!(s.samples, 512);
+        assert!(s.case_fraction > 0.3 && s.case_fraction < 0.7);
+        assert!(s.mean_maf > 0.0 && s.mean_maf <= 0.5);
+    }
+
+    #[test]
+    fn xor_parity_has_tiny_marginals() {
+        let mafs = [0.5, 0.5, 0.5];
+        let xor = PenetranceTable::xor_parity(3, 0.2, 0.8);
+        let mult = PenetranceTable::multiplicative(3, 0.2, 2.0);
+        let xor_eff = max_marginal_effect(&xor, &mafs);
+        let mult_eff = max_marginal_effect(&mult, &mafs);
+        assert!(
+            xor_eff < 0.1 * mult_eff,
+            "xor {xor_eff} vs multiplicative {mult_eff}"
+        );
+    }
+
+    #[test]
+    fn heritability_ordering() {
+        let mafs = [0.3, 0.3, 0.3];
+        let strong = PenetranceTable::threshold(3, 0.05, 0.95, 3);
+        let weak = PenetranceTable::threshold(3, 0.45, 0.55, 3);
+        let none = PenetranceTable::baseline(3, 0.5);
+        let h_strong = heritability(&strong, &mafs);
+        let h_weak = heritability(&weak, &mafs);
+        let h_none = heritability(&none, &mafs);
+        assert!(h_strong > h_weak);
+        assert!(h_weak > h_none);
+        assert!(h_none.abs() < 1e-12);
+        assert!(h_strong <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn marginal_penetrance_of_baseline_is_flat() {
+        let t = PenetranceTable::baseline(3, 0.33);
+        let mafs = [0.2, 0.3, 0.4];
+        for locus in 0..3 {
+            for g in 0..3u8 {
+                let m = marginal_penetrance(&t, &mafs, locus, g);
+                assert!((m - 0.33).abs() < 1e-12);
+            }
+        }
+    }
+}

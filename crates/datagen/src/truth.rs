@@ -1,0 +1,54 @@
+//! Ground truth for planted interactions and detection verification.
+
+/// Record of the interaction planted in a synthetic dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroundTruth {
+    /// Indices of the interacting SNPs, sorted ascending.
+    pub snps: Vec<usize>,
+    /// Per-SNP MAFs of the planted loci.
+    pub mafs: Vec<f64>,
+    /// Name of the penetrance model used.
+    pub model: String,
+}
+
+impl GroundTruth {
+    /// Whether a detected triple (any order) matches the planted SNPs.
+    pub fn matches(&self, detected: &[usize]) -> bool {
+        let mut d = detected.to_vec();
+        d.sort_unstable();
+        d == self.snps
+    }
+
+    /// Number of planted SNPs found among `detected` (partial credit).
+    pub fn overlap(&self, detected: &[usize]) -> usize {
+        detected.iter().filter(|s| self.snps.contains(s)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt() -> GroundTruth {
+        GroundTruth {
+            snps: vec![3, 17, 42],
+            mafs: vec![0.3, 0.3, 0.3],
+            model: "threshold".into(),
+        }
+    }
+
+    #[test]
+    fn matches_is_order_insensitive() {
+        assert!(gt().matches(&[42, 3, 17]));
+        assert!(gt().matches(&[3, 17, 42]));
+        assert!(!gt().matches(&[3, 17, 41]));
+        assert!(!gt().matches(&[3, 17]));
+    }
+
+    #[test]
+    fn overlap_counts_hits() {
+        assert_eq!(gt().overlap(&[3, 17, 41]), 2);
+        assert_eq!(gt().overlap(&[0, 1, 2]), 0);
+        assert_eq!(gt().overlap(&[42, 17, 3]), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based invariants of dataset generation and I/O.
+
+use datagen::{io, DatasetSpec, MafModel, PenetranceTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_is_deterministic(
+        m in 1usize..30,
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let spec = DatasetSpec::noise(m, n, seed);
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(a.genotypes, b.genotypes);
+        prop_assert_eq!(a.phenotype, b.phenotype);
+        prop_assert_eq!(a.mafs, b.mafs);
+    }
+
+    #[test]
+    fn dimensions_and_mafs_match_spec(
+        m in 1usize..30,
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let d = DatasetSpec::noise(m, n, seed).generate();
+        prop_assert_eq!(d.num_snps(), m);
+        prop_assert_eq!(d.num_samples(), n);
+        prop_assert_eq!(d.mafs.len(), m);
+        prop_assert!(d.mafs.iter().all(|&f| (0.0..=0.5).contains(&f)));
+    }
+
+    #[test]
+    fn balanced_generation_is_exactly_balanced(
+        m in 1usize..12,
+        n in 2usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = DatasetSpec::noise(m, n, seed);
+        spec.balance = true;
+        let d = spec.generate();
+        prop_assert_eq!(d.phenotype.num_cases(), n / 2);
+        prop_assert_eq!(d.phenotype.num_controls(), n - n / 2);
+    }
+
+    #[test]
+    fn text_and_binary_roundtrip(
+        m in 1usize..15,
+        n in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let d = DatasetSpec::noise(m, n, seed).generate();
+        let mut tbuf = Vec::new();
+        io::write_text(&mut tbuf, &d.genotypes, &d.phenotype).unwrap();
+        let (gt, pt) = io::read_text(&tbuf[..]).unwrap();
+        prop_assert_eq!(&gt, &d.genotypes);
+        prop_assert_eq!(&pt, &d.phenotype);
+
+        let mut bbuf = Vec::new();
+        io::write_binary(&mut bbuf, &d.genotypes, &d.phenotype).unwrap();
+        let (gb, pb) = io::read_binary(&bbuf[..]).unwrap();
+        prop_assert_eq!(&gb, &d.genotypes);
+        prop_assert_eq!(&pb, &d.phenotype);
+    }
+
+    #[test]
+    fn penetrance_tables_are_probabilities(
+        k in 1usize..4,
+        base in 0.01f64..0.5,
+        eff in 1.0f64..4.0,
+    ) {
+        for table in [
+            PenetranceTable::baseline(k, base),
+            PenetranceTable::multiplicative(k, base, eff),
+            PenetranceTable::threshold(k, base, (base * 2.0).min(1.0), k),
+            PenetranceTable::xor_parity(k, base, (base * 2.0).min(1.0)),
+        ] {
+            prop_assert_eq!(table.probs().len(), 3usize.pow(k as u32));
+            prop_assert!(table.probs().iter().all(|p| (0.0..=1.0).contains(p)));
+            let prevalence = table.expected_prevalence(&vec![0.3; k]);
+            prop_assert!((0.0..=1.0).contains(&prevalence));
+        }
+    }
+
+    #[test]
+    fn maf_model_samples_within_bounds(
+        lo in 0.0f64..0.25,
+        width in 0.0f64..0.25,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let model = MafModel::Uniform { lo, hi: lo + width };
+        prop_assert!(model.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let f = model.sample(&mut rng);
+            prop_assert!((lo..=lo + width + 1e-12).contains(&f));
+        }
+    }
+}

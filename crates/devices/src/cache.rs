@@ -1,0 +1,70 @@
+//! Cache geometry descriptors.
+//!
+//! The paper's blocked CPU approach (V3/V4) sizes its frequency table and
+//! sample block so both fit in the L1 data cache, reasoning in units of
+//! *ways* (§IV-A): e.g. on Ice Lake SP (48 KiB, 12-way) seven ways hold
+//! the frequency table and four ways hold the SNP block, leaving one way
+//! for the prefetcher.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (number of ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Construct from a size in KiB.
+    pub const fn kib(size_kib: usize, ways: usize) -> Self {
+        Self {
+            size_bytes: size_kib * 1024,
+            ways,
+            line_bytes: 64,
+        }
+    }
+
+    /// Capacity of a single way in bytes.
+    #[inline]
+    pub const fn way_bytes(&self) -> usize {
+        self.size_bytes / self.ways
+    }
+
+    /// Capacity of `n` ways in bytes.
+    #[inline]
+    pub const fn ways_bytes(&self, n: usize) -> usize {
+        self.way_bytes() * n
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icelake_l1_example_from_paper() {
+        // Ice Lake SP: 48 KiB, 12 ways => 4 KiB per way.
+        let l1 = CacheGeometry::kib(48, 12);
+        assert_eq!(l1.way_bytes(), 4096);
+        // 7 ways for the frequency table = 28 KiB (paper's sizeFT)
+        assert_eq!(l1.ways_bytes(7), 28 * 1024);
+        // 4 ways for the block = 16 KiB (paper's sizeBlock)
+        assert_eq!(l1.ways_bytes(4), 16 * 1024);
+    }
+
+    #[test]
+    fn skylake_l1_geometry() {
+        let l1 = CacheGeometry::kib(32, 8);
+        assert_eq!(l1.way_bytes(), 4096);
+        assert_eq!(l1.sets(), 64);
+    }
+}

@@ -1,0 +1,261 @@
+//! CPU device catalog — Table I of the paper.
+
+use crate::cache::CacheGeometry;
+
+/// CPU vendor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Intel Corporation.
+    Intel,
+    /// Advanced Micro Devices.
+    Amd,
+}
+
+/// CPU micro-architecture generations evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuMicroarch {
+    /// Intel Skylake (client).
+    Skylake,
+    /// Intel Skylake-SP (server).
+    SkylakeSp,
+    /// Intel Ice Lake SP.
+    IceLakeSp,
+    /// AMD Zen.
+    Zen,
+    /// AMD Zen 2.
+    Zen2,
+}
+
+/// One CPU system of Table I.
+///
+/// Core counts are *totals across sockets* (CI2/CI3 are dual-socket).
+/// Bandwidth and TDP figures come from vendor specifications and are used
+/// only for roofline ceilings and efficiency estimates.
+#[derive(Clone, Debug)]
+pub struct CpuDevice {
+    /// Short identifier used throughout the paper (CI1, CI2, CI3, CA1, CA2).
+    pub id: &'static str,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Micro-architecture.
+    pub arch: CpuMicroarch,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Base frequency in GHz (Table I).
+    pub base_ghz: f64,
+    /// Total physical cores across all sockets (Table I).
+    pub cores: usize,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Widest supported vector width in bits (Table I).
+    pub vector_bits: usize,
+    /// Whether AVX-512 `VPOPCNTDQ` is supported (Ice Lake SP only).
+    pub vector_popcnt: bool,
+    /// Whether AVX-512 popcount emulation needs *two* extract instructions
+    /// per scalar `POPCNT` (the Skylake-SP penalty of §V-B).
+    pub avx512_double_extract: bool,
+    /// Frequency derating when executing heavy AVX-512 code (≤ 1.0;
+    /// Skylake-SP's AVX-512 license downclock, §V-B).
+    pub avx512_freq_scale: f64,
+    /// L1 data cache geometry (per core).
+    pub l1d: CacheGeometry,
+    /// L2 capacity per core in KiB.
+    pub l2_kib: usize,
+    /// Shared L3 capacity in MiB (total).
+    pub l3_mib: usize,
+    /// Peak DRAM bandwidth in GB/s (all sockets).
+    pub dram_gbs: f64,
+    /// Per-core L1 load bandwidth in bytes/cycle (vector loads).
+    pub l1_bytes_per_cycle: f64,
+    /// Per-core L2 bandwidth in bytes/cycle.
+    pub l2_bytes_per_cycle: f64,
+    /// Per-core L3 bandwidth in bytes/cycle.
+    pub l3_bytes_per_cycle: f64,
+    /// Thermal design power in watts (all sockets).
+    pub tdp_w: f64,
+}
+
+impl CpuDevice {
+    /// 32-bit lanes per vector register.
+    #[inline]
+    pub const fn lanes32(&self) -> usize {
+        self.vector_bits / 32
+    }
+
+    /// Peak vector integer-ADD throughput in GINTOP/s (two SIMD ports).
+    pub fn vector_add_peak_gops(&self) -> f64 {
+        self.cores as f64 * self.base_ghz * self.lanes32() as f64 * 2.0
+    }
+
+    /// Peak scalar integer-ADD throughput in GINTOP/s (four ALU ports).
+    pub fn scalar_add_peak_gops(&self) -> f64 {
+        self.cores as f64 * self.base_ghz * 4.0
+    }
+
+    /// The five CPU systems of Table I.
+    pub fn table1() -> Vec<CpuDevice> {
+        vec![
+            CpuDevice {
+                id: "CI1",
+                name: "Intel Core i7-8700K",
+                arch: CpuMicroarch::Skylake,
+                vendor: Vendor::Intel,
+                base_ghz: 3.7,
+                cores: 6,
+                sockets: 1,
+                vector_bits: 256,
+                vector_popcnt: false,
+                avx512_double_extract: false,
+                avx512_freq_scale: 1.0,
+                l1d: CacheGeometry::kib(32, 8),
+                l2_kib: 256,
+                l3_mib: 12,
+                dram_gbs: 41.6,
+                l1_bytes_per_cycle: 64.0,
+                l2_bytes_per_cycle: 32.0,
+                l3_bytes_per_cycle: 16.0,
+                tdp_w: 95.0,
+            },
+            CpuDevice {
+                id: "CI2",
+                name: "2x Intel Xeon Gold 6140",
+                arch: CpuMicroarch::SkylakeSp,
+                vendor: Vendor::Intel,
+                base_ghz: 2.3,
+                cores: 36,
+                sockets: 2,
+                vector_bits: 512,
+                vector_popcnt: false,
+                avx512_double_extract: true,
+                avx512_freq_scale: 0.8,
+                l1d: CacheGeometry::kib(32, 8),
+                l2_kib: 1024,
+                l3_mib: 2 * 24,
+                dram_gbs: 238.4,
+                l1_bytes_per_cycle: 128.0,
+                l2_bytes_per_cycle: 64.0,
+                l3_bytes_per_cycle: 16.0,
+                tdp_w: 280.0,
+            },
+            CpuDevice {
+                id: "CI3",
+                name: "2x Intel Xeon Platinum 8360Y",
+                arch: CpuMicroarch::IceLakeSp,
+                vendor: Vendor::Intel,
+                base_ghz: 2.4,
+                cores: 72,
+                sockets: 2,
+                vector_bits: 512,
+                vector_popcnt: true,
+                avx512_double_extract: false,
+                avx512_freq_scale: 0.95,
+                l1d: CacheGeometry::kib(48, 12),
+                l2_kib: 1280,
+                l3_mib: 2 * 54,
+                dram_gbs: 409.6,
+                l1_bytes_per_cycle: 128.0,
+                l2_bytes_per_cycle: 64.0,
+                l3_bytes_per_cycle: 16.0,
+                tdp_w: 500.0,
+            },
+            CpuDevice {
+                id: "CA1",
+                name: "AMD EPYC 7601",
+                arch: CpuMicroarch::Zen,
+                vendor: Vendor::Amd,
+                base_ghz: 2.2,
+                cores: 64,
+                sockets: 2,
+                vector_bits: 128,
+                vector_popcnt: false,
+                avx512_double_extract: false,
+                avx512_freq_scale: 1.0,
+                l1d: CacheGeometry::kib(32, 8),
+                l2_kib: 512,
+                l3_mib: 2 * 64,
+                dram_gbs: 341.0,
+                l1_bytes_per_cycle: 32.0,
+                l2_bytes_per_cycle: 32.0,
+                l3_bytes_per_cycle: 16.0,
+                tdp_w: 360.0,
+            },
+            CpuDevice {
+                id: "CA2",
+                name: "AMD EPYC 7302P",
+                arch: CpuMicroarch::Zen2,
+                vendor: Vendor::Amd,
+                base_ghz: 3.0,
+                cores: 16,
+                sockets: 1,
+                vector_bits: 256,
+                vector_popcnt: false,
+                avx512_double_extract: false,
+                avx512_freq_scale: 1.0,
+                l1d: CacheGeometry::kib(32, 8),
+                l2_kib: 512,
+                l3_mib: 128,
+                dram_gbs: 204.8,
+                l1_bytes_per_cycle: 64.0,
+                l2_bytes_per_cycle: 32.0,
+                l3_bytes_per_cycle: 16.0,
+                tdp_w: 155.0,
+            },
+        ]
+    }
+
+    /// Look up one Table I system by paper id.
+    pub fn by_id(id: &str) -> Option<CpuDevice> {
+        Self::table1().into_iter().find(|d| d.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = CpuDevice::table1();
+        assert_eq!(t.len(), 5);
+        let ci3 = CpuDevice::by_id("CI3").unwrap();
+        assert_eq!(ci3.cores, 72);
+        assert_eq!(ci3.vector_bits, 512);
+        assert!(ci3.vector_popcnt);
+        assert_eq!(ci3.l1d.size_bytes, 48 * 1024);
+        assert_eq!(ci3.l1d.ways, 12);
+        let ca1 = CpuDevice::by_id("CA1").unwrap();
+        assert_eq!(ca1.vector_bits, 128);
+        assert_eq!(ca1.cores, 64);
+        let ci2 = CpuDevice::by_id("CI2").unwrap();
+        assert!(ci2.avx512_double_extract);
+        assert!(!ci2.vector_popcnt);
+    }
+
+    #[test]
+    fn only_icelake_has_vector_popcnt() {
+        for d in CpuDevice::table1() {
+            assert_eq!(d.vector_popcnt, d.arch == CpuMicroarch::IceLakeSp);
+        }
+    }
+
+    #[test]
+    fn vector_peak_exceeds_scalar_peak_when_wide() {
+        for d in CpuDevice::table1() {
+            if d.vector_bits >= 256 {
+                assert!(d.vector_add_peak_gops() > d.scalar_add_peak_gops(), "{}", d.id);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_match_vector_bits() {
+        assert_eq!(CpuDevice::by_id("CI3").unwrap().lanes32(), 16);
+        assert_eq!(CpuDevice::by_id("CA1").unwrap().lanes32(), 4);
+        assert_eq!(CpuDevice::by_id("CA2").unwrap().lanes32(), 8);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(CpuDevice::by_id("CX9").is_none());
+    }
+}

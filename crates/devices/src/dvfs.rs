@@ -1,0 +1,124 @@
+//! DVFS energy-efficiency model — the paper's stated future direction
+//! (§VI: "inclusion of DVFS techniques to further improve the efficiency
+//! of bioinformatics applications").
+//!
+//! The epistasis kernel is compute-bound after optimisation (§V-D), so
+//! throughput scales linearly with clock frequency while dynamic power
+//! scales roughly cubically (`P ∝ C·V²·f` with `V ∝ f`). With a static
+//! power floor, energy per element is minimised strictly below nominal
+//! frequency — this module finds that point per device.
+
+/// Simple DVFS power/performance model.
+#[derive(Clone, Copy, Debug)]
+pub struct DvfsModel {
+    /// Fraction of TDP that does not scale with frequency (uncore,
+    /// leakage, memory).
+    pub static_fraction: f64,
+    /// Dynamic-power exponent in relative frequency (3 = classic V∝f).
+    pub exponent: f64,
+}
+
+impl Default for DvfsModel {
+    fn default() -> Self {
+        Self {
+            static_fraction: 0.3,
+            exponent: 3.0,
+        }
+    }
+}
+
+/// One point of a DVFS sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct DvfsPoint {
+    /// Frequency relative to nominal (1.0 = Table I/II clock).
+    pub f_rel: f64,
+    /// Throughput relative to nominal.
+    pub throughput_rel: f64,
+    /// Power relative to TDP.
+    pub power_rel: f64,
+    /// Energy efficiency relative to nominal (throughput/power).
+    pub efficiency_rel: f64,
+}
+
+impl DvfsModel {
+    /// Relative power at relative frequency `f_rel`.
+    pub fn power_rel(&self, f_rel: f64) -> f64 {
+        self.static_fraction + (1.0 - self.static_fraction) * f_rel.powf(self.exponent)
+    }
+
+    /// Relative efficiency (elements/J vs nominal) for a compute-bound
+    /// kernel whose throughput tracks frequency.
+    pub fn efficiency_rel(&self, f_rel: f64) -> f64 {
+        let nominal = 1.0 / self.power_rel(1.0);
+        (f_rel / self.power_rel(f_rel)) / nominal
+    }
+
+    /// Closed-form energy-optimal relative frequency:
+    /// `d/df [f / (s + (1-s)·fᵉ)] = 0 ⇒ f* = (s / ((e-1)(1-s)))^(1/e)`.
+    pub fn optimal_f_rel(&self) -> f64 {
+        let s = self.static_fraction;
+        let e = self.exponent;
+        (s / ((e - 1.0) * (1.0 - s))).powf(1.0 / e)
+    }
+
+    /// Sweep `steps` evenly spaced relative frequencies in `[lo, 1.0]`.
+    pub fn sweep(&self, lo: f64, steps: usize) -> Vec<DvfsPoint> {
+        assert!(steps >= 2 && lo > 0.0 && lo < 1.0);
+        (0..steps)
+            .map(|i| {
+                let f_rel = lo + (1.0 - lo) * i as f64 / (steps - 1) as f64;
+                DvfsPoint {
+                    f_rel,
+                    throughput_rel: f_rel,
+                    power_rel: self.power_rel(f_rel),
+                    efficiency_rel: self.efficiency_rel(f_rel),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_monotone_and_anchored() {
+        let m = DvfsModel::default();
+        assert!((m.power_rel(1.0) - 1.0).abs() < 1e-12);
+        assert!(m.power_rel(0.5) < m.power_rel(1.0));
+        assert!(m.power_rel(0.5) > m.static_fraction);
+    }
+
+    #[test]
+    fn optimum_is_interior_and_beats_neighbours() {
+        let m = DvfsModel::default();
+        let f = m.optimal_f_rel();
+        assert!(f > 0.2 && f < 1.0, "{f}");
+        let e = m.efficiency_rel(f);
+        assert!(e > m.efficiency_rel(f - 0.02));
+        assert!(e > m.efficiency_rel(f + 0.02));
+        assert!(e > 1.0, "downclocking must beat nominal efficiency: {e}");
+    }
+
+    #[test]
+    fn closed_form_matches_sweep_argmax() {
+        let m = DvfsModel {
+            static_fraction: 0.25,
+            exponent: 3.0,
+        };
+        let sweep = m.sweep(0.2, 400);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.efficiency_rel.total_cmp(&b.efficiency_rel))
+            .unwrap();
+        assert!((best.f_rel - m.optimal_f_rel()).abs() < 0.01);
+    }
+
+    #[test]
+    fn throughput_tracks_frequency() {
+        for p in DvfsModel::default().sweep(0.3, 8) {
+            assert!((p.throughput_rel - p.f_rel).abs() < 1e-12);
+        }
+    }
+}

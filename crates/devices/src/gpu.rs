@@ -1,0 +1,240 @@
+//! GPU device catalog — Table II of the paper.
+//!
+//! Terminology follows the paper: NVIDIA multiprocessors, Intel execution
+//! units and AMD compute units are all "compute units" (CU); CUDA cores,
+//! Intel SIMD4 instances and AMD stream cores are all "stream cores".
+
+/// GPU vendor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GpuVendor {
+    /// Intel (Gen9.5 / Xe).
+    Intel,
+    /// NVIDIA.
+    Nvidia,
+    /// AMD.
+    Amd,
+}
+
+/// One GPU of Table II.
+#[derive(Clone, Debug)]
+pub struct GpuDevice {
+    /// Paper identifier (GI1, GI2, GN1..GN4, GA1..GA3).
+    pub id: &'static str,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Architecture name as listed in Table II.
+    pub arch: &'static str,
+    /// Vendor.
+    pub vendor: GpuVendor,
+    /// Boost frequency in GHz (Table II).
+    pub boost_ghz: f64,
+    /// Compute units (Table II).
+    pub compute_units: usize,
+    /// Stream cores (Table II).
+    pub stream_cores: usize,
+    /// POPCNT throughput per compute unit per cycle (Table II; AMD values
+    /// are the paper's experimental estimates).
+    pub popcnt_per_cu: f64,
+    /// Peak DRAM bandwidth in GB/s (vendor spec; used for memory roofs).
+    pub dram_gbs: f64,
+    /// Thermal design power in watts (used for §V-D efficiency numbers).
+    pub tdp_w: f64,
+}
+
+impl GpuDevice {
+    /// Stream cores per compute unit.
+    #[inline]
+    pub fn stream_cores_per_cu(&self) -> f64 {
+        self.stream_cores as f64 / self.compute_units as f64
+    }
+
+    /// Peak POPCNT throughput of the whole device, in Gops/s.
+    pub fn popcnt_peak_gops(&self) -> f64 {
+        self.compute_units as f64 * self.popcnt_per_cu * self.boost_ghz
+    }
+
+    /// Peak 32-bit integer ALU throughput (1 op/stream-core/cycle), Gops/s.
+    pub fn int_add_peak_gops(&self) -> f64 {
+        self.stream_cores as f64 * self.boost_ghz
+    }
+
+    /// The nine GPUs of Table II.
+    pub fn table2() -> Vec<GpuDevice> {
+        vec![
+            GpuDevice {
+                id: "GI1",
+                name: "Intel Graphics UHD P630",
+                arch: "Gen9.5",
+                vendor: GpuVendor::Intel,
+                boost_ghz: 1.200,
+                compute_units: 24,
+                stream_cores: 192,
+                popcnt_per_cu: 4.0,
+                dram_gbs: 41.6,
+                tdp_w: 15.0,
+            },
+            GpuDevice {
+                id: "GI2",
+                name: "Intel Iris Xe MAX",
+                arch: "Gen12",
+                vendor: GpuVendor::Intel,
+                boost_ghz: 1.650,
+                compute_units: 96,
+                stream_cores: 768,
+                popcnt_per_cu: 4.0,
+                dram_gbs: 68.0,
+                tdp_w: 25.0,
+            },
+            GpuDevice {
+                id: "GN1",
+                name: "NVIDIA Titan Xp",
+                arch: "Pascal",
+                vendor: GpuVendor::Nvidia,
+                boost_ghz: 1.582,
+                compute_units: 30,
+                stream_cores: 3840,
+                popcnt_per_cu: 32.0,
+                dram_gbs: 547.6,
+                tdp_w: 250.0,
+            },
+            GpuDevice {
+                id: "GN2",
+                name: "NVIDIA Titan V",
+                arch: "Volta",
+                vendor: GpuVendor::Nvidia,
+                boost_ghz: 1.455,
+                compute_units: 80,
+                stream_cores: 5120,
+                popcnt_per_cu: 16.0,
+                dram_gbs: 652.8,
+                tdp_w: 250.0,
+            },
+            GpuDevice {
+                id: "GN3",
+                name: "NVIDIA Titan RTX",
+                arch: "Turing",
+                vendor: GpuVendor::Nvidia,
+                boost_ghz: 1.770,
+                compute_units: 72,
+                stream_cores: 4608,
+                popcnt_per_cu: 16.0,
+                dram_gbs: 672.0,
+                tdp_w: 280.0,
+            },
+            GpuDevice {
+                id: "GN4",
+                name: "NVIDIA A100 (250W)",
+                arch: "Ampere",
+                vendor: GpuVendor::Nvidia,
+                boost_ghz: 1.410,
+                compute_units: 108,
+                stream_cores: 6912,
+                popcnt_per_cu: 16.0,
+                dram_gbs: 1555.0,
+                tdp_w: 250.0,
+            },
+            GpuDevice {
+                id: "GA1",
+                name: "AMD Radeon Pro VII",
+                arch: "Vega20",
+                vendor: GpuVendor::Amd,
+                boost_ghz: 1.700,
+                compute_units: 60,
+                stream_cores: 3840,
+                popcnt_per_cu: 12.0,
+                dram_gbs: 1024.0,
+                tdp_w: 250.0,
+            },
+            GpuDevice {
+                id: "GA2",
+                name: "AMD Instinct Mi100",
+                arch: "CDNA",
+                vendor: GpuVendor::Amd,
+                boost_ghz: 1.502,
+                compute_units: 120,
+                stream_cores: 7680,
+                popcnt_per_cu: 12.0,
+                dram_gbs: 1228.8,
+                tdp_w: 300.0,
+            },
+            GpuDevice {
+                id: "GA3",
+                name: "AMD Radeon RX 6900 XT",
+                arch: "RDNA2",
+                vendor: GpuVendor::Amd,
+                boost_ghz: 2.250,
+                compute_units: 80,
+                stream_cores: 5120,
+                popcnt_per_cu: 10.0,
+                dram_gbs: 512.0,
+                tdp_w: 300.0,
+            },
+        ]
+    }
+
+    /// Look up one Table II device by paper id.
+    pub fn by_id(id: &str) -> Option<GpuDevice> {
+        Self::table2().into_iter().find(|d| d.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = GpuDevice::table2();
+        assert_eq!(t.len(), 9);
+        let gn1 = GpuDevice::by_id("GN1").unwrap();
+        assert_eq!(gn1.popcnt_per_cu, 32.0);
+        assert_eq!(gn1.compute_units, 30);
+        assert_eq!(gn1.stream_cores, 3840);
+        let gi2 = GpuDevice::by_id("GI2").unwrap();
+        assert_eq!(gi2.compute_units, 96);
+        assert_eq!(gi2.popcnt_per_cu, 4.0);
+        let ga3 = GpuDevice::by_id("GA3").unwrap();
+        assert_eq!(ga3.boost_ghz, 2.250);
+        assert_eq!(ga3.popcnt_per_cu, 10.0);
+    }
+
+    #[test]
+    fn titan_xp_has_highest_popcnt_per_cu() {
+        let max = GpuDevice::table2()
+            .into_iter()
+            .max_by(|a, b| a.popcnt_per_cu.total_cmp(&b.popcnt_per_cu))
+            .unwrap();
+        assert_eq!(max.id, "GN1");
+    }
+
+    #[test]
+    fn stream_cores_per_cu_sane() {
+        for d in GpuDevice::table2() {
+            let spc = d.stream_cores_per_cu();
+            assert!((8.0..=128.0).contains(&spc), "{}: {spc}", d.id);
+            // POPCNT units never exceed stream cores per CU
+            assert!(d.popcnt_per_cu <= spc, "{}", d.id);
+        }
+    }
+
+    #[test]
+    fn a100_overall_popcnt_beats_mi100() {
+        // §V-E: "Only the most recent NVIDIA GPU (A100) is able to surpass
+        // the performance of the AMD Mi100" — driven by total POPCNT rate.
+        let a100 = GpuDevice::by_id("GN4").unwrap();
+        let mi100 = GpuDevice::by_id("GA2").unwrap();
+        assert!(a100.popcnt_peak_gops() > mi100.popcnt_peak_gops());
+    }
+
+    #[test]
+    fn gi2_best_efficiency_proxy() {
+        // §V-D: Iris Xe MAX is the most energy-efficient device.
+        let best = GpuDevice::table2()
+            .into_iter()
+            .max_by(|a, b| {
+                (a.popcnt_peak_gops() / a.tdp_w).total_cmp(&(b.popcnt_peak_gops() / b.tdp_w))
+            })
+            .unwrap();
+        assert_eq!(best.id, "GI2");
+    }
+}

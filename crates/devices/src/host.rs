@@ -1,0 +1,102 @@
+//! Introspection of the machine the reproduction actually runs on.
+//!
+//! Measured results are reported both in wall-clock units and normalised
+//! per core / per cycle (the paper's Figs. 3b/3c); for the latter we need
+//! an estimate of the executing CPU's frequency and SIMD capability.
+
+use bitgenome::SimdLevel;
+use std::time::Instant;
+
+/// Description of the host CPU.
+#[derive(Clone, Debug)]
+pub struct HostCpu {
+    /// Logical cores available to this process.
+    pub cores: usize,
+    /// Estimated sustained frequency in GHz.
+    pub freq_ghz: f64,
+    /// Best available SIMD tier.
+    pub simd: SimdLevel,
+}
+
+impl HostCpu {
+    /// Detect core count and SIMD tier; estimate frequency with a short
+    /// dependent-operation timing loop.
+    pub fn detect() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            cores,
+            freq_ghz: estimate_freq_ghz(),
+            simd: SimdLevel::detect(),
+        }
+    }
+
+    /// Convert a measured throughput (events/s over `cores` cores) into
+    /// events per cycle per core.
+    pub fn per_cycle_per_core(&self, events_per_sec: f64, cores_used: usize) -> f64 {
+        events_per_sec / (cores_used as f64 * self.freq_ghz * 1e9)
+    }
+}
+
+/// Estimate sustained core frequency (GHz) by timing a serial dependency
+/// chain of rotate+add pairs (2 cycles per iteration on every modern
+/// x86/ARM core; the data dependence defeats closed-form folding).
+pub fn estimate_freq_ghz() -> f64 {
+    // Warm up, then take the best of three trials to dodge scheduling noise.
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let iters: u64 = 20_000_000;
+        let start = Instant::now();
+        let v = dependent_chain(std::hint::black_box(iters));
+        let dt = start.elapsed().as_secs_f64();
+        std::hint::black_box(v);
+        let ghz = 2.0 * iters as f64 / dt / 1e9;
+        if ghz > best {
+            best = ghz;
+        }
+    }
+    best
+}
+
+#[inline(never)]
+fn dependent_chain(iters: u64) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..iters {
+        // rotate (1 cycle) feeding an add (1 cycle): a 2-cycle serial
+        // chain per iteration that LLVM cannot reduce to closed form.
+        acc = acc.rotate_left(1).wrapping_add(i);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_reports_sane_values() {
+        let h = HostCpu::detect();
+        assert!(h.cores >= 1);
+        // Debug builds add interpreter-like overhead per iteration, so the
+        // calibrated 2-cycles/iteration assumption only holds optimised.
+        let lo = if cfg!(debug_assertions) { 0.02 } else { 0.3 };
+        assert!(
+            h.freq_ghz > lo && h.freq_ghz < 8.0,
+            "implausible frequency {}",
+            h.freq_ghz
+        );
+    }
+
+    #[test]
+    fn per_cycle_normalisation() {
+        let h = HostCpu {
+            cores: 4,
+            freq_ghz: 2.0,
+            simd: SimdLevel::Scalar,
+        };
+        // 8e9 events/s on 4 cores at 2 GHz = 1 event/cycle/core
+        let v = h.per_cycle_per_core(8e9, 4);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # devices — the paper's evaluation hardware as data
+//!
+//! Machine-readable descriptors for the 5 CPUs (Table I) and 9 GPUs
+//! (Table II) of the IPDPS'22 study, together with the cache geometry and
+//! bandwidth/peak numbers the Cache-Aware Roofline Model and the analytic
+//! performance models consume.
+//!
+//! Values present in the paper are taken verbatim (core counts, base/boost
+//! frequencies, vector widths, compute-unit counts, stream cores, POPCNT
+//! throughput per CU). Values the paper uses implicitly — cache sizes and
+//! associativities, DRAM bandwidths, TDPs — are filled in from the public
+//! vendor specifications of each part and are only used to position
+//! roofline ceilings, not to claim cycle-accurate simulation.
+
+pub mod cache;
+pub mod cpu;
+pub mod dvfs;
+pub mod gpu;
+pub mod host;
+
+pub use cache::CacheGeometry;
+pub use dvfs::{DvfsModel, DvfsPoint};
+pub use cpu::{CpuDevice, CpuMicroarch, Vendor};
+pub use gpu::{GpuDevice, GpuVendor};
+pub use host::HostCpu;

@@ -1,0 +1,187 @@
+//! Heterogeneous CPU+GPU co-execution (§V-D).
+//!
+//! The paper estimates a CI3+GN1 pairing at ≈ 3 300 G elements/s by
+//! splitting the combination space proportionally to device throughput.
+//! This module implements that scheme against this repository's
+//! substrates: the combination space is split at a leading-SNP boundary,
+//! the CPU side runs the real V4 scan and the GPU side the functional
+//! simulator, and the planner chooses the boundary from the two devices'
+//! throughputs so both finish together.
+
+use crate::sim::{GpuScan, GpuScanConfig};
+use bitgenome::{GenotypeMatrix, Phenotype};
+use epi_core::combin;
+use epi_core::result::{Candidate, TopK, Triple};
+
+/// A planned split of the combination space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeteroPlan {
+    /// Leading indices `0..split` go to the first device.
+    pub split: usize,
+    /// Fraction of combinations assigned to the first device.
+    pub fraction: f64,
+    /// Predicted combined throughput when both devices run their shares
+    /// concurrently (G elements/s).
+    pub combined_gelems_per_sec: f64,
+}
+
+/// Number of triples whose leading index is below `s` (out of `m` SNPs):
+/// `C(m,3) − C(m−s,3)`.
+pub fn triples_below(m: usize, s: usize) -> u64 {
+    combin::num_triples(m) - combin::num_triples(m.saturating_sub(s))
+}
+
+/// Plan a proportional split of `m` SNPs' combination space between a
+/// device with throughput `a` and one with throughput `b` (any common
+/// unit). The first device receives `a / (a + b)` of the combinations.
+pub fn plan_split(m: usize, a_gelems: f64, b_gelems: f64) -> HeteroPlan {
+    assert!(a_gelems > 0.0 && b_gelems > 0.0);
+    let total = combin::num_triples(m);
+    let want = a_gelems / (a_gelems + b_gelems);
+    // find the leading-index boundary whose share is closest to `want`
+    let mut best = (0usize, f64::MAX);
+    for s in 0..=m {
+        let frac = triples_below(m, s) as f64 / total as f64;
+        let err = (frac - want).abs();
+        if err < best.1 {
+            best = (s, err);
+        }
+    }
+    let split = best.0;
+    let fraction = triples_below(m, split) as f64 / total as f64;
+    HeteroPlan {
+        split,
+        fraction,
+        combined_gelems_per_sec: a_gelems + b_gelems,
+    }
+}
+
+/// Result of a heterogeneous scan.
+#[derive(Clone, Debug)]
+pub struct HeteroResult {
+    /// Best candidates across both devices, lowest score first.
+    pub top: Vec<Candidate>,
+    /// Combinations evaluated by the CPU share.
+    pub cpu_combos: u64,
+    /// Combinations evaluated by the GPU share.
+    pub gpu_combos: u64,
+}
+
+/// Execute a heterogeneous scan: leading indices `0..plan.split` on the
+/// CPU (approach V4), the rest on the simulated GPU (approach V4 layout),
+/// with a host-side reduction. Functional — used to validate that the
+/// split covers the space exactly once.
+pub fn hetero_scan(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    plan: &HeteroPlan,
+    top_k: usize,
+) -> HeteroResult {
+    let m = genotypes.num_snps();
+    let n = genotypes.num_samples();
+    let split = plan.split.min(m);
+
+    // CPU share: a restricted scan over leading indices < split.
+    let split_ds = bitgenome::SplitDataset::encode(genotypes, phenotype);
+    let scorer = epi_core::k2::K2Scorer::new(n);
+    let mut cpu_top = TopK::new(top_k);
+    let mut cpu_combos = 0u64;
+    {
+        use epi_core::k2::Objective;
+        for i0 in 0..split {
+            for t in combin::triples_with_leading(m, i0) {
+                let table = epi_core::versions::v2::table_for_triple(&split_ds, t);
+                cpu_top.push(scorer.score(&table), t);
+                cpu_combos += 1;
+            }
+        }
+    }
+
+    // GPU share: simulate only the remaining triples.
+    let mut cfg = GpuScanConfig::new(crate::sim::GpuVersion::V4);
+    cfg.top_k = top_k;
+    cfg.bs = 8;
+    let gpu = GpuScan::prepare(genotypes, phenotype, &cfg);
+    let remaining: Vec<Triple> = combin::TripleIter::new(m)
+        .filter(|t| (t.0 as usize) >= split)
+        .collect();
+    let gpu_combos = remaining.len() as u64;
+    let gpu_top = gpu.run_subset(&cfg, &remaining);
+
+    let mut merged = cpu_top;
+    merged.merge(gpu_top);
+    HeteroResult {
+        top: merged.into_sorted(),
+        cpu_combos,
+        gpu_combos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::DatasetSpec;
+    use epi_core::scan::Version;
+
+    #[test]
+    fn triples_below_is_exhaustive_partition() {
+        let m = 30;
+        assert_eq!(triples_below(m, 0), 0);
+        assert_eq!(triples_below(m, m), combin::num_triples(m));
+        for s in 0..m {
+            assert!(triples_below(m, s) <= triples_below(m, s + 1));
+        }
+    }
+
+    #[test]
+    fn plan_matches_throughput_ratio() {
+        // CI3 (~1100) + GN1 (~1600): CPU should take ~40 % of the space.
+        let plan = plan_split(512, 1100.0, 1600.0);
+        assert!((plan.fraction - 1100.0 / 2700.0).abs() < 0.02, "{plan:?}");
+        assert!(plan.split > 0 && plan.split < 512);
+        assert_eq!(plan.combined_gelems_per_sec, 2700.0);
+    }
+
+    #[test]
+    fn extreme_ratios_degenerate_sanely() {
+        let all_cpu = plan_split(64, 1e9, 1e-9);
+        // triples with leading index >= m-2 do not exist, so any split
+        // point >= m-2 assigns everything to the first device
+        assert_eq!(triples_below(64, all_cpu.split), combin::num_triples(64));
+        let all_gpu = plan_split(64, 1e-9, 1e9);
+        assert_eq!(all_gpu.split, 0);
+    }
+
+    #[test]
+    fn hetero_scan_equals_single_device_scan() {
+        let data = DatasetSpec::with_planted_triple(20, 192, [2, 9, 15], 3).generate();
+        let plan = plan_split(20, 1.0, 2.0);
+        let hetero = hetero_scan(&data.genotypes, &data.phenotype, &plan, 4);
+        assert_eq!(
+            hetero.cpu_combos + hetero.gpu_combos,
+            combin::num_triples(20)
+        );
+
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V4);
+        cfg.top_k = 4;
+        let single = epi_core::scan::scan(&data.genotypes, &data.phenotype, &cfg);
+        assert_eq!(hetero.top, single.top);
+    }
+
+    #[test]
+    fn hetero_scan_all_split_points_cover_space() {
+        let data = DatasetSpec::noise(12, 96, 8).generate();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V4);
+        cfg.top_k = 2;
+        let want = epi_core::scan::scan(&data.genotypes, &data.phenotype, &cfg).top;
+        for split in [0usize, 1, 6, 11, 12] {
+            let plan = HeteroPlan {
+                split,
+                fraction: 0.0,
+                combined_gelems_per_sec: 1.0,
+            };
+            let res = hetero_scan(&data.genotypes, &data.phenotype, &plan, 2);
+            assert_eq!(res.top, want, "split={split}");
+        }
+    }
+}

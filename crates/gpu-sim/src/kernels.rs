@@ -1,0 +1,145 @@
+//! Per-thread GPU kernels (Algorithm 2), generic over data layout.
+//!
+//! Each logical GPU thread owns one SNP triple: it streams all sample
+//! words, builds a private 27×2 frequency table (register-file resident
+//! on a real GPU — no inter-thread synchronisation, exactly as §IV-B
+//! argues), and scores it. The layout parameter reproduces V2 (row-major),
+//! V3 (transposed) and V4 (tiled); V1 runs on the unsplit dataset with an
+//! explicit phenotype stream.
+
+use bitgenome::layout::SnpLayout;
+use bitgenome::popcnt::{popcount_and3_not, popcount_and4};
+use bitgenome::{UnsplitDataset, CASE, CTRL};
+use epi_core::result::Triple;
+use epi_core::table27::{cell_index, ContingencyTable};
+
+/// GPU V1 thread: three stored planes + phenotype mask over the whole
+/// sample set (the Fig. 1 naive kernel).
+pub fn thread_v1(ds: &UnsplitDataset, t: Triple) -> ContingencyTable {
+    let (x, y, z) = (t.0 as usize, t.1 as usize, t.2 as usize);
+    let phen = ds.phenotype();
+    let mut ft = ContingencyTable::new();
+    for gx in 0..3 {
+        for gy in 0..3 {
+            for gz in 0..3 {
+                let cell = cell_index(gx, gy, gz);
+                ft.counts[CASE][cell] =
+                    popcount_and4(ds.plane(x, gx), ds.plane(y, gy), ds.plane(z, gz), phen) as u32;
+                ft.counts[CTRL][cell] =
+                    popcount_and3_not(ds.plane(x, gx), ds.plane(y, gy), ds.plane(z, gz), phen)
+                        as u32;
+            }
+        }
+    }
+    ft
+}
+
+/// GPU V2–V4 thread: phenotype-split two-plane kernel over any layout.
+///
+/// Per sample word and class: six loads, three NORs (genotype-2
+/// reconstruction), then 27 AND+POPCNT accumulations — Algorithm 2
+/// verbatim. The layout decides the *addresses*, not the arithmetic, so
+/// all three layouts are bit-identical (tested) and differ only in the
+/// timing model.
+pub fn thread_split<L: SnpLayout>(ctrl: &L, case: &L, t: Triple) -> ContingencyTable {
+    let (x, y, z) = (t.0 as usize, t.1 as usize, t.2 as usize);
+    let mut ft = ContingencyTable::new();
+    for (class, layout) in [(CTRL, ctrl), (CASE, case)] {
+        let acc = &mut ft.counts[class];
+        for w in 0..layout.num_words() {
+            let x0 = layout.load(x, 0, w);
+            let x1 = layout.load(x, 1, w);
+            let y0 = layout.load(y, 0, w);
+            let y1 = layout.load(y, 1, w);
+            let z0 = layout.load(z, 0, w);
+            let z1 = layout.load(z, 1, w);
+            let xs = [x0, x1, !(x0 | x1)];
+            let ys = [y0, y1, !(y0 | y1)];
+            let zs = [z0, z1, !(z0 | z1)];
+            let mut cell = 0;
+            for xv in xs {
+                for yv in ys {
+                    let xy = xv & yv;
+                    for zv in zs {
+                        acc[cell] += (xy & zv).count_ones();
+                        cell += 1;
+                    }
+                }
+            }
+        }
+    }
+    ft.correct_padding(ctrl.pad_bits(), case.pad_bits());
+    ft
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgenome::layout::{RowMajorPlanes, TiledPlanes, TransposedPlanes};
+    use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset};
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    #[test]
+    fn v1_thread_matches_dense() {
+        let (g, p) = dataset(5, 97, 2);
+        let ds = UnsplitDataset::encode(&g, &p);
+        for t in [(0u32, 1, 2), (1, 2, 4), (0, 3, 4)] {
+            let want = ContingencyTable::from_dense(
+                &g,
+                &p,
+                (t.0 as usize, t.1 as usize, t.2 as usize),
+            );
+            assert_eq!(thread_v1(&ds, t), want);
+        }
+    }
+
+    #[test]
+    fn all_layouts_agree_with_dense() {
+        let (g, p) = dataset(9, 143, 8);
+        let split = SplitDataset::encode(&g, &p);
+        let m = g.num_snps();
+        let row_c = RowMajorPlanes::new(split.controls(), m);
+        let row_k = RowMajorPlanes::new(split.cases(), m);
+        let tr_c = TransposedPlanes::from_class(split.controls(), m);
+        let tr_k = TransposedPlanes::from_class(split.cases(), m);
+        let ti_c = TiledPlanes::from_class(split.controls(), m, 4);
+        let ti_k = TiledPlanes::from_class(split.cases(), m, 4);
+        for t in [(0u32, 1, 2), (2, 5, 8), (1, 4, 7), (0, 4, 8)] {
+            let want = ContingencyTable::from_dense(
+                &g,
+                &p,
+                (t.0 as usize, t.1 as usize, t.2 as usize),
+            );
+            assert_eq!(thread_split(&row_c, &row_k, t), want, "row-major {t:?}");
+            assert_eq!(thread_split(&tr_c, &tr_k, t), want, "transposed {t:?}");
+            assert_eq!(thread_split(&ti_c, &ti_k, t), want, "tiled {t:?}");
+        }
+    }
+
+    #[test]
+    fn gpu_kernels_match_cpu_kernels() {
+        let (g, p) = dataset(7, 210, 31);
+        let split = SplitDataset::encode(&g, &p);
+        let m = g.num_snps();
+        let tr_c = TransposedPlanes::from_class(split.controls(), m);
+        let tr_k = TransposedPlanes::from_class(split.cases(), m);
+        for t in [(0u32, 1, 2), (1, 3, 6), (2, 4, 5)] {
+            let cpu = epi_core::versions::v2::table_for_triple(&split, t);
+            let gpu = thread_split(&tr_c, &tr_k, t);
+            assert_eq!(cpu, gpu, "{t:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based invariants of the GPU simulator.
+
+use bitgenome::{GenotypeMatrix, Phenotype};
+use devices::GpuDevice;
+use gpu_sim::sim::LaunchStats;
+use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};
+use proptest::prelude::*;
+
+fn labelled_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
+    (4usize..=10, 16usize..=96).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0u8..=2, m * n),
+            prop::collection::vec(0u8..=1, n),
+        )
+            .prop_map(move |(geno, labels)| {
+                (
+                    GenotypeMatrix::from_raw(m, n, geno),
+                    Phenotype::from_labels(labels),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_gpu_layouts_agree(
+        (g, p) in labelled_strategy(),
+        bs in 1usize..=8,
+    ) {
+        let mut reference: Option<Vec<epi_core::Candidate>> = None;
+        for version in GpuVersion::ALL {
+            let mut cfg = GpuScanConfig::new(version);
+            cfg.bs = bs;
+            cfg.bsched = 8;
+            cfg.top_k = 3;
+            let res = GpuScan::prepare(&g, &p, &cfg).run(&cfg);
+            match &reference {
+                None => reference = Some(res.top),
+                Some(want) => prop_assert_eq!(&res.top, want, "{}", version),
+            }
+        }
+    }
+
+    #[test]
+    fn launch_stats_invariants(m in 3usize..500, bsched in 1usize..300) {
+        let s = LaunchStats::compute(m, bsched);
+        // every combination is an active thread exactly once
+        prop_assert_eq!(s.threads_active, epi_core::combin::num_triples(m));
+        // launched threads cover the combination cube
+        prop_assert!(s.threads_launched >= u128::from(s.threads_active));
+        let occ = s.occupancy();
+        prop_assert!((0.0..=1.0).contains(&occ));
+    }
+
+    #[test]
+    fn timing_model_monotone_in_workload(
+        m in 64usize..1024,
+        n in 256usize..8192,
+    ) {
+        let model = GpuTimingModel::default();
+        let d = GpuDevice::by_id("GN2").unwrap();
+        let base = model.predict(&d, GpuVersion::V4, m, n);
+        let more_snps = model.predict(&d, GpuVersion::V4, m + 64, n);
+        prop_assert!(more_snps.seconds > base.seconds);
+        // throughput never negative / nan
+        prop_assert!(base.gelems_per_sec.is_finite() && base.gelems_per_sec > 0.0);
+    }
+
+    #[test]
+    fn timing_model_version_ladder_holds_everywhere(
+        dev_idx in 0usize..9,
+        n in prop::sample::select(vec![1600usize, 6400, 16384]),
+    ) {
+        let model = GpuTimingModel::default();
+        let d = GpuDevice::table2().remove(dev_idx);
+        let rates: Vec<f64> = GpuVersion::ALL
+            .iter()
+            .map(|&v| model.predict(&d, v, 1024, n).gelems_per_sec)
+            .collect();
+        prop_assert!(rates[1] >= rates[0], "{}: V2 >= V1", d.id);
+        prop_assert!(rates[2] >= rates[1], "{}: V3 >= V2", d.id);
+        prop_assert!(rates[3] >= rates[2], "{}: V4 >= V3", d.id);
+    }
+}

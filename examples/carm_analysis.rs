@@ -1,0 +1,66 @@
+//! Cache-Aware Roofline Model characterisation (Fig. 2): ASCII rooflines
+//! for the Ice Lake SP CPU and the Iris Xe MAX GPU with the four approach
+//! versions placed on them, plus *measured* host points for the CPU side.
+//!
+//! Run with: `cargo run --release --example carm_analysis`
+
+use carm::characterize::{characterize_cpu, characterize_gpu, KernelPoint};
+use carm::plot;
+use carm::Roofline;
+use devices::{CpuDevice, GpuDevice, HostCpu};
+use threeway_epistasis::prelude::*;
+
+fn main() {
+    let ci3 = CpuDevice::by_id("CI3").unwrap();
+    let gi2 = GpuDevice::by_id("GI2").unwrap();
+
+    println!("== Fig. 2a — CARM, Intel Xeon Platinum 8360Y (Ice Lake SP) ==\n");
+    let cpu_points = characterize_cpu(&ci3);
+    print!("{}", plot::render(&Roofline::for_cpu(&ci3), &cpu_points, 64, 18));
+    println!("\nmodelled points:");
+    for p in &cpu_points {
+        println!(
+            "  {}: AI = {:.2} intop/B, {:.0} GINTOP/s  [{}]",
+            p.version.name(),
+            p.ai,
+            p.gops,
+            p.bound
+        );
+    }
+
+    println!("\n== Fig. 2b — CARM, Intel Iris Xe MAX (Gen12) ==\n");
+    let gpu_points = characterize_gpu(&gi2);
+    print!("{}", plot::render(&Roofline::for_gpu(&gi2), &gpu_points, 64, 18));
+    println!("\nmodelled points:");
+    for p in &gpu_points {
+        println!(
+            "  {}: AI = {:.2} intop/B, {:.0} GINTOP/s  [{}]",
+            p.version.name(),
+            p.ai,
+            p.gops,
+            p.bound
+        );
+    }
+
+    // Measured host characterisation: run each version on a small scan
+    // and convert throughput to GINTOP/s with the analytic op counts.
+    println!("\n== Measured host points (this machine) ==\n");
+    let host = HostCpu::detect();
+    println!(
+        "host: {} cores, ~{:.2} GHz, best SIMD tier {}",
+        host.cores, host.freq_ghz, host.simd
+    );
+    let data = DatasetSpec::noise(72, 2048, 3).generate();
+    for version in [Version::V1, Version::V2, Version::V3, Version::V4] {
+        let cfg = ScanConfig::new(version);
+        let res = scan(&data.genotypes, &data.phenotype, &cfg);
+        let point = KernelPoint::measured(version, res.elements_per_sec());
+        println!(
+            "  {}: AI = {:.2} intop/B, measured {:.1} GINTOP/s  ({:.2} G elements/s)",
+            version.name(),
+            point.ai,
+            point.gops,
+            res.giga_elements_per_sec()
+        );
+    }
+}

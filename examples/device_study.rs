@@ -1,0 +1,87 @@
+//! The paper's cross-device study (Figs. 3 & 4) from the analytic models:
+//! per-core/per-cycle CPU throughput for the five Table I CPUs, and
+//! per-CU/per-stream-core GPU throughput for the nine Table II GPUs.
+//!
+//! Run with: `cargo run --release --example device_study`
+
+use carm::CpuModel;
+use devices::{CpuDevice, GpuDevice};
+use gpu_sim::{GpuTimingModel, GpuVersion};
+
+fn main() {
+    println!("== Table I CPUs — modelled V4 throughput (Fig. 3) ==\n");
+    println!(
+        "{:<6} {:<8} {:>14} {:>14} {:>16} {:>14}",
+        "dev", "ISA", "Gel/s/core", "el/cyc/core", "el/cyc/lane", "Gel/s total"
+    );
+    for p in CpuModel::default().fig3_series() {
+        println!(
+            "{:<6} {:<8} {:>14.2} {:>14.2} {:>16.3} {:>14.1}",
+            p.device,
+            p.isa,
+            p.gelems_per_sec_per_core,
+            p.elems_per_cycle_per_core,
+            p.elems_per_cycle_per_lane,
+            p.gelems_per_sec_total
+        );
+    }
+
+    println!("\n== Table II GPUs — modelled V4 throughput (Fig. 4) ==\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "dev", "Gel/s", "Gel/s/CU", "el/cyc/CU", "el/cyc/SC", "Gel/J"
+    );
+    let gpu_model = GpuTimingModel::default();
+    for p in gpu_model.fig4_series(8192, 16384) {
+        println!(
+            "{:<6} {:>12.1} {:>12.2} {:>14.2} {:>14.3} {:>12.2}",
+            p.device,
+            p.gelems_per_sec,
+            p.gelems_per_sec_per_cu,
+            p.elems_per_cycle_per_cu,
+            p.elems_per_cycle_per_sc,
+            p.gelems_per_joule
+        );
+    }
+
+    println!("\n== CPU vs GPU (§V-D) ==\n");
+    let best_cpu = CpuModel::default()
+        .fig3_series()
+        .into_iter()
+        .max_by(|a, b| a.gelems_per_sec_total.total_cmp(&b.gelems_per_sec_total))
+        .unwrap();
+    let preds = gpu_model.fig4_series(8192, 16384);
+    let best_gpu = preds
+        .iter()
+        .max_by(|a, b| a.gelems_per_sec.total_cmp(&b.gelems_per_sec))
+        .unwrap();
+    let efficient = preds
+        .iter()
+        .max_by(|a, b| a.gelems_per_joule.total_cmp(&b.gelems_per_joule))
+        .unwrap();
+    println!(
+        "fastest CPU : {} ({}) at {:.0} G elements/s",
+        best_cpu.device, best_cpu.isa, best_cpu.gelems_per_sec_total
+    );
+    println!(
+        "fastest GPU : {} at {:.0} G elements/s ({:.1}x the best CPU)",
+        best_gpu.device,
+        best_gpu.gelems_per_sec,
+        best_gpu.gelems_per_sec / best_cpu.gelems_per_sec_total
+    );
+    println!(
+        "most efficient: {} at {:.1} G elements/J (paper: Iris Xe MAX, 11.3)",
+        efficient.device, efficient.gelems_per_joule
+    );
+    let hetero = best_cpu.gelems_per_sec_total
+        + GpuTimingModel::default()
+            .predict(&GpuDevice::by_id("GN1").unwrap(), GpuVersion::V4, 8192, 16384)
+            .gelems_per_sec;
+    println!(
+        "CI3+GN1 heterogeneous estimate: {hetero:.0} G elements/s (paper: ~3300)"
+    );
+
+    // sanity: catalog sizes
+    assert_eq!(CpuDevice::table1().len(), 5);
+    assert_eq!(GpuDevice::table2().len(), 9);
+}

@@ -1,0 +1,80 @@
+//! Offloading the scan to the (simulated) GPU: functional execution of
+//! the four GPU kernels of §IV-B, launch-geometry/occupancy accounting,
+//! measured coalescing efficiency per layout, and timing predictions for
+//! a paper-scale workload on every Table II device.
+//!
+//! Run with: `cargo run --release --example gpu_offload`
+
+use bitgenome::layout::{RowMajorPlanes, TiledPlanes, TransposedPlanes};
+use bitgenome::SplitDataset;
+use devices::GpuDevice;
+use gpu_sim::coalesce::coalescing_efficiency;
+use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};
+use threeway_epistasis::prelude::*;
+
+fn main() {
+    let spec = DatasetSpec::with_planted_triple(48, 768, [7, 20, 33], 77);
+    let data = spec.generate();
+    let truth = data.truth.clone().unwrap();
+    println!(
+        "functional simulation: {} SNPs x {} samples, planted {:?}\n",
+        data.num_snps(),
+        data.num_samples(),
+        truth.snps
+    );
+
+    // 1. Functional runs: all four kernels must agree and find the triple.
+    for version in GpuVersion::ALL {
+        let mut cfg = GpuScanConfig::new(version);
+        cfg.bs = 16;
+        cfg.bsched = 16;
+        cfg.top_k = 3;
+        let sim = GpuScan::prepare(&data.genotypes, &data.phenotype, &cfg);
+        let res = sim.run(&cfg);
+        let best = res.best_or_panic();
+        println!(
+            "GPU {}: best ({}, {}, {}) K2={:.2} | launches {} occupancy {:.1}%",
+            version.name(),
+            best.triple.0,
+            best.triple.1,
+            best.triple.2,
+            best.score,
+            res.launches.launches,
+            res.launches.occupancy() * 100.0
+        );
+        let t = best.triple;
+        assert!(truth.matches(&[t.0 as usize, t.1 as usize, t.2 as usize]));
+    }
+
+    // 2. Measured coalescing efficiency per layout (what V3/V4 buy).
+    let split = SplitDataset::encode(&data.genotypes, &data.phenotype);
+    let m = data.num_snps();
+    let row = RowMajorPlanes::new(split.controls(), m);
+    let tr = TransposedPlanes::from_class(split.controls(), m);
+    let ti = TiledPlanes::from_class(split.controls(), m, 32);
+    println!("\nmeasured coalescing efficiency (warp of 32 threads):");
+    println!("  row-major (V2): {:.3}", coalescing_efficiency(&row, 32));
+    println!("  transposed (V3): {:.3}", coalescing_efficiency(&tr, 32));
+    println!("  tiled BS=32 (V4): {:.3}", coalescing_efficiency(&ti, 32));
+
+    // 3. Timing predictions for a paper-scale workload (2048 x 16384).
+    println!("\npredicted kernel time, 2048 SNPs x 16384 samples (V1 -> V4):");
+    let model = GpuTimingModel::default();
+    for d in GpuDevice::table2() {
+        let times: Vec<String> = GpuVersion::ALL
+            .iter()
+            .map(|&v| format!("{:>8.1}s", model.predict(&d, v, 2048, 16384).seconds))
+            .collect();
+        println!("  {:<6} {}", d.id, times.join(" "));
+    }
+}
+
+trait BestOrPanic {
+    fn best_or_panic(&self) -> Candidate;
+}
+
+impl BestOrPanic for gpu_sim::GpuScanResult {
+    fn best_or_panic(&self) -> Candidate {
+        *self.top.first().expect("non-empty scan")
+    }
+}

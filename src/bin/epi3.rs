@@ -1,0 +1,282 @@
+//! `epi3` — command-line interface to the three-way epistasis toolkit.
+//!
+//! ```console
+//! $ epi3 gen --snps 64 --samples 1024 --plant 5,21,40 --out data.epi3
+//! $ epi3 scan data.epi3 --version v4 --top 5
+//! $ epi3 pairs data.epi3 --top 5
+//! $ epi3 significance data.epi3 --permutations 19
+//! $ epi3 summary data.epi3
+//! $ epi3 devices
+//! ```
+
+use std::process::ExitCode;
+use threeway_epistasis::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: epi3 <command> [options]
+
+commands:
+  gen           generate a synthetic dataset
+                  --snps N --samples N [--seed N] [--plant i,j,k]
+                  [--balance] --out FILE [--text]
+  scan FILE     exhaustive three-way scan
+                  [--version v1|v2|v3|v4] [--top K] [--threads N] [--mi]
+  pairs FILE    exhaustive two-way scan [--top K] [--threads N]
+  significance FILE   permutation test [--permutations P] [--seed N]
+  summary FILE  dataset quality-control summary
+  devices       print the paper's device catalogs (Tables I & II)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("no command given")?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "scan" => cmd_scan(rest),
+        "pairs" => cmd_pairs(rest),
+        "significance" => cmd_significance(rest),
+        "summary" => cmd_summary(rest),
+        "devices" => cmd_devices(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+// --- tiny argument helpers -------------------------------------------------
+
+fn opt_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_usize(args: &[String], key: &str, default: usize) -> Result<usize, String> {
+    match opt_value(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{key} expects a number, got {v:?}")),
+    }
+}
+
+fn opt_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    args.iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .next()
+}
+
+fn load_dataset(args: &[String]) -> Result<(GenotypeMatrix, Phenotype), String> {
+    let path = positional(args).ok_or("expected a dataset file argument")?;
+    datagen::io::load(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+// --- commands ----------------------------------------------------------------
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let snps = opt_usize(args, "--snps", 64)?;
+    let samples = opt_usize(args, "--samples", 1024)?;
+    let seed = opt_usize(args, "--seed", 42)? as u64;
+    let out = opt_value(args, "--out").ok_or("--out FILE is required")?;
+
+    let mut spec = DatasetSpec::noise(snps, samples, seed);
+    spec.balance = opt_flag(args, "--balance");
+    if let Some(plant) = opt_value(args, "--plant") {
+        let parts: Result<Vec<usize>, _> = plant.split(',').map(str::parse).collect();
+        let parts = parts.map_err(|_| format!("--plant expects i,j,k, got {plant:?}"))?;
+        if parts.len() != 3 {
+            return Err("--plant expects exactly three SNP indices".into());
+        }
+        spec.maf = MafModel::Uniform { lo: 0.2, hi: 0.4 };
+        spec.interaction = Some((parts, PenetranceTable::threshold(3, 0.15, 0.85, 3)));
+    }
+    spec.validate()?;
+    let data = spec.generate();
+    let write = if opt_flag(args, "--text") {
+        datagen::io::save_text(out, &data)
+    } else {
+        datagen::io::save_binary(out, &data)
+    };
+    write.map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {snps} SNPs x {samples} samples ({} cases / {} controls)",
+        data.phenotype.num_cases(),
+        data.phenotype.num_controls()
+    );
+    if let Some(t) = &data.truth {
+        println!("planted interaction: {:?}", t.snps);
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let (g, p) = load_dataset(args)?;
+    let version = match opt_value(args, "--version").unwrap_or("v4") {
+        "v1" | "V1" => Version::V1,
+        "v2" | "V2" => Version::V2,
+        "v3" | "V3" => Version::V3,
+        "v4" | "V4" => Version::V4,
+        other => return Err(format!("unknown version {other:?}")),
+    };
+    let mut cfg = ScanConfig::new(version);
+    cfg.top_k = opt_usize(args, "--top", 5)?;
+    cfg.threads = opt_usize(args, "--threads", 0)?;
+    if opt_flag(args, "--mi") {
+        cfg.objective = ObjectiveKind::NegMutualInformation;
+    }
+    let res = scan(&g, &p, &cfg);
+    println!(
+        "{} combinations ({:.3} G elements) in {:.3} s -> {:.2} G elements/s [{}]",
+        res.combos,
+        res.elements as f64 / 1e9,
+        res.elapsed.as_secs_f64(),
+        res.giga_elements_per_sec(),
+        version.name(),
+    );
+    for c in &res.top {
+        println!(
+            "  ({}, {}, {})  score = {:.4}",
+            c.triple.0, c.triple.1, c.triple.2, c.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pairs(args: &[String]) -> Result<(), String> {
+    let (g, p) = load_dataset(args)?;
+    let top_k = opt_usize(args, "--top", 5)?;
+    let threads = opt_usize(args, "--threads", 0)?;
+    let res = epi_core::pairs::scan_pairs(&g, &p, top_k, threads);
+    println!(
+        "{} pairs in {:.3} s",
+        res.combos,
+        res.elapsed.as_secs_f64()
+    );
+    for c in &res.top {
+        println!("  ({}, {})  K2 = {:.4}", c.pair.0, c.pair.1, c.score);
+    }
+    Ok(())
+}
+
+fn cmd_significance(args: &[String]) -> Result<(), String> {
+    let (g, p) = load_dataset(args)?;
+    let perms = opt_usize(args, "--permutations", 19)?;
+    let seed = opt_usize(args, "--seed", 7)? as u64;
+    let cfg = ScanConfig::new(Version::V4);
+    let res = epi_core::permute::significance_test(&g, &p, &cfg, perms, seed);
+    println!(
+        "observed best: {:?} (K2 {:.4})",
+        res.observed.triple, res.observed.score
+    );
+    let best_null = res
+        .null_scores
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    println!("best null score over {perms} permutations: {best_null:.4}");
+    println!("permutation p-value: {:.4}", res.p_value);
+    Ok(())
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), String> {
+    let (g, p) = load_dataset(args)?;
+    let s = datagen::stats::dataset_summary(&g, &p);
+    println!("SNPs: {}", s.snps);
+    println!("samples: {} ({:.1}% cases)", s.samples, s.case_fraction * 100.0);
+    println!("mean MAF: {:.3}", s.mean_maf);
+    println!("HWE failures (chi2 > 3.84): {}", s.hwe_failures);
+    Ok(())
+}
+
+fn cmd_devices() -> Result<(), String> {
+    println!("Table I CPUs:");
+    for d in devices::CpuDevice::table1() {
+        println!(
+            "  {}: {} ({:?}, {:.1} GHz, {} cores, {}-bit{})",
+            d.id,
+            d.name,
+            d.arch,
+            d.base_ghz,
+            d.cores,
+            d.vector_bits,
+            if d.vector_popcnt { ", VPOPCNT" } else { "" }
+        );
+    }
+    println!("Table II GPUs:");
+    for d in devices::GpuDevice::table2() {
+        println!(
+            "  {}: {} ({}, {:.3} GHz, {} CUs, {} stream cores, {} POPCNT/CU)",
+            d.id, d.name, d.arch, d.boost_ghz, d.compute_units, d.stream_cores, d.popcnt_per_cu
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn option_parsing() {
+        let args = s(&["file.epi3", "--top", "7", "--mi"]);
+        assert_eq!(positional(&args), Some("file.epi3"));
+        assert_eq!(opt_usize(&args, "--top", 1).unwrap(), 7);
+        assert_eq!(opt_usize(&args, "--threads", 3).unwrap(), 3);
+        assert!(opt_flag(&args, "--mi"));
+        assert!(!opt_flag(&args, "--balance"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let args = s(&["--top", "seven"]);
+        assert!(opt_usize(&args, "--top", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_scan_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("epi3_cli_test.epi3");
+        let path_s = path.to_str().unwrap();
+        run(&s(&[
+            "gen", "--snps", "20", "--samples", "128", "--plant", "2,9,15", "--out", path_s,
+        ]))
+        .unwrap();
+        run(&s(&["scan", path_s, "--top", "3"])).unwrap();
+        run(&s(&["pairs", path_s])).unwrap();
+        run(&s(&["summary", path_s])).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn devices_subcommand_runs() {
+        run(&s(&["devices"])).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based cross-implementation consistency: for arbitrary valid
+//! datasets, every table-construction path in the workspace produces the
+//! identical contingency table, and scan results are invariant to
+//! parallelism and tiling choices.
+
+use bitgenome::layout::{RowMajorPlanes, TiledPlanes, TransposedPlanes};
+use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
+use epi_core::table27::ContingencyTable;
+use epi_core::{scan::*, BlockParams};
+use proptest::prelude::*;
+
+/// Strategy: a random dataset of 6–14 SNPs and 20–200 samples with at
+/// least one sample in each class.
+fn dataset_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
+    (6usize..=14, 20usize..=200).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0u8..=2, m * n),
+            prop::collection::vec(0u8..=1, n),
+        )
+            .prop_filter_map("need both classes", move |(geno, mut phen)| {
+                // force class balance validity
+                if !phen.contains(&0) {
+                    phen[0] = 0;
+                }
+                if !phen.contains(&1) {
+                    phen[n - 1] = 1;
+                }
+                Some((
+                    GenotypeMatrix::from_raw(m, n, geno),
+                    Phenotype::from_labels(phen),
+                ))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_table_path_matches_dense((g, p) in dataset_strategy()) {
+        let m = g.num_snps();
+        let unsplit = UnsplitDataset::encode(&g, &p);
+        let split = SplitDataset::encode(&g, &p);
+        let mpi = baselines::mpi3snp::Mpi3SnpDataset::encode(&g, &p);
+        let tr_c = TransposedPlanes::from_class(split.controls(), m);
+        let tr_k = TransposedPlanes::from_class(split.cases(), m);
+        let ti_c = TiledPlanes::from_class(split.controls(), m, 4);
+        let ti_k = TiledPlanes::from_class(split.cases(), m, 4);
+        let row_c = RowMajorPlanes::new(split.controls(), m);
+        let row_k = RowMajorPlanes::new(split.cases(), m);
+
+        for t in [(0u32, 1, 2), (0, (m as u32) / 2, m as u32 - 1), (1, 2, 3)] {
+            let want = ContingencyTable::from_dense(
+                &g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
+            prop_assert_eq!(&epi_core::versions::v1::table_for_triple(&unsplit, t), &want);
+            prop_assert_eq!(&epi_core::versions::v2::table_for_triple(&split, t), &want);
+            prop_assert_eq!(&mpi.table_for_triple(t), &want);
+            prop_assert_eq!(&gpu_sim::kernels::thread_v1(&unsplit, t), &want);
+            prop_assert_eq!(&gpu_sim::kernels::thread_split(&row_c, &row_k, t), &want);
+            prop_assert_eq!(&gpu_sim::kernels::thread_split(&tr_c, &tr_k, t), &want);
+            prop_assert_eq!(&gpu_sim::kernels::thread_split(&ti_c, &ti_k, t), &want);
+        }
+    }
+
+    #[test]
+    fn scan_invariant_to_parallelism_and_tiling(
+        (g, p) in dataset_strategy(),
+        threads in 1usize..=4,
+        bs in 1usize..=6,
+        bp in prop::sample::select(vec![2usize, 64, 400]),
+    ) {
+        let mut reference_cfg = ScanConfig::new(Version::V2);
+        reference_cfg.top_k = 3;
+        reference_cfg.threads = 1;
+        let want = scan(&g, &p, &reference_cfg).top;
+
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.top_k = 3;
+        cfg.threads = threads;
+        cfg.block = Some(BlockParams { bs, bp });
+        let got = scan(&g, &p, &cfg).top;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn table_totals_partition_samples((g, p) in dataset_strategy()) {
+        let split = SplitDataset::encode(&g, &p);
+        let t = epi_core::versions::v2::table_for_triple(&split, (0, 1, 2));
+        prop_assert_eq!(t.total(), p.len() as u64);
+        prop_assert_eq!(
+            t.class_totals(),
+            [p.num_controls() as u64, p.num_cases() as u64]
+        );
+    }
+
+    #[test]
+    fn k2_score_invariant_under_sample_permutation((g, p) in dataset_strategy()) {
+        // Reversing the sample order changes the bit layout completely
+        // but cannot change any contingency count.
+        let n = g.num_samples();
+        let m = g.num_snps();
+        let mut rev_geno = Vec::with_capacity(m * n);
+        for snp in 0..m {
+            let row = g.snp(snp);
+            rev_geno.extend(row.iter().rev());
+        }
+        let g_rev = GenotypeMatrix::from_raw(m, n, rev_geno);
+        let p_rev = Phenotype::from_labels(p.labels().iter().rev().copied().collect());
+
+        let a = scan(&g, &p, &ScanConfig::new(Version::V4));
+        let b = scan(&g_rev, &p_rev, &ScanConfig::new(Version::V4));
+        let (ca, cb) = (a.best().unwrap(), b.best().unwrap());
+        prop_assert_eq!(ca.triple, cb.triple);
+        prop_assert!((ca.score - cb.score).abs() < 1e-9);
+    }
+}

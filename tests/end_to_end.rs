@@ -1,0 +1,112 @@
+//! End-to-end integration: every detector implementation in the workspace
+//! (4 CPU approaches, 4 simulated GPU approaches, 2 baselines) must
+//! recover planted interactions and agree on scores.
+
+use baselines::mpi3snp::Mpi3SnpScanner;
+use baselines::naive::naive_scan;
+use threeway_epistasis::prelude::*;
+
+fn planted_dataset(seed: u64) -> Dataset {
+    DatasetSpec::with_planted_triple(28, 384, [3, 11, 22], seed).generate()
+}
+
+#[test]
+fn all_ten_implementations_agree_on_planted_data() {
+    let data = planted_dataset(101);
+    let truth = data.truth.clone().unwrap();
+    let mut answers: Vec<(String, Vec<Candidate>)> = Vec::new();
+
+    for version in [Version::V1, Version::V2, Version::V3, Version::V4] {
+        let mut cfg = ScanConfig::new(version);
+        cfg.top_k = 5;
+        let res = scan(&data.genotypes, &data.phenotype, &cfg);
+        answers.push((format!("cpu-{version}"), res.top));
+    }
+    for version in GpuVersion::ALL {
+        let mut cfg = GpuScanConfig::new(version);
+        cfg.bs = 8;
+        cfg.bsched = 8;
+        cfg.top_k = 5;
+        let res = GpuScan::prepare(&data.genotypes, &data.phenotype, &cfg).run(&cfg);
+        answers.push((format!("gpu-{version}"), res.top));
+    }
+    answers.push((
+        "mpi3snp".into(),
+        Mpi3SnpScanner::new(&data.genotypes, &data.phenotype)
+            .scan(5, 2)
+            .top,
+    ));
+    answers.push((
+        "naive".into(),
+        naive_scan(&data.genotypes, &data.phenotype, 5, 2).top,
+    ));
+
+    let (ref_name, reference) = answers[0].clone();
+    for (name, top) in &answers {
+        assert_eq!(top, &reference, "{name} disagrees with {ref_name}");
+        let best = top[0].triple;
+        assert!(
+            truth.matches(&[best.0 as usize, best.1 as usize, best.2 as usize]),
+            "{name} missed the planted triple"
+        );
+    }
+}
+
+#[test]
+fn detection_power_over_many_seeds() {
+    // The planted threshold interaction should be recovered in nearly all
+    // replicates at this signal strength.
+    let mut hits = 0;
+    let runs = 10;
+    for seed in 0..runs {
+        let data = planted_dataset(seed * 7 + 1);
+        let truth = data.truth.clone().unwrap();
+        let res = threeway_epistasis::detect(&data.genotypes, &data.phenotype);
+        let best = res.best().unwrap().triple;
+        if truth.matches(&[best.0 as usize, best.1 as usize, best.2 as usize]) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= runs - 1, "detected {hits}/{runs}");
+}
+
+#[test]
+fn io_roundtrip_preserves_detection_result() {
+    let data = planted_dataset(5);
+    let before = threeway_epistasis::detect(&data.genotypes, &data.phenotype);
+
+    let mut buf = Vec::new();
+    datagen::io::write_binary(&mut buf, &data.genotypes, &data.phenotype).unwrap();
+    let (g2, p2) = datagen::io::read_binary(&buf[..]).unwrap();
+    let after = threeway_epistasis::detect(&g2, &p2);
+
+    assert_eq!(before.top, after.top);
+}
+
+#[test]
+fn null_dataset_has_no_standout_triple() {
+    // Pure-noise data: the best K2 should not be dramatically separated
+    // from the runner-up (no planted structure to find).
+    let data = DatasetSpec::noise(24, 512, 77).generate();
+    let mut cfg = ScanConfig::new(Version::V4);
+    cfg.top_k = 10;
+    let res = scan(&data.genotypes, &data.phenotype, &cfg);
+    let best = res.top[0].score;
+    let tenth = res.top[9].score;
+    let spread = (tenth - best) / best.abs().max(1.0);
+    assert!(
+        spread < 0.05,
+        "noise data shows suspicious score separation: {spread}"
+    );
+}
+
+#[test]
+fn mutual_information_also_recovers_planted_triple() {
+    let data = planted_dataset(31);
+    let truth = data.truth.clone().unwrap();
+    let mut cfg = ScanConfig::new(Version::V4);
+    cfg.objective = ObjectiveKind::NegMutualInformation;
+    let res = scan(&data.genotypes, &data.phenotype, &cfg);
+    let best = res.best().unwrap().triple;
+    assert!(truth.matches(&[best.0 as usize, best.1 as usize, best.2 as usize]));
+}
