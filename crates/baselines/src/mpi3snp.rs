@@ -55,7 +55,12 @@ impl Mpi3SnpDataset {
             }
             planes[class] = data;
         }
-        Self { m, n, words, planes }
+        Self {
+            m,
+            n,
+            words,
+            planes,
+        }
     }
 
     /// Number of SNPs.
@@ -224,11 +229,8 @@ mod tests {
         let (g, p) = dataset(7, 131, 3);
         let ds = Mpi3SnpDataset::encode(&g, &p);
         for t in [(0u32, 1, 2), (2, 4, 6), (1, 3, 5)] {
-            let want = ContingencyTable::from_dense(
-                &g,
-                &p,
-                (t.0 as usize, t.1 as usize, t.2 as usize),
-            );
+            let want =
+                ContingencyTable::from_dense(&g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
             assert_eq!(ds.table_for_triple(t), want, "{t:?}");
         }
     }

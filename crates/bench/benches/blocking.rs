@@ -18,7 +18,14 @@ fn bench_blocking(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
     group.throughput(Throughput::Elements(combin::num_elements(m, n) as u64));
-    for (bs, bp) in [(1usize, 400usize), (3, 400), (5, 96), (5, 400), (8, 400), (5, 4096)] {
+    for (bs, bp) in [
+        (1usize, 400usize),
+        (3, 400),
+        (5, 96),
+        (5, 400),
+        (8, 400),
+        (5, 4096),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("bs{bs}_bp{bp}")),
             &(bs, bp),

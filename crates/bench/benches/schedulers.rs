@@ -1,10 +1,13 @@
 //! Benchmark: task-distribution strategies — the paper's dynamic pool
-//! versus Rayon work stealing versus a static split (§IV-A).
+//! versus Rayon work stealing versus a static split (§IV-A) — and the
+//! overhead of shard-granular scheduling (the job service's work unit)
+//! relative to the monolithic scan.
 
 use bench::workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use epi_core::combin;
 use epi_core::scan::{scan, ScanConfig, Scheduler, Version};
+use epi_core::shard::scan_sharded;
 use std::hint::black_box;
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -31,5 +34,38 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// Sharding overhead: the same V4 scan run monolithically versus split
+/// into 16/64/256 shards drained by the dynamic pool. Shards pay for
+/// per-triple kernels (no L1 tiling) plus plan/merge bookkeeping, so this
+/// is the number to watch when later PRs move more traffic onto the job
+/// service.
+fn bench_sharding_overhead(c: &mut Criterion) {
+    let (m, n) = (96usize, 2048usize);
+    let (g, p) = workload(m, n, 21);
+
+    let mut group = c.benchmark_group("sharding_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(combin::num_elements(m, n) as u64));
+    let cfg = {
+        let mut cfg = ScanConfig::new(Version::V4);
+        cfg.top_k = 10;
+        cfg
+    };
+    group.bench_function(BenchmarkId::from_parameter("monolithic"), |b| {
+        b.iter(|| black_box(scan(&g, &p, &cfg).combos))
+    });
+    for shards in [16u64, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards{shards}")),
+            &shards,
+            |b, &shards| b.iter(|| black_box(scan_sharded(&g, &p, &cfg, shards).combos)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_sharding_overhead);
 criterion_main!(benches);

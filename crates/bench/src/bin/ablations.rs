@@ -34,7 +34,8 @@ fn main() {
         t.row(vec![
             version.name().to_string(),
             format!("{gps:.2}"),
-            prev.map(|q| format!("{:.2}x", gps / q)).unwrap_or_else(|| "-".into()),
+            prev.map(|q| format!("{:.2}x", gps / q))
+                .unwrap_or_else(|| "-".into()),
             format!("{:.2}x", gps / v1.unwrap()),
         ]);
         prev = Some(gps);
@@ -92,7 +93,10 @@ fn main() {
         let mut cfg = ScanConfig::new(Version::V4);
         cfg.scheduler = sched;
         let res = scan(&g, &p, &cfg);
-        t.row(vec![name.to_string(), format!("{:.2}", res.giga_elements_per_sec())]);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", res.giga_elements_per_sec()),
+        ]);
     }
     println!("{}", t.render());
 

@@ -15,9 +15,7 @@ fn main() {
     let words = 2048; // 131072 samples per class, paper-scale streams
     println!("replaying blocked-scan address streams: {m} SNPs, {words} u64 words/class\n");
 
-    let mut t = TextTable::new(vec![
-        "device", "L1", "B_S", "B_P", "FT bytes", "hit rate",
-    ]);
+    let mut t = TextTable::new(vec!["device", "L1", "B_S", "B_P", "FT bytes", "hit rate"]);
     for d in CpuDevice::table1() {
         let params = BlockParams::paper_policy(&d.l1d, d.vector_bits);
         let r = replay_blocked_scan(m, [words, words], params, &d.l1d, 4);

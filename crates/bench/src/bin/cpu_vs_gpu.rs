@@ -86,5 +86,8 @@ fn main() {
         .iter()
         .max_by(|a, b| a.gelems_per_joule.total_cmp(&b.gelems_per_joule))
         .unwrap();
-    println!("  best G elems/J is Iris Xe MAX: {}", best_j.device == "GI2");
+    println!(
+        "  best G elems/J is Iris Xe MAX: {}",
+        best_j.device == "GI2"
+    );
 }

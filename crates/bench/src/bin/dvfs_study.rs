@@ -23,7 +23,12 @@ fn main() {
     );
 
     println!("=== efficiency sweep (relative to nominal frequency) ===\n");
-    let mut t = TextTable::new(vec!["f_rel", "throughput_rel", "power_rel", "efficiency_rel"]);
+    let mut t = TextTable::new(vec![
+        "f_rel",
+        "throughput_rel",
+        "power_rel",
+        "efficiency_rel",
+    ]);
     for p in dvfs.sweep(0.4, 7) {
         t.row(vec![
             format!("{:.2}", p.f_rel),
@@ -40,7 +45,11 @@ fn main() {
     let cpu_model = CpuModel::default();
     let gpu_model = GpuTimingModel::default();
     let mut t = TextTable::new(vec![
-        "device", "kind", "Gel/J nominal", "Gel/J at f_opt", "throughput cost",
+        "device",
+        "kind",
+        "Gel/J nominal",
+        "Gel/J at f_opt",
+        "throughput cost",
     ]);
     for d in CpuDevice::table1() {
         let pred = cpu_model.predict(&d, d.vector_bits >= 512);
@@ -64,6 +73,13 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("interpretation: downclocking to ~{:.0}% of nominal trades {:.0}% of", f_opt * 100.0, (1.0 - f_opt) * 100.0);
-    println!("throughput for a {:.0}% gain in elements per joule on compute-bound kernels.", (gain - 1.0) * 100.0);
+    println!(
+        "interpretation: downclocking to ~{:.0}% of nominal trades {:.0}% of",
+        f_opt * 100.0,
+        (1.0 - f_opt) * 100.0
+    );
+    println!(
+        "throughput for a {:.0}% gain in elements per joule on compute-bound kernels.",
+        (gain - 1.0) * 100.0
+    );
 }

@@ -20,12 +20,18 @@ fn main() {
 
     println!("=== Fig. 2a: CARM, Intel Xeon Platinum 8360Y (Ice Lake SP) ===\n");
     let cpu_pts = characterize_cpu(&ci3);
-    print!("{}", plot::render(&Roofline::for_cpu(&ci3), &cpu_pts, 64, 18));
+    print!(
+        "{}",
+        plot::render(&Roofline::for_cpu(&ci3), &cpu_pts, 64, 18)
+    );
     table_of_points("modelled (CI3)", &cpu_pts);
 
     println!("\n=== Fig. 2b: CARM, Intel Iris Xe MAX (Gen12) ===\n");
     let gpu_pts = characterize_gpu(&gi2);
-    print!("{}", plot::render(&Roofline::for_gpu(&gi2), &gpu_pts, 64, 18));
+    print!(
+        "{}",
+        plot::render(&Roofline::for_gpu(&gi2), &gpu_pts, 64, 18)
+    );
     table_of_points("modelled (GI2)", &gpu_pts);
 
     println!("\n=== Measured host points ({m} SNPs x {n} samples) ===\n");
@@ -33,8 +39,11 @@ fn main() {
     let mut measured = Vec::new();
     for version in Version::ALL {
         let res = scan(&g, &p, &ScanConfig::new(version));
-        measured.push((version, res.giga_elements_per_sec(),
-            KernelPoint::measured(version, res.elements_per_sec())));
+        measured.push((
+            version,
+            res.giga_elements_per_sec(),
+            KernelPoint::measured(version, res.elements_per_sec()),
+        ));
     }
     let mut t = TextTable::new(vec!["ver", "AI [intop/B]", "GINTOP/s", "G elems/s"]);
     for (v, ges, pt) in &measured {

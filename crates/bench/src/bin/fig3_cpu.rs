@@ -71,7 +71,12 @@ fn main() {
         vec![128, 192, 256]
     };
     let mut t = TextTable::new(vec![
-        "snps", "samples", "G elems/s", "Gel/s/core", "el/cyc/core", "el/cyc/lane",
+        "snps",
+        "samples",
+        "G elems/s",
+        "Gel/s/core",
+        "el/cyc/core",
+        "el/cyc/lane",
     ]);
     for &m in &sizes {
         let (g, p) = workload(m, n, 3);

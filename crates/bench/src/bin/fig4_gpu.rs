@@ -39,7 +39,12 @@ fn main() {
                 .iter()
                 .map(|&m| format!("{:.3}", get(&model.predict(&d, GpuVersion::V4, m, n))))
                 .collect();
-            t.row(vec![d.id.to_string(), vals[0].clone(), vals[1].clone(), vals[2].clone()]);
+            t.row(vec![
+                d.id.to_string(),
+                vals[0].clone(),
+                vals[1].clone(),
+                vals[2].clone(),
+            ]);
         }
         println!("{}", t.render());
     }

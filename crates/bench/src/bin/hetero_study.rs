@@ -17,7 +17,12 @@ fn main() {
 
     println!("=== planned CPU+GPU pairings ({m} SNPs x {n} samples) ===\n");
     let mut t = TextTable::new(vec![
-        "pairing", "CPU Gel/s", "GPU Gel/s", "CPU share", "combined Gel/s", "gain vs GPU",
+        "pairing",
+        "CPU Gel/s",
+        "GPU Gel/s",
+        "CPU share",
+        "combined Gel/s",
+        "gain vs GPU",
     ]);
     for cd in CpuDevice::table1() {
         let cpu = cpu_model.predict(&cd, cd.vector_bits >= 512);
@@ -31,10 +36,7 @@ fn main() {
                 format!("{:.0}", gpu.gelems_per_sec),
                 format!("{:.1}%", plan.fraction * 100.0),
                 format!("{:.0}", plan.combined_gelems_per_sec),
-                format!(
-                    "{:.2}x",
-                    plan.combined_gelems_per_sec / gpu.gelems_per_sec
-                ),
+                format!("{:.2}x", plan.combined_gelems_per_sec / gpu.gelems_per_sec),
             ]);
         }
     }

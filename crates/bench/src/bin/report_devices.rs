@@ -8,7 +8,12 @@ use devices::{CpuDevice, GpuDevice};
 fn main() {
     println!("TABLE I: CPU devices used in the experimental evaluation\n");
     let mut t = TextTable::new(vec![
-        "System", "CPU Device", "Arch", "Base Freq [GHz]", "Cores", "Vector Width (ISA)",
+        "System",
+        "CPU Device",
+        "Arch",
+        "Base Freq [GHz]",
+        "Cores",
+        "Vector Width (ISA)",
     ]);
     for d in CpuDevice::table1() {
         t.row(vec![
@@ -20,7 +25,11 @@ fn main() {
             format!(
                 "{}-bit ({})",
                 d.vector_bits,
-                if d.vector_bits >= 512 { "AVX512" } else { "AVX" }
+                if d.vector_bits >= 512 {
+                    "AVX512"
+                } else {
+                    "AVX"
+                }
             ),
         ]);
     }
@@ -28,7 +37,13 @@ fn main() {
 
     println!("TABLE II: GPU devices used in the experimental evaluation\n");
     let mut t = TextTable::new(vec![
-        "System", "GPU Device", "Arch", "Boost Freq [GHz]", "CUs", "Stream Cores", "POPCNT/CU",
+        "System",
+        "GPU Device",
+        "Arch",
+        "Boost Freq [GHz]",
+        "CUs",
+        "Stream Cores",
+        "POPCNT/CU",
     ]);
     for d in GpuDevice::table2() {
         t.row(vec![
@@ -45,7 +60,11 @@ fn main() {
 
     println!("derived peaks (used by the roofline and timing models):\n");
     let mut t = TextTable::new(vec![
-        "System", "POPCNT peak [Gop/s]", "INT32 peak [Gop/s]", "DRAM [GB/s]", "TDP [W]",
+        "System",
+        "POPCNT peak [Gop/s]",
+        "INT32 peak [Gop/s]",
+        "DRAM [GB/s]",
+        "TDP [W]",
     ]);
     for d in GpuDevice::table2() {
         t.row(vec![

@@ -26,7 +26,11 @@ fn main() {
     println!("=== Table III, CPU rows (measured on this host) ===\n");
     println!("datasets: SNPs scaled by 1/{scale}, samples as in the paper\n");
     let mut t = TextTable::new(vec![
-        "dataset (paper)", "run as", "MPI3SNP-style [Gel/s]", "this work V4 [Gel/s]", "speedup",
+        "dataset (paper)",
+        "run as",
+        "MPI3SNP-style [Gel/s]",
+        "this work V4 [Gel/s]",
+        "speedup",
     ]);
     for (m_paper, n) in [(10_000usize, 1_600usize), (40_000, 6_400)] {
         let m = (m_paper / scale).max(16);
@@ -53,7 +57,12 @@ fn main() {
     println!("=== Table III, GPU rows (timing model, paper-size datasets) ===\n");
     let model = GpuTimingModel::default();
     let mut t = TextTable::new(vec![
-        "device", "dataset", "MPI3SNP-style [Gel/s]", "this work V4 [Gel/s]", "speedup", "paper",
+        "device",
+        "dataset",
+        "MPI3SNP-style [Gel/s]",
+        "this work V4 [Gel/s]",
+        "speedup",
+        "paper",
     ]);
     let cases = [
         ("GN2", 10_000usize, 1_600usize, "1.64x"),
@@ -104,8 +113,7 @@ fn predict_profile(
         _ => popcnt.max(other),
     };
     let reuse = profile.reuse * mpi3snp_reuse_decay(n);
-    let mem =
-        profile.bytes_per_word / 32.0 / (d.dram_gbs * 1e9 * profile.coalescing * reuse);
+    let mem = profile.bytes_per_word / 32.0 / (d.dram_gbs * 1e9 * profile.coalescing * reuse);
     let eff = match d.vendor {
         devices::gpu::GpuVendor::Intel => 0.95,
         _ => 0.88,

@@ -284,9 +284,7 @@ mod tests {
         let enc = UnsplitDataset::encode(&m, &p);
         for snp in 0..3 {
             for j in 0..5 {
-                let set: Vec<usize> = (0..3)
-                    .filter(|&g| get_bit(enc.plane(snp, g), j))
-                    .collect();
+                let set: Vec<usize> = (0..3).filter(|&g| get_bit(enc.plane(snp, g), j)).collect();
                 assert_eq!(set.len(), 1, "exactly one plane holds each sample");
                 assert_eq!(set[0] as u8, m.get(snp, j));
             }

@@ -36,9 +36,7 @@ impl SimdLevel {
     pub fn detect() -> Self {
         #[cfg(target_arch = "x86_64")]
         {
-            if is_x86_feature_detected!("avx512vpopcntdq")
-                && is_x86_feature_detected!("avx512f")
-            {
+            if is_x86_feature_detected!("avx512vpopcntdq") && is_x86_feature_detected!("avx512f") {
                 return SimdLevel::Avx512Vpopcnt;
             }
             if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {

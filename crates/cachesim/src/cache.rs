@@ -198,6 +198,9 @@ mod tests {
     #[test]
     fn capacity_matches_geometry() {
         assert_eq!(tiny().capacity(), 4096);
-        assert_eq!(Cache::new(&CacheGeometry::kib(48, 12)).capacity(), 48 * 1024);
+        assert_eq!(
+            Cache::new(&CacheGeometry::kib(48, 12)).capacity(),
+            48 * 1024
+        );
     }
 }

@@ -68,15 +68,7 @@ pub fn replay_blocked_scan(
     'outer: for b0 in 0..nb {
         for b1 in b0..nb {
             for b2 in b1..nb {
-                replay_block_triple(
-                    &mut cache,
-                    (b0, b1, b2),
-                    m,
-                    bs,
-                    bpw,
-                    words,
-                    &plane_addr,
-                );
+                replay_block_triple(&mut cache, (b0, b1, b2), m, bs, bpw, words, &plane_addr);
                 replayed += 1;
                 if replayed >= max_block_triples {
                     break 'outer;
@@ -143,8 +135,9 @@ fn replay_block_triple(
                         // frequency-table update: 27 cells of this
                         // combination's class half
                         let combo = ((ii0 * bs + ii1) * bs + ii2) as u64;
-                        let ft_addr =
-                            FT_BASE + combo * 54 * FT_CELL_BYTES + class as u64 * 27 * FT_CELL_BYTES;
+                        let ft_addr = FT_BASE
+                            + combo * 54 * FT_CELL_BYTES
+                            + class as u64 * 27 * FT_CELL_BYTES;
                         cache.access_range(ft_addr, (27 * FT_CELL_BYTES) as usize);
                     }
                 }

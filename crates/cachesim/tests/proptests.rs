@@ -58,7 +58,7 @@ proptest! {
             c.access(a);
         }
         // misses are at least the compulsory ones
-        prop_assert!(c.stats().misses >= compulsory.min(trace.len() as u64) - 0);
+        prop_assert!(c.stats().misses >= compulsory.min(trace.len() as u64));
         prop_assert!(c.stats().misses >= 1);
     }
 

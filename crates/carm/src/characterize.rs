@@ -52,8 +52,8 @@ impl KernelPoint {
 /// paper's "V2 is ~2× faster yet *appears* slower in GINTOP/s" effect.
 pub fn characterize_cpu(d: &CpuDevice) -> Vec<KernelPoint> {
     let v4_pred = crate::cpumodel::CpuModel::default().predict(d, d.vector_bits >= 512);
-    let v4_gops = VersionCosts::for_version(Version::V4)
-        .gintops(v4_pred.gelems_per_sec_total * 1e9);
+    let v4_gops =
+        VersionCosts::for_version(Version::V4).gintops(v4_pred.gelems_per_sec_total * 1e9);
     let v3_gops = v4_gops / 7.5;
     let v2_gops = v3_gops / 1.2;
     // time(V1) = 2 · time(V2); ops(V1)/ops(V2) = 162/57
@@ -97,7 +97,10 @@ pub fn characterize_gpu(d: &GpuDevice) -> Vec<KernelPoint> {
                     // uncoalesced streaming: effective DRAM bandwidth is an
                     // eighth of peak (gather granularity vs line size)
                     let eff_bw = d.dram_gbs / if v == Version::V1 { 4.0 } else { 8.0 };
-                    ((ai * eff_bw).min(compute_cap), "DRAM→C (uncoalesced)".to_string())
+                    (
+                        (ai * eff_bw).min(compute_cap),
+                        "DRAM→C (uncoalesced)".to_string(),
+                    )
                 }
                 Version::V3 => (
                     (ai * d.dram_gbs).min(compute_cap),

@@ -70,11 +70,7 @@ impl CpuModel {
     /// variant the paper also runs on the AVX-512 machines.
     pub fn predict(&self, d: &CpuDevice, use_avx512: bool) -> CpuPrediction {
         let avx512 = use_avx512 && d.vector_bits >= 512;
-        let width = if avx512 {
-            512
-        } else {
-            d.vector_bits.min(256)
-        };
+        let width = if avx512 { 512 } else { d.vector_bits.min(256) };
         let lanes64 = (width / 64) as f64;
         // NOR: single ternarylogic op with AVX-512, OR+XOR otherwise.
         let nor_uops = 3.0 * if avx512 { 1.0 } else { 2.0 };
@@ -184,7 +180,10 @@ mod tests {
         let preds = m.fig3_series();
         let ci2_512 = by(&preds, "CI2", "AVX512").gelems_per_sec_per_core;
         for dev in ["CI1", "CA1", "CA2"] {
-            assert!(ci2_512 < by(&preds, dev, "AVX").gelems_per_sec_per_core, "{dev}");
+            assert!(
+                ci2_512 < by(&preds, dev, "AVX").gelems_per_sec_per_core,
+                "{dev}"
+            );
         }
     }
 

@@ -7,12 +7,7 @@ use crate::roofline::{Roof, Roofline};
 ///
 /// X axis: arithmetic intensity, `2^x_min ..= 2^x_max` intops/byte.
 /// Y axis: GINTOP/s, autoscaled to cover the roofs and points.
-pub fn render(
-    roofline: &Roofline,
-    points: &[KernelPoint],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn render(roofline: &Roofline, points: &[KernelPoint], width: usize, height: usize) -> String {
     assert!(width >= 20 && height >= 8, "canvas too small");
     let x_min = -4.0f64; // 2^-4 as in Fig. 2
     let x_max = 6.0f64; // 2^6

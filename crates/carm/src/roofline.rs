@@ -266,8 +266,12 @@ mod tests {
     fn attainable_under_specific_roofs() {
         let r = Roofline::for_cpu(&ci3());
         let ai = 2.375; // V2's AI
-        let l1 = r.attainable_under(ai, "L1→C", "Int32 Vector ADD Peak").unwrap();
-        let dram = r.attainable_under(ai, "DRAM→C", "Int32 Vector ADD Peak").unwrap();
+        let l1 = r
+            .attainable_under(ai, "L1→C", "Int32 Vector ADD Peak")
+            .unwrap();
+        let dram = r
+            .attainable_under(ai, "DRAM→C", "Int32 Vector ADD Peak")
+            .unwrap();
         assert!(l1 > dram);
         assert!(r.attainable_under(ai, "nope", "Scalar ADD Peak").is_none());
     }

@@ -37,7 +37,12 @@ impl BlockParams {
     /// the three SNP blocks; `vector_bits` is the SIMD register width used
     /// to round `B_P` down to a whole number of registers of 32-bit words
     /// (pass 64 for scalar code).
-    pub fn for_cache(l1: &CacheGeometry, ft_ways: usize, block_ways: usize, vector_bits: usize) -> Self {
+    pub fn for_cache(
+        l1: &CacheGeometry,
+        ft_ways: usize,
+        block_ways: usize,
+        vector_bits: usize,
+    ) -> Self {
         assert!(ft_ways + block_ways <= l1.ways, "way split exceeds L1");
         let size_ft = l1.ways_bytes(ft_ways);
         let size_block = l1.ways_bytes(block_ways);
@@ -141,7 +146,10 @@ mod tests {
         for (ft_kib, blk_kib, vec) in [(28, 16, 512), (28, 4, 256), (8, 8, 128), (56, 32, 512)] {
             let p = BlockParams::for_sizes(ft_kib * 1024, blk_kib * 1024, vec);
             assert!(p.ft_bytes() <= ft_kib * 1024, "{p:?}");
-            assert!(p.block_bytes() <= blk_kib * 1024 || p.bp == vec / 32, "{p:?}");
+            assert!(
+                p.block_bytes() <= blk_kib * 1024 || p.bp == vec / 32,
+                "{p:?}"
+            );
             assert!(p.bs >= 1 && p.bp >= 1);
         }
     }

@@ -146,9 +146,8 @@ mod tests {
     #[test]
     fn leading_partition_covers_everything() {
         let m = 12;
-        let mut collected: Vec<Triple> = (0..m)
-            .flat_map(|i0| triples_with_leading(m, i0))
-            .collect();
+        let mut collected: Vec<Triple> =
+            (0..m).flat_map(|i0| triples_with_leading(m, i0)).collect();
         collected.sort_unstable();
         let all: Vec<Triple> = TripleIter::new(m).collect();
         assert_eq!(collected, all);

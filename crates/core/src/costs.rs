@@ -107,7 +107,10 @@ mod tests {
         let v1 = VersionCosts::for_version(Version::V1);
         let v2 = VersionCosts::for_version(Version::V2);
         let reduction = 1.0 - v2.bytes_per_word / v1.bytes_per_word;
-        assert!((reduction - 0.4).abs() < 0.1, "≈1/3 traffic cut, got {reduction}");
+        assert!(
+            (reduction - 0.4).abs() < 0.1,
+            "≈1/3 traffic cut, got {reduction}"
+        );
     }
 
     #[test]

@@ -228,10 +228,7 @@ mod tests {
             let scorer = K2Scorer::new(table.total() as usize);
             let got = scorer.score(&table);
             let want = k2_reference(&table);
-            assert!(
-                (got - want).abs() < 1e-7,
-                "seed={seed}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-7, "seed={seed}: {got} vs {want}");
         }
     }
 

@@ -16,7 +16,10 @@
 //!
 //! [`scan`] provides the parallel drivers (dynamic thread pool with
 //! per-thread local results and a final reduction, exactly the scheme of
-//! §IV-A), and [`result`] the top-K solution collection.
+//! §IV-A), and [`result`] the top-K solution collection. [`shard`]
+//! partitions the combination range into deterministic, independently
+//! schedulable shards whose merged top-Ks are bit-identical to a
+//! monolithic scan — the work unit of the `epi-server` job service.
 
 pub mod block;
 pub mod combin;
@@ -28,6 +31,7 @@ pub mod permute;
 pub mod pool;
 pub mod result;
 pub mod scan;
+pub mod shard;
 pub mod simd;
 pub mod table27;
 pub mod versions;
@@ -36,4 +40,5 @@ pub use block::BlockParams;
 pub use k2::{K2Scorer, LnFactTable, MutualInformation, Objective};
 pub use result::{Candidate, TopK, Triple};
 pub use scan::{scan, ScanConfig, ScanResult, Scheduler, Version};
+pub use shard::{scan_shard, scan_sharded, ShardPlan};
 pub use table27::ContingencyTable;

@@ -145,10 +145,15 @@ mod tests {
     fn static_processes_every_task_exactly_once() {
         let n = 103;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let states = run_static(n, 5, || 0u64, |idx, count| {
-            hits[idx].fetch_add(1, Ordering::Relaxed);
-            *count += 1;
-        });
+        let states = run_static(
+            n,
+            5,
+            || 0u64,
+            |idx, count| {
+                hits[idx].fetch_add(1, Ordering::Relaxed);
+                *count += 1;
+            },
+        );
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert_eq!(states.iter().sum::<u64>(), n as u64);
     }

@@ -212,12 +212,17 @@ pub fn scan_unsplit(ds: &UnsplitDataset, cfg: &ScanConfig) -> ScanResult {
     }
     let scorer = build_objective(cfg, n);
     let start = Instant::now();
-    let states = run_tasks(m, cfg, || TopK::new(cfg.top_k), |i0, top: &mut TopK| {
-        for t in combin::triples_with_leading(m, i0) {
-            let table = v1::table_for_triple(ds, t);
-            top.push(scorer.score(&table), t);
-        }
-    });
+    let states = run_tasks(
+        m,
+        cfg,
+        || TopK::new(cfg.top_k),
+        |i0, top: &mut TopK| {
+            for t in combin::triples_with_leading(m, i0) {
+                let table = v1::table_for_triple(ds, t);
+                top.push(scorer.score(&table), t);
+            }
+        },
+    );
     finish(states, m, n, start, cfg)
 }
 
@@ -234,12 +239,17 @@ pub fn scan_split(ds: &SplitDataset, cfg: &ScanConfig) -> ScanResult {
     match cfg.version {
         Version::V2 => {
             let start = Instant::now();
-            let states = run_tasks(m, cfg, || TopK::new(cfg.top_k), |i0, top: &mut TopK| {
-                for t in combin::triples_with_leading(m, i0) {
-                    let table = v2::table_for_triple(ds, t);
-                    top.push(scorer.score(&table), t);
-                }
-            });
+            let states = run_tasks(
+                m,
+                cfg,
+                || TopK::new(cfg.top_k),
+                |i0, top: &mut TopK| {
+                    for t in combin::triples_with_leading(m, i0) {
+                        let table = v2::table_for_triple(ds, t);
+                        top.push(scorer.score(&table), t);
+                    }
+                },
+            );
             finish(states, m, n, start, cfg)
         }
         _ => {
@@ -275,7 +285,7 @@ pub fn scan_split(ds: &SplitDataset, cfg: &ScanConfig) -> ScanResult {
     }
 }
 
-fn build_objective(cfg: &ScanConfig, n: usize) -> Box<dyn Objective> {
+pub(crate) fn build_objective(cfg: &ScanConfig, n: usize) -> Box<dyn Objective> {
     match cfg.objective {
         ObjectiveKind::K2 => Box::new(K2Scorer::new(n)),
         ObjectiveKind::NegMutualInformation => Box::new(MutualInformation),
@@ -355,11 +365,8 @@ mod tests {
         let scorer = K2Scorer::new(p.len());
         let mut top = TopK::new(1);
         for t in combin::TripleIter::new(g.num_snps()) {
-            let table = ContingencyTable::from_dense(
-                g,
-                p,
-                (t.0 as usize, t.1 as usize, t.2 as usize),
-            );
+            let table =
+                ContingencyTable::from_dense(g, p, (t.0 as usize, t.1 as usize, t.2 as usize));
             top.push(scorer.score(&table), t);
         }
         top.best().unwrap()

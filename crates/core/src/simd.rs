@@ -263,12 +263,12 @@ mod tests {
         // that, so random words exercise them harder.
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
-        (0..6)
-            .map(|_| (0..len).map(|_| next()).collect())
-            .collect()
+        (0..6).map(|_| (0..len).map(|_| next()).collect()).collect()
     }
 
     fn as_planes(v: &[Vec<Word>]) -> Planes<'_> {

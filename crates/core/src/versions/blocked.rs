@@ -59,12 +59,8 @@ impl<'a> BlockedScanner<'a> {
     ///
     /// `ft` is caller-provided scratch (reused across tasks to stay
     /// allocation-free); it is resized/zeroed here.
-    pub fn scan_block_triple<F>(
-        &self,
-        bt: (usize, usize, usize),
-        ft: &mut Vec<u32>,
-        emit: &mut F,
-    ) where
+    pub fn scan_block_triple<F>(&self, bt: (usize, usize, usize), ft: &mut Vec<u32>, emit: &mut F)
+    where
         F: FnMut(Triple, &[u32; CELLS], &[u32; CELLS]),
     {
         let bs = self.params.bs;
@@ -190,9 +186,7 @@ mod tests {
         )
     }
 
-    fn collect_tables(
-        scanner: &BlockedScanner<'_>,
-    ) -> HashMap<Triple, ContingencyTable> {
+    fn collect_tables(scanner: &BlockedScanner<'_>) -> HashMap<Triple, ContingencyTable> {
         let mut out = HashMap::new();
         let mut ft = Vec::new();
         for bt in scanner.tasks() {
@@ -208,11 +202,7 @@ mod tests {
     fn blocked_covers_all_triples_exactly_once() {
         let (g, p) = dataset(13, 97, 5);
         let ds = SplitDataset::encode(&g, &p);
-        let scanner = BlockedScanner::new(
-            &ds,
-            BlockParams { bs: 4, bp: 64 },
-            SimdLevel::Scalar,
-        );
+        let scanner = BlockedScanner::new(&ds, BlockParams { bs: 4, bp: 64 }, SimdLevel::Scalar);
         let tables = collect_tables(&scanner);
         assert_eq!(tables.len() as u64, crate::combin::num_triples(13));
     }
@@ -222,11 +212,7 @@ mod tests {
         let (g, p) = dataset(11, 140, 23);
         let ds = SplitDataset::encode(&g, &p);
         for bs in [1usize, 2, 3, 5] {
-            let scanner = BlockedScanner::new(
-                &ds,
-                BlockParams { bs, bp: 64 },
-                SimdLevel::Scalar,
-            );
+            let scanner = BlockedScanner::new(&ds, BlockParams { bs, bp: 64 }, SimdLevel::Scalar);
             let tables = collect_tables(&scanner);
             for (&t, table) in &tables {
                 assert_eq!(*table, v2::table_for_triple(&ds, t), "bs={bs} t={t:?}");
@@ -277,11 +263,7 @@ mod tests {
         // m=10 with bs=4 leaves a 2-SNP tail block.
         let (g, p) = dataset(10, 65, 13);
         let ds = SplitDataset::encode(&g, &p);
-        let scanner = BlockedScanner::new(
-            &ds,
-            BlockParams { bs: 4, bp: 64 },
-            SimdLevel::Scalar,
-        );
+        let scanner = BlockedScanner::new(&ds, BlockParams { bs: 4, bp: 64 }, SimdLevel::Scalar);
         let tables = collect_tables(&scanner);
         assert_eq!(tables.len() as u64, crate::combin::num_triples(10));
         for (&t, table) in &tables {

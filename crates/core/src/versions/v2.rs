@@ -64,11 +64,8 @@ mod tests {
         let enc = SplitDataset::encode(&g, &p);
         for &t in &[(0u32, 1, 2), (1, 2, 5), (0, 3, 4), (2, 4, 5)] {
             let got = table_for_triple(&enc, t);
-            let want = ContingencyTable::from_dense(
-                &g,
-                &p,
-                (t.0 as usize, t.1 as usize, t.2 as usize),
-            );
+            let want =
+                ContingencyTable::from_dense(&g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
             assert_eq!(got, want, "triple {t:?}");
         }
     }

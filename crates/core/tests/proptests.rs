@@ -6,7 +6,7 @@ use epi_core::result::TopK;
 use epi_core::simd::{accumulate27, accumulate27_scalar, SimdLevel};
 use epi_core::table27::{ContingencyTable, CELLS};
 use epi_core::versions::{v1, v2};
-use epi_core::{combin, BlockParams};
+use epi_core::{combin, shard, BlockParams};
 use proptest::prelude::*;
 
 fn labelled_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
@@ -119,6 +119,62 @@ proptest! {
             combin::TripleIter::new(m).count() as u64,
             combin::num_triples(m)
         );
+    }
+
+    #[test]
+    fn shard_plan_covers_every_rank_exactly_once(
+        m in 3usize..40,
+        s in 1u64..100,
+    ) {
+        let plan = shard::ShardPlan::triples(m, s);
+        prop_assert_eq!(plan.num_shards(), s);
+        prop_assert_eq!(plan.total_combos(), combin::num_triples(m));
+        // contiguous tiling of [0, total): each rank in exactly one shard
+        let mut next_rank = 0u64;
+        for r in plan.ranges() {
+            prop_assert_eq!(r.start, next_rank);
+            prop_assert!(r.end >= r.start);
+            next_rank = r.end;
+        }
+        prop_assert_eq!(next_rank, plan.total_combos());
+        // and the shards' triples concatenate to the full enumeration
+        let concatenated: Vec<_> = plan
+            .ranges()
+            .flat_map(|r| shard::TripleRangeIter::new(m, r))
+            .collect();
+        let full: Vec<_> = combin::TripleIter::new(m).collect();
+        prop_assert_eq!(concatenated, full);
+    }
+
+    #[test]
+    fn shard_plan_covers_every_pair_rank_exactly_once(
+        m in 2usize..60,
+        s in 1u64..50,
+    ) {
+        let plan = shard::ShardPlan::pairs(m, s);
+        let concatenated: Vec<_> = plan
+            .ranges()
+            .flat_map(|r| shard::PairRangeIter::new(m, r))
+            .collect();
+        let mut full = Vec::new();
+        for a in 0..m as u32 {
+            for b in a + 1..m as u32 {
+                full.push((a, b));
+            }
+        }
+        prop_assert_eq!(concatenated, full);
+    }
+
+    #[test]
+    fn unrank_is_the_inverse_of_rank(
+        m in 3usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let total = combin::num_triples(m);
+        let rank = seed % total;
+        let t = shard::unrank_triple(m, rank);
+        prop_assert!(t.0 < t.1 && t.1 < t.2 && (t.2 as usize) < m);
+        prop_assert_eq!(shard::rank_triple(m, t), rank);
     }
 
     #[test]

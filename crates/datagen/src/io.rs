@@ -17,7 +17,11 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"EPI3";
 
 /// Write a dataset in text format.
-pub fn write_text<W: Write>(w: W, genotypes: &GenotypeMatrix, phenotype: &Phenotype) -> io::Result<()> {
+pub fn write_text<W: Write>(
+    w: W,
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     let n = genotypes.num_samples();
     assert_eq!(n, phenotype.len());
@@ -57,7 +61,10 @@ pub fn read_text<R: Read>(r: R) -> io::Result<(GenotypeMatrix, Phenotype)> {
             .split(',')
             .map(|tok| {
                 tok.trim().parse::<u8>().map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("bad value {tok:?}: {e}"))
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad value {tok:?}: {e}"),
+                    )
                 })
             })
             .collect();

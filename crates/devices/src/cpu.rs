@@ -242,7 +242,11 @@ mod tests {
     fn vector_peak_exceeds_scalar_peak_when_wide() {
         for d in CpuDevice::table1() {
             if d.vector_bits >= 256 {
-                assert!(d.vector_add_peak_gops() > d.scalar_add_peak_gops(), "{}", d.id);
+                assert!(
+                    d.vector_add_peak_gops() > d.scalar_add_peak_gops(),
+                    "{}",
+                    d.id
+                );
             }
         }
     }

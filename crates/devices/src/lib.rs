@@ -19,7 +19,7 @@ pub mod gpu;
 pub mod host;
 
 pub use cache::CacheGeometry;
-pub use dvfs::{DvfsModel, DvfsPoint};
 pub use cpu::{CpuDevice, CpuMicroarch, Vendor};
+pub use dvfs::{DvfsModel, DvfsPoint};
 pub use gpu::{GpuDevice, GpuVendor};
 pub use host::HostCpu;

@@ -1,0 +1,210 @@
+//! Blocking client for the job service, used by the `epi3` CLI, the
+//! examples, and the end-to-end tests.
+
+use crate::job::{JobState, JobStatus};
+use crate::spec::{unescape, JobSpec};
+use epi_core::result::Candidate;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One TCP connection to an epi-server. Requests are serialized; the
+/// protocol is strictly request/reply, so one connection serves any
+/// number of sequential calls.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, request: &str) -> Result<String, String> {
+        self.writer
+            .write_all(request.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    fn expect_ok(line: &str) -> Result<&str, String> {
+        if let Some(rest) = line.strip_prefix("OK") {
+            Ok(rest.trim_start())
+        } else if let Some(err) = line.strip_prefix("ERR ") {
+            Err(err.to_string())
+        } else {
+            Err(format!("malformed reply {line:?}"))
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), String> {
+        let line = self.send("PING")?;
+        Self::expect_ok(&line).map(|_| ())
+    }
+
+    /// Submit a job; returns its initial status.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JobStatus, String> {
+        let line = self.send(&format!("SUBMIT {}", spec.to_tokens()))?;
+        parse_status(Self::expect_ok(&line)?)
+    }
+
+    /// Progress of one job.
+    pub fn status(&mut self, id: u64) -> Result<JobStatus, String> {
+        let line = self.send(&format!("STATUS {id}"))?;
+        parse_status(Self::expect_ok(&line)?)
+    }
+
+    /// Cancel a job (completed shards stay checkpointed).
+    pub fn cancel(&mut self, id: u64) -> Result<JobStatus, String> {
+        let line = self.send(&format!("CANCEL {id}"))?;
+        parse_status(Self::expect_ok(&line)?)
+    }
+
+    /// Resume a cancelled job from its checkpoint.
+    pub fn resume(&mut self, id: u64) -> Result<JobStatus, String> {
+        let line = self.send(&format!("RESUME {id}"))?;
+        parse_status(Self::expect_ok(&line)?)
+    }
+
+    /// Final result of a finished job, scores reconstructed bit-exactly.
+    pub fn result(&mut self, id: u64) -> Result<Vec<Candidate>, String> {
+        let header = self.send(&format!("RESULT {id}"))?;
+        let fields = parse_kv(Self::expect_ok(&header)?)?;
+        let count: usize = field(&fields, "count")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("CAND") {
+                return Err(format!("expected CAND line, got {line:?}"));
+            }
+            let a: u32 = parse_num(parts.next(), "i0")?;
+            let b: u32 = parse_num(parts.next(), "i1")?;
+            let c: u32 = parse_num(parts.next(), "i2")?;
+            let bits = parts.next().ok_or("missing score bits")?;
+            let bits =
+                u64::from_str_radix(bits, 16).map_err(|_| format!("bad score bits {bits:?}"))?;
+            out.push(Candidate {
+                score: f64::from_bits(bits),
+                triple: (a, b, c),
+            });
+        }
+        let end = self.read_line()?;
+        if end != "END" {
+            return Err(format!("expected END, got {end:?}"));
+        }
+        Ok(out)
+    }
+
+    /// All jobs the server knows, newest first.
+    pub fn jobs(&mut self) -> Result<Vec<JobStatus>, String> {
+        let header = self.send("JOBS")?;
+        let fields = parse_kv(Self::expect_ok(&header)?)?;
+        let count: usize = field(&fields, "count")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            let rest = line
+                .strip_prefix("JOB ")
+                .ok_or_else(|| format!("expected JOB line, got {line:?}"))?;
+            out.push(parse_status(rest)?);
+        }
+        let end = self.read_line()?;
+        if end != "END" {
+            return Err(format!("expected END, got {end:?}"));
+        }
+        Ok(out)
+    }
+
+    /// Server-wide counters: `(jobs, shards_scanned, workers)`.
+    pub fn stats(&mut self) -> Result<(u64, u64, u64), String> {
+        let line = self.send("STATS")?;
+        let fields = parse_kv(Self::expect_ok(&line)?)?;
+        Ok((
+            field(&fields, "jobs")?,
+            field(&fields, "scanned")?,
+            field(&fields, "workers")?,
+        ))
+    }
+
+    /// Ask the server to stop accepting connections and shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let line = self.send("SHUTDOWN")?;
+        Self::expect_ok(&line).map(|_| ())
+    }
+
+    /// Poll until the job is stable (done/failed/cancelled with nothing
+    /// in flight) or the timeout elapses.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.is_stable() || Instant::now() >= deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn parse_kv(rest: &str) -> Result<Vec<(String, String)>, String> {
+    rest.split_whitespace()
+        .map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| format!("malformed field {tok:?}"))
+        })
+        .collect()
+}
+
+fn field<T: std::str::FromStr>(fields: &[(String, String)], key: &str) -> Result<T, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| format!("missing or malformed field {key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+    tok.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("missing or malformed {what}"))
+}
+
+/// Parse a status reply's `key=value` fields.
+fn parse_status(rest: &str) -> Result<JobStatus, String> {
+    let fields = parse_kv(rest)?;
+    let state_name: String = field(&fields, "state")?;
+    let error = fields
+        .iter()
+        .find(|(k, _)| k == "error")
+        .map(|(_, v)| unescape(v))
+        .transpose()?;
+    Ok(JobStatus {
+        id: field(&fields, "id").or_else(|_| field(&fields, "job"))?,
+        state: JobState::parse(&state_name)?,
+        done: field(&fields, "done")?,
+        total: field(&fields, "total")?,
+        in_flight: field(&fields, "in_flight")?,
+        combos: field(&fields, "combos")?,
+        error,
+    })
+}

@@ -1,0 +1,261 @@
+//! Checkpoint codec: a tiny std-only, line-oriented serialization of a
+//! job's spec and completed shard results.
+//!
+//! Scores are stored as the hex of `f64::to_bits`, so a resumed or
+//! transferred job reproduces results **bit-identically** — the ordering
+//! guarantees of `TopK` depend on exact score values, and a lossy decimal
+//! round-trip would break them.
+//!
+//! Format (one record per line, space-separated, values `%`-escaped):
+//!
+//! ```text
+//! epi3ckpt v1
+//! job <id>
+//! spec <key=value tokens...>
+//! shard <index> <candidate-count>
+//! cand <i0> <i1> <i2> <score-bits-hex>
+//! ...
+//! end
+//! ```
+
+use crate::job::{Job, JobState};
+use crate::spec::JobSpec;
+use epi_core::result::Candidate;
+use epi_core::shard::ShardPlan;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &str = "epi3ckpt v1";
+
+/// A checkpoint: everything needed to resume a job except the dataset
+/// itself (reloaded from `spec.path`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub job_id: u64,
+    pub spec: JobSpec,
+    /// SNP count of the dataset the shard plan was derived from. Stored
+    /// so a restore rebuilds the identical plan without touching the
+    /// dataset file (which may be temporarily unavailable).
+    pub snps: usize,
+    /// Completed shard results, indexed by shard; `None` = not scanned.
+    pub shard_results: Vec<Option<Vec<Candidate>>>,
+}
+
+impl Checkpoint {
+    /// Snapshot a job's durable state.
+    pub fn of_job(job: &Job) -> Self {
+        Self {
+            job_id: job.id,
+            spec: job.spec.clone(),
+            snps: job.plan.num_snps(),
+            shard_results: job.shard_results.clone(),
+        }
+    }
+
+    /// Rebuild a `Job` in `Cancelled` state (resume re-enqueues the
+    /// missing shards); `Done` if nothing is missing.
+    pub fn into_job(self) -> Job {
+        let plan = ShardPlan::triples(self.snps, self.spec.shards);
+        let complete = self.shard_results.iter().all(|r| r.is_some());
+        let mut job = Job {
+            id: self.job_id,
+            spec: self.spec,
+            plan,
+            state: if complete {
+                JobState::Done
+            } else {
+                JobState::Cancelled
+            },
+            shard_results: self.shard_results,
+            in_flight: Default::default(),
+            data: None,
+            error: None,
+            ckpt_seq: 0,
+        };
+        if job.shard_results.len() as u64 != job.plan.num_shards() {
+            job.state = JobState::Failed;
+            job.error = Some(format!(
+                "checkpoint has {} shards but plan expects {}",
+                job.shard_results.len(),
+                job.plan.num_shards()
+            ));
+        }
+        job
+    }
+
+    /// Serialize to a writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "job {}", self.job_id)?;
+        writeln!(w, "spec {}", self.spec.to_tokens())?;
+        writeln!(w, "snps {}", self.snps)?;
+        for (idx, result) in self.shard_results.iter().enumerate() {
+            let Some(cands) = result else { continue };
+            writeln!(w, "shard {idx} {}", cands.len())?;
+            for c in cands {
+                writeln!(
+                    w,
+                    "cand {} {} {} {:016x}",
+                    c.triple.0,
+                    c.triple.1,
+                    c.triple.2,
+                    c.score.to_bits()
+                )?;
+            }
+        }
+        writeln!(w, "end")
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, String> {
+        let mut lines = r.lines();
+        let mut next_line = || -> Result<String, String> {
+            lines
+                .next()
+                .ok_or("truncated checkpoint")?
+                .map_err(|e| format!("read error: {e}"))
+        };
+        if next_line()? != MAGIC {
+            return Err("not an epi3 v1 checkpoint".into());
+        }
+        let job_line = next_line()?;
+        let job_id = job_line
+            .strip_prefix("job ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad job line {job_line:?}"))?;
+        let spec_line = next_line()?;
+        let spec_tokens: Vec<&str> = spec_line
+            .strip_prefix("spec ")
+            .ok_or_else(|| format!("bad spec line {spec_line:?}"))?
+            .split_whitespace()
+            .collect();
+        let spec = JobSpec::parse_tokens(&spec_tokens)?;
+        let snps_line = next_line()?;
+        let snps = snps_line
+            .strip_prefix("snps ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad snps line {snps_line:?}"))?;
+        let mut shard_results: Vec<Option<Vec<Candidate>>> =
+            vec![None; usize::try_from(spec.shards).map_err(|_| "shard count overflow")?];
+        loop {
+            let line = next_line()?;
+            if line == "end" {
+                break;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("shard") {
+                return Err(format!("unexpected record {line:?}"));
+            }
+            let idx: usize = parse_field(parts.next(), "shard index")?;
+            let count: usize = parse_field(parts.next(), "candidate count")?;
+            if idx >= shard_results.len() {
+                return Err(format!("shard index {idx} out of range"));
+            }
+            let mut cands = Vec::with_capacity(count);
+            for _ in 0..count {
+                let cand_line = next_line()?;
+                let mut f = cand_line.split_whitespace();
+                if f.next() != Some("cand") {
+                    return Err(format!("expected cand record, got {cand_line:?}"));
+                }
+                let a: u32 = parse_field(f.next(), "i0")?;
+                let b: u32 = parse_field(f.next(), "i1")?;
+                let c: u32 = parse_field(f.next(), "i2")?;
+                let bits = f.next().ok_or("missing score bits")?;
+                let bits = u64::from_str_radix(bits, 16)
+                    .map_err(|_| format!("bad score bits {bits:?}"))?;
+                cands.push(Candidate {
+                    score: f64::from_bits(bits),
+                    triple: (a, b, c),
+                });
+            }
+            if shard_results[idx].is_some() {
+                return Err(format!("duplicate shard record {idx}"));
+            }
+            shard_results[idx] = Some(cands);
+        }
+        Ok(Self {
+            job_id,
+            spec,
+            snps,
+            shard_results,
+        })
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String> {
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("missing or malformed {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_core::scan::Version;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut spec = JobSpec::new("/tmp/some data.epi3");
+        spec.version = Version::V2;
+        spec.shards = 4;
+        spec.top_k = 2;
+        Checkpoint {
+            job_id: 17,
+            spec,
+            snps: 30,
+            shard_results: vec![
+                Some(vec![
+                    Candidate {
+                        score: -1.5,
+                        triple: (0, 1, 2),
+                    },
+                    Candidate {
+                        // awkward subnormal-ish value: exact bit round-trip required
+                        score: std::f64::consts::PI * 1e-300,
+                        triple: (3, 4, 5),
+                    },
+                ]),
+                None,
+                Some(vec![]),
+                None,
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let ck = sample_checkpoint();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        let orig = ck.shard_results[0].as_ref().unwrap()[1].score;
+        let restored = back.shard_results[0].as_ref().unwrap()[1].score;
+        assert_eq!(orig.to_bits(), restored.to_bits());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ck = sample_checkpoint();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(Checkpoint::read_from("nope\n".as_bytes()).is_err());
+        let truncated = &text[..text.len() - 10];
+        assert!(Checkpoint::read_from(truncated.as_bytes()).is_err());
+        let dup = text.replace("shard 2 0\n", "shard 0 0\n");
+        assert!(Checkpoint::read_from(dup.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn into_job_classifies_completeness() {
+        let ck = sample_checkpoint();
+        let job = ck.clone().into_job();
+        assert_eq!(job.state, JobState::Cancelled);
+        assert_eq!(job.missing_shards(), vec![1, 3]);
+        let mut full = ck;
+        for r in &mut full.shard_results {
+            r.get_or_insert_with(Vec::new);
+        }
+        assert_eq!(full.into_job().state, JobState::Done);
+    }
+}

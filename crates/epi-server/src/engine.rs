@@ -1,0 +1,789 @@
+//! The job engine: a shared shard queue drained by a worker pool.
+//!
+//! All jobs feed one FIFO queue of `(job, shard)` tasks; workers claim
+//! tasks one at a time (the dynamic self-scheduling idiom of
+//! `epi_core::pool`, here with a `Mutex` + `Condvar` because tasks arrive
+//! over time from concurrent submissions). Per-shard results are recorded
+//! under the job, a checkpoint is persisted after every completed shard,
+//! and the final top-K is merged when the last shard lands — so a cancel
+//! or crash at any point loses at most the shards currently in flight.
+
+use crate::codec::Checkpoint;
+use crate::job::{EncodedData, Job, JobState, JobStatus};
+use crate::spec::JobSpec;
+use bitgenome::{SplitDataset, UnsplitDataset};
+use epi_core::result::Candidate;
+use epi_core::scan::Version;
+use epi_core::shard::{scan_shard_split, scan_shard_unsplit, ShardPlan};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` = all available cores.
+    pub workers: usize,
+    /// Directory for job checkpoints; `None` disables persistence.
+    pub spool_dir: Option<PathBuf>,
+}
+
+struct EngineState {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<(u64, u64)>,
+    next_id: u64,
+}
+
+struct Shared {
+    state: Mutex<EngineState>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    /// Shards scanned since engine start — across resumes this equals the
+    /// number of *distinct* shards completed, which is how the tests
+    /// prove resume never rescans checkpointed work.
+    shards_scanned: AtomicU64,
+    spool_dir: Option<PathBuf>,
+    /// Checkpoint snapshots are taken under the state lock but written to
+    /// disk outside it, so two writers can race file-creation order. Each
+    /// snapshot carries a per-job sequence number (`Job::ckpt_seq`); this
+    /// map records the highest sequence written per job and stale writes
+    /// are skipped, so a newer checkpoint is never overwritten by an
+    /// older one.
+    spool_written: Mutex<HashMap<u64, u64>>,
+}
+
+/// Multi-tenant scan-job engine. Cloneable handle; dropping the last
+/// handle does not stop workers — call [`Engine::stop`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start an engine: spawns the worker pool and, when a spool
+    /// directory is configured, restores every checkpoint found there
+    /// (restored jobs sit in `Cancelled`/`Done` until resumed).
+    pub fn start(cfg: EngineConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EngineState {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+            }),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            shards_scanned: AtomicU64::new(0),
+            spool_dir: cfg.spool_dir.clone(),
+            spool_written: Mutex::new(HashMap::new()),
+        });
+        if let Some(dir) = &cfg.spool_dir {
+            let _ = std::fs::create_dir_all(dir);
+            Self::restore_spool(&shared, dir);
+        }
+        let threads = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Arc::new(Self {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    fn restore_spool(shared: &Shared, dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut state = shared.state.lock().unwrap();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
+                continue;
+            }
+            let Ok(file) = std::fs::File::open(&path) else {
+                continue;
+            };
+            let Ok(ck) = Checkpoint::read_from(std::io::BufReader::new(file)) else {
+                continue;
+            };
+            // The checkpoint carries the shard plan's SNP count, so a
+            // restore needs no dataset access at all; the file is only
+            // reloaded (and validated) when the job is resumed.
+            let job = ck.into_job();
+            state.next_id = state.next_id.max(job.id + 1);
+            state.jobs.insert(job.id, job);
+        }
+    }
+
+    /// Submit a new job. Loads and encodes the dataset synchronously so
+    /// invalid submissions fail at the protocol boundary, then enqueues
+    /// every shard.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobStatus, String> {
+        if spec.shards == 0 {
+            return Err("a job needs at least one shard".into());
+        }
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err("engine is shutting down".into());
+        }
+        let (data, m) = load_encoded(&spec)?;
+        let plan = ShardPlan::triples(m, spec.shards);
+        let shards = plan.num_shards();
+        let mut state = self.shared.state.lock().unwrap();
+        let id = state.next_id;
+        state.next_id += 1;
+        let mut job = Job {
+            id,
+            spec,
+            plan,
+            state: JobState::Queued,
+            shard_results: vec![None; shards as usize],
+            in_flight: Default::default(),
+            data: Some(Arc::new(data)),
+            error: None,
+            ckpt_seq: 0,
+        };
+        if job.plan.total_combos() == 0 {
+            // Degenerate dataset (M < 3): complete immediately with the
+            // empty result rather than scheduling no-op shards.
+            for slot in &mut job.shard_results {
+                *slot = Some(Vec::new());
+            }
+            job.state = JobState::Done;
+            job.data = None;
+            let status = job.status();
+            let snapshot = snapshot_if_spooled(&mut job, self.shared.spool_dir.as_deref());
+            state.jobs.insert(id, job);
+            drop(state);
+            self.shared.write_checkpoint(snapshot);
+            return Ok(status);
+        }
+        for shard in 0..shards {
+            state.queue.push_back((id, shard));
+        }
+        let status = job.status();
+        state.jobs.insert(id, job);
+        drop(state);
+        self.shared.work_ready.notify_all();
+        Ok(status)
+    }
+
+    /// Progress snapshot of one job.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        let state = self.shared.state.lock().unwrap();
+        state
+            .jobs
+            .get(&id)
+            .map(Job::status)
+            .ok_or_else(|| format!("no such job {id}"))
+    }
+
+    /// Snapshot of every job, newest first.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let state = self.shared.state.lock().unwrap();
+        let mut all: Vec<JobStatus> = state.jobs.values().map(Job::status).collect();
+        all.sort_by_key(|s| std::cmp::Reverse(s.id));
+        all
+    }
+
+    /// Final merged result of a finished job.
+    pub fn result(&self, id: u64) -> Result<Vec<Candidate>, String> {
+        let state = self.shared.state.lock().unwrap();
+        let job = state
+            .jobs
+            .get(&id)
+            .ok_or_else(|| format!("no such job {id}"))?;
+        if job.state != JobState::Done {
+            return Err(format!("job {id} not finished (state={})", job.state));
+        }
+        Ok(job.merged_top())
+    }
+
+    /// Cancel a job: pending shards are dropped from the queue, completed
+    /// shard results stay checkpointed, in-flight shards finish and are
+    /// recorded. Idempotent for finished jobs.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
+        let mut state = self.shared.state.lock().unwrap();
+        state.queue.retain(|&(job_id, _)| job_id != id);
+        let job = state
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| format!("no such job {id}"))?;
+        if matches!(job.state, JobState::Queued | JobState::Running) {
+            job.state = JobState::Cancelled;
+        }
+        if job.state == JobState::Cancelled && job.in_flight.is_empty() {
+            // Release the encoded dataset (O(M*N) bits) while the job is
+            // parked; resume reloads it from spec.path. With shards still
+            // in flight the workers hold their own Arc clones, and the
+            // last completion drops it instead (worker_loop).
+            job.data = None;
+        }
+        let status = job.status();
+        let snapshot = snapshot_if_spooled(job, self.shared.spool_dir.as_deref());
+        drop(state);
+        self.shared.write_checkpoint(snapshot);
+        Ok(status)
+    }
+
+    /// Resume a cancelled (or failed-at-restore) job from its checkpoint:
+    /// reloads the dataset if needed and re-enqueues only the missing
+    /// shards.
+    pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err("engine is shutting down".into());
+        }
+        // Phase 1 — inspect under the lock, but do the (potentially slow)
+        // dataset load/encode outside it: holding the engine mutex during
+        // file I/O would stall every worker and client.
+        let reload_spec = {
+            let state = self.shared.state.lock().unwrap();
+            let job = state
+                .jobs
+                .get(&id)
+                .ok_or_else(|| format!("no such job {id}"))?;
+            match job.state {
+                JobState::Cancelled | JobState::Failed => {}
+                JobState::Done => return Ok(job.status()),
+                other => return Err(format!("job {id} is {other}; nothing to resume")),
+            }
+            job.data.is_none().then(|| job.spec.clone())
+        };
+        let loaded = match reload_spec {
+            Some(spec) => Some(load_encoded(&spec)?),
+            None => None,
+        };
+
+        // Phase 2 — commit under the lock, re-checking the state (another
+        // client may have resumed or the job may have finished meanwhile).
+        let mut state = self.shared.state.lock().unwrap();
+        let job = state
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| format!("no such job {id}"))?;
+        match job.state {
+            JobState::Cancelled | JobState::Failed => {}
+            // lost the race to another resume (or completion): that's fine
+            _ => return Ok(job.status()),
+        }
+        if job.data.is_none() {
+            let Some((data, m)) = loaded else {
+                // data appeared and vanished again between the phases;
+                // exceedingly unlikely — ask the client to retry
+                return Err(format!("job {id} is mid-transition; retry resume"));
+            };
+            if m != job.plan.num_snps() {
+                job.state = JobState::Failed;
+                job.error = Some(format!(
+                    "dataset changed: checkpoint plan covers {} SNPs, file has {m}",
+                    job.plan.num_snps()
+                ));
+                return Err(job.error.clone().unwrap());
+            }
+            job.data = Some(Arc::new(data));
+        }
+        job.error = None;
+        if job.missing_shards().is_empty() {
+            job.state = JobState::Done;
+            let status = job.status();
+            return Ok(status);
+        }
+        // Only shards that are missing *and* not mid-scan get re-enqueued:
+        // an in-flight shard of the cancelled job will record its own
+        // result, so re-enqueuing it would scan it twice.
+        let resumable = job.resumable_shards();
+        job.state = if resumable.is_empty() {
+            // everything left is already in flight; the workers will
+            // finish the job without new queue entries
+            JobState::Running
+        } else {
+            JobState::Queued
+        };
+        let status = job.status();
+        for shard in resumable {
+            state.queue.push_back((id, shard));
+        }
+        drop(state);
+        self.shared.work_ready.notify_all();
+        Ok(status)
+    }
+
+    /// Total shards scanned since engine start (monitoring; also the
+    /// no-rescan proof in tests).
+    pub fn shards_scanned(&self) -> u64 {
+        self.shared.shards_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Current worker count.
+    pub fn num_workers(&self) -> usize {
+        self.workers.lock().unwrap().len()
+    }
+
+    /// Block until the job reaches a stable snapshot (terminal state and
+    /// no shard mid-scan) or the timeout elapses; returns the last status
+    /// seen.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.is_stable() || std::time::Instant::now() >= deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stop the worker pool: in-flight shards finish and are recorded,
+    /// then any job left unfinished is parked in `Cancelled` (checkpoint
+    /// intact) so clients see a resumable terminal state instead of a
+    /// forever-queued job. This also closes the submit/shutdown race: a
+    /// submission that slipped in just before the flag was set is parked
+    /// here rather than stranded.
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+        let mut snapshots = Vec::new();
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.queue.clear();
+            for job in state.jobs.values_mut() {
+                if matches!(job.state, JobState::Queued | JobState::Running) {
+                    job.state = JobState::Cancelled;
+                    job.error = Some("engine stopped before completion; RESUME to continue".into());
+                    job.data = None;
+                    snapshots.push(snapshot_if_spooled(job, self.shared.spool_dir.as_deref()));
+                }
+            }
+        }
+        for snapshot in snapshots {
+            self.shared.write_checkpoint(snapshot);
+        }
+    }
+}
+
+impl Shared {
+    /// Write a checkpoint snapshot to the spool, dropping it if a newer
+    /// snapshot of the same job has already been written (snapshots are
+    /// taken under the state lock but written outside it, so arrival
+    /// order at this point is not snapshot order).
+    fn write_checkpoint(&self, snapshot: Option<(Checkpoint, u64)>) {
+        let (Some(dir), Some((ck, seq))) = (&self.spool_dir, snapshot) else {
+            return;
+        };
+        let mut written = self.spool_written.lock().unwrap();
+        let last = written.entry(ck.job_id).or_insert(0);
+        if *last >= seq {
+            return; // a newer snapshot already reached the disk
+        }
+        *last = seq;
+        // Hold the write guard through the file write: it serialises the
+        // writes themselves, so an older snapshot can never land after a
+        // newer one even at the filesystem level.
+        write_checkpoint_file(dir, &ck);
+    }
+}
+
+/// Checkpoint snapshot (with its ordering sequence), but only when a
+/// spool directory is configured. Must be called under the state lock:
+/// bumping `ckpt_seq` there is what makes the sequence match snapshot
+/// order.
+fn snapshot_if_spooled(job: &mut Job, spool: Option<&Path>) -> Option<(Checkpoint, u64)> {
+    spool?;
+    job.ckpt_seq += 1;
+    Some((Checkpoint::of_job(job), job.ckpt_seq))
+}
+
+/// Atomically write `<dir>/job-<id>.ckpt` (write + rename).
+fn write_checkpoint_file(dir: &Path, ck: &Checkpoint) {
+    let tmp = dir.join(format!("job-{}.ckpt.tmp", ck.job_id));
+    let path = dir.join(format!("job-{}.ckpt", ck.job_id));
+    let write = || -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        ck.write_to(&mut f)?;
+        std::io::Write::flush(&mut f)?;
+        drop(f);
+        std::fs::rename(&tmp, &path)
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "epi-server: checkpoint write for job {} failed: {e}",
+            ck.job_id
+        );
+    }
+}
+
+/// Load and encode a dataset for a spec's scan version.
+fn load_encoded(spec: &JobSpec) -> Result<(EncodedData, usize), String> {
+    let (g, p) = datagen::io::load(&spec.path)
+        .map_err(|e| format!("cannot read dataset {}: {e}", spec.path))?;
+    let m = g.num_snps();
+    let data = match spec.version {
+        Version::V1 => EncodedData::Unsplit(UnsplitDataset::encode(&g, &p)),
+        _ => EncodedData::Split(SplitDataset::encode(&g, &p)),
+    };
+    Ok((data, m))
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // claim one task
+        let claimed = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some((job_id, shard)) = state.queue.pop_front() {
+                    match state.jobs.get_mut(&job_id) {
+                        Some(job)
+                            if job.state == JobState::Queued || job.state == JobState::Running =>
+                        {
+                            job.state = JobState::Running;
+                            job.in_flight.insert(shard);
+                            let data = Arc::clone(job.data.as_ref().expect("queued job has data"));
+                            break Some((
+                                job_id,
+                                shard,
+                                job.plan.range(shard),
+                                job.spec.clone(),
+                                data,
+                            ));
+                        }
+                        // job vanished or was cancelled after enqueue: drop task
+                        _ => continue,
+                    }
+                }
+                state = shared
+                    .work_ready
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .unwrap()
+                    .0;
+            }
+        };
+        let Some((job_id, shard, range, spec, data)) = claimed else {
+            return;
+        };
+
+        // scan outside the lock
+        if spec.throttle_ms > 0 {
+            std::thread::sleep(Duration::from_millis(spec.throttle_ms));
+        }
+        let cfg = spec.scan_config();
+        let top = match &*data {
+            EncodedData::Split(ds) => scan_shard_split(ds, &cfg, range),
+            EncodedData::Unsplit(ds) => scan_shard_unsplit(ds, &cfg, range),
+        };
+        shared.shards_scanned.fetch_add(1, Ordering::Relaxed);
+
+        // record the result
+        let checkpoint = {
+            let mut state = shared.state.lock().unwrap();
+            let Some(job) = state.jobs.get_mut(&job_id) else {
+                continue;
+            };
+            job.in_flight.remove(&shard);
+            job.shard_results[shard as usize] = Some(top.into_sorted());
+            let all_done = job.completed() == job.plan.num_shards();
+            if all_done && job.state == JobState::Running {
+                job.state = JobState::Done;
+            }
+            if all_done && job.state == JobState::Cancelled {
+                // last in-flight shard of a cancelled job completed the
+                // job anyway — promote, nothing left to resume
+                job.state = JobState::Done;
+            }
+            let parked_cancelled = job.state == JobState::Cancelled && job.in_flight.is_empty();
+            if job.data.is_some() && (job.state == JobState::Done || parked_cancelled) {
+                job.data = None; // release the encoded dataset; resume reloads
+            }
+            snapshot_if_spooled(job, shared.spool_dir.as_deref())
+        };
+        shared.write_checkpoint(checkpoint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::DatasetSpec;
+
+    fn write_dataset(name: &str, m: usize, n: usize, seed: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join("epi_server_engine_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{m}x{n}-{seed}.epi3"));
+        let data = DatasetSpec::with_planted_triple(m, n, [2, 5, 9], seed).generate();
+        datagen::io::save_binary(&path, &data).unwrap();
+        path
+    }
+
+    #[test]
+    fn submit_runs_to_done_and_matches_detect() {
+        let path = write_dataset("basic", 14, 256, 33);
+        let engine = Engine::start(EngineConfig {
+            workers: 3,
+            spool_dir: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 9;
+        spec.top_k = 5;
+        let st = engine.submit(spec.clone()).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.done, 9);
+        let got = engine.result(st.id).unwrap();
+
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V4);
+        cfg.top_k = 5;
+        let want = epi_core::scan::scan(&g, &p, &cfg).top;
+        assert_eq!(got, want);
+        engine.stop();
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_pool() {
+        let path_a = write_dataset("a", 12, 128, 1);
+        let path_b = write_dataset("b", 13, 96, 2);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+        });
+        let mut spec_a = JobSpec::new(path_a.to_str().unwrap());
+        spec_a.shards = 5;
+        let mut spec_b = JobSpec::new(path_b.to_str().unwrap());
+        spec_b.shards = 6;
+        spec_b.version = Version::V2;
+        let a = engine.submit(spec_a).unwrap();
+        let b = engine.submit(spec_b).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(
+            engine.wait(a.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(
+            engine.wait(b.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(engine.shards_scanned(), 11);
+        engine.stop();
+    }
+
+    #[test]
+    fn bad_path_is_rejected_at_submit() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+        });
+        assert!(engine.submit(JobSpec::new("/no/such/file.epi3")).is_err());
+        assert!(engine.status(99).is_err());
+        assert!(engine.result(1).is_err());
+        engine.stop();
+    }
+
+    #[test]
+    fn tiny_dataset_completes_immediately() {
+        let dir = std::env::temp_dir().join("epi_server_engine_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.epi3");
+        let data = DatasetSpec::noise(2, 16, 5).generate();
+        datagen::io::save_binary(&path, &data).unwrap();
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+        });
+        let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
+        assert_eq!(st.state, JobState::Done);
+        assert!(engine.result(st.id).unwrap().is_empty());
+        engine.stop();
+    }
+
+    #[test]
+    fn cancel_then_resume_never_rescans() {
+        let path = write_dataset("resume", 16, 200, 7);
+        let spool = std::env::temp_dir().join(format!("epi_server_spool_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: Some(spool.clone()),
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 24;
+        spec.throttle_ms = 20; // make the cancel window deterministic
+        let st = engine.submit(spec).unwrap();
+        // let a few shards complete, then cancel
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let s = engine.status(st.id).unwrap();
+            if s.done >= 3 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let cancelled = engine.cancel(st.id).unwrap();
+        // in-flight shards may still land; wait for quiescence
+        let quiesced = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert!(matches!(
+            quiesced.state,
+            JobState::Cancelled | JobState::Done
+        ));
+        let after_cancel = engine.status(st.id).unwrap().done;
+        assert!(after_cancel >= cancelled.done);
+        assert!(
+            after_cancel < 24,
+            "cancel landed too late for the test to mean anything"
+        );
+        let scanned_before_resume = engine.shards_scanned();
+        assert_eq!(scanned_before_resume, after_cancel);
+
+        let resumed = engine.resume(st.id).unwrap();
+        assert_eq!(resumed.state, JobState::Queued);
+        let done = engine.wait(st.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        // the no-rescan proof: total scans == total shards
+        assert_eq!(engine.shards_scanned(), 24);
+
+        // and the result is still exactly the monolithic scan
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V4);
+        cfg.top_k = 10;
+        assert_eq!(
+            engine.result(st.id).unwrap(),
+            epi_core::scan::scan(&g, &p, &cfg).top
+        );
+        engine.stop();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn immediate_resume_after_cancel_does_not_rescan_in_flight_shards() {
+        let path = write_dataset("hotresume", 15, 180, 3);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 18;
+        spec.throttle_ms = 25;
+        let st = engine.submit(spec).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.status(st.id).unwrap().done < 2 {
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // cancel and resume back-to-back, while shards are still in
+        // flight — the resume must not re-enqueue mid-scan shards
+        engine.cancel(st.id).unwrap();
+        engine.resume(st.id).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(
+            engine.shards_scanned(),
+            18,
+            "every shard must be scanned exactly once despite cancel+resume racing in-flight work"
+        );
+        engine.stop();
+    }
+
+    #[test]
+    fn cancel_releases_the_encoded_dataset() {
+        let path = write_dataset("memrelease", 14, 150, 8);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 12;
+        spec.throttle_ms = 20;
+        let st = engine.submit(spec).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.status(st.id).unwrap().done < 1 {
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        engine.cancel(st.id).unwrap();
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        {
+            let state = engine.shared.state.lock().unwrap();
+            let job = state.jobs.get(&st.id).unwrap();
+            if job.state == JobState::Cancelled {
+                assert!(
+                    job.data.is_none(),
+                    "parked cancelled job must not hold the encoded dataset"
+                );
+            }
+        }
+        // resume still works: the dataset is reloaded from disk
+        engine.resume(st.id).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        engine.stop();
+    }
+
+    #[test]
+    fn checkpoint_restores_across_engine_restarts() {
+        let path = write_dataset("restart", 14, 160, 11);
+        let spool = std::env::temp_dir().join(format!("epi_server_restart_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+
+        // first engine: run some shards, cancel, stop
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 16;
+        spec.throttle_ms = 15;
+        let st = engine.submit(spec).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.status(st.id).unwrap().done < 2 {
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        engine.cancel(st.id).unwrap();
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        let first_run_done = engine.status(st.id).unwrap().done;
+        assert!(first_run_done >= 2);
+        engine.stop();
+
+        // second engine restores the checkpoint from the spool
+        let engine2 = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: Some(spool.clone()),
+        });
+        let restored = engine2.status(st.id).unwrap();
+        assert!(matches!(
+            restored.state,
+            JobState::Cancelled | JobState::Done
+        ));
+        assert_eq!(restored.done, first_run_done);
+        engine2.resume(st.id).unwrap();
+        let done = engine2.wait(st.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        // only the missing shards were scanned in the second engine
+        assert_eq!(engine2.shards_scanned(), 16 - first_run_done);
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V4);
+        cfg.top_k = 10;
+        assert_eq!(
+            engine2.result(st.id).unwrap(),
+            epi_core::scan::scan(&g, &p, &cfg).top
+        );
+        engine2.stop();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

@@ -1,0 +1,85 @@
+//! # epi-server — sharded, resumable scan jobs behind a TCP service
+//!
+//! The paper's exhaustive three-way scan is a single monolithic pass over
+//! all `C(M,3)` triples. This crate turns that pass into a *job*: the
+//! combination range is partitioned into `S` deterministic shards
+//! ([`epi_core::shard::ShardPlan`]), a worker pool drains shards from a
+//! queue shared by all concurrent jobs, per-shard top-K results are
+//! checkpointed as they land, and merging the shard results reproduces
+//! the monolithic scan **bit-identically**. Cancelled (or crashed) jobs
+//! resume from the checkpoint without rescanning completed shards.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  client ──TCP──>  Server ──> Engine ── shard queue ──> worker pool
+//!                                 │                          │
+//!                            job table <── per-shard TopK ───┘
+//!                                 │
+//!                            spool dir (job-<id>.ckpt)
+//! ```
+//!
+//! * [`spec::JobSpec`] — what to scan: dataset path, Version, shard
+//!   count, top-K, objective.
+//! * [`engine::Engine`] — job table + shared FIFO shard queue + workers.
+//!   Each worker claims one `(job, shard)` task at a time, scans it
+//!   single-threaded with [`epi_core::shard::scan_shard_split`] /
+//!   [`scan_shard_unsplit`](epi_core::shard::scan_shard_unsplit), and
+//!   records the shard's sorted candidates under the job.
+//! * [`codec::Checkpoint`] — std-only, line-oriented serialization of a
+//!   job's spec + completed shard results. Scores are stored as
+//!   `f64::to_bits` hex so resumes stay bit-identical.
+//! * [`server::Server`] / [`client::Client`] — the TCP front end.
+//!
+//! ## Wire protocol
+//!
+//! Line-delimited UTF-8 over TCP; one request per line. Replies start
+//! with `OK` or `ERR <message>`. Values that may contain whitespace are
+//! `%`-escaped ([`spec::escape`]).
+//!
+//! | Request | Reply |
+//! |---------|-------|
+//! | `SUBMIT path=<f> [version=v1..v4] [shards=N] [top=K] [mi] [throttle_ms=N]` | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C>` |
+//! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [error=<e>]` |
+//! | `RESULT <id>` | `OK job=<id> count=<k>` then `k` x `CAND <i0> <i1> <i2> <bits-hex> <score>` then `END` |
+//! | `CANCEL <id>` | status line; pending shards dropped, finished ones kept |
+//! | `RESUME <id>` | status line; missing shards re-enqueued |
+//! | `JOBS` | `OK count=<n>`, `n` x `JOB <status fields>`, `END` |
+//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w>` |
+//! | `PING` | `OK pong` |
+//! | `SHUTDOWN` | `OK bye`, then the server stops |
+//!
+//! States: `queued → running → done`, with `cancelled` (resumable) and
+//! `failed` (diagnostic in `error=`) off the main path.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use epi_server::{Client, EngineConfig, JobSpec, Server};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", EngineConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let job = client.submit(&JobSpec::new("cohort.epi3")).unwrap();
+//! let done = client.wait(job.id, Duration::from_secs(600)).unwrap();
+//! let top = client.result(done.id).unwrap();
+//! println!("best triple: {:?}", top.first());
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod engine;
+pub mod job;
+pub mod server;
+pub mod spec;
+
+pub use client::Client;
+pub use codec::Checkpoint;
+pub use engine::{Engine, EngineConfig};
+pub use job::{JobState, JobStatus};
+pub use server::{Server, ServerHandle};
+pub use spec::JobSpec;

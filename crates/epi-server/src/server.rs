@@ -1,0 +1,227 @@
+//! Line-delimited TCP front end for the job engine.
+//!
+//! One request per line, one reply per line — except RESULT, whose reply
+//! is a header line, `count` candidate lines, and a terminating `END`.
+//! See the crate docs for the full verb reference.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::job::JobStatus;
+use crate::spec::{escape, JobSpec};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running job service bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+    /// start the engine's worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: EngineConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            engine: Engine::start(cfg),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The underlying engine (tests inspect scan counters through this).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Serve until a client sends SHUTDOWN. Each connection gets its own
+    /// thread; the engine's worker pool is shared.
+    pub fn run(&self) {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.local_addr();
+            std::thread::spawn(move || {
+                if handle_connection(stream, &engine, &stop) == ConnOutcome::Shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    // unblock the accept loop
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+        }
+        self.engine.stop();
+    }
+
+    /// Run the accept loop on a background thread, returning a handle the
+    /// caller can use to reach and stop the server.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Send SHUTDOWN and join the accept loop.
+    pub fn shutdown(self) {
+        if let Ok(mut client) = crate::client::Client::connect(self.addr) {
+            let _ = client.shutdown();
+        }
+        let _ = self.thread.join();
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum ConnOutcome {
+    Closed,
+    Shutdown,
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> ConnOutcome {
+    let Ok(peer_read) = stream.try_clone() else {
+        return ConnOutcome::Closed;
+    };
+    let mut reader = BufReader::new(peer_read);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return ConnOutcome::Closed,
+            Ok(_) => {}
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if stop.load(Ordering::SeqCst) {
+            // Another connection initiated SHUTDOWN: the engine's workers
+            // are stopping, so accepting work (or answering as if alive)
+            // would silently strand jobs. Refuse and close.
+            let _ = writer.write_all(b"ERR server shutting down\n");
+            let _ = writer.flush();
+            return ConnOutcome::Closed;
+        }
+        let (reply, is_shutdown) = dispatch(request, engine);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+            return ConnOutcome::Closed;
+        }
+        if is_shutdown {
+            return ConnOutcome::Shutdown;
+        }
+    }
+}
+
+/// Render a STATUS-style reply line for a job.
+fn status_line(s: &JobStatus) -> String {
+    let mut out = format!(
+        "OK job={} state={} done={} total={} in_flight={} combos={}",
+        s.id,
+        s.state.name(),
+        s.done,
+        s.total,
+        s.in_flight,
+        s.combos
+    );
+    if let Some(err) = &s.error {
+        out.push_str(" error=");
+        out.push_str(&escape(err));
+    }
+    out.push('\n');
+    out
+}
+
+fn dispatch(request: &str, engine: &Engine) -> (String, bool) {
+    let mut parts = request.split_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    let rest: Vec<&str> = parts.collect();
+    let reply = match verb.as_str() {
+        "PING" => Ok("OK pong\n".to_string()),
+        "SUBMIT" => JobSpec::parse_tokens(&rest)
+            .and_then(|spec| engine.submit(spec))
+            .map(|s| status_line(&s)),
+        "STATUS" => parse_id(&rest)
+            .and_then(|id| engine.status(id))
+            .map(|s| status_line(&s)),
+        "CANCEL" => parse_id(&rest)
+            .and_then(|id| engine.cancel(id))
+            .map(|s| status_line(&s)),
+        "RESUME" => parse_id(&rest)
+            .and_then(|id| engine.resume(id))
+            .map(|s| status_line(&s)),
+        "RESULT" => parse_id(&rest).and_then(|id| {
+            let cands = engine.result(id)?;
+            let mut out = format!("OK job={id} count={}\n", cands.len());
+            for c in &cands {
+                out.push_str(&format!(
+                    "CAND {} {} {} {:016x} {:.6}\n",
+                    c.triple.0,
+                    c.triple.1,
+                    c.triple.2,
+                    c.score.to_bits(),
+                    c.score
+                ));
+            }
+            out.push_str("END\n");
+            Ok(out)
+        }),
+        "JOBS" => {
+            let jobs = engine.jobs();
+            let mut out = format!("OK count={}\n", jobs.len());
+            for s in &jobs {
+                out.push_str("JOB ");
+                out.push_str(status_line(s).trim_start_matches("OK "));
+            }
+            out.push_str("END\n");
+            Ok(out)
+        }
+        "STATS" => Ok(format!(
+            "OK jobs={} scanned={} workers={}\n",
+            engine.jobs().len(),
+            engine.shards_scanned(),
+            engine.num_workers(),
+        )),
+        "SHUTDOWN" => {
+            return ("OK bye\n".to_string(), true);
+        }
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown verb {other:?} (try SUBMIT/STATUS/RESULT/CANCEL/RESUME/JOBS/STATS/PING/SHUTDOWN)"
+        )),
+    };
+    let text = match reply {
+        Ok(ok) => ok,
+        Err(e) => format!("ERR {}\n", e.replace('\n', " ")),
+    };
+    (text, false)
+}
+
+fn parse_id(rest: &[&str]) -> Result<u64, String> {
+    match rest {
+        [id] => id.parse().map_err(|_| format!("bad job id {id:?}")),
+        _ => Err("expected exactly one job id".to_string()),
+    }
+}

@@ -1,0 +1,209 @@
+//! Job specifications and the `key=value` token format they share with
+//! the wire protocol and the checkpoint codec.
+
+use epi_core::scan::{ObjectiveKind, ScanConfig, Version};
+
+/// Everything needed to (re)create a scan job deterministically: the
+/// dataset location plus the scan and sharding configuration. A spec is
+/// value-like — two equal specs always denote the same work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Path of the dataset file (server-side, `datagen::io::load` format).
+    pub path: String,
+    /// Scan approach (V1–V4).
+    pub version: Version,
+    /// Number of shards the combination range is split into.
+    pub shards: u64,
+    /// Candidates retained per shard and in the final result.
+    pub top_k: usize,
+    /// Objective function.
+    pub objective: ObjectiveKind,
+    /// Artificial delay per shard in milliseconds. `0` in production;
+    /// tests use it to make cancellation windows deterministic, and
+    /// operators can use it to pace a low-priority job.
+    pub throttle_ms: u64,
+}
+
+impl JobSpec {
+    /// Spec with the service defaults: V4, 64 shards, top-10, K2.
+    pub fn new(path: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            version: Version::V4,
+            shards: 64,
+            top_k: 10,
+            objective: ObjectiveKind::K2,
+            throttle_ms: 0,
+        }
+    }
+
+    /// The `ScanConfig` a worker uses for one shard of this job.
+    /// Workers always scan single-threaded: parallelism comes from
+    /// draining many shards concurrently, not from threads per shard.
+    pub fn scan_config(&self) -> ScanConfig {
+        let mut cfg = ScanConfig::new(self.version);
+        cfg.top_k = self.top_k.max(1);
+        cfg.threads = 1;
+        cfg.objective = self.objective;
+        cfg
+    }
+
+    /// Render as `key=value` tokens (the SUBMIT argument format).
+    pub fn to_tokens(&self) -> String {
+        let mut s = format!(
+            "path={} version={} shards={} top={}",
+            escape(&self.path),
+            self.version.name().to_ascii_lowercase(),
+            self.shards,
+            self.top_k,
+        );
+        if self.objective == ObjectiveKind::NegMutualInformation {
+            s.push_str(" mi");
+        }
+        if self.throttle_ms > 0 {
+            s.push_str(&format!(" throttle_ms={}", self.throttle_ms));
+        }
+        s
+    }
+
+    /// Parse `key=value` tokens (inverse of [`JobSpec::to_tokens`]).
+    /// Unknown keys are rejected so typos fail loudly.
+    pub fn parse_tokens(tokens: &[&str]) -> Result<Self, String> {
+        let mut path: Option<String> = None;
+        let mut spec = Self::new(String::new());
+        for tok in tokens {
+            if *tok == "mi" {
+                spec.objective = ObjectiveKind::NegMutualInformation;
+                continue;
+            }
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token {tok:?}, expected key=value"))?;
+            match key {
+                "path" => path = Some(unescape(value)?),
+                "version" => {
+                    spec.version = match value.to_ascii_lowercase().as_str() {
+                        "v1" => Version::V1,
+                        "v2" => Version::V2,
+                        "v3" => Version::V3,
+                        "v4" => Version::V4,
+                        other => return Err(format!("unknown version {other:?}")),
+                    }
+                }
+                "shards" => {
+                    spec.shards = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or_else(|| format!("shards expects a positive number, got {value:?}"))?
+                }
+                "top" => {
+                    spec.top_k = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| format!("top expects a positive number, got {value:?}"))?
+                }
+                "throttle_ms" => {
+                    spec.throttle_ms = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("throttle_ms expects a number, got {value:?}"))?
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        spec.path = path.ok_or("missing required key path=")?;
+        Ok(spec)
+    }
+}
+
+/// Escape a string into a single all-ASCII, whitespace-free token
+/// (`%`-encoding of `%`, whitespace, control bytes, and every non-ASCII
+/// byte), so values survive the space-separated wire and checkpoint
+/// formats and [`unescape`] restores the exact original — including
+/// multi-byte UTF-8 sequences, which are escaped byte by byte.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if b == b'%' || b >= 0x80 || b.is_ascii_whitespace() || b.is_ascii_control() {
+            out.push('%');
+            out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+pub fn unescape(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in {s:?}"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| format!("bad escape in {s:?}"))?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape in {s:?}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escape decodes to invalid UTF-8 in {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_roundtrip() {
+        let mut spec = JobSpec::new("/data/with space/x.epi3");
+        spec.version = Version::V2;
+        spec.shards = 7;
+        spec.top_k = 3;
+        spec.objective = ObjectiveKind::NegMutualInformation;
+        spec.throttle_ms = 25;
+        let line = spec.to_tokens();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let spec = JobSpec::parse_tokens(&["path=x.epi3"]).unwrap();
+        assert_eq!(spec.version, Version::V4);
+        assert_eq!(spec.shards, 64);
+        assert_eq!(spec.top_k, 10);
+        assert!(JobSpec::parse_tokens(&[]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "shards=0"]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "nope=1"]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "version=v9"]).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_awkward_strings() {
+        for s in [
+            "plain",
+            "with space",
+            "tab\there",
+            "pct%25",
+            "new\nline",
+            "",
+            "/data/café.epi3",
+            "日本語/パス.epi3",
+            "mixed café\ttab%",
+        ] {
+            let esc = escape(s);
+            assert!(esc.is_ascii(), "escape must emit pure ASCII: {esc:?}");
+            let esc = escape(s);
+            assert!(!esc.contains(char::is_whitespace));
+            assert_eq!(unescape(&esc).unwrap(), s);
+        }
+    }
+}

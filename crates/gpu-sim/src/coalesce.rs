@@ -21,11 +21,7 @@ const WORD_BYTES: usize = WORD_BITS / 8;
 /// `warp` holds the triples assigned to consecutive threads; at each step
 /// every thread loads the six plane words `(snp, g ∈ {0,1})` of its triple
 /// at sample word `word`. Returns `(ideal, actual)` transaction counts.
-pub fn warp_transactions<L: SnpLayout>(
-    layout: &L,
-    warp: &[Triple],
-    word: usize,
-) -> (usize, usize) {
+pub fn warp_transactions<L: SnpLayout>(layout: &L, warp: &[Triple], word: usize) -> (usize, usize) {
     let words_per_txn = TRANSACTION_BYTES / WORD_BYTES;
     let mut lines: HashSet<usize> = HashSet::new();
     let mut requests = 0usize;

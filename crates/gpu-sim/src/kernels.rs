@@ -97,11 +97,8 @@ mod tests {
         let (g, p) = dataset(5, 97, 2);
         let ds = UnsplitDataset::encode(&g, &p);
         for t in [(0u32, 1, 2), (1, 2, 4), (0, 3, 4)] {
-            let want = ContingencyTable::from_dense(
-                &g,
-                &p,
-                (t.0 as usize, t.1 as usize, t.2 as usize),
-            );
+            let want =
+                ContingencyTable::from_dense(&g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
             assert_eq!(thread_v1(&ds, t), want);
         }
     }
@@ -118,11 +115,8 @@ mod tests {
         let ti_c = TiledPlanes::from_class(split.controls(), m, 4);
         let ti_k = TiledPlanes::from_class(split.cases(), m, 4);
         for t in [(0u32, 1, 2), (2, 5, 8), (1, 4, 7), (0, 4, 8)] {
-            let want = ContingencyTable::from_dense(
-                &g,
-                &p,
-                (t.0 as usize, t.1 as usize, t.2 as usize),
-            );
+            let want =
+                ContingencyTable::from_dense(&g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
             assert_eq!(thread_split(&row_c, &row_k, t), want, "row-major {t:?}");
             assert_eq!(thread_split(&tr_c, &tr_k, t), want, "transposed {t:?}");
             assert_eq!(thread_split(&ti_c, &ti_k, t), want, "tiled {t:?}");

@@ -236,9 +236,7 @@ mod tests {
         let preds = model().fig4_series(2048, 16384);
         let best = preds
             .iter()
-            .max_by(|a, b| {
-                a.gelems_per_sec_per_cu.total_cmp(&b.gelems_per_sec_per_cu)
-            })
+            .max_by(|a, b| a.gelems_per_sec_per_cu.total_cmp(&b.gelems_per_sec_per_cu))
             .unwrap();
         assert_eq!(best.device, "GN1");
         // ≈ 2× Titan V per CU in the paper
@@ -266,12 +264,28 @@ mod tests {
         // Paper §V-D/E: Titan RTX ≈ 2.2, Mi100 ≈ 2.25-2.5, A100 ≈ 2.7
         // Tera elems/s; GI2 ≈ 0.28; efficiency GI2 ≈ 11.3 Gelems/J.
         let rtx = predict("GN3", GpuVersion::V4);
-        assert!((rtx.gelems_per_sec - 2200.0).abs() < 400.0, "{}", rtx.gelems_per_sec);
+        assert!(
+            (rtx.gelems_per_sec - 2200.0).abs() < 400.0,
+            "{}",
+            rtx.gelems_per_sec
+        );
         let a100 = predict("GN4", GpuVersion::V4);
-        assert!((a100.gelems_per_sec - 2732.0).abs() < 500.0, "{}", a100.gelems_per_sec);
+        assert!(
+            (a100.gelems_per_sec - 2732.0).abs() < 500.0,
+            "{}",
+            a100.gelems_per_sec
+        );
         let gi2 = predict("GI2", GpuVersion::V4);
-        assert!((gi2.gelems_per_sec - 282.0).abs() < 80.0, "{}", gi2.gelems_per_sec);
-        assert!((gi2.gelems_per_joule - 11.3).abs() < 3.0, "{}", gi2.gelems_per_joule);
+        assert!(
+            (gi2.gelems_per_sec - 282.0).abs() < 80.0,
+            "{}",
+            gi2.gelems_per_sec
+        );
+        assert!(
+            (gi2.gelems_per_joule - 11.3).abs() < 3.0,
+            "{}",
+            gi2.gelems_per_joule
+        );
     }
 
     #[test]
@@ -291,8 +305,17 @@ mod tests {
     fn seconds_scale_with_workload() {
         let small = predict("GN2", GpuVersion::V4).seconds;
         let big = model()
-            .predict(&GpuDevice::by_id("GN2").unwrap(), GpuVersion::V4, 4096, 16384)
+            .predict(
+                &GpuDevice::by_id("GN2").unwrap(),
+                GpuVersion::V4,
+                4096,
+                16384,
+            )
             .seconds;
-        assert!((big / small - 8.0).abs() < 0.2, "C(2M,3)≈8·C(M,3): {}", big / small);
+        assert!(
+            (big / small - 8.0).abs() < 0.2,
+            "C(2M,3)≈8·C(M,3): {}",
+            big / small
+        );
     }
 }

@@ -16,7 +16,10 @@ fn main() {
 
     println!("== Fig. 2a — CARM, Intel Xeon Platinum 8360Y (Ice Lake SP) ==\n");
     let cpu_points = characterize_cpu(&ci3);
-    print!("{}", plot::render(&Roofline::for_cpu(&ci3), &cpu_points, 64, 18));
+    print!(
+        "{}",
+        plot::render(&Roofline::for_cpu(&ci3), &cpu_points, 64, 18)
+    );
     println!("\nmodelled points:");
     for p in &cpu_points {
         println!(
@@ -30,7 +33,10 @@ fn main() {
 
     println!("\n== Fig. 2b — CARM, Intel Iris Xe MAX (Gen12) ==\n");
     let gpu_points = characterize_gpu(&gi2);
-    print!("{}", plot::render(&Roofline::for_gpu(&gi2), &gpu_points, 64, 18));
+    print!(
+        "{}",
+        plot::render(&Roofline::for_gpu(&gi2), &gpu_points, 64, 18)
+    );
     println!("\nmodelled points:");
     for p in &gpu_points {
         println!(

@@ -75,11 +75,14 @@ fn main() {
     );
     let hetero = best_cpu.gelems_per_sec_total
         + GpuTimingModel::default()
-            .predict(&GpuDevice::by_id("GN1").unwrap(), GpuVersion::V4, 8192, 16384)
+            .predict(
+                &GpuDevice::by_id("GN1").unwrap(),
+                GpuVersion::V4,
+                8192,
+                16384,
+            )
             .gelems_per_sec;
-    println!(
-        "CI3+GN1 heterogeneous estimate: {hetero:.0} G elements/s (paper: ~3300)"
-    );
+    println!("CI3+GN1 heterogeneous estimate: {hetero:.0} G elements/s (paper: ~3300)");
 
     // sanity: catalog sizes
     assert_eq!(CpuDevice::table1().len(), 5);

@@ -29,14 +29,20 @@ fn main() {
 
     println!("\ntop 5 candidates (K2, lower = better):");
     for c in result.top.iter().take(5) {
-        println!("  ({:>2}, {:>2}, {:>2})  K2 = {:.3}", c.triple.0, c.triple.1, c.triple.2, c.score);
+        println!(
+            "  ({:>2}, {:>2}, {:>2})  K2 = {:.3}",
+            c.triple.0, c.triple.1, c.triple.2, c.score
+        );
     }
 
     let best = result.best().expect("non-empty scan");
     let t = best.triple;
     let truth = data.truth.expect("planted interaction");
     if truth.matches(&[t.0 as usize, t.1 as usize, t.2 as usize]) {
-        println!("\nplanted interaction {:?} correctly recovered ✓", truth.snps);
+        println!(
+            "\nplanted interaction {:?} correctly recovered ✓",
+            truth.snps
+        );
     } else {
         println!("\nWARNING: best triple {t:?} != planted {:?}", truth.snps);
         std::process::exit(1);

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of [rayon](https://crates.io/crates/rayon)
+//! used by this workspace.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! same names with a simple chunked std::thread implementation: a parallel
+//! iterator is materialised eagerly, split into one contiguous chunk per
+//! worker, and each chunk is folded on its own scoped thread. That matches
+//! what the workspace needs from rayon — `into_par_iter` / `par_iter`,
+//! `with_min_len`, `fold`, `reduce`, `collect`, `ThreadPoolBuilder`,
+//! `install`, and `scope` — with real parallelism, if not work stealing.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail
+/// in the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+
+    /// The shim has no global pool; accepted for API compatibility.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+/// A scoped thread-count override: code run under [`ThreadPool::install`]
+/// sees this pool's thread count.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.threads));
+        let out = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Placeholder scope handle (the workspace only uses `scope(|_| {})` to
+/// warm the pool, which is a no-op here).
+pub struct Scope;
+
+pub fn scope<F: FnOnce(&Scope)>(f: F) {
+    f(&Scope)
+}
+
+/// Eagerly materialised "parallel" iterator.
+pub struct ParIter<I> {
+    items: Vec<I>,
+    min_len: usize,
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Fold each worker's contiguous chunk into a per-worker accumulator,
+    /// like rayon's `fold`: the result holds one state per chunk.
+    pub fn fold<S, ID, F>(self, identity: ID, fold_op: F) -> FoldStates<S>
+    where
+        S: Send,
+        ID: Fn() -> S + Sync,
+        F: Fn(S, I) -> S + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return FoldStates { states: Vec::new() };
+        }
+        let workers = current_threads().max(1);
+        let chunk = n.div_ceil(workers).max(self.min_len);
+        let mut chunks: Vec<Vec<I>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut states: Vec<Option<S>> = Vec::new();
+        states.resize_with(chunks.len(), || None);
+        std::thread::scope(|scope| {
+            let identity = &identity;
+            let fold_op = &fold_op;
+            let mut handles = Vec::with_capacity(chunks.len());
+            for part in chunks {
+                handles.push(scope.spawn(move || {
+                    let mut acc = identity();
+                    for item in part {
+                        acc = fold_op(acc, item);
+                    }
+                    acc
+                }));
+            }
+            for (slot, handle) in states.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        FoldStates {
+            states: states.into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// Per-chunk fold states; supports the `collect` / `reduce` consumers the
+/// workspace uses after `fold`.
+pub struct FoldStates<S> {
+    states: Vec<S>,
+}
+
+impl<S> FoldStates<S> {
+    pub fn collect<C: FromIterator<S>>(self) -> C {
+        self.states.into_iter().collect()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S
+    where
+        ID: Fn() -> S,
+        OP: Fn(S, S) -> S,
+    {
+        self.states.into_iter().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn fold_collect_covers_every_item() {
+        let states: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .with_min_len(4)
+            .fold(|| 0u64, |acc, i| acc + i as u64)
+            .collect();
+        assert_eq!(states.iter().sum::<u64>(), 499_500);
+    }
+
+    #[test]
+    fn par_iter_reduce_matches_serial() {
+        let data: Vec<u32> = (1..=100).collect();
+        let sum = data
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + u64::from(x))
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let states: Vec<u32> = pool.install(|| {
+            (0..10usize)
+                .into_par_iter()
+                .fold(|| 0u32, |a, _| a + 1)
+                .collect()
+        });
+        assert!(states.len() <= 2);
+        assert_eq!(states.iter().sum::<u32>(), 10);
+    }
+}

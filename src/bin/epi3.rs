@@ -3,13 +3,18 @@
 //! ```console
 //! $ epi3 gen --snps 64 --samples 1024 --plant 5,21,40 --out data.epi3
 //! $ epi3 scan data.epi3 --version v4 --top 5
+//! $ epi3 shards data.epi3 --shards 64 --verify
 //! $ epi3 pairs data.epi3 --top 5
 //! $ epi3 significance data.epi3 --permutations 19
 //! $ epi3 summary data.epi3
 //! $ epi3 devices
+//! $ epi3 serve --addr 127.0.0.1:7733 --spool /var/spool/epi3 &
+//! $ epi3 submit data.epi3 --shards 64 --wait
+//! $ epi3 status --all
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 use threeway_epistasis::prelude::*;
 
 fn main() -> ExitCode {
@@ -34,10 +39,29 @@ commands:
                   [--balance] --out FILE [--text]
   scan FILE     exhaustive three-way scan
                   [--version v1|v2|v3|v4] [--top K] [--threads N] [--mi]
+  shards FILE   sharded three-way scan (the job service's work unit)
+                  [--shards S] [--version vN] [--top K] [--threads N]
+                  [--verify]  (also run monolithically and compare)
   pairs FILE    exhaustive two-way scan [--top K] [--threads N]
   significance FILE   permutation test [--permutations P] [--seed N]
   summary FILE  dataset quality-control summary
-  devices       print the paper's device catalogs (Tables I & II)";
+  devices       print the paper's device catalogs (Tables I & II)
+
+job service (line-delimited TCP, see epi_server crate docs):
+  serve         run the scan-job server (blocks until SHUTDOWN)
+                  [--addr HOST:PORT] [--workers N] [--spool DIR]
+  submit FILE   submit a scan job to a server
+                  [--addr HOST:PORT] [--version vN] [--shards S]
+                  [--top K] [--mi] [--throttle-ms N] [--wait]
+  status [JOB]  poll one job, or all jobs with --all
+                  [--addr HOST:PORT]
+  result JOB    fetch the merged top-K of a finished job [--addr]
+  cancel JOB    cancel a job, keeping its checkpoint [--addr]
+  resume JOB    resume a cancelled job from its checkpoint [--addr]
+
+default server address: 127.0.0.1:7733";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7733";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("no command given")?;
@@ -45,10 +69,17 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "gen" => cmd_gen(rest),
         "scan" => cmd_scan(rest),
+        "shards" => cmd_shards(rest),
         "pairs" => cmd_pairs(rest),
         "significance" => cmd_significance(rest),
         "summary" => cmd_summary(rest),
         "devices" => cmd_devices(),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "result" => cmd_result(rest),
+        "cancel" => cmd_job_verb(rest, JobVerb::Cancel),
+        "resume" => cmd_job_verb(rest, JobVerb::Resume),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -69,7 +100,9 @@ fn opt_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 fn opt_usize(args: &[String], key: &str, default: usize) -> Result<usize, String> {
     match opt_value(args, key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{key} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{key} expects a number, got {v:?}")),
     }
 }
 
@@ -129,13 +162,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let (g, p) = load_dataset(args)?;
-    let version = match opt_value(args, "--version").unwrap_or("v4") {
-        "v1" | "V1" => Version::V1,
-        "v2" | "V2" => Version::V2,
-        "v3" | "V3" => Version::V3,
-        "v4" | "V4" => Version::V4,
-        other => return Err(format!("unknown version {other:?}")),
-    };
+    let version = parse_version(args)?;
     let mut cfg = ScanConfig::new(version);
     cfg.top_k = opt_usize(args, "--top", 5)?;
     cfg.threads = opt_usize(args, "--threads", 0)?;
@@ -160,16 +187,178 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_version(args: &[String]) -> Result<Version, String> {
+    match opt_value(args, "--version").unwrap_or("v4") {
+        "v1" | "V1" => Ok(Version::V1),
+        "v2" | "V2" => Ok(Version::V2),
+        "v3" | "V3" => Ok(Version::V3),
+        "v4" | "V4" => Ok(Version::V4),
+        other => Err(format!("unknown version {other:?}")),
+    }
+}
+
+fn cmd_shards(args: &[String]) -> Result<(), String> {
+    let (g, p) = load_dataset(args)?;
+    let shards = opt_usize(args, "--shards", 64)? as u64;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut cfg = ScanConfig::new(parse_version(args)?);
+    cfg.top_k = opt_usize(args, "--top", 5)?;
+    cfg.threads = opt_usize(args, "--threads", 0)?;
+    let plan = ShardPlan::triples(g.num_snps(), shards);
+    let res = scan_sharded(&g, &p, &cfg, shards);
+    println!(
+        "{} combinations over {} shards (~{} each) in {:.3} s -> {:.2} G elements/s [{}]",
+        res.combos,
+        plan.num_shards(),
+        plan.total_combos().div_ceil(plan.num_shards().max(1)),
+        res.elapsed.as_secs_f64(),
+        res.giga_elements_per_sec(),
+        cfg.version.name(),
+    );
+    for c in &res.top {
+        println!(
+            "  ({}, {}, {})  score = {:.4}",
+            c.triple.0, c.triple.1, c.triple.2, c.score
+        );
+    }
+    if opt_flag(args, "--verify") {
+        let mono = scan(&g, &p, &cfg);
+        if mono.top == res.top {
+            println!(
+                "verify: sharded == monolithic ({} candidates bit-identical; monolithic {:.3} s)",
+                mono.top.len(),
+                mono.elapsed.as_secs_f64()
+            );
+        } else {
+            return Err("verify FAILED: sharded result differs from monolithic scan".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = opt_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let cfg = EngineConfig {
+        workers: opt_usize(args, "--workers", 0)?,
+        spool_dir: opt_value(args, "--spool").map(Into::into),
+    };
+    let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("epi3 job server listening on {}", server.local_addr());
+    server.run();
+    println!("epi3 job server stopped");
+    Ok(())
+}
+
+fn connect(args: &[String]) -> Result<Client, String> {
+    let addr = opt_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn print_status(s: &threeway_epistasis::epi_server::JobStatus) {
+    let extra = s
+        .error
+        .as_deref()
+        .map(|e| format!("  error: {e}"))
+        .unwrap_or_default();
+    println!(
+        "job {}: {}  [{} / {} shards done, {} in flight, {} combinations]{extra}",
+        s.id, s.state, s.done, s.total, s.in_flight, s.combos
+    );
+}
+
+fn print_candidates(cands: &[Candidate]) {
+    for c in cands {
+        println!(
+            "  ({}, {}, {})  score = {:.4}",
+            c.triple.0, c.triple.1, c.triple.2, c.score
+        );
+    }
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("expected a dataset file argument")?;
+    // The server loads the dataset itself; resolve to an absolute path so
+    // client and server working directories need not match.
+    let path = std::fs::canonicalize(path)
+        .map_err(|e| format!("cannot resolve {path}: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let mut spec = JobSpec::new(path);
+    spec.version = parse_version(args)?;
+    spec.shards = opt_usize(args, "--shards", 64)? as u64;
+    spec.top_k = opt_usize(args, "--top", 10)?;
+    spec.throttle_ms = opt_usize(args, "--throttle-ms", 0)? as u64;
+    if opt_flag(args, "--mi") {
+        spec.objective = ObjectiveKind::NegMutualInformation;
+    }
+    let mut client = connect(args)?;
+    let st = client.submit(&spec)?;
+    print_status(&st);
+    if opt_flag(args, "--wait") {
+        let done = client.wait(st.id, Duration::from_secs(24 * 3600))?;
+        print_status(&done);
+        if done.state == JobState::Done {
+            print_candidates(&client.result(done.id)?);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    if opt_flag(args, "--all") {
+        for s in client.jobs()? {
+            print_status(&s);
+        }
+        return Ok(());
+    }
+    let id: u64 = positional(args)
+        .ok_or("expected a job id (or --all)")?
+        .parse()
+        .map_err(|_| "job id must be a number")?;
+    print_status(&client.status(id)?);
+    Ok(())
+}
+
+fn cmd_result(args: &[String]) -> Result<(), String> {
+    let id: u64 = positional(args)
+        .ok_or("expected a job id")?
+        .parse()
+        .map_err(|_| "job id must be a number")?;
+    let mut client = connect(args)?;
+    let cands = client.result(id)?;
+    println!("job {id}: {} candidates", cands.len());
+    print_candidates(&cands);
+    Ok(())
+}
+
+enum JobVerb {
+    Cancel,
+    Resume,
+}
+
+fn cmd_job_verb(args: &[String], verb: JobVerb) -> Result<(), String> {
+    let id: u64 = positional(args)
+        .ok_or("expected a job id")?
+        .parse()
+        .map_err(|_| "job id must be a number")?;
+    let mut client = connect(args)?;
+    let st = match verb {
+        JobVerb::Cancel => client.cancel(id)?,
+        JobVerb::Resume => client.resume(id)?,
+    };
+    print_status(&st);
+    Ok(())
+}
+
 fn cmd_pairs(args: &[String]) -> Result<(), String> {
     let (g, p) = load_dataset(args)?;
     let top_k = opt_usize(args, "--top", 5)?;
     let threads = opt_usize(args, "--threads", 0)?;
     let res = epi_core::pairs::scan_pairs(&g, &p, top_k, threads);
-    println!(
-        "{} pairs in {:.3} s",
-        res.combos,
-        res.elapsed.as_secs_f64()
-    );
+    println!("{} pairs in {:.3} s", res.combos, res.elapsed.as_secs_f64());
     for c in &res.top {
         println!("  ({}, {})  K2 = {:.4}", c.pair.0, c.pair.1, c.score);
     }
@@ -200,7 +389,11 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
     let (g, p) = load_dataset(args)?;
     let s = datagen::stats::dataset_summary(&g, &p);
     println!("SNPs: {}", s.snps);
-    println!("samples: {} ({:.1}% cases)", s.samples, s.case_fraction * 100.0);
+    println!(
+        "samples: {} ({:.1}% cases)",
+        s.samples,
+        s.case_fraction * 100.0
+    );
     println!("mean MAF: {:.3}", s.mean_maf);
     println!("HWE failures (chi2 > 3.84): {}", s.hwe_failures);
     Ok(())
@@ -266,7 +459,15 @@ mod tests {
         let path = dir.join("epi3_cli_test.epi3");
         let path_s = path.to_str().unwrap();
         run(&s(&[
-            "gen", "--snps", "20", "--samples", "128", "--plant", "2,9,15", "--out", path_s,
+            "gen",
+            "--snps",
+            "20",
+            "--samples",
+            "128",
+            "--plant",
+            "2,9,15",
+            "--out",
+            path_s,
         ]))
         .unwrap();
         run(&s(&["scan", path_s, "--top", "3"])).unwrap();

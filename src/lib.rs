@@ -39,6 +39,7 @@
 //! | [`gpu_sim`] | functional + analytic GPU simulator (§IV-B, Fig. 4) |
 //! | [`carm`] | Cache-Aware Roofline Model characterisation (Fig. 2) |
 //! | [`baselines`] | MPI3SNP-style and naive comparators (Table III) |
+//! | [`epi_server`] | sharded, resumable scan jobs behind a TCP service |
 
 pub use baselines;
 pub use bitgenome;
@@ -46,6 +47,7 @@ pub use carm;
 pub use datagen;
 pub use devices;
 pub use epi_core;
+pub use epi_server;
 pub use gpu_sim;
 
 use bitgenome::{GenotypeMatrix, Phenotype};
@@ -57,7 +59,9 @@ pub mod prelude {
     pub use bitgenome::{GenotypeMatrix, Phenotype};
     pub use datagen::{Dataset, DatasetSpec, GroundTruth, MafModel, PenetranceTable};
     pub use epi_core::scan::{scan, ObjectiveKind, ScanConfig, ScanResult, Scheduler, Version};
+    pub use epi_core::shard::{scan_shard, scan_sharded, ShardPlan};
     pub use epi_core::{BlockParams, Candidate, Triple};
+    pub use epi_server::{Client, EngineConfig, JobSpec, JobState, Server};
     pub use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};
 }
 
@@ -84,7 +88,9 @@ mod tests {
 
     #[test]
     fn facade_detects_planted_interaction() {
-        let spec = DatasetSpec::with_planted_triple(24, 256, [2, 9, 17], 7);
+        // 512 samples gives the threshold-model signal a comfortable
+        // margin over noise triples for any reasonable RNG stream.
+        let spec = DatasetSpec::with_planted_triple(24, 512, [2, 9, 17], 7);
         let data = spec.generate();
         let res = crate::detect(&data.genotypes, &data.phenotype);
         let best = res.best().unwrap();

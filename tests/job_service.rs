@@ -1,0 +1,249 @@
+//! End-to-end tests of the TCP job service over loopback: submit → poll
+//! → result matches `detect()`, plus cancellation and checkpoint resume
+//! without rescanning completed shards.
+
+use std::time::Duration;
+use threeway_epistasis::epi_server::{EngineConfig, Server};
+use threeway_epistasis::prelude::*;
+
+fn write_planted_dataset(tag: &str, m: usize, n: usize, plant: [usize; 3]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("epi3_job_service_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}-{m}x{n}.epi3", std::process::id()));
+    let data = DatasetSpec::with_planted_triple(m, n, plant, 99).generate();
+    datagen::io::save_binary(&path, &data).unwrap();
+    path
+}
+
+fn start_server(
+    workers: usize,
+    spool: Option<std::path::PathBuf>,
+) -> (
+    std::net::SocketAddr,
+    threeway_epistasis::epi_server::ServerHandle,
+) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers,
+            spool_dir: spool,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+#[test]
+fn loopback_job_returns_the_planted_triple() {
+    let path = write_planted_dataset("e2e", 32, 512, [4, 13, 27]);
+    let (addr, handle) = start_server(2, None);
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.shards = 24;
+    spec.top_k = 10;
+    let submitted = client.submit(&spec).unwrap();
+    assert_eq!(submitted.total, 24);
+
+    // poll STATUS until done
+    let done = client.wait(submitted.id, Duration::from_secs(120)).unwrap();
+    assert_eq!(done.state, JobState::Done, "status: {done:?}");
+    assert_eq!(done.done, 24);
+
+    // RESULT matches detect() bit-for-bit and finds the planted triple
+    let got = client.result(submitted.id).unwrap();
+    let (g, p) = datagen::io::load(&path).unwrap();
+    let want = threeway_epistasis::detect(&g, &p);
+    assert_eq!(got.len(), want.top.len());
+    for (a, b) in got.iter().zip(&want.top) {
+        assert_eq!(a.triple, b.triple);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+    assert_eq!(got[0].triple, (4, 13, 27), "planted triple wins");
+
+    // server-side counters visible over the wire
+    let (jobs, scanned, workers) = client.stats().unwrap();
+    assert_eq!(jobs, 1);
+    assert_eq!(scanned, 24);
+    assert_eq!(workers, 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn multiple_clients_and_jobs_share_one_server() {
+    let path_a = write_planted_dataset("multi-a", 20, 256, [2, 9, 15]);
+    let path_b = write_planted_dataset("multi-b", 18, 192, [1, 7, 12]);
+    let (addr, handle) = start_server(3, None);
+
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+
+    let mut spec_a = JobSpec::new(path_a.to_str().unwrap());
+    spec_a.shards = 10;
+    spec_a.top_k = 3;
+    let mut spec_b = JobSpec::new(path_b.to_str().unwrap());
+    spec_b.shards = 5;
+    spec_b.top_k = 3;
+    spec_b.version = Version::V2;
+
+    let job_a = c1.submit(&spec_a).unwrap();
+    let job_b = c2.submit(&spec_b).unwrap();
+    assert_ne!(job_a.id, job_b.id);
+
+    let done_a = c1.wait(job_a.id, Duration::from_secs(120)).unwrap();
+    let done_b = c2.wait(job_b.id, Duration::from_secs(120)).unwrap();
+    assert_eq!(done_a.state, JobState::Done);
+    assert_eq!(done_b.state, JobState::Done);
+
+    // each job's result is its own dataset's scan
+    let (ga, pa) = datagen::io::load(&path_a).unwrap();
+    let mut cfg = ScanConfig::new(Version::V4);
+    cfg.top_k = 3;
+    assert_eq!(
+        c2.result(job_a.id).unwrap(),
+        detect_with(&ga, &pa, &cfg).top
+    );
+
+    let (gb, pb) = datagen::io::load(&path_b).unwrap();
+    let mut cfg_b = ScanConfig::new(Version::V2);
+    cfg_b.top_k = 3;
+    assert_eq!(
+        c1.result(job_b.id).unwrap(),
+        detect_with(&gb, &pb, &cfg_b).top
+    );
+
+    // JOBS lists both, newest first
+    let jobs = c1.jobs().unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs[0].id > jobs[1].id);
+
+    handle.shutdown();
+}
+
+#[test]
+fn cancel_keeps_checkpoint_and_resume_never_rescans() {
+    let path = write_planted_dataset("cancel", 24, 320, [3, 10, 19]);
+    let (addr, handle) = start_server(2, None);
+    let mut client = Client::connect(addr).unwrap();
+
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.shards = 20;
+    spec.top_k = 5;
+    spec.throttle_ms = 25; // widen the cancellation window
+    let job = client.submit(&spec).unwrap();
+
+    // cancel once a few shards have landed
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = client.status(job.id).unwrap();
+        if s.done >= 3 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job made no progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client.cancel(job.id).unwrap();
+    let stable = client.wait(job.id, Duration::from_secs(60)).unwrap();
+    assert!(
+        matches!(stable.state, JobState::Cancelled | JobState::Done),
+        "cancelled job should be stable, got {stable:?}"
+    );
+    assert!(
+        stable.done < 20,
+        "cancel landed after completion; widen throttle"
+    );
+
+    // RESULT refuses while cancelled
+    assert!(client.result(job.id).is_err());
+
+    // every completed shard was scanned exactly once so far
+    let (_, scanned_before, _) = client.stats().unwrap();
+    assert_eq!(scanned_before, stable.done);
+
+    // resume: only the missing shards run
+    let resumed = client.resume(job.id).unwrap();
+    assert_eq!(resumed.state, JobState::Queued);
+    assert_eq!(
+        resumed.done, stable.done,
+        "checkpointed shards survive cancel"
+    );
+    let done = client.wait(job.id, Duration::from_secs(120)).unwrap();
+    assert_eq!(done.state, JobState::Done);
+
+    // the no-rescan proof: lifetime scans == shard count
+    let (_, scanned_after, _) = client.stats().unwrap();
+    assert_eq!(scanned_after, 20);
+
+    // and the final result is still bit-identical to the monolithic scan
+    let (g, p) = datagen::io::load(&path).unwrap();
+    let mut cfg = ScanConfig::new(Version::V4);
+    cfg.top_k = 5;
+    assert_eq!(
+        client.result(job.id).unwrap(),
+        detect_with(&g, &p, &cfg).top
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn connections_surviving_shutdown_are_refused() {
+    let (addr, handle) = start_server(1, None);
+    use std::io::{BufRead, BufReader, Write};
+
+    // open a second connection BEFORE shutdown
+    let mut survivor = std::net::TcpStream::connect(addr).unwrap();
+    let mut survivor_reader = BufReader::new(survivor.try_clone().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // the surviving connection must not be able to enqueue work on an
+    // engine whose workers are gone
+    survivor
+        .write_all(b"SUBMIT path=/tmp/whatever.epi3\n")
+        .unwrap();
+    survivor.flush().unwrap();
+    let mut line = String::new();
+    let n = survivor_reader.read_line(&mut line).unwrap_or(0);
+    assert!(
+        n == 0 || line.starts_with("ERR"),
+        "post-shutdown request must be refused or the socket closed, got {line:?}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_rejects_garbage_gracefully() {
+    let (addr, handle) = start_server(1, None);
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut say = |req: &str, reader: &mut BufReader<std::net::TcpStream>| {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    assert!(say("FROBNICATE", &mut reader).starts_with("ERR unknown verb"));
+    assert!(say("STATUS notanumber", &mut reader).starts_with("ERR"));
+    assert!(say("STATUS 424242", &mut reader).starts_with("ERR no such job"));
+    assert!(
+        say("SUBMIT shards=4", &mut reader).starts_with("ERR"),
+        "missing path"
+    );
+    assert!(say("SUBMIT path=/no/such/file.epi3", &mut reader).starts_with("ERR"));
+    assert!(say("RESULT 1", &mut reader).starts_with("ERR"));
+    assert!(say("PING", &mut reader).starts_with("OK pong"));
+
+    handle.shutdown();
+}

@@ -1,0 +1,94 @@
+//! Acceptance tests for shard/merge consistency: on a 48-SNP planted
+//! dataset, merging any shard partition's top-Ks must reproduce the
+//! monolithic `detect()` result — same candidates, same order, same
+//! score bits — for every Version and for S in {1, 7, 64}.
+
+use epi_core::result::TopK;
+use epi_core::shard::{scan_shard, ShardPlan};
+use threeway_epistasis::prelude::*;
+
+fn planted_48() -> Dataset {
+    DatasetSpec::with_planted_triple(48, 640, [7, 19, 33], 20_22).generate()
+}
+
+#[test]
+fn merged_shards_equal_detect_for_all_partitions() {
+    let data = planted_48();
+    // detect() = V4, top-10: the acceptance reference
+    let want = threeway_epistasis::detect(&data.genotypes, &data.phenotype);
+    assert_eq!(
+        want.best().unwrap().triple,
+        (7, 19, 33),
+        "planted triple must be detectable in the reference scan"
+    );
+    let mut cfg = ScanConfig::new(Version::V4);
+    cfg.top_k = 10;
+    for s in [1u64, 7, 64] {
+        let plan = ShardPlan::triples(48, s);
+        let mut merged = TopK::new(cfg.top_k);
+        for range in plan.ranges() {
+            merged.merge(scan_shard(&data.genotypes, &data.phenotype, &cfg, range));
+        }
+        let got = merged.into_sorted();
+        assert_eq!(got.len(), want.top.len(), "S={s}");
+        for (g, w) in got.iter().zip(&want.top) {
+            assert_eq!(g.triple, w.triple, "S={s}");
+            assert_eq!(
+                g.score.to_bits(),
+                w.score.to_bits(),
+                "S={s}: merged shard scores must be bit-identical to detect()"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_scan_equals_monolithic_for_every_version() {
+    let data = planted_48();
+    for version in Version::ALL {
+        let mut cfg = ScanConfig::new(version);
+        cfg.top_k = 8;
+        let want = detect_with(&data.genotypes, &data.phenotype, &cfg);
+        for s in [1u64, 7, 64] {
+            let got = scan_sharded(&data.genotypes, &data.phenotype, &cfg, s);
+            assert_eq!(got.combos, want.combos, "{version} S={s}");
+            assert_eq!(got.top, want.top, "{version} S={s}");
+        }
+    }
+}
+
+#[test]
+fn shard_partition_is_order_and_merge_insensitive() {
+    let data = planted_48();
+    let mut cfg = ScanConfig::new(Version::V2);
+    cfg.top_k = 5;
+    let want = detect_with(&data.genotypes, &data.phenotype, &cfg).top;
+
+    let plan = ShardPlan::triples(48, 7);
+    let shard_tops: Vec<TopK> = plan
+        .ranges()
+        .map(|r| scan_shard(&data.genotypes, &data.phenotype, &cfg, r))
+        .collect();
+
+    // reversed merge order
+    let mut reversed = TopK::new(cfg.top_k);
+    for t in shard_tops.iter().rev().cloned() {
+        reversed.merge(t);
+    }
+    assert_eq!(reversed.into_sorted(), want);
+
+    // pairwise tree merge
+    let mut layer = shard_tops;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            let mut acc = pair[0].clone();
+            if let Some(b) = pair.get(1) {
+                acc.merge(b.clone());
+            }
+            next.push(acc);
+        }
+        layer = next;
+    }
+    assert_eq!(layer.pop().unwrap().into_sorted(), want);
+}
