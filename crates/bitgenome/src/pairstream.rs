@@ -1,0 +1,151 @@
+//! Pair-intersection streams — the shared substrate of the V5 kernel.
+//!
+//! For a fixed SNP pair `(X, Y)` every contingency cell `(gx, gy, gz)`
+//! intersects the *same* nine pair streams `X[gx] & Y[gy]` with a third
+//! SNP's genotype plane. The blocked V5 kernel therefore materialises
+//! those nine streams once per pair (genotype 2 reconstructed by `NOR`,
+//! exactly as in the V2+ kernels) into an L1-resident scratch buffer and
+//! amortises the reconstruction + pair-intersection work over every third
+//! SNP of a block.
+//!
+//! The streams also carry their own popcounts ([`add_pair_stream_counts`]):
+//! `|X[gx] & Y[gy]|` equals the sum of the three `gz` cells of that pair,
+//! which lets a kernel count only `gz ∈ {0, 1}` and derive
+//! `cell(gx, gy, 2)` by exact integer subtraction.
+//!
+//! Layout: pair-major, `out[p * len .. (p + 1) * len]` holds the stream of
+//! pair `p = gx * 3 + gy` — the same `(gx, gy)` ordering as the flat
+//! 27-cell contingency index (`cell = p * 3 + gz`).
+
+use crate::word::Word;
+
+/// Number of genotype pair combinations (`3 × 3`).
+pub const PAIR_STREAMS: usize = 9;
+
+/// Materialise the nine pair-intersection streams `X[gx] & Y[gy]` of two
+/// SNPs into `out` (pair-major, see module docs). Genotype-2 planes are
+/// reconstructed as `!(p0 | p1)`, so zero padding bits surface in the
+/// `(2, 2)` stream — downstream tables correct for that exactly as with
+/// the direct NOR kernels.
+///
+/// # Panics
+/// Panics if the plane lengths differ or `out` is not exactly
+/// `9 * x0.len()` words.
+pub fn build_pair_streams(x0: &[Word], x1: &[Word], y0: &[Word], y1: &[Word], out: &mut [Word]) {
+    let len = x0.len();
+    assert!(x1.len() == len && y0.len() == len && y1.len() == len);
+    assert_eq!(out.len(), PAIR_STREAMS * len);
+    for w in 0..len {
+        let xs = [x0[w], x1[w], !(x0[w] | x1[w])];
+        let ys = [y0[w], y1[w], !(y0[w] | y1[w])];
+        for (gx, &xv) in xs.iter().enumerate() {
+            for (gy, &yv) in ys.iter().enumerate() {
+                out[(gx * 3 + gy) * len + w] = xv & yv;
+            }
+        }
+    }
+}
+
+/// Add the per-stream popcounts of a pair-major stream buffer (layout of
+/// [`build_pair_streams`]) into a 9-cell accumulator. Accumulating (rather
+/// than overwriting) lets blocked kernels sum over sample blocks.
+///
+/// # Panics
+/// Panics if `streams.len() != 9 * len`.
+pub fn add_pair_stream_counts(streams: &[Word], len: usize, acc: &mut [u32; PAIR_STREAMS]) {
+    assert_eq!(streams.len(), PAIR_STREAMS * len);
+    for (p, cell) in acc.iter_mut().enumerate() {
+        *cell += streams[p * len..(p + 1) * len]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum::<u32>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes(len: usize, seed: u64) -> Vec<Vec<Word>> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        // plane pairs must be disjoint to model a valid genotype encoding
+        (0..2)
+            .flat_map(|_| {
+                let a: Vec<Word> = (0..len).map(|_| next()).collect();
+                let b: Vec<Word> = a.iter().map(|&v| next() & !v).collect();
+                [a, b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streams_match_direct_intersections() {
+        for len in [0usize, 1, 3, 8, 17] {
+            let p = planes(len, len as u64 + 3);
+            let (x0, x1, y0, y1) = (&p[0], &p[1], &p[2], &p[3]);
+            let mut out = vec![0 as Word; PAIR_STREAMS * len];
+            build_pair_streams(x0, x1, y0, y1, &mut out);
+            for w in 0..len {
+                let xs = [x0[w], x1[w], !(x0[w] | x1[w])];
+                let ys = [y0[w], y1[w], !(y0[w] | y1[w])];
+                for gx in 0..3 {
+                    for gy in 0..3 {
+                        assert_eq!(
+                            out[(gx * 3 + gy) * len + w],
+                            xs[gx] & ys[gy],
+                            "len={len} w={w} gx={gx} gy={gy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_partition_every_bit() {
+        // With valid (disjoint) plane pairs the nine streams partition all
+        // bit positions: each sample has exactly one (gx, gy) combination.
+        let len = 11;
+        let p = planes(len, 99);
+        let mut out = vec![0 as Word; PAIR_STREAMS * len];
+        build_pair_streams(&p[0], &p[1], &p[2], &p[3], &mut out);
+        for w in 0..len {
+            let mut union = 0 as Word;
+            let mut total = 0u32;
+            for pair in 0..PAIR_STREAMS {
+                let v = out[pair * len + w];
+                assert_eq!(union & v, 0, "streams must be disjoint");
+                union |= v;
+                total += v.count_ones();
+            }
+            assert_eq!(union, Word::MAX);
+            assert_eq!(total, 64);
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_across_blocks() {
+        let len = 6;
+        let p = planes(len, 5);
+        let mut out = vec![0 as Word; PAIR_STREAMS * len];
+        build_pair_streams(&p[0], &p[1], &p[2], &p[3], &mut out);
+        let mut once = [0u32; PAIR_STREAMS];
+        add_pair_stream_counts(&out, len, &mut once);
+        let mut twice = once;
+        add_pair_stream_counts(&out, len, &mut twice);
+        for pair in 0..PAIR_STREAMS {
+            assert_eq!(twice[pair], 2 * once[pair]);
+            let direct: u32 = out[pair * len..(pair + 1) * len]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+            assert_eq!(once[pair], direct);
+        }
+    }
+}

@@ -57,6 +57,7 @@ pub fn render(roofline: &Roofline, points: &[KernelPoint], width: usize, height:
                 epi_core::scan::Version::V2 => b'2',
                 epi_core::scan::Version::V3 => b'3',
                 epi_core::scan::Version::V4 => b'4',
+                epi_core::scan::Version::V5 => b'5',
             };
             grid[row][xi as usize] = label;
         }

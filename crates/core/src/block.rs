@@ -85,6 +85,65 @@ impl BlockParams {
         Self::for_cache(l1, ft_ways, block_ways, vector_bits)
     }
 
+    /// Derive `⟨B_S, B_P⟩` for the V5 kernel from explicit byte budgets.
+    ///
+    /// V5 changes both residency constraints:
+    ///
+    /// * the table budget additionally holds the per-pair 9-cell totals:
+    ///   `B_S³ · β · 2 · 27 + B_S² · β · 2 · 9 ≤ sizeFT`;
+    /// * the block budget must hold the nine cached pair streams alongside
+    ///   the third-SNP data block (the `x`/`y` blocks are only streamed
+    ///   through during the once-per-pair cache fill):
+    ///   `(2 · B_S + 9) · B_P · β ≤ sizeBlock`.
+    pub fn for_sizes_v5(size_ft: usize, size_block: usize, vector_bits: usize) -> Self {
+        let cells3 = BETA_INT * 2 * 27;
+        let cells2 = BETA_INT * 2 * 9;
+        let fits = |bs: usize| bs.pow(3) * cells3 + bs.pow(2) * cells2 <= size_ft;
+        let mut bs = 1;
+        while fits(bs + 1) {
+            bs += 1;
+        }
+
+        let mut bp = size_block / ((2 * bs + 9) * BETA_INT);
+        let lanes = (vector_bits / 32).max(1);
+        if bp >= lanes {
+            bp -= bp % lanes;
+        }
+        let bp = bp.max(lanes);
+        Self { bs, bp }
+    }
+
+    /// V5 analogue of [`Self::for_cache`].
+    pub fn for_cache_v5(
+        l1: &CacheGeometry,
+        ft_ways: usize,
+        block_ways: usize,
+        vector_bits: usize,
+    ) -> Self {
+        assert!(ft_ways + block_ways <= l1.ways, "way split exceeds L1");
+        Self::for_sizes_v5(
+            l1.ways_bytes(ft_ways),
+            l1.ways_bytes(block_ways),
+            vector_bits,
+        )
+    }
+
+    /// V5 analogue of [`Self::paper_policy`]. On 12-way caches the split
+    /// shifts one way from the (now smaller per-`B_P`) block budget to the
+    /// tables — 8 ways FT / 3 ways block / 1 way prefetcher — which keeps
+    /// `B_S = 5` despite the added pair-total tables; pair amortisation
+    /// scales with `B_S`, so table capacity is worth more than block
+    /// capacity to V5. 8-way caches stay at 7 + 1.
+    pub fn paper_policy_v5(l1: &CacheGeometry, vector_bits: usize) -> Self {
+        let (ft_ways, block_ways) = if l1.ways >= 12 {
+            (8.min(l1.ways - 1), 3)
+        } else {
+            let ft = 7.min(l1.ways - 1);
+            (ft, l1.ways - ft)
+        };
+        Self::for_cache_v5(l1, ft_ways, block_ways, vector_bits)
+    }
+
     /// Frequency-table bytes this configuration needs.
     pub fn ft_bytes(&self) -> usize {
         self.bs.pow(3) * BETA_INT * 2 * 27
@@ -93,6 +152,16 @@ impl BlockParams {
     /// Data-block bytes (three SNP planes · two genotypes) per block.
     pub fn block_bytes(&self) -> usize {
         self.bs * self.bp * BETA_INT * 2
+    }
+
+    /// Bytes of the nine V5 pair streams over one sample block.
+    pub fn pair_cache_bytes(&self) -> usize {
+        9 * self.bp * BETA_INT
+    }
+
+    /// Bytes of the V5 per-pair 9-cell totals (both classes).
+    pub fn pair_table_bytes(&self) -> usize {
+        self.bs * self.bs * BETA_INT * 2 * 9
     }
 
     /// Sample-block length in this crate's 64-bit packing units (each
@@ -138,6 +207,45 @@ mod tests {
         assert_eq!(
             BlockParams::paper_policy(&CacheGeometry::kib(32, 8), 256),
             BlockParams { bs: 5, bp: 96 }
+        );
+    }
+
+    #[test]
+    fn v5_policy_budgets_the_pair_cache() {
+        for (l1, vec, ft_ways, block_ways) in [
+            (CacheGeometry::kib(48, 12), 512, 8, 3),
+            (CacheGeometry::kib(32, 8), 256, 7, 1),
+        ] {
+            let p = BlockParams::paper_policy_v5(&l1, vec);
+            let ft_budget = l1.ways_bytes(ft_ways);
+            let block_budget = l1.ways_bytes(block_ways);
+            assert!(p.ft_bytes() + p.pair_table_bytes() <= ft_budget, "{p:?}");
+            // streams + the third-SNP block share the block budget
+            assert!(
+                p.pair_cache_bytes() + p.bs * p.bp * 4 * 2 <= block_budget,
+                "{p:?}"
+            );
+            assert!(p.bs >= 1 && p.bp >= 1);
+            // one more SNP per block must overflow the FT budget
+            assert!((p.bs + 1).pow(3) * 216 + (p.bs + 1).pow(2) * 72 > ft_budget);
+        }
+    }
+
+    #[test]
+    fn v5_worked_examples() {
+        // 48 KiB/12-way: 32 KiB FT (8 ways) => B_S = 5 (5³·216 + 5²·72 =
+        // 28.8 KiB fits); 12 KiB block => B_P = 12288 / (19·4) = 161 ->
+        // 160 after rounding to whole 512-bit registers.
+        assert_eq!(
+            BlockParams::paper_policy_v5(&CacheGeometry::kib(48, 12), 512),
+            BlockParams { bs: 5, bp: 160 }
+        );
+        // 32 KiB/8-way: 28 KiB FT => B_S = 4 (B_S = 5 just overflows);
+        // 4 KiB block => B_P = 4096 / (17·4) = 60 -> 56 after rounding to
+        // whole 256-bit registers.
+        assert_eq!(
+            BlockParams::paper_policy_v5(&CacheGeometry::kib(32, 8), 256),
+            BlockParams { bs: 4, bp: 56 }
         );
     }
 

@@ -53,6 +53,21 @@ impl VersionCosts {
                 loads_per_word: 6.0,
                 bytes_per_word: 24.0,
             },
+            // V5: 18 AND + 18 POPCNT against the cached pair streams per
+            // combination, plus the amortised once-per-pair cache fill
+            // (2 NOR + 9 AND + 9 POPCNT) / B_S, evaluated at the default
+            // policy block B_S = 4. Loads rise (9 stream words + 2 z
+            // words, all L1-resident by construction) while ops fall —
+            // V5 trades arithmetic for cache-hot traffic.
+            Version::V5 => {
+                const BS: f64 = 4.0;
+                VersionCosts {
+                    ops_per_word: 36.0 + 20.0 / BS,
+                    popcnt_per_word: 18.0 + 9.0 / BS,
+                    loads_per_word: 11.0 + 4.0 / BS,
+                    bytes_per_word: (11.0 + 4.0 / BS) * 4.0,
+                }
+            }
         }
     }
 
@@ -121,6 +136,19 @@ mod tests {
         assert_eq!(ai(Version::V3), ai(Version::V4));
         assert!((ai(Version::V1) - 4.05).abs() < 0.01);
         assert!((ai(Version::V2) - 2.375).abs() < 0.001);
+    }
+
+    #[test]
+    fn v5_cuts_ops_below_v2() {
+        let v2 = VersionCosts::for_version(Version::V2);
+        let v5 = VersionCosts::for_version(Version::V5);
+        assert!(v5.ops_per_word < v2.ops_per_word);
+        assert!(v5.popcnt_per_word < v2.popcnt_per_word);
+        // 41 ops at the default B_S = 4 policy block
+        assert!((v5.ops_per_word - 41.0).abs() < 1e-12);
+        assert!((v5.popcnt_per_word - 20.25).abs() < 1e-12);
+        // the popcount-path reduction is the headline: 27 -> 20.25
+        assert!(v5.popcnt_per_word / v2.popcnt_per_word < 0.76);
     }
 
     #[test]

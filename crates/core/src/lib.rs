@@ -1,8 +1,8 @@
 //! # epi-core — exhaustive three-way epistasis detection
 //!
-//! The paper's primary contribution: four progressively optimised CPU
-//! approaches for exhaustive third-order epistasis detection (§IV-A,
-//! Algorithm 1), scored with the Bayesian K2 objective (§III, Eq. 1):
+//! The paper's four progressively optimised CPU approaches for exhaustive
+//! third-order epistasis detection (§IV-A, Algorithm 1), scored with the
+//! Bayesian K2 objective (§III, Eq. 1), plus a fifth of our own:
 //!
 //! * **V1** ([`versions::v1`]) — naive: three stored genotype planes plus
 //!   a phenotype bit vector; 27 × 6 = 162 logic ops per processed word.
@@ -13,6 +13,12 @@
 //!   block both fit in L1 ([`block::BlockParams`]).
 //! * **V4** ([`versions::v4`]) — V3 + explicit SIMD (AVX2 / AVX-512 /
 //!   AVX-512 `VPOPCNTDQ`, runtime-dispatched; [`simd`]).
+//! * **V5** ([`versions::v5`]) — V4 + pair-prefix caching: the nine
+//!   `X[gx] ∧ Y[gy]` streams are materialised once per SNP pair into an
+//!   L1-resident cache and reused by every third SNP of the block, and
+//!   only the `gz ∈ {0, 1}` cells are popcounted — `cell(gx, gy, 2)`
+//!   follows by exact subtraction from the pair totals. Bit-identical
+//!   tables at ≈ 36 + 20/`B_S` ops per word.
 //!
 //! [`scan`] provides the parallel drivers (dynamic thread pool with
 //! per-thread local results and a final reduction, exactly the scheme of

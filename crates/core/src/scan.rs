@@ -1,7 +1,7 @@
 //! Full exhaustive-scan drivers.
 //!
 //! A scan enumerates all `C(M,3)` SNP triples, builds each contingency
-//! table with the selected approach (V1–V4), scores it, and returns the
+//! table with the selected approach (V1–V5), scores it, and returns the
 //! top-K lowest-scoring triples. Parallelisation follows §IV-A: workers
 //! fetch dynamically sized tasks from a shared pool, keep results local,
 //! and a final reduction merges the per-thread collections.
@@ -13,12 +13,12 @@ use crate::pool;
 use crate::result::{Candidate, TopK, Triple};
 use crate::simd::SimdLevel;
 use crate::table27::{ContingencyTable, CELLS};
-use crate::versions::{blocked::BlockedScanner, v1, v2};
+use crate::versions::{blocked::BlockedScanner, v1, v2, V5Scratch};
 use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
 use devices::CacheGeometry;
 use std::time::{Duration, Instant};
 
-/// Which of the paper's four CPU approaches to run.
+/// Which CPU approach to run (V1–V4 from the paper, V5 ours).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Version {
     /// Naive: 3 planes + phenotype stream (162 ops/word).
@@ -29,11 +29,20 @@ pub enum Version {
     V3,
     /// V3 + SIMD vectorisation (runtime dispatch).
     V4,
+    /// V4 + pair-prefix caching and subtraction-derived genotype-2 cells
+    /// (18 of 27 popcounts, pair work amortised over `B_S` third SNPs).
+    V5,
 }
 
 impl Version {
-    /// All four, in order.
-    pub const ALL: [Version; 4] = [Version::V1, Version::V2, Version::V3, Version::V4];
+    /// All five, in order.
+    pub const ALL: [Version; 5] = [
+        Version::V1,
+        Version::V2,
+        Version::V3,
+        Version::V4,
+        Version::V5,
+    ];
 
     /// Paper-style name.
     pub const fn name(self) -> &'static str {
@@ -42,6 +51,7 @@ impl Version {
             Version::V2 => "V2",
             Version::V3 => "V3",
             Version::V4 => "V4",
+            Version::V5 => "V5",
         }
     }
 }
@@ -85,10 +95,11 @@ pub struct ScanConfig {
     pub top_k: usize,
     /// Task distribution strategy.
     pub scheduler: Scheduler,
-    /// Tiling parameters for V3/V4 (`None` = paper policy for a
-    /// 32 KiB/8-way L1 at the detected vector width).
+    /// Tiling parameters for V3–V5 (`None` = paper policy for the
+    /// detected host L1 at the detected vector width; 32 KiB/8-way when
+    /// detection fails).
     pub block: Option<BlockParams>,
-    /// SIMD tier for V4 (`None` = best available).
+    /// SIMD tier for V4/V5 (`None` = best available).
     pub simd: Option<SimdLevel>,
     /// Objective function.
     pub objective: ObjectiveKind,
@@ -108,24 +119,36 @@ impl ScanConfig {
         }
     }
 
-    /// Effective SIMD tier: V4 uses the configured/detected tier, V1–V3
+    /// Effective SIMD tier: V4/V5 use the configured/detected tier, V1–V3
     /// are scalar by definition.
     pub fn effective_simd(&self) -> SimdLevel {
         match self.version {
-            Version::V4 => self.simd.unwrap_or_else(SimdLevel::detect),
+            Version::V4 | Version::V5 => self.simd.unwrap_or_else(SimdLevel::detect),
             _ => SimdLevel::Scalar,
         }
     }
 
-    /// Effective tiling parameters for the blocked approaches.
+    /// Effective tiling parameters for the blocked approaches, derived
+    /// from the *detected* host L1 geometry (paper default 32 KiB/8-way
+    /// when detection is unavailable). V5 budgets its pair-stream cache
+    /// and pair-total tables alongside the frequency tables and data
+    /// block; tiling never changes results, only speed.
     pub fn effective_block(&self) -> BlockParams {
         self.block.unwrap_or_else(|| {
-            BlockParams::paper_policy(
-                &CacheGeometry::kib(32, 8),
-                self.effective_simd().vector_bits(),
-            )
+            let bits = self.effective_simd().vector_bits();
+            match self.version {
+                Version::V5 => BlockParams::paper_policy_v5(host_l1(), bits),
+                _ => BlockParams::paper_policy(host_l1(), bits),
+            }
         })
     }
+}
+
+/// Host L1d geometry, detected once per process; falls back to the
+/// paper's 32 KiB/8-way assumption (the pre-detection hardcoded value).
+fn host_l1() -> &'static CacheGeometry {
+    static L1: std::sync::OnceLock<CacheGeometry> = std::sync::OnceLock::new();
+    L1.get_or_init(|| devices::detect_l1d().unwrap_or(CacheGeometry::kib(32, 8)))
 }
 
 /// Outcome of a scan.
@@ -226,9 +249,9 @@ pub fn scan_unsplit(ds: &UnsplitDataset, cfg: &ScanConfig) -> ScanResult {
     finish(states, m, n, start, cfg)
 }
 
-/// V2/V3/V4 scan over a pre-encoded split dataset.
+/// V2–V5 scan over a pre-encoded split dataset.
 pub fn scan_split(ds: &SplitDataset, cfg: &ScanConfig) -> ScanResult {
-    assert_ne!(cfg.version, Version::V1, "split layout is for V2-V4");
+    assert_ne!(cfg.version, Version::V1, "split layout is for V2-V5");
     let m = ds.num_snps();
     let n = ds.num_samples();
     if m < 3 {
@@ -259,30 +282,66 @@ pub fn scan_split(ds: &SplitDataset, cfg: &ScanConfig) -> ScanResult {
                 ObjectiveKind::K2 => Some(K2Scorer::new(n)),
                 ObjectiveKind::NegMutualInformation => None,
             };
-            let scorer = &scorer;
-            let k2_fast = &k2_fast;
+            let score = |ctrl: &[u32; CELLS], case: &[u32; CELLS]| match &k2_fast {
+                Some(k2) => k2.score_cells(ctrl, case),
+                None => scorer.score(&ContingencyTable::from_counts(*ctrl, *case)),
+            };
             let start = Instant::now();
-            let states = run_tasks(
-                tasks.len(),
-                cfg,
-                || (TopK::new(cfg.top_k), Vec::new()),
-                |task, state: &mut (TopK, Vec<u32>)| {
-                    let (top, scratch) = state;
-                    let bt = tasks[task];
-                    let mut emit = |t: Triple, ctrl: &[u32; CELLS], case: &[u32; CELLS]| {
-                        let score = match k2_fast {
-                            Some(k2) => k2.score_cells(ctrl, case),
-                            None => scorer.score(&ContingencyTable::from_counts(*ctrl, *case)),
-                        };
-                        top.push(score, t);
-                    };
-                    scanner.scan_block_triple(bt, scratch, &mut emit);
-                },
-            );
-            let tops: Vec<TopK> = states.into_iter().map(|(t, _)| t).collect();
+            let tops = match cfg.version {
+                Version::V5 => drive_blocked(
+                    &scanner,
+                    &tasks,
+                    cfg,
+                    &score,
+                    V5Scratch::new,
+                    |sc, bt, s, emit| sc.scan_block_triple_v5(bt, s, &mut |t, a, b| emit(t, a, b)),
+                ),
+                _ => drive_blocked(
+                    &scanner,
+                    &tasks,
+                    cfg,
+                    &score,
+                    Vec::new,
+                    |sc, bt, s, emit| sc.scan_block_triple(bt, s, &mut |t, a, b| emit(t, a, b)),
+                ),
+            };
             finish(tops, m, n, start, cfg)
         }
     }
+}
+
+/// Per-combination emission callback of the blocked kernels.
+type EmitFn<'a> = &'a mut dyn FnMut(Triple, &[u32; CELLS], &[u32; CELLS]);
+
+/// Shared driver of the blocked arms (V3/V4 and V5): distributes block
+/// triples over workers, scoring each emitted table into a per-worker
+/// top-K. Only the scratch type and the kernel invocation differ between
+/// versions, so both are closure parameters.
+fn drive_blocked<S, MS, K>(
+    scanner: &BlockedScanner<'_>,
+    tasks: &[(usize, usize, usize)],
+    cfg: &ScanConfig,
+    score: &(impl Fn(&[u32; CELLS], &[u32; CELLS]) -> f64 + Sync),
+    make_scratch: MS,
+    kernel: K,
+) -> Vec<TopK>
+where
+    S: Send,
+    MS: Fn() -> S + Sync + Send,
+    K: Fn(&BlockedScanner<'_>, (usize, usize, usize), &mut S, EmitFn<'_>) + Sync + Send,
+{
+    let states = run_tasks(
+        tasks.len(),
+        cfg,
+        || (TopK::new(cfg.top_k), make_scratch()),
+        |task, state: &mut (TopK, S)| {
+            let (top, scratch) = state;
+            kernel(scanner, tasks[task], scratch, &mut |t, ctrl, case| {
+                top.push(score(ctrl, case), t)
+            });
+        },
+    );
+    states.into_iter().map(|(t, _)| t).collect()
 }
 
 pub(crate) fn build_objective(cfg: &ScanConfig, n: usize) -> Box<dyn Objective> {

@@ -9,7 +9,7 @@
 //!
 //! Shards are the scan's distributable work unit: a shard can be scanned
 //! on any worker, in any order, with any of the paper's approaches
-//! V1–V4, and the per-shard [`TopK`] results merge associatively to a
+//! V1–V5, and the per-shard [`TopK`] results merge associatively to a
 //! result **bit-identical** to a monolithic scan — every triple is scored
 //! exactly once, per-triple scores do not depend on evaluation order, and
 //! [`TopK`] ordering is total (score, then triple). This property is what
@@ -38,7 +38,7 @@
 use crate::combin::n_choose_k;
 use crate::result::{TopK, Triple};
 use crate::scan::{build_objective, ScanConfig, Version};
-use crate::versions::{v1, v2};
+use crate::versions::{v1, v2, PairPrefixCache};
 use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
 use std::ops::Range;
 
@@ -357,21 +357,35 @@ pub fn scan_shard_unsplit(ds: &UnsplitDataset, cfg: &ScanConfig, shard: Range<u6
     top
 }
 
-/// V2–V4 shard scan over a pre-encoded split dataset.
+/// V2–V5 shard scan over a pre-encoded split dataset.
 ///
 /// At shard granularity the unit of work is a contiguous *rank range*,
 /// not a block triple, so V3's tiling does not apply; V3 runs the scalar
-/// per-triple kernel (= V2) and V4 the SIMD per-triple kernel. Contingency
+/// per-triple kernel (= V2) and V4 the SIMD per-triple kernel. V5 keeps
+/// its pair-prefix advantage even here: rank order fixes the `(a, b)`
+/// prefix while `c` sweeps, so a [`PairPrefixCache`] amortises the pair
+/// streams over each run and popcounts only 18 of 27 cells. Contingency
 /// tables — and therefore scores — are identical to the blocked kernels',
 /// which is what makes shard merges bit-identical to monolithic scans.
 pub fn scan_shard_split(ds: &SplitDataset, cfg: &ScanConfig, shard: Range<u64>) -> TopK {
-    assert_ne!(cfg.version, Version::V1, "split layout is for V2-V4");
+    assert_ne!(cfg.version, Version::V1, "split layout is for V2-V5");
     let scorer = build_objective(cfg, ds.num_samples());
     let level = cfg.effective_simd();
     let mut top = TopK::new(cfg.top_k.max(1));
-    for t in TripleRangeIter::new(ds.num_snps(), shard) {
-        let table = v2::table_for_triple_simd(ds, t, level);
-        top.push(scorer.score(&table), t);
+    match cfg.version {
+        Version::V5 => {
+            let mut cache = PairPrefixCache::new(ds, level);
+            for t in TripleRangeIter::new(ds.num_snps(), shard) {
+                let table = cache.table_for_triple(t);
+                top.push(scorer.score(&table), t);
+            }
+        }
+        _ => {
+            for t in TripleRangeIter::new(ds.num_snps(), shard) {
+                let table = v2::table_for_triple_simd(ds, t, level);
+                top.push(scorer.score(&table), t);
+            }
+        }
     }
     top
 }

@@ -253,6 +253,267 @@ unsafe fn accumulate27_avx512_vpopcnt(
     );
 }
 
+/// Materialise the nine pair streams `X[gx] & Y[gy]` of one SNP pair into
+/// `streams` (pair-major, `bitgenome::build_pair_streams` layout) *and*
+/// add each stream's popcount into `counts` — the once-per-pair cache
+/// fill of the V5 kernel, vectorised so the amortised work keeps pace
+/// with the vector inner loop. All tiers produce bit-identical buffers
+/// and counts.
+///
+/// # Panics
+/// Panics (debug) if `level` exceeds the host's capability; panics if
+/// plane lengths differ or `streams.len() != 9 * x0.len()`.
+#[inline]
+pub fn fill_pair_cache(
+    level: SimdLevel,
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+) {
+    debug_assert!(level <= SimdLevel::detect(), "SIMD tier not available");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512Vpopcnt => unsafe {
+            fill_pair_cache_avx512_vpopcnt(x0, x1, y0, y1, streams, counts)
+        },
+        // Without a vector popcount the count pass gains nothing from
+        // wider registers: the scalar fill (LLVM auto-vectorises the
+        // logic) plus hardware POPCNT is already load-balanced against
+        // the extraction-based inner kernels.
+        _ => {
+            bitgenome::build_pair_streams(x0, x1, y0, y1, streams);
+            bitgenome::add_pair_stream_counts(streams, x0.len(), counts);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+unsafe fn fill_pair_cache_avx512_vpopcnt(
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 8;
+    let len = x0.len();
+    assert!(x1.len() == len && y0.len() == len && y1.len() == len);
+    assert_eq!(streams.len(), 9 * len);
+    let chunks = len / L;
+    let mut vacc = [_mm512_setzero_si512(); 9];
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+        let (xv0, xv1) = (ld(x0), ld(x1));
+        let (yv0, yv1) = (ld(y0), ld(y1));
+        let xs = [xv0, xv1, _mm512_ternarylogic_epi64(xv0, xv1, xv1, 0x01)];
+        let ys = [yv0, yv1, _mm512_ternarylogic_epi64(yv0, yv1, yv1, 0x01)];
+        for (gx, &xv) in xs.iter().enumerate() {
+            for (gy, &yv) in ys.iter().enumerate() {
+                let p = gx * 3 + gy;
+                let v = _mm512_and_si512(xv, yv);
+                _mm512_storeu_si512(streams.as_mut_ptr().add(p * len + i) as *mut _, v);
+                vacc[p] = _mm512_add_epi64(vacc[p], _mm512_popcnt_epi64(v));
+            }
+        }
+    }
+    for (p, &v) in vacc.iter().enumerate() {
+        counts[p] += _mm512_reduce_add_epi64(v) as u32;
+    }
+    // scalar tail: build + count the remaining words of every stream
+    let tail = chunks * L;
+    if tail < len {
+        for w in tail..len {
+            let xs = [x0[w], x1[w], !(x0[w] | x1[w])];
+            let ys = [y0[w], y1[w], !(y0[w] | y1[w])];
+            for (gx, &xv) in xs.iter().enumerate() {
+                for (gy, &yv) in ys.iter().enumerate() {
+                    let p = gx * 3 + gy;
+                    let v = xv & yv;
+                    streams[p * len + w] = v;
+                    counts[p] += v.count_ones();
+                }
+            }
+        }
+    }
+}
+
+/// Add the popcounts of the 18 `gz ∈ {0, 1}` intersections of
+/// pre-materialised pair streams with a third SNP's genotype planes into
+/// the matching cells of a 27-cell accumulator (`cell = pair * 3 + gz`).
+///
+/// This is the V5 inner kernel: the nine pair streams
+/// (`bitgenome::build_pair_streams` layout, pair-major) already encode
+/// `X[gx] & Y[gy]`, so each cell costs one `AND` + one `POPCNT`, no `NOR`
+/// is needed for the third SNP (its genotype-2 cells are derived by
+/// subtraction from the pair totals), and the `gz = 2` column of `acc` is
+/// left untouched.
+///
+/// # Panics
+/// Panics (debug) if `level` exceeds the host's capability, `z0`/`z1`
+/// lengths differ, or `pairs.len() != 9 * z0.len()`.
+#[inline]
+pub fn accumulate18(
+    level: SimdLevel,
+    pairs: &[Word],
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32; 27],
+) {
+    debug_assert!(level <= SimdLevel::detect(), "SIMD tier not available");
+    debug_assert_eq!(z0.len(), z1.len());
+    debug_assert_eq!(pairs.len(), 9 * z0.len());
+    if z0.is_empty() {
+        return;
+    }
+    match level {
+        SimdLevel::Scalar => accumulate18_scalar(pairs, z0, z1, acc),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { accumulate18_avx2(pairs, z0, z1, acc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { accumulate18_avx512(pairs, z0, z1, acc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512Vpopcnt => unsafe { accumulate18_avx512_vpopcnt(pairs, z0, z1, acc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => accumulate18_scalar(pairs, z0, z1, acc),
+    }
+}
+
+/// Scalar reference path for [`accumulate18`]; also handles vector-path
+/// remainders (via the internal `from` offset).
+pub fn accumulate18_scalar(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
+    accumulate18_scalar_from(pairs, z0, z1, 0, acc);
+}
+
+fn accumulate18_scalar_from(
+    pairs: &[Word],
+    z0: &[Word],
+    z1: &[Word],
+    from: usize,
+    acc: &mut [u32; 27],
+) {
+    let len = z0.len();
+    if from >= len {
+        return;
+    }
+    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+        let mut c0 = 0u32;
+        let mut c1 = 0u32;
+        for w in from..len {
+            let xy = stream[w];
+            c0 += (xy & z0[w]).count_ones();
+            c1 += (xy & z1[w]).count_ones();
+        }
+        acc[p * 3] += c0;
+        acc[p * 3 + 1] += c1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn accumulate18_avx2(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
+    use core::arch::x86_64::*;
+    const L: usize = 4; // u64 lanes per ymm
+    let len = z0.len();
+    let chunks = len / L;
+    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+        let mut c0 = 0u32;
+        let mut c1 = 0u32;
+        for c in 0..chunks {
+            let i = c * L;
+            let ld = |s: &[Word]| _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
+            let xy = ld(stream);
+            for (zs, cnt) in [(z0, &mut c0), (z1, &mut c1)] {
+                let v = _mm256_and_si256(xy, ld(zs));
+                let mut lanes = [0u64; L];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+                *cnt += lanes[0].count_ones()
+                    + lanes[1].count_ones()
+                    + lanes[2].count_ones()
+                    + lanes[3].count_ones();
+            }
+        }
+        acc[p * 3] += c0;
+        acc[p * 3 + 1] += c1;
+    }
+    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,popcnt")]
+unsafe fn accumulate18_avx512(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
+    use core::arch::x86_64::*;
+    const L: usize = 8; // u64 lanes per zmm
+    let len = z0.len();
+    let chunks = len / L;
+    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+        let mut c0 = 0u32;
+        let mut c1 = 0u32;
+        for c in 0..chunks {
+            let i = c * L;
+            let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+            let xy = ld(stream);
+            for (zs, cnt) in [(z0, &mut c0), (z1, &mut c1)] {
+                let v = _mm512_and_si512(xy, ld(zs));
+                let mut lanes = [0u64; L];
+                _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
+                let mut s = 0u32;
+                for lane in lanes {
+                    s += lane.count_ones();
+                }
+                *cnt += s;
+            }
+        }
+        acc[p * 3] += c0;
+        acc[p * 3 + 1] += c1;
+    }
+    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+unsafe fn accumulate18_avx512_vpopcnt(
+    pairs: &[Word],
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32; 27],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 8;
+    let len = z0.len();
+    let chunks = len / L;
+    // Chunk-outer with 18 per-lane vector accumulators (fits zmm0-31
+    // alongside the two z registers): the z planes are loaded once per
+    // chunk instead of once per pair, and the horizontal reduction leaves
+    // the loop entirely — one reduce per cell per call, unlike the
+    // per-chunk-per-cell reduce of accumulate27. Integer sums are
+    // order-invariant, so results stay bit-identical to scalar.
+    let mut v0 = [_mm512_setzero_si512(); 9];
+    let mut v1 = [_mm512_setzero_si512(); 9];
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+        let zv0 = ld(z0);
+        let zv1 = ld(z1);
+        for p in 0..9 {
+            let xy = _mm512_loadu_si512(pairs.as_ptr().add(p * len + i) as *const _);
+            v0[p] = _mm512_add_epi64(v0[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv0)));
+            v1[p] = _mm512_add_epi64(v1[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv1)));
+        }
+    }
+    for p in 0..9 {
+        acc[p * 3] += _mm512_reduce_add_epi64(v0[p]) as u32;
+        acc[p * 3 + 1] += _mm512_reduce_add_epi64(v1[p]) as u32;
+    }
+    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +547,46 @@ mod tests {
                 accumulate27(level, as_planes(&data), &mut got);
                 assert_eq!(got, want, "level={level} len={len}");
             }
+        }
+    }
+
+    #[test]
+    fn all_available_tiers_match_scalar_18() {
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 33, 64, 100] {
+            let data = planes(len, len as u64 + 11);
+            let mut pairs = vec![0 as Word; 9 * len];
+            bitgenome::build_pair_streams(&data[0], &data[1], &data[2], &data[3], &mut pairs);
+            let mut want = [0u32; 27];
+            accumulate18_scalar(&pairs, &data[4], &data[5], &mut want);
+            for level in SimdLevel::available() {
+                let mut got = [0u32; 27];
+                accumulate18(level, &pairs, &data[4], &data[5], &mut got);
+                assert_eq!(got, want, "level={level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate18_matches_the_18_direct_cells() {
+        // On the same planes, the gz ∈ {0, 1} cells of accumulate27 and
+        // the pair-stream path must agree bit-exactly; the gz = 2 column
+        // must stay untouched by accumulate18.
+        let len = 21;
+        let data = planes(len, 7);
+        let mut full = [0u32; 27];
+        accumulate27_scalar(as_planes(&data), &mut full);
+        let mut pairs = vec![0 as Word; 9 * len];
+        bitgenome::build_pair_streams(&data[0], &data[1], &data[2], &data[3], &mut pairs);
+        let mut part = [u32::MAX; 27];
+        for p in 0..9 {
+            part[p * 3] = 0;
+            part[p * 3 + 1] = 0;
+        }
+        accumulate18_scalar(&pairs, &data[4], &data[5], &mut part);
+        for p in 0..9 {
+            assert_eq!(part[p * 3], full[p * 3], "pair {p} gz=0");
+            assert_eq!(part[p * 3 + 1], full[p * 3 + 1], "pair {p} gz=1");
+            assert_eq!(part[p * 3 + 2], u32::MAX, "gz=2 column must be untouched");
         }
     }
 

@@ -12,7 +12,7 @@ use crate::block::BlockParams;
 use crate::result::Triple;
 use crate::simd::{accumulate27, SimdLevel};
 use crate::table27::CELLS;
-use bitgenome::{SplitDataset, CASE, CTRL};
+use bitgenome::{SplitDataset, Word, CASE, CTRL};
 
 /// Entries per combination in the flat frequency-table scratch:
 /// 27 control + 27 case counts.
@@ -21,9 +21,9 @@ const FT_STRIDE: usize = 2 * CELLS;
 /// A blocked scan over one dataset with fixed tiling parameters.
 #[derive(Clone, Copy)]
 pub struct BlockedScanner<'a> {
-    ds: &'a SplitDataset,
-    params: BlockParams,
-    level: SimdLevel,
+    pub(crate) ds: &'a SplitDataset,
+    pub(crate) params: BlockParams,
+    pub(crate) level: SimdLevel,
 }
 
 impl<'a> BlockedScanner<'a> {
@@ -53,12 +53,37 @@ impl<'a> BlockedScanner<'a> {
         self.params.bs.pow(3) * FT_STRIDE
     }
 
+    /// Number of SNPs actually present in block `b` (the tail block of a
+    /// dataset may hold fewer than `B_S`).
+    pub(crate) fn snps_in_block(&self, b: usize) -> usize {
+        let m = self.ds.num_snps();
+        (m - (b * self.params.bs).min(m)).min(self.params.bs)
+    }
+
+    /// Scratch prefix (in `u32` entries) a task for block triple
+    /// `(b0, b1, b2)` can touch: combinations are indexed
+    /// `(ii0·B_S + ii1)·B_S + ii2` with `iiX` below the block's actual SNP
+    /// count, so only this prefix needs zeroing between tasks.
+    pub(crate) fn used_scratch_len(&self, bt: (usize, usize, usize)) -> usize {
+        let bs = self.params.bs;
+        let (n0, n1, n2) = (
+            self.snps_in_block(bt.0),
+            self.snps_in_block(bt.1),
+            self.snps_in_block(bt.2),
+        );
+        if n0 == 0 || n1 == 0 || n2 == 0 {
+            return 0;
+        }
+        (((n0 - 1) * bs + (n1 - 1)) * bs + n2) * FT_STRIDE
+    }
+
     /// Process one block triple: build the frequency tables for every
     /// valid combination inside it and call
     /// `emit(triple, ctrl_cells, case_cells)` for each.
     ///
     /// `ft` is caller-provided scratch (reused across tasks to stay
-    /// allocation-free); it is resized/zeroed here.
+    /// allocation-free); it is grown once and only the prefix a task can
+    /// touch is re-zeroed.
     pub fn scan_block_triple<F>(&self, bt: (usize, usize, usize), ft: &mut Vec<u32>, emit: &mut F)
     where
         F: FnMut(Triple, &[u32; CELLS], &[u32; CELLS]),
@@ -67,8 +92,10 @@ impl<'a> BlockedScanner<'a> {
         let m = self.ds.num_snps();
         let (b0, b1, b2) = bt;
 
-        ft.clear();
-        ft.resize(self.scratch_len(), 0);
+        if ft.len() < self.scratch_len() {
+            ft.resize(self.scratch_len(), 0);
+        }
+        ft[..self.used_scratch_len(bt)].fill(0);
 
         // Frequency-table construction, per class then per sample block
         // (Algorithm 1's p0 loop), so the B_S×B_P data block stays in L1
@@ -77,35 +104,34 @@ impl<'a> BlockedScanner<'a> {
             let cp = self.ds.class(class);
             let words = cp.num_words();
             let bpw = self.params.bp_words();
+            // full-plane lookups are invariant across sample blocks; hoist
+            // them out of the hot loops and only re-slice per block
+            let xp: Vec<(&[Word], &[Word])> = (0..self.snps_in_block(b0))
+                .map(|ii| cp.planes(b0 * bs + ii))
+                .collect();
+            let yp: Vec<(&[Word], &[Word])> = (0..self.snps_in_block(b1))
+                .map(|ii| cp.planes(b1 * bs + ii))
+                .collect();
+            let zp: Vec<(&[Word], &[Word])> = (0..self.snps_in_block(b2))
+                .map(|ii| cp.planes(b2 * bs + ii))
+                .collect();
             let mut w0 = 0;
             while w0 < words {
                 let wend = (w0 + bpw).min(words);
-                for ii0 in 0..bs {
+                for (ii0, &(x0f, x1f)) in xp.iter().enumerate() {
                     let s0 = b0 * bs + ii0;
-                    if s0 >= m {
-                        break;
-                    }
-                    let (x0f, x1f) = cp.planes(s0);
                     let (x0, x1) = (&x0f[w0..wend], &x1f[w0..wend]);
-                    for ii1 in 0..bs {
+                    for (ii1, &(y0f, y1f)) in yp.iter().enumerate() {
                         let s1 = b1 * bs + ii1;
-                        if s1 >= m {
-                            break;
-                        }
                         if s1 <= s0 {
                             continue;
                         }
-                        let (y0f, y1f) = cp.planes(s1);
                         let (y0, y1) = (&y0f[w0..wend], &y1f[w0..wend]);
-                        for ii2 in 0..bs {
+                        for (ii2, &(z0f, z1f)) in zp.iter().enumerate() {
                             let s2 = b2 * bs + ii2;
-                            if s2 >= m {
-                                break;
-                            }
                             if s2 <= s1 {
                                 continue;
                             }
-                            let (z0f, z1f) = cp.planes(s2);
                             let (z0, z1) = (&z0f[w0..wend], &z1f[w0..wend]);
                             let combo = (ii0 * bs + ii1) * bs + ii2;
                             let off = combo * FT_STRIDE + class * CELLS;

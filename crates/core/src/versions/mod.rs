@@ -1,4 +1,4 @@
-//! The four CPU approaches of §IV-A.
+//! The five CPU approaches of §IV-A (V1–V4 from the paper, V5 ours).
 //!
 //! | Version | Data layout | Key idea | Ops/word (paper) |
 //! |---------|-------------|----------|------------------|
@@ -6,6 +6,7 @@
 //! | [`v2`]  | split, 2 planes | NOR-inferred genotype 2, no phenotype stream | 57 |
 //! | [`blocked`] (V3) | split, 2 planes | + L1 loop tiling (`B_S`, `B_P`) | 57 |
 //! | [`blocked`] (V4) | split, 2 planes | + SIMD intrinsics dispatch | 57 (vector) |
+//! | [`v5`]  | split, 2 planes | + pair-prefix caching, 18-cell popcount + subtraction | ≈ 36 + 20/B_S |
 //!
 //! Every version exposes a per-triple contingency construction used by the
 //! correctness suite; the full-scan drivers live in [`crate::scan`].
@@ -13,5 +14,7 @@
 pub mod blocked;
 pub mod v1;
 pub mod v2;
+pub mod v5;
 
 pub use blocked::BlockedScanner;
+pub use v5::{PairPrefixCache, V5Scratch};

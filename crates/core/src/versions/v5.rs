@@ -1,0 +1,391 @@
+//! Approach V5 — pair-prefix caching + subtraction-derived cells.
+//!
+//! Two observations about the blocked V3/V4 traversal (Algorithm 1):
+//!
+//! 1. For a fixed SNP pair `(s0, s1)` the kernel re-derives the three
+//!    `NOR` reconstructions and all nine `X[gx] ∧ Y[gy]` intersections for
+//!    *every* third SNP of the block. V5 materialises the nine pair
+//!    streams once per pair per sample block into an L1-resident scratch
+//!    buffer ([`bitgenome::build_pair_streams`]) and amortises that work
+//!    over the block's `B_S` third SNPs — the innermost loop is a single
+//!    `AND` + `POPCNT` per cell against the cached streams.
+//! 2. `|X[gx] ∧ Y[gy]|` equals the sum of that pair's three `gz` cells,
+//!    so only the `gz ∈ {0, 1}` cells (18 streams) need popcounting
+//!    ([`crate::simd::accumulate18`]); `cell(gx, gy, 2)` follows by exact
+//!    integer subtraction from the pair totals. This also removes the
+//!    third SNP's `NOR` reconstruction entirely.
+//!
+//! Zero padding surfaces in the `(2, 2)` pair stream and is carried into
+//! the derived `(2, 2, 2)` cell by the subtraction, so the standard
+//! phantom-padding correction applies unchanged to the derived cells.
+//! All counts are exact integers: V5 tables — and therefore scores — are
+//! **bit-identical** to V2–V4.
+//!
+//! At shard granularity (no tiling) the same idea applies across the rank
+//! order itself: consecutive triples share their `(a, b)` prefix, which
+//! [`PairPrefixCache`] exploits for `scan_shard_split` and the epi-server
+//! job engine.
+
+use crate::result::Triple;
+use crate::simd::{accumulate18, fill_pair_cache, SimdLevel};
+use crate::table27::CELLS;
+use crate::versions::blocked::BlockedScanner;
+use bitgenome::{SplitDataset, Word, CASE, CTRL, PAIR_STREAMS};
+
+/// Entries per combination in the flat frequency-table scratch:
+/// 27 control + 27 case counts (same layout as V3/V4).
+const FT_STRIDE: usize = 2 * CELLS;
+
+/// Entries per SNP pair in the pair-total scratch: 9 control + 9 case.
+const PT_STRIDE: usize = 2 * PAIR_STREAMS;
+
+/// Reusable scratch for [`BlockedScanner::scan_block_triple_v5`]: the
+/// per-combination frequency tables, the per-pair 9-cell totals, and the
+/// L1-resident pair-stream cache. Allocation-free across tasks.
+#[derive(Clone, Debug, Default)]
+pub struct V5Scratch {
+    /// `[combo][class][cell]` flat frequency tables (`B_S³ × 54`).
+    ft: Vec<u32>,
+    /// `[pair][class][gx·3+gy]` pair totals (`B_S² × 18`), accumulated
+    /// over all sample blocks, consumed by the subtraction pass.
+    pair_ft: Vec<u32>,
+    /// Pair-major stream cache (`9 × B_P` words) for the current pair.
+    streams: Vec<Word>,
+}
+
+impl V5Scratch {
+    /// Empty scratch; buffers grow to task size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BlockedScanner<'_> {
+    /// V5 counterpart of [`BlockedScanner::scan_block_triple`]: identical
+    /// traversal and emission order, pair-prefix cached kernel.
+    pub fn scan_block_triple_v5<F>(
+        &self,
+        bt: (usize, usize, usize),
+        scratch: &mut V5Scratch,
+        emit: &mut F,
+    ) where
+        F: FnMut(Triple, &[u32; CELLS], &[u32; CELLS]),
+    {
+        let bs = self.params.bs;
+        let (b0, b1, b2) = bt;
+        let (n0, n1, n2) = (
+            self.snps_in_block(b0),
+            self.snps_in_block(b1),
+            self.snps_in_block(b2),
+        );
+        if n0 == 0 || n1 == 0 || n2 == 0 {
+            return;
+        }
+
+        if scratch.ft.len() < self.scratch_len() {
+            scratch.ft.resize(self.scratch_len(), 0);
+        }
+        scratch.ft[..self.used_scratch_len(bt)].fill(0);
+        let pt_len = bs * bs * PT_STRIDE;
+        if scratch.pair_ft.len() < pt_len {
+            scratch.pair_ft.resize(pt_len, 0);
+        }
+        scratch.pair_ft[..((n0 - 1) * bs + n1) * PT_STRIDE].fill(0);
+        let bpw = self.params.bp_words();
+        if scratch.streams.len() < PAIR_STREAMS * bpw {
+            scratch.streams.resize(PAIR_STREAMS * bpw, 0);
+        }
+
+        for class in [CTRL, CASE] {
+            let cp = self.ds.class(class);
+            let words = cp.num_words();
+            let xp: Vec<(&[Word], &[Word])> = (0..n0).map(|ii| cp.planes(b0 * bs + ii)).collect();
+            let yp: Vec<(&[Word], &[Word])> = (0..n1).map(|ii| cp.planes(b1 * bs + ii)).collect();
+            let zp: Vec<(&[Word], &[Word])> = (0..n2).map(|ii| cp.planes(b2 * bs + ii)).collect();
+            let mut w0 = 0;
+            while w0 < words {
+                let wend = (w0 + bpw).min(words);
+                let len = wend - w0;
+                for (ii0, &(x0f, x1f)) in xp.iter().enumerate() {
+                    let s0 = b0 * bs + ii0;
+                    for (ii1, &(y0f, y1f)) in yp.iter().enumerate() {
+                        let s1 = b1 * bs + ii1;
+                        if s1 <= s0 {
+                            continue;
+                        }
+                        // first third-SNP index of block b2 that keeps the
+                        // triple strictly increasing; skip the pair work
+                        // entirely when the block holds none
+                        let start2 = (s1 + 1).saturating_sub(b2 * bs);
+                        if start2 >= n2 {
+                            continue;
+                        }
+                        let streams = &mut scratch.streams[..PAIR_STREAMS * len];
+                        let pt_off = ((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS;
+                        let ptab: &mut [u32; PAIR_STREAMS] = (&mut scratch.pair_ft
+                            [pt_off..pt_off + PAIR_STREAMS])
+                            .try_into()
+                            .unwrap();
+                        fill_pair_cache(
+                            self.level,
+                            &x0f[w0..wend],
+                            &x1f[w0..wend],
+                            &y0f[w0..wend],
+                            &y1f[w0..wend],
+                            streams,
+                            ptab,
+                        );
+                        for (ii2, &(z0f, z1f)) in zp.iter().enumerate().skip(start2) {
+                            let combo = (ii0 * bs + ii1) * bs + ii2;
+                            let off = combo * FT_STRIDE + class * CELLS;
+                            let acc: &mut [u32; CELLS] =
+                                (&mut scratch.ft[off..off + CELLS]).try_into().unwrap();
+                            accumulate18(self.level, streams, &z0f[w0..wend], &z1f[w0..wend], acc);
+                        }
+                    }
+                }
+                w0 = wend;
+            }
+        }
+
+        // Derive the gz = 2 cells by subtraction, correct padding (which
+        // the (2,2) pair stream carried into the derived (2,2,2) cell),
+        // and score every valid combination — same order as V3/V4.
+        let pad = [self.ds.controls().pad_bits(), self.ds.cases().pad_bits()];
+        let last = crate::table27::cell_index(2, 2, 2);
+        for ii0 in 0..n0 {
+            let s0 = b0 * bs + ii0;
+            for ii1 in 0..n1 {
+                let s1 = b1 * bs + ii1;
+                if s1 <= s0 {
+                    continue;
+                }
+                for ii2 in 0..n2 {
+                    let s2 = b2 * bs + ii2;
+                    if s2 <= s1 {
+                        continue;
+                    }
+                    let combo = (ii0 * bs + ii1) * bs + ii2;
+                    let off = combo * FT_STRIDE;
+                    for class in [CTRL, CASE] {
+                        let pt_off = ((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS;
+                        let base = off + class * CELLS;
+                        for p in 0..PAIR_STREAMS {
+                            scratch.ft[base + p * 3 + 2] = scratch.pair_ft[pt_off + p]
+                                - scratch.ft[base + p * 3]
+                                - scratch.ft[base + p * 3 + 1];
+                        }
+                        scratch.ft[base + last] -= pad[class];
+                    }
+                    let (ctrl, case) = {
+                        let slice = &scratch.ft[off..off + FT_STRIDE];
+                        let (a, b) = slice.split_at(CELLS);
+                        (
+                            <&[u32; CELLS]>::try_from(a).unwrap(),
+                            <&[u32; CELLS]>::try_from(b).unwrap(),
+                        )
+                    };
+                    emit((s0 as u32, s1 as u32, s2 as u32), ctrl, case);
+                }
+            }
+        }
+    }
+}
+
+/// Pair-prefix cache for *unblocked* (per-triple) V5 scans.
+///
+/// Shard workers walk triples in lexicographic rank order, where the
+/// `(a, b)` prefix stays fixed while `c` sweeps — so the nine pair streams
+/// and their totals are rebuilt only on a prefix change and every triple
+/// inside a run costs 18 `AND`+`POPCNT` passes plus nine subtractions.
+/// Tables are bit-identical to [`crate::versions::v2::table_for_triple`].
+pub struct PairPrefixCache<'a> {
+    ds: &'a SplitDataset,
+    level: SimdLevel,
+    cur: Option<(u32, u32)>,
+    streams: [Vec<Word>; 2],
+    counts: [[u32; PAIR_STREAMS]; 2],
+}
+
+impl<'a> PairPrefixCache<'a> {
+    /// Empty cache over one dataset with the given SIMD tier.
+    pub fn new(ds: &'a SplitDataset, level: SimdLevel) -> Self {
+        Self {
+            ds,
+            level,
+            cur: None,
+            streams: [Vec::new(), Vec::new()],
+            counts: [[0; PAIR_STREAMS]; 2],
+        }
+    }
+
+    /// Build the contingency table for `t`, reusing the cached `(a, b)`
+    /// pair streams when the prefix matches the previous call.
+    pub fn table_for_triple(&mut self, t: Triple) -> crate::table27::ContingencyTable {
+        if self.cur != Some((t.0, t.1)) {
+            for class in [CTRL, CASE] {
+                let cp = self.ds.class(class);
+                let words = cp.num_words();
+                self.streams[class].resize(PAIR_STREAMS * words, 0);
+                let (x0, x1) = cp.planes(t.0 as usize);
+                let (y0, y1) = cp.planes(t.1 as usize);
+                self.counts[class] = [0; PAIR_STREAMS];
+                fill_pair_cache(
+                    self.level,
+                    x0,
+                    x1,
+                    y0,
+                    y1,
+                    &mut self.streams[class],
+                    &mut self.counts[class],
+                );
+            }
+            self.cur = Some((t.0, t.1));
+        }
+        let mut table = crate::table27::ContingencyTable::new();
+        for class in [CTRL, CASE] {
+            let (z0, z1) = self.ds.class(class).planes(t.2 as usize);
+            let acc = &mut table.counts[class];
+            accumulate18(self.level, &self.streams[class], z0, z1, acc);
+            for p in 0..PAIR_STREAMS {
+                acc[p * 3 + 2] = self.counts[class][p] - acc[p * 3] - acc[p * 3 + 1];
+            }
+        }
+        table.correct_padding(self.ds.controls().pad_bits(), self.ds.cases().pad_bits());
+        table
+    }
+}
+
+/// Build one triple's contingency table with the scalar V5 kernel
+/// (convenience for tests; hot paths use [`PairPrefixCache`] or the
+/// blocked traversal directly).
+pub fn table_for_triple(ds: &SplitDataset, t: Triple) -> crate::table27::ContingencyTable {
+    PairPrefixCache::new(ds, SimdLevel::Scalar).table_for_triple(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockParams;
+    use crate::table27::ContingencyTable;
+    use crate::versions::v2;
+    use bitgenome::{GenotypeMatrix, Phenotype};
+    use std::collections::HashMap;
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    fn collect_v5_tables(scanner: &BlockedScanner<'_>) -> HashMap<Triple, ContingencyTable> {
+        let mut out = HashMap::new();
+        let mut scratch = V5Scratch::new();
+        for bt in scanner.tasks() {
+            scanner.scan_block_triple_v5(bt, &mut scratch, &mut |t, ctrl, case| {
+                let prev = out.insert(t, ContingencyTable::from_counts(*ctrl, *case));
+                assert!(prev.is_none(), "triple {t:?} emitted twice");
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn v5_blocked_tables_match_v2_across_block_shapes() {
+        let (g, p) = dataset(11, 140, 23);
+        let ds = SplitDataset::encode(&g, &p);
+        for (bs, bp) in [(1usize, 64usize), (2, 64), (3, 128), (5, 64), (4, 2)] {
+            let scanner = BlockedScanner::new(&ds, BlockParams { bs, bp }, SimdLevel::Scalar);
+            let tables = collect_v5_tables(&scanner);
+            assert_eq!(tables.len() as u64, crate::combin::num_triples(11));
+            for (&t, table) in &tables {
+                assert_eq!(
+                    *table,
+                    v2::table_for_triple(&ds, t),
+                    "bs={bs} bp={bp} t={t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v5_simd_tiers_agree_with_scalar() {
+        let (g, p) = dataset(9, 260, 31);
+        let ds = SplitDataset::encode(&g, &p);
+        let reference = collect_v5_tables(&BlockedScanner::new(
+            &ds,
+            BlockParams { bs: 3, bp: 128 },
+            SimdLevel::Scalar,
+        ));
+        for level in SimdLevel::available() {
+            let got = collect_v5_tables(&BlockedScanner::new(
+                &ds,
+                BlockParams { bs: 3, bp: 128 },
+                level,
+            ));
+            assert_eq!(got, reference, "level {level}");
+        }
+    }
+
+    #[test]
+    fn v5_partial_tail_block_handled() {
+        // m=10 with bs=4 leaves a 2-SNP tail block.
+        let (g, p) = dataset(10, 65, 13);
+        let ds = SplitDataset::encode(&g, &p);
+        let scanner = BlockedScanner::new(&ds, BlockParams { bs: 4, bp: 64 }, SimdLevel::Scalar);
+        let tables = collect_v5_tables(&scanner);
+        assert_eq!(tables.len() as u64, crate::combin::num_triples(10));
+        for (&t, table) in &tables {
+            assert_eq!(table.total(), 65, "t={t:?}");
+            assert_eq!(*table, v2::table_for_triple(&ds, t), "t={t:?}");
+        }
+    }
+
+    #[test]
+    fn v5_padding_corrected_at_all_sample_counts() {
+        for n in [62usize, 64, 66, 126, 130, 192] {
+            let (g, p) = dataset(4, n, n as u64 * 7 + 1);
+            let ds = SplitDataset::encode(&g, &p);
+            let got = table_for_triple(&ds, (0, 1, 3));
+            let want = ContingencyTable::from_dense(&g, &p, (0, 1, 3));
+            assert_eq!(got, want, "n={n}");
+            assert_eq!(got.total(), n as u64);
+        }
+    }
+
+    #[test]
+    fn pair_prefix_cache_matches_v2_in_rank_order() {
+        let (g, p) = dataset(8, 130, 77);
+        let ds = SplitDataset::encode(&g, &p);
+        for level in SimdLevel::available() {
+            let mut cache = PairPrefixCache::new(&ds, level);
+            for t in crate::combin::TripleIter::new(8) {
+                assert_eq!(
+                    cache.table_for_triple(t),
+                    v2::table_for_triple(&ds, t),
+                    "level {level} t={t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_prefix_cache_survives_prefix_jumps() {
+        // Out-of-order prefixes force rebuilds; results must not depend on
+        // visit order.
+        let (g, p) = dataset(7, 90, 5);
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cache = PairPrefixCache::new(&ds, SimdLevel::Scalar);
+        for t in [(0u32, 1, 2), (3, 4, 6), (0, 1, 3), (2, 5, 6), (0, 1, 4)] {
+            assert_eq!(cache.table_for_triple(t), v2::table_for_triple(&ds, t));
+        }
+    }
+}

@@ -3,9 +3,11 @@
 use bitgenome::{GenotypeMatrix, Phenotype, SplitDataset, UnsplitDataset};
 use epi_core::k2::{K2Scorer, LnFactTable, Objective};
 use epi_core::result::TopK;
-use epi_core::simd::{accumulate27, accumulate27_scalar, SimdLevel};
+use epi_core::simd::{
+    accumulate18, accumulate18_scalar, accumulate27, accumulate27_scalar, SimdLevel,
+};
 use epi_core::table27::{ContingencyTable, CELLS};
-use epi_core::versions::{v1, v2};
+use epi_core::versions::{v1, v2, v5, BlockedScanner, V5Scratch};
 use epi_core::{combin, shard, BlockParams};
 use proptest::prelude::*;
 
@@ -60,6 +62,66 @@ proptest! {
         for level in SimdLevel::available() {
             let mut got = [0u32; CELLS];
             accumulate27(level, view, &mut got);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn v5_blocked_tables_match_v2(
+        (g, p) in labelled_strategy(),
+        bs in 1usize..=6,
+        bp in prop::sample::select(vec![2usize, 64, 400]),
+    ) {
+        let ds = SplitDataset::encode(&g, &p);
+        let scanner = BlockedScanner::new(&ds, BlockParams { bs, bp }, SimdLevel::Scalar);
+        let mut scratch = V5Scratch::new();
+        let mut seen = 0u64;
+        for bt in scanner.tasks() {
+            let mut failure = None;
+            scanner.scan_block_triple_v5(bt, &mut scratch, &mut |t, ctrl, case| {
+                seen += 1;
+                let got = ContingencyTable::from_counts(*ctrl, *case);
+                let want = v2::table_for_triple(&ds, t);
+                if got != want && failure.is_none() {
+                    failure = Some((t, got, want));
+                }
+            });
+            if let Some((t, got, want)) = failure {
+                prop_assert_eq!(got, want, "bs={} bp={} t={:?}", bs, bp, t);
+            }
+        }
+        prop_assert_eq!(seen, combin::num_triples(g.num_snps()));
+    }
+
+    #[test]
+    fn v5_pair_prefix_cache_matches_v2(
+        (g, p) in labelled_strategy(),
+    ) {
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cache = v5::PairPrefixCache::new(&ds, SimdLevel::detect());
+        for t in combin::TripleIter::new(g.num_snps()) {
+            prop_assert_eq!(cache.table_for_triple(t), v2::table_for_triple(&ds, t));
+        }
+    }
+
+    #[test]
+    fn accumulate18_tiers_bitwise_identical(
+        len in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s };
+        let planes: Vec<Vec<u64>> =
+            (0..4).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let z0: Vec<u64> = (0..len).map(|_| next()).collect();
+        let z1: Vec<u64> = (0..len).map(|_| next()).collect();
+        let mut pairs = vec![0u64; 9 * len];
+        bitgenome::build_pair_streams(&planes[0], &planes[1], &planes[2], &planes[3], &mut pairs);
+        let mut want = [0u32; CELLS];
+        accumulate18_scalar(&pairs, &z0, &z1, &mut want);
+        for level in SimdLevel::available() {
+            let mut got = [0u32; CELLS];
+            accumulate18(level, &pairs, &z0, &z1, &mut got);
             prop_assert_eq!(got, want);
         }
     }

@@ -46,6 +46,70 @@ impl CacheGeometry {
     }
 }
 
+/// Detect the executing host's **L1 data cache** geometry from the Linux
+/// sysfs cache hierarchy (`/sys/devices/system/cpu/cpu0/cache/index*`).
+///
+/// Returns `None` when the hierarchy is absent (non-Linux, containers
+/// without sysfs) or reports implausible values — callers fall back to
+/// the paper's default 32 KiB/8-way geometry, so detection can never make
+/// a configuration *worse* than the previous hardcoded assumption.
+pub fn detect_l1d() -> Option<CacheGeometry> {
+    for idx in 0..10 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let Some(level) = read_sysfs(&format!("{base}/level")) else {
+            break; // indices are contiguous; first missing one ends the scan
+        };
+        if level != "1" {
+            continue;
+        }
+        let ty = read_sysfs(&format!("{base}/type"))?;
+        if ty != "Data" && ty != "Unified" {
+            continue;
+        }
+        let size_bytes = parse_size_bytes(&read_sysfs(&format!("{base}/size"))?)?;
+        let ways: usize = read_sysfs(&format!("{base}/ways_of_associativity"))?
+            .parse()
+            .ok()?;
+        let line_bytes: usize = read_sysfs(&format!("{base}/coherency_line_size"))?
+            .parse()
+            .ok()?;
+        let geom = CacheGeometry {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        if plausible_l1(&geom) {
+            return Some(geom);
+        }
+        return None;
+    }
+    None
+}
+
+fn read_sysfs(path: &str) -> Option<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
+}
+
+/// Parse sysfs cache sizes: `"48K"`, `"1024K"`, `"2M"`, or a bare byte
+/// count.
+fn parse_size_bytes(s: &str) -> Option<usize> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
+}
+
+fn plausible_l1(g: &CacheGeometry) -> bool {
+    (1024..=4 * 1024 * 1024).contains(&g.size_bytes)
+        && (1..=64).contains(&g.ways)
+        && (16..=1024).contains(&g.line_bytes)
+        && g.size_bytes.is_multiple_of(g.ways * g.line_bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +130,42 @@ mod tests {
         let l1 = CacheGeometry::kib(32, 8);
         assert_eq!(l1.way_bytes(), 4096);
         assert_eq!(l1.sets(), 64);
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size_bytes("48K"), Some(48 * 1024));
+        assert_eq!(parse_size_bytes("32k"), Some(32 * 1024));
+        assert_eq!(parse_size_bytes("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_size_bytes("32768"), Some(32768));
+        assert_eq!(parse_size_bytes("lots"), None);
+        assert_eq!(parse_size_bytes(""), None);
+    }
+
+    #[test]
+    fn plausibility_filter() {
+        assert!(plausible_l1(&CacheGeometry::kib(32, 8)));
+        assert!(plausible_l1(&CacheGeometry::kib(48, 12)));
+        // a 1 GiB "L1" or zero-way geometry is rejected
+        assert!(!plausible_l1(&CacheGeometry {
+            size_bytes: 1 << 30,
+            ways: 8,
+            line_bytes: 64
+        }));
+        assert!(!plausible_l1(&CacheGeometry {
+            size_bytes: 32 * 1024,
+            ways: 7, // 32 KiB is not divisible into 7 ways of 64 B lines
+            line_bytes: 64
+        }));
+    }
+
+    #[test]
+    fn detection_is_sane_when_available() {
+        // On hosts without sysfs this is a no-op; when present the
+        // detected geometry must pass the plausibility filter by
+        // construction.
+        if let Some(g) = detect_l1d() {
+            assert!(plausible_l1(&g), "{g:?}");
+        }
     }
 }

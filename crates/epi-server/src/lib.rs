@@ -39,7 +39,7 @@
 //!
 //! | Request | Reply |
 //! |---------|-------|
-//! | `SUBMIT path=<f> [version=v1..v4] [shards=N] [top=K] [mi] [throttle_ms=N]` | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C>` |
+//! | `SUBMIT path=<f> [version=v1..v5] [shards=N] [top=K] [mi] [throttle_ms=N]` | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C>` |
 //! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [error=<e>]` |
 //! | `RESULT <id>` | `OK job=<id> count=<k>` then `k` x `CAND <i0> <i1> <i2> <bits-hex> <score>` then `END` |
 //! | `CANCEL <id>` | status line; pending shards dropped, finished ones kept |

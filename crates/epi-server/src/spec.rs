@@ -10,7 +10,7 @@ use epi_core::scan::{ObjectiveKind, ScanConfig, Version};
 pub struct JobSpec {
     /// Path of the dataset file (server-side, `datagen::io::load` format).
     pub path: String,
-    /// Scan approach (V1–V4).
+    /// Scan approach (V1–V5).
     pub version: Version,
     /// Number of shards the combination range is split into.
     pub shards: u64,
@@ -25,11 +25,11 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// Spec with the service defaults: V4, 64 shards, top-10, K2.
+    /// Spec with the service defaults: V5, 64 shards, top-10, K2.
     pub fn new(path: impl Into<String>) -> Self {
         Self {
             path: path.into(),
-            version: Version::V4,
+            version: Version::V5,
             shards: 64,
             top_k: 10,
             objective: ObjectiveKind::K2,
@@ -87,6 +87,7 @@ impl JobSpec {
                         "v2" => Version::V2,
                         "v3" => Version::V3,
                         "v4" => Version::V4,
+                        "v5" => Version::V5,
                         other => return Err(format!("unknown version {other:?}")),
                     }
                 }
@@ -162,6 +163,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn v5_roundtrips() {
+        let mut spec = JobSpec::new("/data/x.epi3");
+        spec.version = Version::V5;
+        let line = spec.to_tokens();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+        assert_eq!(
+            JobSpec::parse_tokens(&["path=x", "version=v5"])
+                .unwrap()
+                .version,
+            Version::V5
+        );
+    }
+
+    #[test]
     fn tokens_roundtrip() {
         let mut spec = JobSpec::new("/data/with space/x.epi3");
         spec.version = Version::V2;
@@ -177,7 +193,7 @@ mod tests {
     #[test]
     fn defaults_and_errors() {
         let spec = JobSpec::parse_tokens(&["path=x.epi3"]).unwrap();
-        assert_eq!(spec.version, Version::V4);
+        assert_eq!(spec.version, Version::V5);
         assert_eq!(spec.shards, 64);
         assert_eq!(spec.top_k, 10);
         assert!(JobSpec::parse_tokens(&[]).is_err());

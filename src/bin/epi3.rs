@@ -38,13 +38,16 @@ commands:
                   --snps N --samples N [--seed N] [--plant i,j,k]
                   [--balance] --out FILE [--text]
   scan FILE     exhaustive three-way scan
-                  [--version v1|v2|v3|v4] [--top K] [--threads N] [--mi]
+                  [--version v1|v2|v3|v4|v5] [--top K] [--threads N] [--mi]
   shards FILE   sharded three-way scan (the job service's work unit)
                   [--shards S] [--version vN] [--top K] [--threads N]
                   [--verify]  (also run monolithically and compare)
   pairs FILE    exhaustive two-way scan [--top K] [--threads N]
   significance FILE   permutation test [--permutations P] [--seed N]
   summary FILE  dataset quality-control summary
+  bench         kernel-version throughput on a fixed synthetic dataset
+                  [--snps N] [--samples N] [--seed N] [--trials T]
+                  [--versions v2,v4,v5] [--threads N] [--out FILE]
   devices       print the paper's device catalogs (Tables I & II)
 
 job service (line-delimited TCP, see epi_server crate docs):
@@ -73,6 +76,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "pairs" => cmd_pairs(rest),
         "significance" => cmd_significance(rest),
         "summary" => cmd_summary(rest),
+        "bench" => cmd_bench(rest),
         "devices" => cmd_devices(),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
@@ -188,11 +192,16 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
 }
 
 fn parse_version(args: &[String]) -> Result<Version, String> {
-    match opt_value(args, "--version").unwrap_or("v4") {
+    parse_version_name(opt_value(args, "--version").unwrap_or("v5"))
+}
+
+fn parse_version_name(name: &str) -> Result<Version, String> {
+    match name {
         "v1" | "V1" => Ok(Version::V1),
         "v2" | "V2" => Ok(Version::V2),
         "v3" | "V3" => Ok(Version::V3),
         "v4" | "V4" => Ok(Version::V4),
+        "v5" | "V5" => Ok(Version::V5),
         other => Err(format!("unknown version {other:?}")),
     }
 }
@@ -399,6 +408,90 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fixed-workload kernel benchmark: runs the requested versions on one
+/// synthetic dataset (single-threaded by default, isolating kernel
+/// quality) and writes a small JSON report so successive PRs can track
+/// the throughput trajectory (`BENCH_PR2.json` et seq.).
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let snps = opt_usize(args, "--snps", 64)?;
+    let samples = opt_usize(args, "--samples", 2048)?;
+    let seed = opt_usize(args, "--seed", 9)? as u64;
+    let trials = opt_usize(args, "--trials", 5)?.max(1);
+    let threads = opt_usize(args, "--threads", 1)?;
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR2.json");
+    let versions: Vec<Version> = match opt_value(args, "--versions") {
+        None => vec![Version::V2, Version::V4, Version::V5],
+        Some(list) => list
+            .split(',')
+            .map(parse_version_name)
+            .collect::<Result<_, _>>()?,
+    };
+
+    let data = DatasetSpec::noise(snps, samples, seed).generate();
+    let simd = devices::HostCpu::detect().simd;
+    println!(
+        "bench: {snps} SNPs x {samples} samples, seed {seed}, {trials} trials, \
+         {threads} thread(s), SIMD {simd}"
+    );
+
+    let mut measured: Vec<(Version, f64, f64)> = Vec::new();
+    for &version in &versions {
+        let mut cfg = ScanConfig::new(version);
+        cfg.threads = threads;
+        // warm-up pass (encoding caches, page faults), then best-of-T
+        let _ = scan(&data.genotypes, &data.phenotype, &cfg);
+        let mut best: Option<(f64, f64)> = None;
+        for _ in 0..trials {
+            let res = scan(&data.genotypes, &data.phenotype, &cfg);
+            let secs = res.elapsed.as_secs_f64();
+            let geps = res.giga_elements_per_sec();
+            if best.is_none_or(|(s, _)| secs < s) {
+                best = Some((secs, geps));
+            }
+        }
+        let (secs, geps) = best.unwrap();
+        println!("  {version}: {secs:.4} s -> {geps:.3} G elements/s");
+        measured.push((version, secs, geps));
+    }
+
+    let geps_of = |v: Version| {
+        measured
+            .iter()
+            .find(|(mv, _, _)| *mv == v)
+            .map(|&(_, _, g)| g)
+    };
+    let speedup = match (geps_of(Version::V5), geps_of(Version::V4)) {
+        (Some(v5), Some(v4)) if v4 > 0.0 => {
+            let s = v5 / v4;
+            println!("  V5 / V4 speedup: {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"snps\": {snps},\n  \"samples\": {samples},\n  \"seed\": {seed},\n  \
+         \"trials\": {trials},\n  \"threads\": {threads},\n  \"simd\": \"{simd}\",\n"
+    ));
+    json.push_str("  \"giga_elements_per_sec\": {\n");
+    for (i, (v, secs, geps)) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{\"best_seconds\": {secs:.6}, \"geps\": {geps:.4}}}{comma}\n",
+            v.name()
+        ));
+    }
+    json.push_str("  }");
+    if let Some(s) = speedup {
+        json.push_str(&format!(",\n  \"speedup_v5_over_v4\": {s:.4}"));
+    }
+    json.push_str("\n}\n");
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_devices() -> Result<(), String> {
     println!("Table I CPUs:");
     for d in devices::CpuDevice::table1() {
@@ -479,5 +572,36 @@ mod tests {
     #[test]
     fn devices_subcommand_runs() {
         run(&s(&["devices"])).unwrap();
+    }
+
+    #[test]
+    fn version_parsing_covers_v5() {
+        assert_eq!(parse_version_name("v5").unwrap(), Version::V5);
+        assert_eq!(parse_version_name("V5").unwrap(), Version::V5);
+        assert!(parse_version_name("v6").is_err());
+        // default is the fastest bit-identical kernel
+        assert_eq!(parse_version(&s(&["x.epi3"])).unwrap(), Version::V5);
+    }
+
+    #[test]
+    fn bench_subcommand_writes_json() {
+        let path = std::env::temp_dir().join("epi3_bench_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&s(&[
+            "bench",
+            "--snps",
+            "16",
+            "--samples",
+            "128",
+            "--trials",
+            "1",
+            "--out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"V5\""));
+        assert!(text.contains("speedup_v5_over_v4"));
+        let _ = std::fs::remove_file(path);
     }
 }

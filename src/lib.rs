@@ -15,7 +15,8 @@
 //! let spec = DatasetSpec::with_planted_triple(32, 512, [3, 7, 11], 42);
 //! let data = spec.generate();
 //!
-//! // Run the paper's best CPU approach (V4: split + blocked + SIMD).
+//! // Run the fastest CPU approach (V5: split + blocked + SIMD +
+//! // pair-prefix caching; results bit-identical to the paper's V4).
 //! let result = detect(&data.genotypes, &data.phenotype);
 //! let best = result.best().expect("non-empty scan");
 //!
@@ -34,7 +35,7 @@
 //! |-------|------|
 //! | [`bitgenome`] | bit-packed genotype layouts (Fig. 1, §IV) |
 //! | [`datagen`] | synthetic datasets with planted interactions |
-//! | [`epi_core`] | CPU approaches V1–V4, K2 scoring, parallel drivers |
+//! | [`epi_core`] | CPU approaches V1–V5, K2 scoring, parallel drivers |
 //! | [`devices`] | the paper's 5 CPUs + 9 GPUs as data (Tables I–II) |
 //! | [`gpu_sim`] | functional + analytic GPU simulator (§IV-B, Fig. 4) |
 //! | [`carm`] | Cache-Aware Roofline Model characterisation (Fig. 2) |
@@ -65,10 +66,11 @@ pub mod prelude {
     pub use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};
 }
 
-/// Run the paper's best CPU approach (V4) with default settings: all
-/// cores, dynamic scheduling, K2 objective, top-10 candidates.
+/// Run the fastest CPU approach (V5: pair-prefix cached, bit-identical
+/// to the paper's V4) with default settings: all cores, dynamic
+/// scheduling, K2 objective, top-10 candidates.
 pub fn detect(genotypes: &GenotypeMatrix, phenotype: &Phenotype) -> ScanResult {
-    let mut cfg = ScanConfig::new(Version::V4);
+    let mut cfg = ScanConfig::new(Version::V5);
     cfg.top_k = 10;
     detect_with(genotypes, phenotype, &cfg)
 }

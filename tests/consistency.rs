@@ -54,6 +54,7 @@ proptest! {
                 &g, &p, (t.0 as usize, t.1 as usize, t.2 as usize));
             prop_assert_eq!(&epi_core::versions::v1::table_for_triple(&unsplit, t), &want);
             prop_assert_eq!(&epi_core::versions::v2::table_for_triple(&split, t), &want);
+            prop_assert_eq!(&epi_core::versions::v5::table_for_triple(&split, t), &want);
             prop_assert_eq!(&mpi.table_for_triple(t), &want);
             prop_assert_eq!(&gpu_sim::kernels::thread_v1(&unsplit, t), &want);
             prop_assert_eq!(&gpu_sim::kernels::thread_split(&row_c, &row_k, t), &want);
@@ -74,12 +75,14 @@ proptest! {
         reference_cfg.threads = 1;
         let want = scan(&g, &p, &reference_cfg).top;
 
-        let mut cfg = ScanConfig::new(Version::V4);
-        cfg.top_k = 3;
-        cfg.threads = threads;
-        cfg.block = Some(BlockParams { bs, bp });
-        let got = scan(&g, &p, &cfg).top;
-        prop_assert_eq!(got, want);
+        for version in [Version::V4, Version::V5] {
+            let mut cfg = ScanConfig::new(version);
+            cfg.top_k = 3;
+            cfg.threads = threads;
+            cfg.block = Some(BlockParams { bs, bp });
+            let got = scan(&g, &p, &cfg).top;
+            prop_assert_eq!(&got, &want, "{}", version);
+        }
     }
 
     #[test]

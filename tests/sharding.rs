@@ -14,7 +14,8 @@ fn planted_48() -> Dataset {
 #[test]
 fn merged_shards_equal_detect_for_all_partitions() {
     let data = planted_48();
-    // detect() = V4, top-10: the acceptance reference
+    // detect() = V5, top-10: the acceptance reference (bit-identical to
+    // V4, which the loop below re-verifies against every version)
     let want = threeway_epistasis::detect(&data.genotypes, &data.phenotype);
     assert_eq!(
         want.best().unwrap().triple,
