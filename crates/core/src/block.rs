@@ -18,6 +18,16 @@ use devices::CacheGeometry;
 /// Bytes per packed 32-bit word (the paper's `β_int`).
 const BETA_INT: usize = 4;
 
+/// Default byte budget for the V5 *cross-task* block-pair stream cache
+/// (`crate::versions::v5`): the full-sample-range pair streams of one
+/// `(b0, b1)` block pair, kept across consecutive block-triple tasks.
+/// Unlike the per-task buffers above, this cache targets **L2** residency
+/// — it trades the once-per-task pair refill for streaming reads of
+/// L2-resident streams, which pays as long as the buffer actually fits
+/// in a slice of L2 (4 MiB covers a worker's share on every catalogued
+/// CPU); beyond the budget the kernel falls back to the per-task fill.
+pub const CROSS_PAIR_CACHE_BUDGET: usize = 4 << 20;
+
 /// Tiling parameters for the blocked CPU approaches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockParams {
@@ -164,6 +174,21 @@ impl BlockParams {
         self.bs * self.bs * BETA_INT * 2 * 9
     }
 
+    /// Bytes of the V5 cross-task block-pair cache over a dataset whose
+    /// classes hold `class_words_total` 64-bit words combined: all
+    /// `B_S²` pairs × 9 streams over the full sample range.
+    pub fn cross_pair_cache_bytes(&self, class_words_total: usize) -> usize {
+        self.bs * self.bs * 9 * class_words_total * 8
+    }
+
+    /// Whether the cross-task block-pair cache fits `budget_bytes` for
+    /// this dataset size — the gate the V5 kernel applies with the
+    /// scanner's budget ([`CROSS_PAIR_CACHE_BUDGET`] by default,
+    /// overridable via `BlockedScanner::with_cross_pair_budget`).
+    pub fn cross_pair_cache_enabled(&self, class_words_total: usize, budget_bytes: usize) -> bool {
+        self.cross_pair_cache_bytes(class_words_total) <= budget_bytes
+    }
+
     /// Sample-block length in this crate's 64-bit packing units (each
     /// u64 covers two of the paper's 32-bit words), minimum one word.
     pub fn bp_words(&self) -> usize {
@@ -247,6 +272,17 @@ mod tests {
             BlockParams::paper_policy_v5(&CacheGeometry::kib(32, 8), 256),
             BlockParams { bs: 4, bp: 56 }
         );
+    }
+
+    #[test]
+    fn cross_pair_cache_gate() {
+        let p = BlockParams { bs: 5, bp: 160 };
+        // 64 SNPs × 2048 samples split ≈ 32 class words → 57.6 KiB
+        assert_eq!(p.cross_pair_cache_bytes(32), 25 * 9 * 32 * 8);
+        assert!(p.cross_pair_cache_enabled(32, CROSS_PAIR_CACHE_BUDGET));
+        assert!(!p.cross_pair_cache_enabled(32, 0));
+        // ~150k samples overflows the default budget
+        assert!(!p.cross_pair_cache_enabled(4700, CROSS_PAIR_CACHE_BUDGET));
     }
 
     #[test]

@@ -88,6 +88,42 @@ pub fn triples_for_leading(m: usize, i0: usize) -> u64 {
     n_choose_k((m - i0 - 1) as u64, 2)
 }
 
+/// Invoke `f` for every strictly increasing k-combination of `0..m` with
+/// a fixed leading index `i0`, in lexicographic order — the generic-order
+/// counterpart of [`triples_with_leading`]; `scan_kway`'s task unit.
+pub fn for_each_combo_with_leading(m: usize, k: usize, i0: usize, f: &mut impl FnMut(&[usize])) {
+    let mut combo = vec![0usize; k];
+    combo[0] = i0;
+    fn rec(m: usize, combo: &mut Vec<usize>, depth: usize, f: &mut impl FnMut(&[usize])) {
+        if depth == combo.len() {
+            f(combo);
+            return;
+        }
+        let lo = combo[depth - 1] + 1;
+        for v in lo..m {
+            combo[depth] = v;
+            rec(m, combo, depth + 1, f);
+        }
+    }
+    if k == 1 {
+        f(&combo);
+    } else {
+        rec(m, &mut combo, 1, f);
+    }
+}
+
+/// Invoke `f` for every strictly increasing k-combination of `0..m`, in
+/// lexicographic (rank) order — the generic-order counterpart of
+/// [`TripleIter`], shared by the k-way scan and the prefix-cache suite.
+pub fn for_each_combo(m: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == 0 {
+        return;
+    }
+    for i0 in 0..m {
+        for_each_combo_with_leading(m, k, i0, f);
+    }
+}
+
 /// Ordered block triples `(b0, b1, b2)` with `b0 ≤ b1 ≤ b2 < nb` — the
 /// task granularity of the blocked approaches (Algorithm 1's outer loop).
 pub fn block_triples(nb: usize) -> Vec<(usize, usize, usize)> {
@@ -164,6 +200,27 @@ mod tests {
                 triples_for_leading(m, i0)
             );
         }
+    }
+
+    #[test]
+    fn combo_enumeration_matches_triples_and_counts() {
+        // k = 3 must reproduce TripleIter exactly
+        let mut got = Vec::new();
+        for_each_combo(9, 3, &mut |c| {
+            got.push((c[0] as u32, c[1] as u32, c[2] as u32))
+        });
+        let want: Vec<Triple> = TripleIter::new(9).collect();
+        assert_eq!(got, want);
+        // counts match C(m, k) at other orders; degenerate cases are empty
+        for (m, k) in [(7usize, 2usize), (7, 4), (5, 5), (4, 6)] {
+            let mut n = 0u64;
+            for_each_combo(m, k, &mut |c| {
+                assert!(c.windows(2).all(|w| w[0] < w[1]));
+                n += 1;
+            });
+            assert_eq!(n, n_choose_k(m as u64, k as u64), "m={m} k={k}");
+        }
+        for_each_combo(5, 0, &mut |_| panic!("k = 0 yields nothing"));
     }
 
     #[test]

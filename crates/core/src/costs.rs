@@ -71,6 +71,31 @@ impl VersionCosts {
         }
     }
 
+    /// V5 cost on the *shard* path with the cross-triple
+    /// [`crate::prefixcache::PairPrefixCache`]: the once-per-pair fill
+    /// (2 NOR + 9 AND + 9 POPCNT per word) is amortised over a prefix
+    /// *run* — the `c`-sweep sharing one `(a, b)` — instead of the
+    /// blocked kernel's `B_S` third SNPs. In rank order over `M` SNPs the
+    /// mean run length is `C(M,3)/C(M-1,2) = (M-2)/3`, so the fill term
+    /// vanishes as the panel grows (at `M = 64`: 20/20.7 ≈ 0.97 POPCNTs
+    /// per word versus the blocked kernel's 9/B_S ≈ 2.25).
+    pub fn v5_shard_path(mean_run_len: f64) -> Self {
+        assert!(mean_run_len >= 1.0);
+        VersionCosts {
+            ops_per_word: 36.0 + 20.0 / mean_run_len,
+            popcnt_per_word: 18.0 + 9.0 / mean_run_len,
+            loads_per_word: 11.0 + 4.0 / mean_run_len,
+            bytes_per_word: (11.0 + 4.0 / mean_run_len) * 4.0,
+        }
+    }
+
+    /// Mean `(a, b)` prefix-run length of a rank-order triple scan over
+    /// `m` SNPs: `C(m,3) / C(m-1,2) = (m - 2) / 3`.
+    pub fn mean_prefix_run_len(m: usize) -> f64 {
+        assert!(m >= 3);
+        (m as f64 - 2.0) / 3.0
+    }
+
     /// Arithmetic intensity in intops/byte — the CARM x-axis.
     pub fn arithmetic_intensity(&self) -> f64 {
         self.ops_per_word / self.bytes_per_word
@@ -149,6 +174,22 @@ mod tests {
         assert!((v5.popcnt_per_word - 20.25).abs() < 1e-12);
         // the popcount-path reduction is the headline: 27 -> 20.25
         assert!(v5.popcnt_per_word / v2.popcnt_per_word < 0.76);
+    }
+
+    #[test]
+    fn v5_shard_path_beats_the_blocked_amortisation_on_wide_panels() {
+        // At M = 64 the mean prefix run ((M-2)/3 ≈ 20.7) amortises the
+        // pair fill far below the blocked kernel's B_S = 4.
+        let run = VersionCosts::mean_prefix_run_len(64);
+        assert!((run - 62.0 / 3.0).abs() < 1e-12);
+        let sharded = VersionCosts::v5_shard_path(run);
+        let blocked = VersionCosts::for_version(Version::V5);
+        assert!(sharded.ops_per_word < blocked.ops_per_word);
+        assert!(sharded.popcnt_per_word < blocked.popcnt_per_word);
+        // the floor is the 18-popcount inner kernel
+        assert!(sharded.popcnt_per_word > 18.0);
+        // degenerate run of 1 = no reuse = full per-triple fill
+        assert!(VersionCosts::v5_shard_path(1.0).popcnt_per_word == 27.0);
     }
 
     #[test]

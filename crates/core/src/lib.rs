@@ -26,6 +26,9 @@
 //! partitions the combination range into deterministic, independently
 //! schedulable shards whose merged top-Ks are bit-identical to a
 //! monolithic scan — the work unit of the `epi-server` job service.
+//! [`prefixcache`] is the shared pair/prefix-stream cache all split-layout
+//! consumers (blocked V5, shard scans, arbitrary-order [`kway`] scans, the
+//! job engine) amortise their stream materialisation through.
 
 pub mod block;
 pub mod combin;
@@ -35,6 +38,7 @@ pub mod kway;
 pub mod pairs;
 pub mod permute;
 pub mod pool;
+pub mod prefixcache;
 pub mod result;
 pub mod scan;
 pub mod shard;
@@ -44,6 +48,7 @@ pub mod versions;
 
 pub use block::BlockParams;
 pub use k2::{K2Scorer, LnFactTable, MutualInformation, Objective};
+pub use prefixcache::{PairPrefixCache, PrefixCache};
 pub use result::{Candidate, TopK, Triple};
 pub use scan::{scan, ScanConfig, ScanResult, Scheduler, Version};
 pub use shard::{scan_shard, scan_sharded, ShardPlan};

@@ -1,0 +1,521 @@
+//! Unified prefix-stream cache — the shared pair/prefix materialisation
+//! layer of every split-layout consumer.
+//!
+//! # The reuse invariant
+//!
+//! For a combination `(s₀, …, s_{k-1})` the contingency kernel intersects
+//! the *same* `3^(k-1)` prefix streams (every genotype combination of the
+//! first `k-1` SNPs, genotype 2 reconstructed by `NOR`) with the last
+//! SNP's planes. In **rank order** — the lexicographic order walked by
+//! [`crate::combin::TripleIter`], [`crate::shard::TripleRangeIter`], and
+//! the k-way enumerator — the `(s₀, …, s_{k-2})` prefix stays fixed while
+//! the last SNP sweeps, so consecutive combinations share their prefix
+//! streams. An LRU-of-one cache therefore turns the per-combination
+//! stream build into a once-per-prefix-run build: at order 3 over `M`
+//! SNPs the expected hit rate is `1 − C(M,2)/C(M,3) = 1 − 3/(M−2)`
+//! (≈ 95 % at `M = 64`). The reuse also crosses *shard* boundaries:
+//! shards tile the rank range contiguously, so a worker draining
+//! consecutive shards of one dataset keeps its warm streams
+//! ([`crate::shard::scan_shard_split_cached`], the epi-server engine).
+//!
+//! Stream contents depend only on the dataset and the prefix SNPs —
+//! never on visit order — so cached and cold-built tables are
+//! **bit-identical** (exact integer counts throughout; property-tested
+//! against V2 and the seed k-way kernel).
+//!
+//! # One cache type, three consumers
+//!
+//! * [`PairPrefixCache`] (order 3, the V5 shard kernel): nine pair
+//!   streams filled by [`crate::simd::fill_pair_cache`] — scalar, AVX2,
+//!   AVX-512, and AVX-512 `VPOPCNTDQ` paths, one per tier — and
+//!   consumed by [`crate::simd::accumulate18`]; the `gz = 2` cells are
+//!   derived by exact subtraction from the cached stream totals.
+//! * [`PrefixCache`] at arbitrary order `k ≥ 2` (`scan_kway`): the same
+//!   recursion that `kway::table_for_combo` performs per word is
+//!   materialised per *depth* — depth `d` holds the `3^d` streams of the
+//!   first `d` prefix SNPs, each depth an `AND` of its parent with the
+//!   next SNP's planes — and revalidated from the deepest still-matching
+//!   depth, so a combo differing only in its last prefix SNP rebuilds one
+//!   depth, not all of them.
+//! * The blocked V5 kernel reuses the same idea at block granularity
+//!   (`versions/v5`): an LRU-of-one `(b0, b1)` *block-pair* cache keyed
+//!   by the leading block pair, budgeted by
+//!   [`crate::block::BlockParams::cross_pair_cache_enabled`].
+//!
+//! # Invariants
+//!
+//! A cache instance serves **one dataset between resets**: streams are
+//! keyed by SNP index only, so feeding a different dataset without
+//! [`PrefixCache::reset`] would reuse streams from the wrong data. The
+//! cache stores the dataset's per-class word counts and debug-asserts
+//! them on every call, which catches shape changes; same-shape swaps are
+//! the caller's contract (the engine keys its per-worker cache by job and
+//! dataset identity).
+
+use crate::kway::KwayTable;
+use crate::result::Triple;
+use crate::simd::{accumulate18, accumulate_streams, fill_pair_cache, SimdLevel};
+use crate::table27::ContingencyTable;
+use bitgenome::{SplitDataset, Word, CASE, CTRL, PAIR_STREAMS};
+
+/// LRU-of-one cache of the `3^(k-1)` prefix streams of a k-way
+/// combination, revalidated per depth (see module docs).
+#[derive(Clone, Debug)]
+pub struct PrefixCache {
+    level: SimdLevel,
+    k: usize,
+    /// SNP indices of the cached prefix; only `valid_depth` leading
+    /// entries have valid streams.
+    prefix: Vec<usize>,
+    valid_depth: usize,
+    /// Per-class dataset word counts the streams were built over
+    /// (shape-change guard; `None` until first use).
+    words: Option<[usize; 2]>,
+    /// `streams[class][depth_slot]`: for `k ≥ 3`, slot `d − 2` holds the
+    /// `3^d` streams of depth `d ∈ 2..k`; for `k = 2`, slot 0 holds the
+    /// 3 streams of depth 1.
+    streams: [Vec<Vec<Word>>; 2],
+    /// Final-depth per-stream popcounts (`3^(k-1)` per class) — the
+    /// subtraction totals for the derived genotype-2 cells.
+    counts: [Vec<u32>; 2],
+    hits: u64,
+    misses: u64,
+}
+
+impl PrefixCache {
+    /// Empty cache for order-`k` combinations using the given SIMD tier.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, level: SimdLevel) -> Self {
+        assert!(k >= 2, "prefix caching needs at least order 2");
+        Self {
+            level,
+            k,
+            prefix: vec![0; k - 1],
+            valid_depth: 0,
+            words: None,
+            streams: [Vec::new(), Vec::new()],
+            counts: [Vec::new(), Vec::new()],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Interaction order this cache serves.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// SIMD tier the stream fills and accumulations run on.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Calls whose full prefix matched the cached streams.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Calls that rebuilt at least one depth.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first call.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidate all cached streams (required between datasets; buffers
+    /// are kept for reuse, statistics are kept for reporting).
+    pub fn reset(&mut self) {
+        self.valid_depth = 0;
+        self.words = None;
+    }
+
+    /// Number of final-depth streams (`3^(k-1)`).
+    fn num_streams(&self) -> usize {
+        3usize.pow((self.k - 1) as u32)
+    }
+
+    /// Slot of depth `d` in the per-class stream list.
+    fn slot(&self, d: usize) -> usize {
+        if self.k == 2 {
+            debug_assert_eq!(d, 1);
+            0
+        } else {
+            debug_assert!((2..self.k).contains(&d));
+            d - 2
+        }
+    }
+
+    /// Make the final-depth streams and totals valid for `prefix`
+    /// (`k − 1` strictly increasing SNP indices), rebuilding only the
+    /// depths whose prefix changed since the previous call.
+    pub fn ensure(&mut self, ds: &SplitDataset, prefix: &[usize]) {
+        assert_eq!(prefix.len(), self.k - 1, "prefix must have k-1 SNPs");
+        let words = [ds.controls().num_words(), ds.cases().num_words()];
+        match self.words {
+            Some(w) => debug_assert_eq!(
+                w, words,
+                "dataset shape changed without PrefixCache::reset()"
+            ),
+            None => self.words = Some(words),
+        }
+        let common = self
+            .prefix
+            .iter()
+            .zip(prefix)
+            .take(self.valid_depth)
+            .take_while(|(a, b)| a == b)
+            .count();
+        if common == self.k - 1 {
+            self.hits += 1;
+            return;
+        }
+        self.misses += 1;
+
+        let final_depth = self.k - 1;
+        let nslots = if self.k == 2 { 1 } else { self.k - 2 };
+        for class in [CTRL, CASE] {
+            let cp = ds.class(class);
+            let len = words[class];
+            self.streams[class].resize(nslots, Vec::new());
+            if self.k == 2 {
+                // depth 1: the three genotype streams of the single
+                // prefix SNP (genotype 2 by NOR).
+                let (p0, p1) = cp.planes(prefix[0]);
+                let buf = &mut self.streams[class][0];
+                buf.resize(3 * len, 0);
+                let (a, rest) = buf.split_at_mut(len);
+                let (b, c) = rest.split_at_mut(len);
+                for w in 0..len {
+                    a[w] = p0[w];
+                    b[w] = p1[w];
+                    c[w] = !(p0[w] | p1[w]);
+                }
+            } else {
+                if common < 2 {
+                    // depth 2: the nine pair streams, via the tiered
+                    // SIMD fill (counts are final only when k == 3).
+                    let (x0, x1) = cp.planes(prefix[0]);
+                    let (y0, y1) = cp.planes(prefix[1]);
+                    let slot = self.slot(2);
+                    self.streams[class][slot].resize(PAIR_STREAMS * len, 0);
+                    let mut pair_counts = [0u32; PAIR_STREAMS];
+                    fill_pair_cache(
+                        self.level,
+                        x0,
+                        x1,
+                        y0,
+                        y1,
+                        &mut self.streams[class][slot],
+                        &mut pair_counts,
+                    );
+                    if final_depth == 2 {
+                        self.counts[class].clear();
+                        self.counts[class].extend_from_slice(&pair_counts);
+                    }
+                }
+                // deeper levels: recursive prefix-AND, depth d from d-1.
+                for d in 3..=final_depth {
+                    if common >= d {
+                        continue;
+                    }
+                    let (p0, p1) = cp.planes(prefix[d - 1]);
+                    let nparent = 3usize.pow((d - 1) as u32);
+                    let slot_d = self.slot(d);
+                    let slot_parent = self.slot(d - 1);
+                    let (lo, hi) = self.streams[class].split_at_mut(slot_d);
+                    let parent = &lo[slot_parent];
+                    let child = &mut hi[0];
+                    child.resize(3 * nparent * len, 0);
+                    for s in 0..nparent {
+                        let par = &parent[s * len..(s + 1) * len];
+                        let base = s * 3 * len;
+                        for w in 0..len {
+                            let pv = par[w];
+                            let g2 = !(p0[w] | p1[w]);
+                            child[base + w] = pv & p0[w];
+                            child[base + len + w] = pv & p1[w];
+                            child[base + 2 * len + w] = pv & g2;
+                        }
+                    }
+                }
+            }
+            if final_depth != 2 || self.k == 2 {
+                // totals of the final-depth streams (k == 3 got them
+                // fused into the pair fill above).
+                let slot = self.slot(final_depth);
+                let n = self.num_streams();
+                let buf = &self.streams[class][slot];
+                let counts = &mut self.counts[class];
+                counts.clear();
+                counts.extend((0..n).map(|p| {
+                    buf[p * len..(p + 1) * len]
+                        .iter()
+                        .map(|w| w.count_ones())
+                        .sum::<u32>()
+                }));
+            }
+        }
+        self.prefix.copy_from_slice(prefix);
+        self.valid_depth = self.k - 1;
+    }
+
+    /// Final-depth streams of one class (valid after [`Self::ensure`]).
+    pub fn class_streams(&self, class: usize) -> &[Word] {
+        &self.streams[class][self.slot(self.k - 1)]
+    }
+
+    /// Final-depth stream popcounts of one class.
+    pub fn class_counts(&self, class: usize) -> &[u32] {
+        &self.counts[class]
+    }
+
+    /// Build the `3^k`-cell contingency table of `snps` (strictly
+    /// increasing, `len == k`), reusing every cached depth the
+    /// combination shares with the previous call. Bit-identical to
+    /// [`crate::kway::table_for_combo`].
+    pub fn table_for_combo(&mut self, ds: &SplitDataset, snps: &[usize]) -> KwayTable {
+        assert_eq!(snps.len(), self.k, "combo must have k SNPs");
+        self.ensure(ds, &snps[..self.k - 1]);
+        let n = self.num_streams();
+        let mut t = KwayTable::new(self.k);
+        for class in [CTRL, CASE] {
+            let (z0, z1) = ds.class(class).planes(snps[self.k - 1]);
+            let acc = &mut t.counts[class];
+            accumulate_streams(
+                self.level,
+                &self.streams[class][self.slot(self.k - 1)],
+                z0,
+                z1,
+                acc,
+            );
+            let counts = &self.counts[class];
+            for p in 0..n {
+                // last-SNP genotype 2 by exact subtraction from the
+                // prefix-stream total (the V5 trick at any order)
+                acc[p * 3 + 2] = counts[p] - acc[p * 3] - acc[p * 3 + 1];
+            }
+        }
+        // zero padding aliases to genotype 2 at every SNP => all-2s cell
+        let last = t.cells() - 1;
+        t.counts[CTRL][last] -= ds.controls().pad_bits();
+        t.counts[CASE][last] -= ds.cases().pad_bits();
+        t
+    }
+}
+
+/// Order-3 specialisation of [`PrefixCache`] producing 27-cell
+/// [`ContingencyTable`]s — the kernel of `scan_shard_split` (V5) and the
+/// epi-server job engine.
+///
+/// Shard workers walk triples in lexicographic rank order, where the
+/// `(a, b)` prefix stays fixed while `c` sweeps — so the nine pair
+/// streams and their totals are rebuilt only on a prefix change and every
+/// triple inside a run costs 18 `AND`+`POPCNT` passes plus nine
+/// subtractions. Tables are bit-identical to
+/// [`crate::versions::v2::table_for_triple`].
+#[derive(Clone, Debug)]
+pub struct PairPrefixCache {
+    inner: PrefixCache,
+}
+
+impl PairPrefixCache {
+    /// Empty cache with the given SIMD tier.
+    pub fn new(level: SimdLevel) -> Self {
+        Self {
+            inner: PrefixCache::new(3, level),
+        }
+    }
+
+    /// Invalidate cached streams (required between datasets).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Calls whose `(a, b)` prefix matched the cached streams.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Calls that rebuilt the pair streams.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first call.
+    pub fn hit_rate(&self) -> f64 {
+        self.inner.hit_rate()
+    }
+
+    /// Build the contingency table for `t`, reusing the cached `(a, b)`
+    /// pair streams when the prefix matches the previous call.
+    pub fn table_for_triple(&mut self, ds: &SplitDataset, t: Triple) -> ContingencyTable {
+        self.inner.ensure(ds, &[t.0 as usize, t.1 as usize]);
+        let mut table = ContingencyTable::new();
+        for class in [CTRL, CASE] {
+            let (z0, z1) = ds.class(class).planes(t.2 as usize);
+            let acc = &mut table.counts[class];
+            accumulate18(
+                self.inner.level,
+                self.inner.class_streams(class),
+                z0,
+                z1,
+                acc,
+            );
+            let counts = self.inner.class_counts(class);
+            for p in 0..PAIR_STREAMS {
+                acc[p * 3 + 2] = counts[p] - acc[p * 3] - acc[p * 3 + 1];
+            }
+        }
+        table.correct_padding(ds.controls().pad_bits(), ds.cases().pad_bits());
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kway;
+    use crate::versions::v2;
+    use bitgenome::{GenotypeMatrix, Phenotype};
+
+    fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+        let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+        (
+            GenotypeMatrix::from_raw(m, n, data),
+            Phenotype::from_labels(labels),
+        )
+    }
+
+    #[test]
+    fn pair_cache_matches_v2_in_rank_order() {
+        let (g, p) = dataset(8, 130, 77);
+        let ds = SplitDataset::encode(&g, &p);
+        for level in SimdLevel::available() {
+            let mut cache = PairPrefixCache::new(level);
+            for t in crate::combin::TripleIter::new(8) {
+                assert_eq!(
+                    cache.table_for_triple(&ds, t),
+                    v2::table_for_triple(&ds, t),
+                    "level {level} t={t:?}"
+                );
+            }
+            // rank order over m=8: C(8,3)=56 triples; the prefixes that
+            // occur are the pairs with a valid continuation, C(7,2)=21
+            assert_eq!(cache.hits() + cache.misses(), 56);
+            assert_eq!(cache.misses(), 21);
+        }
+    }
+
+    #[test]
+    fn pair_cache_survives_prefix_jumps() {
+        // Out-of-order prefixes force rebuilds; results must not depend on
+        // visit order.
+        let (g, p) = dataset(7, 90, 5);
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cache = PairPrefixCache::new(SimdLevel::Scalar);
+        for t in [(0u32, 1, 2), (3, 4, 6), (0, 1, 3), (2, 5, 6), (0, 1, 4)] {
+            assert_eq!(cache.table_for_triple(&ds, t), v2::table_for_triple(&ds, t));
+        }
+        // LRU-of-one: no two consecutive calls share a prefix, so every
+        // call rebuilds — including (0,1), three separate times
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn reset_allows_a_second_dataset() {
+        let (g1, p1) = dataset(6, 70, 1);
+        let (g2, p2) = dataset(6, 70, 2);
+        let ds1 = SplitDataset::encode(&g1, &p1);
+        let ds2 = SplitDataset::encode(&g2, &p2);
+        let mut cache = PairPrefixCache::new(SimdLevel::Scalar);
+        assert_eq!(
+            cache.table_for_triple(&ds1, (0, 1, 2)),
+            v2::table_for_triple(&ds1, (0, 1, 2))
+        );
+        cache.reset();
+        assert_eq!(
+            cache.table_for_triple(&ds2, (0, 1, 2)),
+            v2::table_for_triple(&ds2, (0, 1, 2))
+        );
+    }
+
+    #[test]
+    fn kway_cache_matches_seed_kernel_orders_2_to_4() {
+        let (g, p) = dataset(7, 110, 23);
+        let ds = SplitDataset::encode(&g, &p);
+        for k in 2..=4usize {
+            for level in SimdLevel::available() {
+                let mut cache = PrefixCache::new(k, level);
+                let mut combos = 0u64;
+                let mut all = |combo: &[usize]| {
+                    assert_eq!(
+                        cache.table_for_combo(&ds, combo),
+                        kway::table_for_combo(&ds, combo),
+                        "k={k} level={level} combo={combo:?}"
+                    );
+                    combos += 1;
+                };
+                crate::combin::for_each_combo(7, k, &mut all);
+                assert_eq!(combos, crate::combin::n_choose_k(7, k as u64));
+                assert_eq!(cache.hits() + cache.misses(), combos, "k={k}");
+                // rank order shares every prefix run: one miss per
+                // (k-1)-prefix with a valid continuation, C(m-1, k-1)
+                assert_eq!(
+                    cache.misses(),
+                    crate::combin::n_choose_k(6, (k - 1) as u64),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_prefix_match_rebuilds_only_deeper_levels() {
+        // Order 4: moving only the third SNP must keep the pair depth
+        // cached (observable: the result stays right and the miss is
+        // counted once per change).
+        let (g, p) = dataset(8, 96, 9);
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cache = PrefixCache::new(4, SimdLevel::Scalar);
+        for combo in [[0usize, 1, 2, 3], [0, 1, 2, 4], [0, 1, 3, 4], [0, 2, 3, 4]] {
+            assert_eq!(
+                cache.table_for_combo(&ds, &combo),
+                kway::table_for_combo(&ds, &combo),
+                "{combo:?}"
+            );
+        }
+        assert_eq!(cache.hits(), 1); // only the second call fully matched
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn padding_corrected_at_awkward_sample_counts() {
+        for n in [62usize, 64, 66, 126, 130] {
+            let (g, p) = dataset(5, n, n as u64 * 3 + 1);
+            let ds = SplitDataset::encode(&g, &p);
+            let mut pair = PairPrefixCache::new(SimdLevel::Scalar);
+            let t = pair.table_for_triple(&ds, (0, 2, 4));
+            assert_eq!(t.total(), n as u64, "n={n}");
+            let mut kw = PrefixCache::new(2, SimdLevel::Scalar);
+            let t2 = kw.table_for_combo(&ds, &[1, 3]);
+            assert_eq!(t2.total(), n as u64, "n={n}");
+        }
+    }
+}

@@ -30,7 +30,10 @@ pub enum Version {
     /// V3 + SIMD vectorisation (runtime dispatch).
     V4,
     /// V4 + pair-prefix caching and subtraction-derived genotype-2 cells
-    /// (18 of 27 popcounts, pair work amortised over `B_S` third SNPs).
+    /// (18 of 27 popcounts, pair work amortised over `B_S` third SNPs —
+    /// and, via the shared [`crate::prefixcache`] layer, across the
+    /// consecutive block triples / rank-order triples that share their
+    /// leading pair).
     V5,
 }
 

@@ -367,16 +367,37 @@ pub fn scan_shard_unsplit(ds: &UnsplitDataset, cfg: &ScanConfig, shard: Range<u6
 /// streams over each run and popcounts only 18 of 27 cells. Contingency
 /// tables — and therefore scores — are identical to the blocked kernels',
 /// which is what makes shard merges bit-identical to monolithic scans.
+///
+/// This convenience starts from a cold cache; workers draining several
+/// shards of one dataset should hold a [`PairPrefixCache`] and use
+/// [`scan_shard_split_cached`] — shards tile the rank range contiguously,
+/// so the `(a, b)` prefix run crossing a shard boundary stays warm.
 pub fn scan_shard_split(ds: &SplitDataset, cfg: &ScanConfig, shard: Range<u64>) -> TopK {
+    let mut cache = PairPrefixCache::new(cfg.effective_simd());
+    scan_shard_split_cached(ds, cfg, shard, &mut cache)
+}
+
+/// [`scan_shard_split`] with a caller-held [`PairPrefixCache`], the form
+/// used by `scan_sharded` workers and the epi-server job engine to reuse
+/// pair streams **across** shard tasks. The cache must only ever see one
+/// dataset between [`PairPrefixCache::reset`] calls; it is read and
+/// advanced only for V5 (the per-triple V2–V4 kernels have no pair
+/// state). Results are bit-identical to the cold-cache form for any
+/// prior cache state over the same dataset.
+pub fn scan_shard_split_cached(
+    ds: &SplitDataset,
+    cfg: &ScanConfig,
+    shard: Range<u64>,
+    cache: &mut PairPrefixCache,
+) -> TopK {
     assert_ne!(cfg.version, Version::V1, "split layout is for V2-V5");
     let scorer = build_objective(cfg, ds.num_samples());
     let level = cfg.effective_simd();
     let mut top = TopK::new(cfg.top_k.max(1));
     match cfg.version {
         Version::V5 => {
-            let mut cache = PairPrefixCache::new(ds, level);
             for t in TripleRangeIter::new(ds.num_snps(), shard) {
-                let table = cache.table_for_triple(t);
+                let table = cache.table_for_triple(ds, t);
                 top.push(scorer.score(&table), t);
             }
         }
@@ -417,14 +438,18 @@ pub fn scan_sharded(
     }
     let split;
     let unsplit;
-    let scan_one: Box<dyn Fn(Range<u64>) -> TopK + Sync> = match cfg.version {
+    // Per-worker pair caches persist across the shards a worker drains:
+    // consecutive shards of the rank order share their boundary (a, b)
+    // prefix, so cross-shard reuse is free (V5 only; V1-V4 ignore it).
+    type ShardScanFn<'a> = Box<dyn Fn(Range<u64>, &mut PairPrefixCache) -> TopK + Sync + 'a>;
+    let scan_one: ShardScanFn<'_> = match cfg.version {
         Version::V1 => {
             unsplit = UnsplitDataset::encode(genotypes, phenotype);
-            Box::new(|r| scan_shard_unsplit(&unsplit, cfg, r))
+            Box::new(|r, _| scan_shard_unsplit(&unsplit, cfg, r))
         }
         _ => {
             split = SplitDataset::encode(genotypes, phenotype);
-            Box::new(|r| scan_shard_split(&split, cfg, r))
+            Box::new(|r, cache| scan_shard_split_cached(&split, cfg, r, cache))
         }
     };
     let start = Instant::now();
@@ -432,14 +457,19 @@ pub fn scan_sharded(
         plan.num_shards() as usize,
         cfg.threads,
         1,
-        || TopK::new(cfg.top_k),
-        |i, top: &mut TopK| {
-            top.merge(scan_one(plan.range(i as u64)));
+        || {
+            (
+                TopK::new(cfg.top_k),
+                PairPrefixCache::new(cfg.effective_simd()),
+            )
+        },
+        |i, (top, cache): &mut (TopK, PairPrefixCache)| {
+            top.merge(scan_one(plan.range(i as u64), cache));
         },
     );
     let elapsed = start.elapsed();
     let mut merged = TopK::new(cfg.top_k);
-    for t in states {
+    for (t, _) in states {
         merged.merge(t);
     }
     crate::scan::ScanResult {

@@ -58,8 +58,14 @@ pub fn accumulate27(level: SimdLevel, planes: Planes<'_>, acc: &mut [u32; 27]) {
         SimdLevel::Avx512Vpopcnt => unsafe {
             accumulate27_avx512_vpopcnt(x0, x1, y0, y1, z0, z1, acc)
         },
+        // Exhaustive on every architecture: an x86 tier reaching a
+        // non-x86 build means the detection layer is broken — fail
+        // loudly in tests instead of quietly running 10× slower.
         #[cfg(not(target_arch = "x86_64"))]
-        _ => accumulate27_scalar(planes, acc),
+        SimdLevel::Avx2 | SimdLevel::Avx512 | SimdLevel::Avx512Vpopcnt => {
+            debug_assert!(false, "x86 SIMD tier {level} dispatched on a non-x86 host");
+            accumulate27_scalar(planes, acc)
+        }
     }
 }
 
@@ -257,8 +263,14 @@ unsafe fn accumulate27_avx512_vpopcnt(
 /// `streams` (pair-major, `bitgenome::build_pair_streams` layout) *and*
 /// add each stream's popcount into `counts` — the once-per-pair cache
 /// fill of the V5 kernel, vectorised so the amortised work keeps pace
-/// with the vector inner loop. All tiers produce bit-identical buffers
-/// and counts.
+/// with the vector inner loop on every tier. All tiers produce
+/// bit-identical buffers and counts:
+///
+/// * **scalar** — 64-bit logic + hardware `POPCNT`;
+/// * **AVX2** — 256-bit logic/stores, lane-extracted scalar `POPCNT`;
+/// * **AVX-512** — 512-bit logic/stores, lane-extracted scalar `POPCNT`
+///   (Skylake-SP tier);
+/// * **AVX-512 `VPOPCNTDQ`** — fully vectorised count (Ice Lake SP+).
 ///
 /// # Panics
 /// Panics (debug) if `level` exceeds the host's capability; panics if
@@ -275,19 +287,144 @@ pub fn fill_pair_cache(
 ) {
     debug_assert!(level <= SimdLevel::detect(), "SIMD tier not available");
     match level {
+        SimdLevel::Scalar => fill_pair_cache_scalar(x0, x1, y0, y1, streams, counts),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { fill_pair_cache_avx2(x0, x1, y0, y1, streams, counts) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { fill_pair_cache_avx512(x0, x1, y0, y1, streams, counts) },
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx512Vpopcnt => unsafe {
             fill_pair_cache_avx512_vpopcnt(x0, x1, y0, y1, streams, counts)
         },
-        // Without a vector popcount the count pass gains nothing from
-        // wider registers: the scalar fill (LLVM auto-vectorises the
-        // logic) plus hardware POPCNT is already load-balanced against
-        // the extraction-based inner kernels.
-        _ => {
-            bitgenome::build_pair_streams(x0, x1, y0, y1, streams);
-            bitgenome::add_pair_stream_counts(streams, x0.len(), counts);
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 | SimdLevel::Avx512 | SimdLevel::Avx512Vpopcnt => {
+            debug_assert!(false, "x86 SIMD tier {level} dispatched on a non-x86 host");
+            fill_pair_cache_scalar(x0, x1, y0, y1, streams, counts)
         }
     }
+}
+
+/// Scalar reference path for [`fill_pair_cache`].
+fn fill_pair_cache_scalar(
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+) {
+    bitgenome::build_pair_streams(x0, x1, y0, y1, streams);
+    bitgenome::add_pair_stream_counts(streams, x0.len(), counts);
+}
+
+/// Scalar tail shared by the vector `fill_pair_cache` paths: build and
+/// count words `from..len` of every stream.
+fn fill_pair_cache_tail(
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+    from: usize,
+) {
+    let len = x0.len();
+    for w in from..len {
+        let xs = [x0[w], x1[w], !(x0[w] | x1[w])];
+        let ys = [y0[w], y1[w], !(y0[w] | y1[w])];
+        for (gx, &xv) in xs.iter().enumerate() {
+            for (gy, &yv) in ys.iter().enumerate() {
+                let p = gx * 3 + gy;
+                let v = xv & yv;
+                streams[p * len + w] = v;
+                counts[p] += v.count_ones();
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn fill_pair_cache_avx2(
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 4; // u64 lanes per ymm
+    let len = x0.len();
+    assert!(x1.len() == len && y0.len() == len && y1.len() == len);
+    assert_eq!(streams.len(), 9 * len);
+    let chunks = len / L;
+    let ones = _mm256_set1_epi64x(-1);
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
+        let (xv0, xv1) = (ld(x0), ld(x1));
+        let (yv0, yv1) = (ld(y0), ld(y1));
+        let xs = [xv0, xv1, _mm256_xor_si256(_mm256_or_si256(xv0, xv1), ones)];
+        let ys = [yv0, yv1, _mm256_xor_si256(_mm256_or_si256(yv0, yv1), ones)];
+        for (gx, &xv) in xs.iter().enumerate() {
+            for (gy, &yv) in ys.iter().enumerate() {
+                let p = gx * 3 + gy;
+                let v = _mm256_and_si256(xv, yv);
+                _mm256_storeu_si256(streams.as_mut_ptr().add(p * len + i) as *mut __m256i, v);
+                // no vector popcount on this tier: extract + scalar POPCNT
+                let mut lanes = [0u64; L];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+                counts[p] += lanes[0].count_ones()
+                    + lanes[1].count_ones()
+                    + lanes[2].count_ones()
+                    + lanes[3].count_ones();
+            }
+        }
+    }
+    fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,popcnt")]
+unsafe fn fill_pair_cache_avx512(
+    x0: &[Word],
+    x1: &[Word],
+    y0: &[Word],
+    y1: &[Word],
+    streams: &mut [Word],
+    counts: &mut [u32; 9],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 8; // u64 lanes per zmm
+    let len = x0.len();
+    assert!(x1.len() == len && y0.len() == len && y1.len() == len);
+    assert_eq!(streams.len(), 9 * len);
+    let chunks = len / L;
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+        let (xv0, xv1) = (ld(x0), ld(x1));
+        let (yv0, yv1) = (ld(y0), ld(y1));
+        let xs = [xv0, xv1, _mm512_ternarylogic_epi64(xv0, xv1, xv1, 0x01)];
+        let ys = [yv0, yv1, _mm512_ternarylogic_epi64(yv0, yv1, yv1, 0x01)];
+        for (gx, &xv) in xs.iter().enumerate() {
+            for (gy, &yv) in ys.iter().enumerate() {
+                let p = gx * 3 + gy;
+                let v = _mm512_and_si512(xv, yv);
+                _mm512_storeu_si512(streams.as_mut_ptr().add(p * len + i) as *mut _, v);
+                // Skylake-SP tier: extract + scalar POPCNT per lane
+                let mut lanes = [0u64; L];
+                _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
+                let mut s = 0u32;
+                for lane in lanes {
+                    s += lane.count_ones();
+                }
+                counts[p] += s;
+            }
+        }
+    }
+    fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -326,22 +463,7 @@ unsafe fn fill_pair_cache_avx512_vpopcnt(
     for (p, &v) in vacc.iter().enumerate() {
         counts[p] += _mm512_reduce_add_epi64(v) as u32;
     }
-    // scalar tail: build + count the remaining words of every stream
-    let tail = chunks * L;
-    if tail < len {
-        for w in tail..len {
-            let xs = [x0[w], x1[w], !(x0[w] | x1[w])];
-            let ys = [y0[w], y1[w], !(y0[w] | y1[w])];
-            for (gx, &xv) in xs.iter().enumerate() {
-                for (gy, &yv) in ys.iter().enumerate() {
-                    let p = gx * 3 + gy;
-                    let v = xv & yv;
-                    streams[p * len + w] = v;
-                    counts[p] += v.count_ones();
-                }
-            }
-        }
-    }
+    fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
 }
 
 /// Add the popcounts of the 18 `gz ∈ {0, 1}` intersections of
@@ -355,6 +477,9 @@ unsafe fn fill_pair_cache_avx512_vpopcnt(
 /// subtraction from the pair totals), and the `gz = 2` column of `acc` is
 /// left untouched.
 ///
+/// Thin wrapper over [`accumulate_streams_strided`] with nine contiguous
+/// streams; kept as the named V5 entry point.
+///
 /// # Panics
 /// Panics (debug) if `level` exceeds the host's capability, `z0`/`z1`
 /// lengths differ, or `pairs.len() != 9 * z0.len()`.
@@ -366,43 +491,96 @@ pub fn accumulate18(
     z1: &[Word],
     acc: &mut [u32; 27],
 ) {
+    debug_assert_eq!(pairs.len(), 9 * z0.len());
+    accumulate_streams_strided(level, pairs, z0.len(), z0, z1, &mut acc[..]);
+}
+
+/// Generic form of [`accumulate18`] for the unified prefix cache: add the
+/// popcounts of `stream[p] ∧ z0` and `stream[p] ∧ z1` into `acc[p*3]` and
+/// `acc[p*3 + 1]` for `acc.len() / 3` consecutive streams (`acc[p*3 + 2]`
+/// is untouched — callers derive it by subtraction from the stream
+/// totals). The stream count is arbitrary, which is what lets `3^(k-1)`
+/// prefix streams of a k-way scan share the V5 kernels.
+///
+/// # Panics
+/// Panics (debug) if `level` exceeds the host's capability, lengths
+/// differ, or `acc.len()` is not a multiple of 3.
+#[inline]
+pub fn accumulate_streams(
+    level: SimdLevel,
+    streams: &[Word],
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32],
+) {
+    debug_assert_eq!(streams.len(), (acc.len() / 3) * z0.len());
+    accumulate_streams_strided(level, streams, z0.len(), z0, z1, acc);
+}
+
+/// Strided core of [`accumulate_streams`]: stream `p` occupies
+/// `streams[p * stride .. p * stride + z0.len()]`. A stride larger than
+/// `z0.len()` lets the blocked V5 kernel accumulate one *sample block* of
+/// full-range cached pair streams without copying them out first.
+///
+/// # Panics
+/// Panics (debug) if `level` exceeds the host's capability, `z0`/`z1`
+/// lengths differ, `stride < z0.len()`, `acc.len()` is not a multiple of
+/// 3, or `streams` is too short for the last stream.
+pub fn accumulate_streams_strided(
+    level: SimdLevel,
+    streams: &[Word],
+    stride: usize,
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32],
+) {
     debug_assert!(level <= SimdLevel::detect(), "SIMD tier not available");
     debug_assert_eq!(z0.len(), z1.len());
-    debug_assert_eq!(pairs.len(), 9 * z0.len());
-    if z0.is_empty() {
+    debug_assert_eq!(acc.len() % 3, 0);
+    debug_assert!(stride >= z0.len());
+    let n = acc.len() / 3;
+    if z0.is_empty() || n == 0 {
         return;
     }
+    debug_assert!(streams.len() >= (n - 1) * stride + z0.len());
     match level {
-        SimdLevel::Scalar => accumulate18_scalar(pairs, z0, z1, acc),
+        SimdLevel::Scalar => accumulate_streams_scalar_from(streams, stride, z0, z1, 0, acc),
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { accumulate18_avx2(pairs, z0, z1, acc) },
+        SimdLevel::Avx2 => unsafe { accumulate_streams_avx2(streams, stride, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx512 => unsafe { accumulate18_avx512(pairs, z0, z1, acc) },
+        SimdLevel::Avx512 => unsafe { accumulate_streams_avx512(streams, stride, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx512Vpopcnt => unsafe { accumulate18_avx512_vpopcnt(pairs, z0, z1, acc) },
+        SimdLevel::Avx512Vpopcnt => unsafe {
+            accumulate_streams_avx512_vpopcnt(streams, stride, z0, z1, acc)
+        },
         #[cfg(not(target_arch = "x86_64"))]
-        _ => accumulate18_scalar(pairs, z0, z1, acc),
+        SimdLevel::Avx2 | SimdLevel::Avx512 | SimdLevel::Avx512Vpopcnt => {
+            debug_assert!(false, "x86 SIMD tier {level} dispatched on a non-x86 host");
+            accumulate_streams_scalar_from(streams, stride, z0, z1, 0, acc)
+        }
     }
 }
 
 /// Scalar reference path for [`accumulate18`]; also handles vector-path
 /// remainders (via the internal `from` offset).
 pub fn accumulate18_scalar(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
-    accumulate18_scalar_from(pairs, z0, z1, 0, acc);
+    accumulate_streams_scalar_from(pairs, z0.len(), z0, z1, 0, &mut acc[..]);
 }
 
-fn accumulate18_scalar_from(
-    pairs: &[Word],
+fn accumulate_streams_scalar_from(
+    streams: &[Word],
+    stride: usize,
     z0: &[Word],
     z1: &[Word],
     from: usize,
-    acc: &mut [u32; 27],
+    acc: &mut [u32],
 ) {
     let len = z0.len();
     if from >= len {
         return;
     }
-    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+    for p in 0..acc.len() / 3 {
+        let stream = &streams[p * stride..p * stride + len];
         let mut c0 = 0u32;
         let mut c1 = 0u32;
         for w in from..len {
@@ -417,12 +595,19 @@ fn accumulate18_scalar_from(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
-unsafe fn accumulate18_avx2(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
+unsafe fn accumulate_streams_avx2(
+    streams: &[Word],
+    stride: usize,
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32],
+) {
     use core::arch::x86_64::*;
     const L: usize = 4; // u64 lanes per ymm
     let len = z0.len();
     let chunks = len / L;
-    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+    for p in 0..acc.len() / 3 {
+        let stream = &streams[p * stride..p * stride + len];
         let mut c0 = 0u32;
         let mut c1 = 0u32;
         for c in 0..chunks {
@@ -442,17 +627,24 @@ unsafe fn accumulate18_avx2(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut 
         acc[p * 3] += c0;
         acc[p * 3 + 1] += c1;
     }
-    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+    accumulate_streams_scalar_from(streams, stride, z0, z1, chunks * L, acc);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
-unsafe fn accumulate18_avx512(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mut [u32; 27]) {
+unsafe fn accumulate_streams_avx512(
+    streams: &[Word],
+    stride: usize,
+    z0: &[Word],
+    z1: &[Word],
+    acc: &mut [u32],
+) {
     use core::arch::x86_64::*;
     const L: usize = 8; // u64 lanes per zmm
     let len = z0.len();
     let chunks = len / L;
-    for (p, stream) in pairs.chunks_exact(len).enumerate() {
+    for p in 0..acc.len() / 3 {
+        let stream = &streams[p * stride..p * stride + len];
         let mut c0 = 0u32;
         let mut c1 = 0u32;
         for c in 0..chunks {
@@ -473,45 +665,66 @@ unsafe fn accumulate18_avx512(pairs: &[Word], z0: &[Word], z1: &[Word], acc: &mu
         acc[p * 3] += c0;
         acc[p * 3 + 1] += c1;
     }
-    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+    accumulate_streams_scalar_from(streams, stride, z0, z1, chunks * L, acc);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
-unsafe fn accumulate18_avx512_vpopcnt(
-    pairs: &[Word],
+unsafe fn accumulate_streams_avx512_vpopcnt(
+    streams: &[Word],
+    stride: usize,
     z0: &[Word],
     z1: &[Word],
-    acc: &mut [u32; 27],
+    acc: &mut [u32],
 ) {
     use core::arch::x86_64::*;
     const L: usize = 8;
     let len = z0.len();
     let chunks = len / L;
-    // Chunk-outer with 18 per-lane vector accumulators (fits zmm0-31
-    // alongside the two z registers): the z planes are loaded once per
-    // chunk instead of once per pair, and the horizontal reduction leaves
-    // the loop entirely — one reduce per cell per call, unlike the
-    // per-chunk-per-cell reduce of accumulate27. Integer sums are
-    // order-invariant, so results stay bit-identical to scalar.
-    let mut v0 = [_mm512_setzero_si512(); 9];
-    let mut v1 = [_mm512_setzero_si512(); 9];
-    for c in 0..chunks {
-        let i = c * L;
-        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
-        let zv0 = ld(z0);
-        let zv1 = ld(z1);
+    let n = acc.len() / 3;
+    if n == 9 {
+        // Chunk-outer with 18 per-lane vector accumulators (fits zmm0-31
+        // alongside the two z registers): the z planes are loaded once per
+        // chunk instead of once per stream, and the horizontal reduction
+        // leaves the loop entirely — one reduce per cell per call, unlike
+        // the per-chunk-per-cell reduce of accumulate27. Integer sums are
+        // order-invariant, so results stay bit-identical to scalar.
+        let mut v0 = [_mm512_setzero_si512(); 9];
+        let mut v1 = [_mm512_setzero_si512(); 9];
+        for c in 0..chunks {
+            let i = c * L;
+            let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+            let zv0 = ld(z0);
+            let zv1 = ld(z1);
+            for p in 0..9 {
+                let xy = _mm512_loadu_si512(streams.as_ptr().add(p * stride + i) as *const _);
+                v0[p] = _mm512_add_epi64(v0[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv0)));
+                v1[p] = _mm512_add_epi64(v1[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv1)));
+            }
+        }
         for p in 0..9 {
-            let xy = _mm512_loadu_si512(pairs.as_ptr().add(p * len + i) as *const _);
-            v0[p] = _mm512_add_epi64(v0[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv0)));
-            v1[p] = _mm512_add_epi64(v1[p], _mm512_popcnt_epi64(_mm512_and_si512(xy, zv1)));
+            acc[p * 3] += _mm512_reduce_add_epi64(v0[p]) as u32;
+            acc[p * 3 + 1] += _mm512_reduce_add_epi64(v1[p]) as u32;
+        }
+    } else {
+        // Arbitrary stream counts (k-way prefix streams): stream-outer
+        // with two vector accumulators; same exact integer arithmetic.
+        for p in 0..n {
+            let stream = &streams[p * stride..p * stride + len];
+            let mut v0 = _mm512_setzero_si512();
+            let mut v1 = _mm512_setzero_si512();
+            for c in 0..chunks {
+                let i = c * L;
+                let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+                let xy = ld(stream);
+                v0 = _mm512_add_epi64(v0, _mm512_popcnt_epi64(_mm512_and_si512(xy, ld(z0))));
+                v1 = _mm512_add_epi64(v1, _mm512_popcnt_epi64(_mm512_and_si512(xy, ld(z1))));
+            }
+            acc[p * 3] += _mm512_reduce_add_epi64(v0) as u32;
+            acc[p * 3 + 1] += _mm512_reduce_add_epi64(v1) as u32;
         }
     }
-    for p in 0..9 {
-        acc[p * 3] += _mm512_reduce_add_epi64(v0[p]) as u32;
-        acc[p * 3 + 1] += _mm512_reduce_add_epi64(v1[p]) as u32;
-    }
-    accumulate18_scalar_from(pairs, z0, z1, chunks * L, acc);
+    accumulate_streams_scalar_from(streams, stride, z0, z1, chunks * L, acc);
 }
 
 #[cfg(test)]
@@ -587,6 +800,102 @@ mod tests {
             assert_eq!(part[p * 3], full[p * 3], "pair {p} gz=0");
             assert_eq!(part[p * 3 + 1], full[p * 3 + 1], "pair {p} gz=1");
             assert_eq!(part[p * 3 + 2], u32::MAX, "gz=2 column must be untouched");
+        }
+    }
+
+    #[test]
+    fn fill_pair_cache_tiers_match_scalar() {
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 33, 64, 100] {
+            let data = planes(len, len as u64 + 5);
+            let mut want_streams = vec![0 as Word; 9 * len];
+            let mut want_counts = [3u32; 9]; // non-zero: counts accumulate
+            fill_pair_cache_scalar(
+                &data[0],
+                &data[1],
+                &data[2],
+                &data[3],
+                &mut want_streams,
+                &mut want_counts,
+            );
+            for level in SimdLevel::available() {
+                let mut streams = vec![0 as Word; 9 * len];
+                let mut counts = [3u32; 9];
+                fill_pair_cache(
+                    level,
+                    &data[0],
+                    &data[1],
+                    &data[2],
+                    &data[3],
+                    &mut streams,
+                    &mut counts,
+                );
+                assert_eq!(streams, want_streams, "level={level} len={len}");
+                assert_eq!(counts, want_counts, "level={level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_streams_generic_counts_match_direct() {
+        // 3 and 27 streams (the k=2 / k=4 prefix-cache shapes) across all
+        // tiers, verified against a direct per-stream popcount.
+        for nstreams in [1usize, 3, 9, 27] {
+            for len in [0usize, 1, 7, 8, 9, 40] {
+                let mut state = (nstreams * 31 + len) as u64 + 1;
+                let mut next = || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state
+                };
+                let streams: Vec<Word> = (0..nstreams * len).map(|_| next()).collect();
+                let z0: Vec<Word> = (0..len).map(|_| next()).collect();
+                let z1: Vec<Word> = (0..len).map(|_| next()).collect();
+                let mut want = vec![0u32; nstreams * 3];
+                for p in 0..nstreams {
+                    for w in 0..len {
+                        let xy = streams[p * len + w];
+                        want[p * 3] += (xy & z0[w]).count_ones();
+                        want[p * 3 + 1] += (xy & z1[w]).count_ones();
+                    }
+                }
+                for level in SimdLevel::available() {
+                    let mut acc = vec![0u32; nstreams * 3];
+                    accumulate_streams(level, &streams, &z0, &z1, &mut acc);
+                    assert_eq!(acc, want, "level={level} n={nstreams} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_accumulation_matches_contiguous() {
+        // Strided access over a wider buffer (the blocked V5 cross-task
+        // cache shape) must equal the contiguous result on the same block.
+        let (stride, len, n) = (29usize, 11usize, 9usize);
+        let mut state = 123u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let wide: Vec<Word> = (0..n * stride).map(|_| next()).collect();
+        let z0: Vec<Word> = (0..len).map(|_| next()).collect();
+        let z1: Vec<Word> = (0..len).map(|_| next()).collect();
+        for offset in [0usize, 5, 18] {
+            let mut packed = vec![0 as Word; n * len];
+            for p in 0..n {
+                packed[p * len..(p + 1) * len]
+                    .copy_from_slice(&wide[p * stride + offset..p * stride + offset + len]);
+            }
+            let mut want = vec![0u32; n * 3];
+            accumulate_streams(SimdLevel::Scalar, &packed, &z0, &z1, &mut want);
+            for level in SimdLevel::available() {
+                let mut got = vec![0u32; n * 3];
+                accumulate_streams_strided(level, &wide[offset..], stride, &z0, &z1, &mut got);
+                assert_eq!(got, want, "level={level} offset={offset}");
+            }
         }
     }
 

@@ -24,13 +24,29 @@ pub struct BlockedScanner<'a> {
     pub(crate) ds: &'a SplitDataset,
     pub(crate) params: BlockParams,
     pub(crate) level: SimdLevel,
+    /// Byte budget for the V5 cross-task block-pair cache (see
+    /// [`crate::block::CROSS_PAIR_CACHE_BUDGET`]); `0` disables it.
+    pub(crate) xc_budget: usize,
 }
 
 impl<'a> BlockedScanner<'a> {
     /// Create a scanner; `level = Scalar` gives V3, any vector tier V4.
     pub fn new(ds: &'a SplitDataset, params: BlockParams, level: SimdLevel) -> Self {
         assert!(params.bs >= 1 && params.bp >= 1);
-        Self { ds, params, level }
+        Self {
+            ds,
+            params,
+            level,
+            xc_budget: crate::block::CROSS_PAIR_CACHE_BUDGET,
+        }
+    }
+
+    /// Override the byte budget of the V5 cross-task block-pair cache
+    /// (`0` forces the per-task fill path — both paths are bit-identical,
+    /// the budget only trades refill work against cache residency).
+    pub fn with_cross_pair_budget(mut self, bytes: usize) -> Self {
+        self.xc_budget = bytes;
+        self
     }
 
     /// Tiling parameters in use.

@@ -21,16 +21,31 @@
 //! All counts are exact integers: V5 tables — and therefore scores — are
 //! **bit-identical** to V2–V4.
 //!
+//! A third observation (the cross-*task* layer of the shared
+//! [`crate::prefixcache`] subsystem): block triples are traversed in rank
+//! order, so consecutive tasks share their leading `(b0, b1)` block pair
+//! — yet the streams above were rebuilt per task. [`V5Scratch`] therefore
+//! carries an LRU-of-one *block-pair* cache holding the full-sample-range
+//! streams and totals of every pair in the current `(b0, b1)`, filled
+//! once per block pair and sliced per sample block by the strided
+//! accumulate. The cache is budget-gated
+//! ([`BlockParams::cross_pair_cache_enabled`]): it trades L2 residency
+//! for skipping the per-task refill, which only pays while the buffer
+//! stays cache-resident. Oversized datasets fall back to the per-task
+//! fill path; both paths are bit-identical.
+//!
 //! At shard granularity (no tiling) the same idea applies across the rank
 //! order itself: consecutive triples share their `(a, b)` prefix, which
-//! [`PairPrefixCache`] exploits for `scan_shard_split` and the epi-server
-//! job engine.
+//! [`PairPrefixCache`](crate::prefixcache::PairPrefixCache) exploits for
+//! `scan_shard_split` and the epi-server job engine.
 
 use crate::result::Triple;
-use crate::simd::{accumulate18, fill_pair_cache, SimdLevel};
+use crate::simd::{accumulate18, accumulate_streams_strided, fill_pair_cache, SimdLevel};
 use crate::table27::CELLS;
 use crate::versions::blocked::BlockedScanner;
 use bitgenome::{SplitDataset, Word, CASE, CTRL, PAIR_STREAMS};
+
+pub use crate::prefixcache::PairPrefixCache;
 
 /// Entries per combination in the flat frequency-table scratch:
 /// 27 control + 27 case counts (same layout as V3/V4).
@@ -40,17 +55,24 @@ const FT_STRIDE: usize = 2 * CELLS;
 const PT_STRIDE: usize = 2 * PAIR_STREAMS;
 
 /// Reusable scratch for [`BlockedScanner::scan_block_triple_v5`]: the
-/// per-combination frequency tables, the per-pair 9-cell totals, and the
-/// L1-resident pair-stream cache. Allocation-free across tasks.
+/// per-combination frequency tables, the per-pair 9-cell totals, the
+/// L1-resident per-pair stream cache, and the cross-task `(b0, b1)`
+/// block-pair cache. Allocation-free across tasks; workers keep one
+/// scratch for a whole scan, which is what lets the block-pair cache
+/// survive from one task to the next.
 #[derive(Clone, Debug, Default)]
 pub struct V5Scratch {
     /// `[combo][class][cell]` flat frequency tables (`B_S³ × 54`).
     ft: Vec<u32>,
     /// `[pair][class][gx·3+gy]` pair totals (`B_S² × 18`), accumulated
-    /// over all sample blocks, consumed by the subtraction pass.
+    /// over all sample blocks, consumed by the subtraction pass
+    /// (per-task fill path only).
     pair_ft: Vec<u32>,
-    /// Pair-major stream cache (`9 × B_P` words) for the current pair.
+    /// Pair-major stream cache (`9 × B_P` words) for the current pair
+    /// (per-task fill path only).
     streams: Vec<Word>,
+    /// Cross-task block-pair cache (see module docs).
+    xc: BlockPairCache,
 }
 
 impl V5Scratch {
@@ -58,6 +80,40 @@ impl V5Scratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Tasks that reused the cached `(b0, b1)` block-pair streams.
+    pub fn block_pair_hits(&self) -> u64 {
+        self.xc.hits
+    }
+
+    /// Tasks that (re)built the block-pair streams (or ran the per-task
+    /// fill path because the cache was over budget).
+    pub fn block_pair_misses(&self) -> u64 {
+        self.xc.misses
+    }
+}
+
+/// LRU-of-one cache of the full-sample-range pair streams and totals of
+/// one `(b0, b1)` block pair — the blocked-kernel tier of the
+/// [`crate::prefixcache`] subsystem.
+#[derive(Clone, Debug, Default)]
+struct BlockPairCache {
+    /// Identity of the dataset the streams were built from (address +
+    /// per-class word counts): a scratch reused across scanners must
+    /// never serve one dataset's streams to another, so any mismatch
+    /// invalidates `cur` (the address alone could be reused by an
+    /// allocator; the combined check makes silent aliasing implausible
+    /// and shape changes impossible).
+    ds_key: (usize, [usize; 2]),
+    /// The `(b0, b1)` the buffers currently describe.
+    cur: Option<(usize, usize)>,
+    /// Per class: `[pair = ii0·B_S + ii1][stream][word]` over the class's
+    /// full word range (only pairs with `s1 > s0` are filled).
+    streams: [Vec<Word>; 2],
+    /// Per class: `[pair][stream]` full-range popcounts.
+    counts: [Vec<u32>; 2],
+    hits: u64,
+    misses: u64,
 }
 
 impl BlockedScanner<'_> {
@@ -86,65 +142,134 @@ impl BlockedScanner<'_> {
             scratch.ft.resize(self.scratch_len(), 0);
         }
         scratch.ft[..self.used_scratch_len(bt)].fill(0);
-        let pt_len = bs * bs * PT_STRIDE;
-        if scratch.pair_ft.len() < pt_len {
-            scratch.pair_ft.resize(pt_len, 0);
-        }
-        scratch.pair_ft[..((n0 - 1) * bs + n1) * PT_STRIDE].fill(0);
         let bpw = self.params.bp_words();
-        if scratch.streams.len() < PAIR_STREAMS * bpw {
-            scratch.streams.resize(PAIR_STREAMS * bpw, 0);
-        }
+        let class_words = self.ds.controls().num_words() + self.ds.cases().num_words();
+        let use_xc = self
+            .params
+            .cross_pair_cache_enabled(class_words, self.xc_budget);
 
-        for class in [CTRL, CASE] {
-            let cp = self.ds.class(class);
-            let words = cp.num_words();
-            let xp: Vec<(&[Word], &[Word])> = (0..n0).map(|ii| cp.planes(b0 * bs + ii)).collect();
-            let yp: Vec<(&[Word], &[Word])> = (0..n1).map(|ii| cp.planes(b1 * bs + ii)).collect();
-            let zp: Vec<(&[Word], &[Word])> = (0..n2).map(|ii| cp.planes(b2 * bs + ii)).collect();
-            let mut w0 = 0;
-            while w0 < words {
-                let wend = (w0 + bpw).min(words);
-                let len = wend - w0;
-                for (ii0, &(x0f, x1f)) in xp.iter().enumerate() {
-                    let s0 = b0 * bs + ii0;
-                    for (ii1, &(y0f, y1f)) in yp.iter().enumerate() {
-                        let s1 = b1 * bs + ii1;
-                        if s1 <= s0 {
-                            continue;
-                        }
-                        // first third-SNP index of block b2 that keeps the
-                        // triple strictly increasing; skip the pair work
-                        // entirely when the block holds none
-                        let start2 = (s1 + 1).saturating_sub(b2 * bs);
-                        if start2 >= n2 {
-                            continue;
-                        }
-                        let streams = &mut scratch.streams[..PAIR_STREAMS * len];
-                        let pt_off = ((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS;
-                        let ptab: &mut [u32; PAIR_STREAMS] = (&mut scratch.pair_ft
-                            [pt_off..pt_off + PAIR_STREAMS])
-                            .try_into()
-                            .unwrap();
-                        fill_pair_cache(
-                            self.level,
-                            &x0f[w0..wend],
-                            &x1f[w0..wend],
-                            &y0f[w0..wend],
-                            &y1f[w0..wend],
-                            streams,
-                            ptab,
-                        );
-                        for (ii2, &(z0f, z1f)) in zp.iter().enumerate().skip(start2) {
-                            let combo = (ii0 * bs + ii1) * bs + ii2;
-                            let off = combo * FT_STRIDE + class * CELLS;
-                            let acc: &mut [u32; CELLS] =
-                                (&mut scratch.ft[off..off + CELLS]).try_into().unwrap();
-                            accumulate18(self.level, streams, &z0f[w0..wend], &z1f[w0..wend], acc);
+        if use_xc {
+            // Cross-task path: the `(b0, b1)` pair streams and totals are
+            // filled over the full sample range once per block pair and
+            // reused by every b2 task of the pair (rank-order traversal
+            // keeps them adjacent); the sample-block loop slices them via
+            // the strided accumulate so the z block still tiles L1.
+            self.fill_block_pair_cache((b0, b1), (n0, n1), scratch);
+            for class in [CTRL, CASE] {
+                let cp = self.ds.class(class);
+                let words = cp.num_words();
+                let zp: Vec<(&[Word], &[Word])> =
+                    (0..n2).map(|ii| cp.planes(b2 * bs + ii)).collect();
+                let mut w0 = 0;
+                while w0 < words {
+                    let wend = (w0 + bpw).min(words);
+                    for ii0 in 0..n0 {
+                        let s0 = b0 * bs + ii0;
+                        for ii1 in 0..n1 {
+                            let s1 = b1 * bs + ii1;
+                            if s1 <= s0 {
+                                continue;
+                            }
+                            // first third-SNP index of block b2 that keeps
+                            // the triple strictly increasing
+                            let start2 = (s1 + 1).saturating_sub(b2 * bs);
+                            if start2 >= n2 {
+                                continue;
+                            }
+                            let base = (ii0 * bs + ii1) * PAIR_STREAMS * words;
+                            let streams = &scratch.xc.streams[class][base + w0..];
+                            for (ii2, &(z0f, z1f)) in zp.iter().enumerate().skip(start2) {
+                                let combo = (ii0 * bs + ii1) * bs + ii2;
+                                let off = combo * FT_STRIDE + class * CELLS;
+                                let acc: &mut [u32; CELLS] =
+                                    (&mut scratch.ft[off..off + CELLS]).try_into().unwrap();
+                                accumulate_streams_strided(
+                                    self.level,
+                                    streams,
+                                    words,
+                                    &z0f[w0..wend],
+                                    &z1f[w0..wend],
+                                    &mut acc[..],
+                                );
+                            }
                         }
                     }
+                    w0 = wend;
                 }
-                w0 = wend;
+            }
+        } else {
+            // Per-task fill path (block-pair cache over budget): rebuild
+            // each pair's streams per sample block, totals accumulated in
+            // pair_ft across blocks.
+            scratch.xc.misses += 1;
+            let pt_len = bs * bs * PT_STRIDE;
+            if scratch.pair_ft.len() < pt_len {
+                scratch.pair_ft.resize(pt_len, 0);
+            }
+            scratch.pair_ft[..((n0 - 1) * bs + n1) * PT_STRIDE].fill(0);
+            if scratch.streams.len() < PAIR_STREAMS * bpw {
+                scratch.streams.resize(PAIR_STREAMS * bpw, 0);
+            }
+
+            for class in [CTRL, CASE] {
+                let cp = self.ds.class(class);
+                let words = cp.num_words();
+                let xp: Vec<(&[Word], &[Word])> =
+                    (0..n0).map(|ii| cp.planes(b0 * bs + ii)).collect();
+                let yp: Vec<(&[Word], &[Word])> =
+                    (0..n1).map(|ii| cp.planes(b1 * bs + ii)).collect();
+                let zp: Vec<(&[Word], &[Word])> =
+                    (0..n2).map(|ii| cp.planes(b2 * bs + ii)).collect();
+                let mut w0 = 0;
+                while w0 < words {
+                    let wend = (w0 + bpw).min(words);
+                    let len = wend - w0;
+                    for (ii0, &(x0f, x1f)) in xp.iter().enumerate() {
+                        let s0 = b0 * bs + ii0;
+                        for (ii1, &(y0f, y1f)) in yp.iter().enumerate() {
+                            let s1 = b1 * bs + ii1;
+                            if s1 <= s0 {
+                                continue;
+                            }
+                            // first third-SNP index of block b2 that keeps the
+                            // triple strictly increasing; skip the pair work
+                            // entirely when the block holds none
+                            let start2 = (s1 + 1).saturating_sub(b2 * bs);
+                            if start2 >= n2 {
+                                continue;
+                            }
+                            let streams = &mut scratch.streams[..PAIR_STREAMS * len];
+                            let pt_off = ((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS;
+                            let ptab: &mut [u32; PAIR_STREAMS] = (&mut scratch.pair_ft
+                                [pt_off..pt_off + PAIR_STREAMS])
+                                .try_into()
+                                .unwrap();
+                            fill_pair_cache(
+                                self.level,
+                                &x0f[w0..wend],
+                                &x1f[w0..wend],
+                                &y0f[w0..wend],
+                                &y1f[w0..wend],
+                                streams,
+                                ptab,
+                            );
+                            for (ii2, &(z0f, z1f)) in zp.iter().enumerate().skip(start2) {
+                                let combo = (ii0 * bs + ii1) * bs + ii2;
+                                let off = combo * FT_STRIDE + class * CELLS;
+                                let acc: &mut [u32; CELLS] =
+                                    (&mut scratch.ft[off..off + CELLS]).try_into().unwrap();
+                                accumulate18(
+                                    self.level,
+                                    streams,
+                                    &z0f[w0..wend],
+                                    &z1f[w0..wend],
+                                    acc,
+                                );
+                            }
+                        }
+                    }
+                    w0 = wend;
+                }
             }
         }
 
@@ -168,12 +293,15 @@ impl BlockedScanner<'_> {
                     let combo = (ii0 * bs + ii1) * bs + ii2;
                     let off = combo * FT_STRIDE;
                     for class in [CTRL, CASE] {
-                        let pt_off = ((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS;
                         let base = off + class * CELLS;
                         for p in 0..PAIR_STREAMS {
-                            scratch.ft[base + p * 3 + 2] = scratch.pair_ft[pt_off + p]
-                                - scratch.ft[base + p * 3]
-                                - scratch.ft[base + p * 3 + 1];
+                            let total = if use_xc {
+                                scratch.xc.counts[class][(ii0 * bs + ii1) * PAIR_STREAMS + p]
+                            } else {
+                                scratch.pair_ft[((ii0 * bs + ii1) * 2 + class) * PAIR_STREAMS + p]
+                            };
+                            scratch.ft[base + p * 3 + 2] =
+                                total - scratch.ft[base + p * 3] - scratch.ft[base + p * 3 + 1];
                         }
                         scratch.ft[base + last] -= pad[class];
                     }
@@ -190,77 +318,84 @@ impl BlockedScanner<'_> {
             }
         }
     }
-}
 
-/// Pair-prefix cache for *unblocked* (per-triple) V5 scans.
-///
-/// Shard workers walk triples in lexicographic rank order, where the
-/// `(a, b)` prefix stays fixed while `c` sweeps — so the nine pair streams
-/// and their totals are rebuilt only on a prefix change and every triple
-/// inside a run costs 18 `AND`+`POPCNT` passes plus nine subtractions.
-/// Tables are bit-identical to [`crate::versions::v2::table_for_triple`].
-pub struct PairPrefixCache<'a> {
-    ds: &'a SplitDataset,
-    level: SimdLevel,
-    cur: Option<(u32, u32)>,
-    streams: [Vec<Word>; 2],
-    counts: [[u32; PAIR_STREAMS]; 2],
-}
-
-impl<'a> PairPrefixCache<'a> {
-    /// Empty cache over one dataset with the given SIMD tier.
-    pub fn new(ds: &'a SplitDataset, level: SimdLevel) -> Self {
-        Self {
-            ds,
-            level,
-            cur: None,
-            streams: [Vec::new(), Vec::new()],
-            counts: [[0; PAIR_STREAMS]; 2],
+    /// Revalidate the cross-task block-pair cache for `(b0, b1)`: on a
+    /// miss, fill the full-sample-range streams and totals of every valid
+    /// pair of the block pair (one [`fill_pair_cache`] pass per pair per
+    /// class — strictly less work than the per-task path's per-sample-block
+    /// refills, and reused by every following `b2`).
+    fn fill_block_pair_cache(
+        &self,
+        (b0, b1): (usize, usize),
+        (n0, n1): (usize, usize),
+        scratch: &mut V5Scratch,
+    ) {
+        let xc = &mut scratch.xc;
+        let ds_key = (
+            self.ds as *const SplitDataset as usize,
+            [self.ds.controls().num_words(), self.ds.cases().num_words()],
+        );
+        if xc.ds_key != ds_key {
+            xc.cur = None; // scratch moved to a different dataset
+            xc.ds_key = ds_key;
         }
-    }
-
-    /// Build the contingency table for `t`, reusing the cached `(a, b)`
-    /// pair streams when the prefix matches the previous call.
-    pub fn table_for_triple(&mut self, t: Triple) -> crate::table27::ContingencyTable {
-        if self.cur != Some((t.0, t.1)) {
-            for class in [CTRL, CASE] {
-                let cp = self.ds.class(class);
-                let words = cp.num_words();
-                self.streams[class].resize(PAIR_STREAMS * words, 0);
-                let (x0, x1) = cp.planes(t.0 as usize);
-                let (y0, y1) = cp.planes(t.1 as usize);
-                self.counts[class] = [0; PAIR_STREAMS];
-                fill_pair_cache(
-                    self.level,
-                    x0,
-                    x1,
-                    y0,
-                    y1,
-                    &mut self.streams[class],
-                    &mut self.counts[class],
-                );
-            }
-            self.cur = Some((t.0, t.1));
+        if xc.cur == Some((b0, b1)) {
+            xc.hits += 1;
+            return;
         }
-        let mut table = crate::table27::ContingencyTable::new();
+        xc.misses += 1;
+        xc.cur = None; // invalid while a rebuild is in progress
+        let bs = self.params.bs;
         for class in [CTRL, CASE] {
-            let (z0, z1) = self.ds.class(class).planes(t.2 as usize);
-            let acc = &mut table.counts[class];
-            accumulate18(self.level, &self.streams[class], z0, z1, acc);
-            for p in 0..PAIR_STREAMS {
-                acc[p * 3 + 2] = self.counts[class][p] - acc[p * 3] - acc[p * 3 + 1];
+            let cp = self.ds.class(class);
+            let words = cp.num_words();
+            let need = bs * bs * PAIR_STREAMS * words;
+            if xc.streams[class].len() < need {
+                xc.streams[class].resize(need, 0);
+            }
+            let cneed = bs * bs * PAIR_STREAMS;
+            if xc.counts[class].len() < cneed {
+                xc.counts[class].resize(cneed, 0);
+            }
+            for ii0 in 0..n0 {
+                let s0 = b0 * bs + ii0;
+                let (x0, x1) = cp.planes(s0);
+                for ii1 in 0..n1 {
+                    let s1 = b1 * bs + ii1;
+                    if s1 <= s0 {
+                        continue;
+                    }
+                    let (y0, y1) = cp.planes(s1);
+                    let pair = ii0 * bs + ii1;
+                    let base = pair * PAIR_STREAMS * words;
+                    let cbase = pair * PAIR_STREAMS;
+                    let counts: &mut [u32; PAIR_STREAMS] = (&mut xc.counts[class]
+                        [cbase..cbase + PAIR_STREAMS])
+                        .try_into()
+                        .unwrap();
+                    *counts = [0; PAIR_STREAMS];
+                    fill_pair_cache(
+                        self.level,
+                        x0,
+                        x1,
+                        y0,
+                        y1,
+                        &mut xc.streams[class][base..base + PAIR_STREAMS * words],
+                        counts,
+                    );
+                }
             }
         }
-        table.correct_padding(self.ds.controls().pad_bits(), self.ds.cases().pad_bits());
-        table
+        xc.cur = Some((b0, b1));
     }
 }
 
 /// Build one triple's contingency table with the scalar V5 kernel
-/// (convenience for tests; hot paths use [`PairPrefixCache`] or the
+/// (convenience for tests; hot paths use
+/// [`PairPrefixCache`](crate::prefixcache::PairPrefixCache) or the
 /// blocked traversal directly).
 pub fn table_for_triple(ds: &SplitDataset, t: Triple) -> crate::table27::ContingencyTable {
-    PairPrefixCache::new(ds, SimdLevel::Scalar).table_for_triple(t)
+    PairPrefixCache::new(SimdLevel::Scalar).table_for_triple(ds, t)
 }
 
 #[cfg(test)]
@@ -362,14 +497,21 @@ mod tests {
     }
 
     #[test]
-    fn pair_prefix_cache_matches_v2_in_rank_order() {
-        let (g, p) = dataset(8, 130, 77);
+    fn per_task_fill_path_matches_cross_task_cache() {
+        // The budget gate only changes *where* pair streams live, never
+        // the tables: force both paths and compare, on every tier.
+        let (g, p) = dataset(11, 140, 23);
         let ds = SplitDataset::encode(&g, &p);
         for level in SimdLevel::available() {
-            let mut cache = PairPrefixCache::new(&ds, level);
-            for t in crate::combin::TripleIter::new(8) {
+            let params = BlockParams { bs: 3, bp: 64 };
+            let cached = collect_v5_tables(&BlockedScanner::new(&ds, params, level));
+            let uncached = collect_v5_tables(
+                &BlockedScanner::new(&ds, params, level).with_cross_pair_budget(0),
+            );
+            assert_eq!(cached, uncached, "level {level}");
+            for (&t, table) in &cached {
                 assert_eq!(
-                    cache.table_for_triple(t),
+                    *table,
                     v2::table_for_triple(&ds, t),
                     "level {level} t={t:?}"
                 );
@@ -378,14 +520,48 @@ mod tests {
     }
 
     #[test]
-    fn pair_prefix_cache_survives_prefix_jumps() {
-        // Out-of-order prefixes force rebuilds; results must not depend on
-        // visit order.
-        let (g, p) = dataset(7, 90, 5);
-        let ds = SplitDataset::encode(&g, &p);
-        let mut cache = PairPrefixCache::new(&ds, SimdLevel::Scalar);
-        for t in [(0u32, 1, 2), (3, 4, 6), (0, 1, 3), (2, 5, 6), (0, 1, 4)] {
-            assert_eq!(cache.table_for_triple(t), v2::table_for_triple(&ds, t));
+    fn scratch_reused_across_datasets_never_serves_stale_streams() {
+        // Same-shape datasets through one scratch: the block-pair cache
+        // must invalidate on the dataset change, not "hit" on (b0, b1).
+        let (g1, p1) = dataset(9, 96, 1);
+        let (g2, p2) = dataset(9, 96, 2);
+        let ds1 = SplitDataset::encode(&g1, &p1);
+        let ds2 = SplitDataset::encode(&g2, &p2);
+        let params = BlockParams { bs: 3, bp: 64 };
+        let mut scratch = V5Scratch::new();
+        for ds in [&ds1, &ds2, &ds1] {
+            let scanner = BlockedScanner::new(ds, params, SimdLevel::Scalar);
+            for bt in scanner.tasks() {
+                scanner.scan_block_triple_v5(bt, &mut scratch, &mut |t, ctrl, case| {
+                    assert_eq!(
+                        ContingencyTable::from_counts(*ctrl, *case),
+                        v2::table_for_triple(ds, t),
+                        "t={t:?}"
+                    );
+                });
+            }
         }
+    }
+
+    #[test]
+    fn block_pair_cache_hits_across_consecutive_tasks() {
+        // Rank-order tasks share (b0, b1): one miss per block pair that
+        // heads at least one task, hits for every further b2.
+        let (g, p) = dataset(11, 140, 23);
+        let ds = SplitDataset::encode(&g, &p);
+        let scanner = BlockedScanner::new(&ds, BlockParams { bs: 3, bp: 64 }, SimdLevel::Scalar);
+        let tasks = scanner.tasks();
+        let mut scratch = V5Scratch::new();
+        for bt in &tasks {
+            scanner.scan_block_triple_v5(*bt, &mut scratch, &mut |_, _, _| {});
+        }
+        let pairs: std::collections::HashSet<(usize, usize)> =
+            tasks.iter().map(|&(b0, b1, _)| (b0, b1)).collect();
+        assert_eq!(scratch.block_pair_misses(), pairs.len() as u64);
+        assert_eq!(
+            scratch.block_pair_hits(),
+            (tasks.len() - pairs.len()) as u64
+        );
+        assert!(scratch.block_pair_hits() > 0);
     }
 }

@@ -26,6 +26,22 @@ fn labelled_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
     })
 }
 
+/// Smaller datasets for the k-way sweeps (`C(M, 4)` combos per case).
+fn kway_strategy() -> impl Strategy<Value = (GenotypeMatrix, Phenotype)> {
+    (4usize..=8, 10usize..=150).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec(0u8..=2, m * n),
+            prop::collection::vec(0u8..=1, n),
+        )
+            .prop_map(move |(geno, labels)| {
+                (
+                    GenotypeMatrix::from_raw(m, n, geno),
+                    Phenotype::from_labels(labels),
+                )
+            })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -98,10 +114,81 @@ proptest! {
         (g, p) in labelled_strategy(),
     ) {
         let ds = SplitDataset::encode(&g, &p);
-        let mut cache = v5::PairPrefixCache::new(&ds, SimdLevel::detect());
+        let mut cache = v5::PairPrefixCache::new(SimdLevel::detect());
         for t in combin::TripleIter::new(g.num_snps()) {
-            prop_assert_eq!(cache.table_for_triple(t), v2::table_for_triple(&ds, t));
+            prop_assert_eq!(cache.table_for_triple(&ds, t), v2::table_for_triple(&ds, t));
         }
+    }
+
+    #[test]
+    fn cross_triple_cache_matches_cold_across_shard_boundaries(
+        (g, p) in labelled_strategy(),
+        shards in 1u64..14,
+    ) {
+        // One warm cache carried across random rank-order shard
+        // boundaries (hit and miss paths interleave arbitrarily with the
+        // cuts) must produce tables bit-identical to a cold-built cache
+        // and to the V2 reference, triple by triple.
+        let ds = SplitDataset::encode(&g, &p);
+        let m = g.num_snps();
+        let plan = shard::ShardPlan::triples(m, shards);
+        let mut warm = epi_core::prefixcache::PairPrefixCache::new(SimdLevel::detect());
+        for r in plan.ranges() {
+            for t in shard::TripleRangeIter::new(m, r) {
+                let mut cold = epi_core::prefixcache::PairPrefixCache::new(SimdLevel::detect());
+                let w = warm.table_for_triple(&ds, t);
+                prop_assert_eq!(&w, &cold.table_for_triple(&ds, t), "t={:?}", t);
+                prop_assert_eq!(&w, &v2::table_for_triple(&ds, t), "t={:?}", t);
+            }
+        }
+        prop_assert_eq!(warm.hits() + warm.misses(), combin::num_triples(m));
+    }
+
+    #[test]
+    fn cached_shard_scans_merge_bit_identical_to_monolithic(
+        (g, p) in labelled_strategy(),
+        shards in 1u64..10,
+    ) {
+        // The epi-server work loop: one worker drains all shards with a
+        // persistent cache; the merged top-K must be bit-identical to a
+        // monolithic V5 scan.
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cfg = epi_core::scan::ScanConfig::new(epi_core::scan::Version::V5);
+        cfg.top_k = 5;
+        let mut cache = epi_core::prefixcache::PairPrefixCache::new(cfg.effective_simd());
+        let plan = shard::ShardPlan::triples(g.num_snps(), shards);
+        let mut merged = TopK::new(cfg.top_k);
+        for r in plan.ranges() {
+            merged.merge(shard::scan_shard_split_cached(&ds, &cfg, r, &mut cache));
+        }
+        let want = epi_core::scan::scan_split(&ds, &cfg).top;
+        let got = merged.into_sorted();
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert_eq!(a.triple, b.triple);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn kway_unified_cache_matches_seed_tables(
+        (g, p) in kway_strategy(),
+        k in 2usize..=4,
+    ) {
+        // scan_kway's unified prefix cache against the seed recursive
+        // prefix-AND kernel, every combination, orders 2-4.
+        let ds = SplitDataset::encode(&g, &p);
+        let m = g.num_snps();
+        let mut cache = epi_core::prefixcache::PrefixCache::new(k, SimdLevel::detect());
+        let mut mismatch = None;
+        combin::for_each_combo(m, k, &mut |combo| {
+            let got = cache.table_for_combo(&ds, combo);
+            let want = epi_core::kway::table_for_combo(&ds, combo);
+            if got != want && mismatch.is_none() {
+                mismatch = Some(combo.to_vec());
+            }
+        });
+        prop_assert_eq!(mismatch, None);
     }
 
     #[test]

@@ -54,25 +54,45 @@ impl CacheGeometry {
 /// the paper's default 32 KiB/8-way geometry, so detection can never make
 /// a configuration *worse* than the previous hardcoded assumption.
 pub fn detect_l1d() -> Option<CacheGeometry> {
+    detect_l1d_with(|rel| read_sysfs(&format!("/sys/devices/system/cpu/cpu0/cache/{rel}")))
+}
+
+/// [`detect_l1d`] over an arbitrary attribute reader (`rel` is the path
+/// relative to the `cache/` directory, e.g. `index0/size`). The
+/// indirection is what makes the sysfs quirks unit-testable on fixture
+/// strings; it never panics on malformed input:
+///
+/// * `size` accepts `48K`, `2M`, or a bare byte count (some kernels and
+///   emulated hierarchies omit the suffix);
+/// * a missing `coherency_line_size` falls back to 64 B;
+/// * a missing `ways_of_associativity` — or the `0` that sysfs reports
+///   for a **fully associative** cache — falls back to the paper-default
+///   8 ways: the way-split policy needs a small way count to reason in,
+///   and for a fully associative cache any split is realisable.
+pub fn detect_l1d_with(read: impl Fn(&str) -> Option<String>) -> Option<CacheGeometry> {
     for idx in 0..10 {
-        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
-        let Some(level) = read_sysfs(&format!("{base}/level")) else {
+        let Some(level) = read(&format!("index{idx}/level")) else {
             break; // indices are contiguous; first missing one ends the scan
         };
         if level != "1" {
             continue;
         }
-        let ty = read_sysfs(&format!("{base}/type"))?;
+        let Some(ty) = read(&format!("index{idx}/type")) else {
+            continue;
+        };
         if ty != "Data" && ty != "Unified" {
             continue;
         }
-        let size_bytes = parse_size_bytes(&read_sysfs(&format!("{base}/size"))?)?;
-        let ways: usize = read_sysfs(&format!("{base}/ways_of_associativity"))?
-            .parse()
-            .ok()?;
-        let line_bytes: usize = read_sysfs(&format!("{base}/coherency_line_size"))?
-            .parse()
-            .ok()?;
+        let size_bytes = parse_size_bytes(&read(&format!("index{idx}/size"))?)?;
+        let ways = match read(&format!("index{idx}/ways_of_associativity"))
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(0) | None => 8, // fully associative / missing: paper default
+            Some(w) => w,
+        };
+        let line_bytes = read(&format!("index{idx}/coherency_line_size"))
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(64);
         let geom = CacheGeometry {
             size_bytes,
             ways,
@@ -157,6 +177,128 @@ mod tests {
             ways: 7, // 32 KiB is not divisible into 7 ways of 64 B lines
             line_bytes: 64
         }));
+    }
+
+    /// Fixture reader over `(relative path, value)` pairs.
+    fn fixture<'a>(entries: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |rel: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| *k == rel)
+                .map(|(_, v)| v.trim().to_string())
+        }
+    }
+
+    #[test]
+    fn fixture_standard_hierarchy() {
+        // index0 = L1d, index1 = L1i, index2 = L2 (the common x86 layout)
+        let got = detect_l1d_with(fixture(&[
+            ("index0/level", "1"),
+            ("index0/type", "Data"),
+            ("index0/size", "48K"),
+            ("index0/ways_of_associativity", "12"),
+            ("index0/coherency_line_size", "64"),
+            ("index1/level", "1"),
+            ("index1/type", "Instruction"),
+            ("index1/size", "32K"),
+            ("index2/level", "2"),
+            ("index2/type", "Unified"),
+            ("index2/size", "2M"),
+        ]));
+        assert_eq!(got, Some(CacheGeometry::kib(48, 12)));
+    }
+
+    #[test]
+    fn fixture_size_without_suffix() {
+        // Some kernels/emulated hierarchies report bare byte counts.
+        let got = detect_l1d_with(fixture(&[
+            ("index0/level", "1"),
+            ("index0/type", "Data"),
+            ("index0/size", "32768"),
+            ("index0/ways_of_associativity", "8"),
+            ("index0/coherency_line_size", "64"),
+        ]));
+        assert_eq!(got, Some(CacheGeometry::kib(32, 8)));
+    }
+
+    #[test]
+    fn fixture_fully_associative_reports_zero_ways() {
+        // ways_of_associativity = 0 means fully associative in sysfs;
+        // fall back to the paper-default 8 ways instead of rejecting (or
+        // worse, dividing by zero downstream).
+        let got = detect_l1d_with(fixture(&[
+            ("index0/level", "1"),
+            ("index0/type", "Data"),
+            ("index0/size", "32K"),
+            ("index0/ways_of_associativity", "0"),
+            ("index0/coherency_line_size", "64"),
+        ]));
+        assert_eq!(got, Some(CacheGeometry::kib(32, 8)));
+        assert!(
+            got.unwrap().way_bytes() > 0,
+            "usable by the way-split policy"
+        );
+    }
+
+    #[test]
+    fn fixture_missing_ways_and_line_size() {
+        // Both attributes absent: paper-default 8 ways, 64 B lines.
+        let got = detect_l1d_with(fixture(&[
+            ("index0/level", "1"),
+            ("index0/type", "Data"),
+            ("index0/size", "48K"),
+        ]));
+        assert_eq!(
+            got,
+            Some(CacheGeometry {
+                size_bytes: 48 * 1024,
+                ways: 8,
+                line_bytes: 64
+            })
+        );
+    }
+
+    #[test]
+    fn fixture_garbage_is_rejected_not_panicking() {
+        // Unparseable size → None (caller falls back to the default).
+        assert_eq!(
+            detect_l1d_with(fixture(&[
+                ("index0/level", "1"),
+                ("index0/type", "Data"),
+                ("index0/size", "lots"),
+            ])),
+            None
+        );
+        // Implausible geometry (1 GiB "L1") → None.
+        assert_eq!(
+            detect_l1d_with(fixture(&[
+                ("index0/level", "1"),
+                ("index0/type", "Data"),
+                ("index0/size", "1024M"),
+                ("index0/ways_of_associativity", "8"),
+            ])),
+            None
+        );
+        // Non-ASCII / truncated values must not panic either.
+        assert_eq!(
+            detect_l1d_with(fixture(&[
+                ("index0/level", "1"),
+                ("index0/type", "Data"),
+                ("index0/size", "48µ"),
+            ])),
+            None
+        );
+        // No L1 data cache in the hierarchy at all.
+        assert_eq!(
+            detect_l1d_with(fixture(&[
+                ("index0/level", "2"),
+                ("index0/type", "Unified"),
+                ("index0/size", "1M"),
+            ])),
+            None
+        );
+        // Empty hierarchy.
+        assert_eq!(detect_l1d_with(|_| None), None);
     }
 
     #[test]

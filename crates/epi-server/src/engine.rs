@@ -12,15 +12,38 @@ use crate::codec::Checkpoint;
 use crate::job::{EncodedData, Job, JobState, JobStatus};
 use crate::spec::JobSpec;
 use bitgenome::{SplitDataset, UnsplitDataset};
+use epi_core::prefixcache::PairPrefixCache;
 use epi_core::result::Candidate;
 use epi_core::scan::Version;
-use epi_core::shard::{scan_shard_split, scan_shard_unsplit, ShardPlan};
+use epi_core::shard::{scan_shard_split_cached, scan_shard_unsplit, ShardPlan};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Engine state is only ever mutated transactionally under the lock
+/// (every unlock point leaves the maps and queue consistent), so the
+/// data behind a poisoned guard is still sound — refusing it would turn
+/// a single worker panic into a permanently wedged server where every
+/// subsequent verb crashes on `unwrap()`.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Human-readable panic payload (worker-boundary diagnostics).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug, Default)]
@@ -105,7 +128,7 @@ impl Engine {
         let Ok(entries) = std::fs::read_dir(dir) else {
             return;
         };
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock(&shared.state);
         for entry in entries.flatten() {
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
@@ -139,7 +162,7 @@ impl Engine {
         let (data, m) = load_encoded(&spec)?;
         let plan = ShardPlan::triples(m, spec.shards);
         let shards = plan.num_shards();
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         let id = state.next_id;
         state.next_id += 1;
         let mut job = Job {
@@ -180,7 +203,7 @@ impl Engine {
 
     /// Progress snapshot of one job.
     pub fn status(&self, id: u64) -> Result<JobStatus, String> {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock(&self.shared.state);
         state
             .jobs
             .get(&id)
@@ -190,7 +213,7 @@ impl Engine {
 
     /// Snapshot of every job, newest first.
     pub fn jobs(&self) -> Vec<JobStatus> {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock(&self.shared.state);
         let mut all: Vec<JobStatus> = state.jobs.values().map(Job::status).collect();
         all.sort_by_key(|s| std::cmp::Reverse(s.id));
         all
@@ -198,7 +221,7 @@ impl Engine {
 
     /// Final merged result of a finished job.
     pub fn result(&self, id: u64) -> Result<Vec<Candidate>, String> {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock(&self.shared.state);
         let job = state
             .jobs
             .get(&id)
@@ -213,7 +236,7 @@ impl Engine {
     /// shard results stay checkpointed, in-flight shards finish and are
     /// recorded. Idempotent for finished jobs.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         state.queue.retain(|&(job_id, _)| job_id != id);
         let job = state
             .jobs
@@ -247,7 +270,7 @@ impl Engine {
         // dataset load/encode outside it: holding the engine mutex during
         // file I/O would stall every worker and client.
         let reload_spec = {
-            let state = self.shared.state.lock().unwrap();
+            let state = lock(&self.shared.state);
             let job = state
                 .jobs
                 .get(&id)
@@ -266,7 +289,7 @@ impl Engine {
 
         // Phase 2 — commit under the lock, re-checking the state (another
         // client may have resumed or the job may have finished meanwhile).
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         let job = state
             .jobs
             .get_mut(&id)
@@ -326,7 +349,7 @@ impl Engine {
 
     /// Current worker count.
     pub fn num_workers(&self) -> usize {
-        self.workers.lock().unwrap().len()
+        lock(&self.workers).len()
     }
 
     /// Block until the job reaches a stable snapshot (terminal state and
@@ -352,13 +375,13 @@ impl Engine {
     pub fn stop(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_ready.notify_all();
-        let mut workers = self.workers.lock().unwrap();
+        let mut workers = lock(&self.workers);
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
         let mut snapshots = Vec::new();
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock(&self.shared.state);
             state.queue.clear();
             for job in state.jobs.values_mut() {
                 if matches!(job.state, JobState::Queued | JobState::Running) {
@@ -384,7 +407,7 @@ impl Shared {
         let (Some(dir), Some((ck, seq))) = (&self.spool_dir, snapshot) else {
             return;
         };
-        let mut written = self.spool_written.lock().unwrap();
+        let mut written = lock(&self.spool_written);
         let last = written.entry(ck.job_id).or_insert(0);
         if *last >= seq {
             return; // a newer snapshot already reached the disk
@@ -439,10 +462,19 @@ fn load_encoded(spec: &JobSpec) -> Result<(EncodedData, usize), String> {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Worker-local pair-prefix cache, keyed by (job, dataset identity):
+    // shards of one job tile the rank range contiguously, so streams
+    // stay warm from one shard task to the next (`epi_core::prefixcache`).
+    // The identity is a Weak to the job's Arc<EncodedData>: holding the
+    // Weak keeps the allocation address from being reused even after a
+    // cancel/resume drops and reloads the dataset, so pointer equality
+    // is ABA-safe — and unlike a strong Arc it doesn't pin the (large)
+    // encoded planes in memory while the worker idles.
+    let mut cache: Option<(u64, std::sync::Weak<EncodedData>, PairPrefixCache)> = None;
     loop {
         // claim one task
         let claimed = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock(&shared.state);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -470,7 +502,7 @@ fn worker_loop(shared: &Shared) {
                 state = shared
                     .work_ready
                     .wait_timeout(state, Duration::from_millis(50))
-                    .unwrap()
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0;
             }
         };
@@ -478,20 +510,67 @@ fn worker_loop(shared: &Shared) {
             return;
         };
 
-        // scan outside the lock
-        if spec.throttle_ms > 0 {
-            std::thread::sleep(Duration::from_millis(spec.throttle_ms));
-        }
-        let cfg = spec.scan_config();
-        let top = match &*data {
-            EncodedData::Split(ds) => scan_shard_split(ds, &cfg, range),
-            EncodedData::Unsplit(ds) => scan_shard_unsplit(ds, &cfg, range),
+        // Scan outside the lock, behind a panic boundary: a panicking
+        // kernel (or the injected panic_shard fault) must fail only its
+        // job — the claim/record sections never unwind mid-update, so
+        // catching here keeps the shared state consistent and the lock
+        // recovery above is a second line of defence, not the plan.
+        let scanned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if spec.panic_shard == Some(shard) {
+                panic!("injected fault (panic_shard={shard})");
+            }
+            if spec.throttle_ms > 0 {
+                std::thread::sleep(Duration::from_millis(spec.throttle_ms));
+            }
+            let cfg = spec.scan_config();
+            match &*data {
+                EncodedData::Split(ds) => {
+                    let same = matches!(&cache, Some((j, w, _))
+                        if *j == job_id && std::ptr::eq(w.as_ptr(), Arc::as_ptr(&data)));
+                    if !same {
+                        cache = Some((
+                            job_id,
+                            Arc::downgrade(&data),
+                            PairPrefixCache::new(cfg.effective_simd()),
+                        ));
+                    }
+                    let pair_cache = &mut cache.as_mut().expect("cache just set").2;
+                    scan_shard_split_cached(ds, &cfg, range, pair_cache)
+                }
+                EncodedData::Unsplit(ds) => scan_shard_unsplit(ds, &cfg, range),
+            }
+        }));
+        let top = match scanned {
+            Ok(top) => top,
+            Err(payload) => {
+                // The cache may have been mid-rebuild when the stack
+                // unwound; drop it rather than trust partial streams.
+                cache = None;
+                let msg = panic_message(payload.as_ref());
+                let checkpoint = {
+                    let mut state = lock(&shared.state);
+                    // drop the job's pending shards: it cannot finish
+                    state.queue.retain(|&(jid, _)| jid != job_id);
+                    let Some(job) = state.jobs.get_mut(&job_id) else {
+                        continue;
+                    };
+                    job.in_flight.remove(&shard);
+                    job.state = JobState::Failed;
+                    job.error = Some(format!("worker panicked on shard {shard}: {msg}"));
+                    if job.in_flight.is_empty() {
+                        job.data = None; // resume reloads from spec.path
+                    }
+                    snapshot_if_spooled(job, shared.spool_dir.as_deref())
+                };
+                shared.write_checkpoint(checkpoint);
+                continue;
+            }
         };
         shared.shards_scanned.fetch_add(1, Ordering::Relaxed);
 
         // record the result
         let checkpoint = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock(&shared.state);
             let Some(job) = state.jobs.get_mut(&job_id) else {
                 continue;
             };
@@ -506,8 +585,12 @@ fn worker_loop(shared: &Shared) {
                 // job anyway — promote, nothing left to resume
                 job.state = JobState::Done;
             }
-            let parked_cancelled = job.state == JobState::Cancelled && job.in_flight.is_empty();
-            if job.data.is_some() && (job.state == JobState::Done || parked_cancelled) {
+            // Failed jobs park like cancelled ones: when the last
+            // in-flight shard of a panic-failed job lands here, release
+            // the dataset too — resume reloads it from spec.path.
+            let parked = matches!(job.state, JobState::Cancelled | JobState::Failed)
+                && job.in_flight.is_empty();
+            if job.data.is_some() && (job.state == JobState::Done || parked) {
                 job.data = None; // release the encoded dataset; resume reloads
             }
             snapshot_if_spooled(job, shared.spool_dir.as_deref())
@@ -730,6 +813,70 @@ mod tests {
         // resume still works: the dataset is reloaded from disk
         engine.resume(st.id).unwrap();
         let done = engine.wait(st.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        engine.stop();
+    }
+
+    #[test]
+    fn worker_panic_fails_the_job_without_wedging_the_engine() {
+        let path = write_dataset("panic", 13, 120, 21);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 8;
+        spec.panic_shard = Some(3); // injected fault
+        let st = engine.submit(spec).unwrap();
+        let failed = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(failed.state, JobState::Failed);
+        let err = failed.error.expect("failure diagnostic");
+        assert!(
+            err.contains("panicked on shard 3") && err.contains("injected fault"),
+            "unhelpful error: {err}"
+        );
+        // shard 3 was never counted as scanned, and the queue was drained
+        assert!(engine.status(st.id).unwrap().done < 8);
+        // the parked failed job must not pin the encoded dataset
+        {
+            let state = lock(&engine.shared.state);
+            assert!(
+                state.jobs.get(&st.id).unwrap().data.is_none(),
+                "failed job must release the dataset once no shard is in flight"
+            );
+        }
+
+        // every verb still works and a healthy job runs to completion —
+        // the panic must not have wedged the engine
+        assert!(engine.result(st.id).is_err());
+        assert!(engine.cancel(st.id).is_ok());
+        let healthy = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
+        let done = engine.wait(healthy.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert!(!engine.result(healthy.id).unwrap().is_empty());
+        engine.stop();
+    }
+
+    #[test]
+    fn poisoned_state_lock_is_recovered() {
+        let path = write_dataset("poison", 12, 96, 4);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+        });
+        // Poison the state mutex the hard way: panic while holding it.
+        let shared = Arc::clone(&engine.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(engine.shared.state.is_poisoned());
+        // Every verb must recover the lock instead of crashing.
+        assert!(engine.jobs().is_empty());
+        assert!(engine.status(1).is_err());
+        let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
         assert_eq!(done.state, JobState::Done);
         engine.stop();
     }

@@ -22,6 +22,11 @@ pub struct JobSpec {
     /// tests use it to make cancellation windows deterministic, and
     /// operators can use it to pace a low-priority job.
     pub throttle_ms: u64,
+    /// Fault injection: panic the worker when it picks up this shard
+    /// index. `None` in production; the resilience tests (and chaos
+    /// drills) use it to prove a panicking worker fails only its job
+    /// instead of wedging the engine.
+    pub panic_shard: Option<u64>,
 }
 
 impl JobSpec {
@@ -34,6 +39,7 @@ impl JobSpec {
             top_k: 10,
             objective: ObjectiveKind::K2,
             throttle_ms: 0,
+            panic_shard: None,
         }
     }
 
@@ -62,6 +68,9 @@ impl JobSpec {
         }
         if self.throttle_ms > 0 {
             s.push_str(&format!(" throttle_ms={}", self.throttle_ms));
+        }
+        if let Some(shard) = self.panic_shard {
+            s.push_str(&format!(" panic_shard={shard}"));
         }
         s
     }
@@ -109,6 +118,13 @@ impl JobSpec {
                     spec.throttle_ms = value
                         .parse::<u64>()
                         .map_err(|_| format!("throttle_ms expects a number, got {value:?}"))?
+                }
+                "panic_shard" => {
+                    spec.panic_shard = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("panic_shard expects a number, got {value:?}"))?,
+                    )
                 }
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -185,6 +201,7 @@ mod tests {
         spec.top_k = 3;
         spec.objective = ObjectiveKind::NegMutualInformation;
         spec.throttle_ms = 25;
+        spec.panic_shard = Some(4);
         let line = spec.to_tokens();
         let tokens: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);

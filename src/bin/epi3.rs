@@ -45,9 +45,13 @@ commands:
   pairs FILE    exhaustive two-way scan [--top K] [--threads N]
   significance FILE   permutation test [--permutations P] [--seed N]
   summary FILE  dataset quality-control summary
-  bench         kernel-version throughput on a fixed synthetic dataset
+  bench         kernel-version throughput on a fixed synthetic dataset,
+                plus the cross-triple pair-cache hit rate over a
+                rank-order shard plan
                   [--snps N] [--samples N] [--seed N] [--trials T]
-                  [--versions v2,v4,v5] [--threads N] [--out FILE]
+                  [--versions v2,v4,v5] [--threads N] [--shards S]
+                  [--simd scalar|avx2|avx512|vpopcnt] [--out FILE]
+                  (EPI3_SIMD=TIER forces the tier when --simd is absent)
   devices       print the paper's device catalogs (Tables I & II)
 
 job service (line-delimited TCP, see epi_server crate docs):
@@ -408,17 +412,56 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a SIMD tier name (`--simd` flag / `EPI3_SIMD` env values).
+fn parse_simd_name(name: &str) -> Result<bitgenome::SimdLevel, String> {
+    use bitgenome::SimdLevel;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "scalar" => SimdLevel::Scalar,
+        "avx2" | "avx" => SimdLevel::Avx2,
+        "avx512" => SimdLevel::Avx512,
+        "avx512vpopcnt" | "vpopcnt" => SimdLevel::Avx512Vpopcnt,
+        other => {
+            return Err(format!(
+                "unknown SIMD tier {other:?} (scalar|avx2|avx512|vpopcnt)"
+            ))
+        }
+    })
+}
+
+/// Forced SIMD tier: `--simd NAME` wins over the `EPI3_SIMD` env var;
+/// a tier above the host's capability is clamped (with a warning) so CI
+/// can request e.g. `avx2` on any runner and still exercise a real
+/// fallback path instead of crashing.
+fn forced_simd(args: &[String]) -> Result<Option<bitgenome::SimdLevel>, String> {
+    let name = match opt_value(args, "--simd").map(str::to_string) {
+        Some(n) => Some(n),
+        None => std::env::var("EPI3_SIMD").ok().filter(|s| !s.is_empty()),
+    };
+    let Some(name) = name else { return Ok(None) };
+    let want = parse_simd_name(&name)?;
+    let best = bitgenome::SimdLevel::detect();
+    if want > best {
+        eprintln!("warning: SIMD tier {want} not available on this host; clamping to {best}");
+        return Ok(Some(best));
+    }
+    Ok(Some(want))
+}
+
 /// Fixed-workload kernel benchmark: runs the requested versions on one
 /// synthetic dataset (single-threaded by default, isolating kernel
-/// quality) and writes a small JSON report so successive PRs can track
-/// the throughput trajectory (`BENCH_PR2.json` et seq.).
+/// quality), measures the cross-triple pair-cache hit rate on a
+/// rank-order sharded V5 scan (the epi-server work unit), and writes a
+/// small JSON report so successive PRs can track the throughput
+/// trajectory (`BENCH_PR2.json`, `BENCH_PR3.json`, et seq.).
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let snps = opt_usize(args, "--snps", 64)?;
     let samples = opt_usize(args, "--samples", 2048)?;
     let seed = opt_usize(args, "--seed", 9)? as u64;
     let trials = opt_usize(args, "--trials", 5)?.max(1);
     let threads = opt_usize(args, "--threads", 1)?;
-    let out = opt_value(args, "--out").unwrap_or("BENCH_PR2.json");
+    let shards = opt_usize(args, "--shards", 64)?.max(1) as u64;
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR3.json");
+    let forced = forced_simd(args)?;
     let versions: Vec<Version> = match opt_value(args, "--versions") {
         None => vec![Version::V2, Version::V4, Version::V5],
         Some(list) => list
@@ -428,18 +471,27 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
 
     let data = DatasetSpec::noise(snps, samples, seed).generate();
-    let simd = devices::HostCpu::detect().simd;
+    let simd = match forced {
+        Some(level) => level,
+        None => devices::HostCpu::detect().simd,
+    };
     println!(
         "bench: {snps} SNPs x {samples} samples, seed {seed}, {trials} trials, \
-         {threads} thread(s), SIMD {simd}"
+         {threads} thread(s), SIMD {simd}{}",
+        if forced.is_some() { " (forced)" } else { "" }
     );
 
     let mut measured: Vec<(Version, f64, f64)> = Vec::new();
+    let mut bests: Vec<(Version, Candidate)> = Vec::new();
     for &version in &versions {
         let mut cfg = ScanConfig::new(version);
         cfg.threads = threads;
+        cfg.simd = forced;
         // warm-up pass (encoding caches, page faults), then best-of-T
-        let _ = scan(&data.genotypes, &data.phenotype, &cfg);
+        let warm = scan(&data.genotypes, &data.phenotype, &cfg);
+        if let Some(best) = warm.best() {
+            bests.push((version, best));
+        }
         let mut best: Option<(f64, f64)> = None;
         for _ in 0..trials {
             let res = scan(&data.genotypes, &data.phenotype, &cfg);
@@ -452,6 +504,53 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let (secs, geps) = best.unwrap();
         println!("  {version}: {secs:.4} s -> {geps:.3} G elements/s");
         measured.push((version, secs, geps));
+    }
+
+    // All versions are bit-identical by construction; fail the bench (and
+    // CI with it) if any tier/version disagrees on the best candidate.
+    for pair in bests.windows(2) {
+        let ((va, a), (vb, b)) = (&pair[0], &pair[1]);
+        if a.triple != b.triple || a.score.to_bits() != b.score.to_bits() {
+            return Err(format!(
+                "consistency FAILED: {va} found {:?} ({}) but {vb} found {:?} ({})",
+                a.triple, a.score, b.triple, b.score
+            ));
+        }
+    }
+    if bests.len() > 1 {
+        println!("  consistency: all versions agree bit-identically");
+    }
+
+    // Cross-triple pair-cache hit rate: one worker drains a rank-order
+    // shard plan with a persistent PairPrefixCache (exactly the
+    // epi-server inner loop), then the merged result is checked against
+    // the monolithic scans above.
+    let ds = bitgenome::SplitDataset::encode(&data.genotypes, &data.phenotype);
+    let mut cfg5 = ScanConfig::new(Version::V5);
+    cfg5.simd = forced;
+    let plan = ShardPlan::triples(snps, shards);
+    let mut cache = epi_core::prefixcache::PairPrefixCache::new(cfg5.effective_simd());
+    let shard_start = std::time::Instant::now();
+    let mut merged = epi_core::result::TopK::new(1);
+    for range in plan.ranges() {
+        merged.merge(epi_core::shard::scan_shard_split_cached(
+            &ds, &cfg5, range, &mut cache,
+        ));
+    }
+    let shard_secs = shard_start.elapsed().as_secs_f64();
+    let (hits, misses, hit_rate) = (cache.hits(), cache.misses(), cache.hit_rate());
+    println!(
+        "  pair cache over {shards} rank-order shards: {hits} hits / {misses} misses \
+         -> {:.1}% hit rate ({shard_secs:.4} s)",
+        hit_rate * 100.0
+    );
+    if let (Some(shard_best), Some(&(_, scan_best))) = (merged.into_sorted().first(), bests.last())
+    {
+        if shard_best.triple != scan_best.triple
+            || shard_best.score.to_bits() != scan_best.score.to_bits()
+        {
+            return Err("consistency FAILED: cached shard scan differs from monolithic".into());
+        }
     }
 
     let geps_of = |v: Version| {
@@ -486,6 +585,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if let Some(s) = speedup {
         json.push_str(&format!(",\n  \"speedup_v5_over_v4\": {s:.4}"));
     }
+    json.push_str(&format!(
+        ",\n  \"pair_cache\": {{\"shards\": {shards}, \"hits\": {hits}, \
+         \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}, \
+         \"sharded_seconds\": {shard_secs:.6}}}"
+    ));
     json.push_str("\n}\n");
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
@@ -602,6 +706,47 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"V5\""));
         assert!(text.contains("speedup_v5_over_v4"));
+        assert!(text.contains("\"pair_cache\""));
+        assert!(text.contains("\"hit_rate\""));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_respects_forced_simd_tier() {
+        // A forced tier must run (clamped if unavailable) and still
+        // produce bit-identical results — the consistency check inside
+        // cmd_bench fails the run otherwise.
+        let path = std::env::temp_dir().join("epi3_bench_scalar_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&s(&[
+            "bench",
+            "--snps",
+            "14",
+            "--samples",
+            "96",
+            "--trials",
+            "1",
+            "--simd",
+            "scalar",
+            "--out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"simd\": \"scalar\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn simd_tier_names_parse() {
+        use bitgenome::SimdLevel;
+        assert_eq!(parse_simd_name("scalar").unwrap(), SimdLevel::Scalar);
+        assert_eq!(parse_simd_name("AVX2").unwrap(), SimdLevel::Avx2);
+        assert_eq!(parse_simd_name("avx512").unwrap(), SimdLevel::Avx512);
+        assert_eq!(
+            parse_simd_name("vpopcnt").unwrap(),
+            SimdLevel::Avx512Vpopcnt
+        );
+        assert!(parse_simd_name("sse9").is_err());
     }
 }
