@@ -92,6 +92,44 @@ impl SimdLevel {
             SimdLevel::Avx512Vpopcnt => "AVX512+VPOPCNT",
         }
     }
+
+    /// Machine-friendly lower-case token, stable across the CLI
+    /// (`--simd`/`EPI3_SIMD`), the job-spec `simd=` key, and STATUS
+    /// echoes. Unlike [`Self::name`] it is whitespace- and
+    /// punctuation-free, so it survives the space-separated wire format.
+    pub const fn token(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Avx512Vpopcnt => "vpopcnt",
+        }
+    }
+
+    /// Parse a tier token (inverse of [`Self::token`], case-insensitive,
+    /// plus the `avx` and `avx512vpopcnt` aliases). Unknown names are a
+    /// clean error so protocol typos fail loudly instead of panicking.
+    pub fn parse_token(s: &str) -> Result<Self, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "scalar" => SimdLevel::Scalar,
+            "avx2" | "avx" => SimdLevel::Avx2,
+            "avx512" => SimdLevel::Avx512,
+            "avx512vpopcnt" | "vpopcnt" => SimdLevel::Avx512Vpopcnt,
+            other => {
+                return Err(format!(
+                    "unknown SIMD tier {other:?} (scalar|avx2|avx512|vpopcnt)"
+                ))
+            }
+        })
+    }
+
+    /// `self`, lowered to the host's best tier when the host cannot run
+    /// it — the clamp every forced-tier entry point applies so requesting
+    /// e.g. `avx512` on an AVX2 box exercises a real fallback path
+    /// instead of crashing on an illegal instruction.
+    pub fn clamped_to_host(self) -> Self {
+        self.min(Self::detect())
+    }
 }
 
 impl std::fmt::Display for SimdLevel {
@@ -166,6 +204,40 @@ mod tests {
         assert_eq!(SimdLevel::Avx512Vpopcnt.lanes(), 8);
         assert!(SimdLevel::Avx512Vpopcnt.has_vector_popcnt());
         assert!(!SimdLevel::Avx512.has_vector_popcnt());
+    }
+
+    #[test]
+    fn tokens_roundtrip_and_reject_garbage() {
+        for level in [
+            SimdLevel::Scalar,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+            SimdLevel::Avx512Vpopcnt,
+        ] {
+            assert_eq!(SimdLevel::parse_token(level.token()).unwrap(), level);
+            assert!(!level.token().contains(char::is_whitespace));
+        }
+        assert_eq!(SimdLevel::parse_token("AVX").unwrap(), SimdLevel::Avx2);
+        assert_eq!(
+            SimdLevel::parse_token("avx512vpopcnt").unwrap(),
+            SimdLevel::Avx512Vpopcnt
+        );
+        assert!(SimdLevel::parse_token("sse9").is_err());
+        assert!(SimdLevel::parse_token("").is_err());
+    }
+
+    #[test]
+    fn clamp_never_exceeds_host() {
+        let best = SimdLevel::detect();
+        for level in [
+            SimdLevel::Scalar,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+            SimdLevel::Avx512Vpopcnt,
+        ] {
+            assert!(level.clamped_to_host() <= best);
+            assert_eq!(level.clamped_to_host(), level.min(best));
+        }
     }
 
     #[test]

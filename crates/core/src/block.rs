@@ -13,19 +13,21 @@
 //! `B_P ≤ 409.6` ⇒ `⟨5, 400⟩` after rounding `B_P` to a whole number of
 //! vector registers.
 
-use devices::CacheGeometry;
+use devices::{CacheGeometry, SharedCache};
 
 /// Bytes per packed 32-bit word (the paper's `β_int`).
 const BETA_INT: usize = 4;
 
-/// Default byte budget for the V5 *cross-task* block-pair stream cache
+/// Fallback byte budget for the V5 *cross-task* block-pair stream cache
 /// (`crate::versions::v5`): the full-sample-range pair streams of one
 /// `(b0, b1)` block pair, kept across consecutive block-triple tasks.
-/// Unlike the per-task buffers above, this cache targets **L2** residency
-/// — it trades the once-per-task pair refill for streaming reads of
-/// L2-resident streams, which pays as long as the buffer actually fits
-/// in a slice of L2 (4 MiB covers a worker's share on every catalogued
-/// CPU); beyond the budget the kernel falls back to the per-task fill.
+/// Unlike the per-task buffers above, this cache targets **L2/L3**
+/// residency — it trades the once-per-task pair refill for streaming
+/// reads of cache-resident streams, which pays as long as the buffer
+/// actually stays resident (4 MiB covers a worker's share on every
+/// catalogued CPU); beyond the budget the kernel falls back to the
+/// per-task fill. [`BlockParams::with_detected_budget`] refines this
+/// constant upward from the *detected* L2/L3 geometry of the host.
 pub const CROSS_PAIR_CACHE_BUDGET: usize = 4 << 20;
 
 /// Tiling parameters for the blocked CPU approaches.
@@ -183,10 +185,35 @@ impl BlockParams {
 
     /// Whether the cross-task block-pair cache fits `budget_bytes` for
     /// this dataset size — the gate the V5 kernel applies with the
-    /// scanner's budget ([`CROSS_PAIR_CACHE_BUDGET`] by default,
-    /// overridable via `BlockedScanner::with_cross_pair_budget`).
+    /// scanner's budget ([`BlockParams::with_detected_budget`] by
+    /// default, overridable via `BlockedScanner::with_cross_pair_budget`).
     pub fn cross_pair_cache_enabled(&self, class_words_total: usize, budget_bytes: usize) -> bool {
         self.cross_pair_cache_bytes(class_words_total) <= budget_bytes
+    }
+
+    /// Cross-pair budget derived from explicit L2/L3 geometry: half of a
+    /// worker's cache share — its per-CPU slice of the (usually private)
+    /// L2 plus its per-CPU slice of the (usually socket-shared) L3 — with
+    /// the other half left to the z-plane blocks, the frequency tables,
+    /// and whatever else the scan streams. The result is floored at the
+    /// fixed [`CROSS_PAIR_CACHE_BUDGET`], so detection can *widen* the
+    /// cache gate on machines with deep hierarchies but never narrow it:
+    /// a dataset the fixed 4 MiB admitted is admitted by every detected
+    /// budget too (the budget only selects between two bit-identical
+    /// fill paths, so this is purely a performance guarantee).
+    pub fn budget_from_caches(l2: Option<SharedCache>, l3: Option<SharedCache>) -> usize {
+        let share =
+            l2.map(|c| c.per_cpu_bytes()).unwrap_or(0) + l3.map(|c| c.per_cpu_bytes()).unwrap_or(0);
+        (share / 2).max(CROSS_PAIR_CACHE_BUDGET)
+    }
+
+    /// Cross-pair budget for the executing host, from the detected L2/L3
+    /// geometry ([`devices::detect_l2`]/[`devices::detect_l3`]); the
+    /// fixed [`CROSS_PAIR_CACHE_BUDGET`] when detection finds nothing.
+    /// Detected once per process.
+    pub fn with_detected_budget() -> usize {
+        static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *BUDGET.get_or_init(|| Self::budget_from_caches(devices::detect_l2(), devices::detect_l3()))
     }
 
     /// Sample-block length in this crate's 64-bit packing units (each
@@ -283,6 +310,40 @@ mod tests {
         assert!(!p.cross_pair_cache_enabled(32, 0));
         // ~150k samples overflows the default budget
         assert!(!p.cross_pair_cache_enabled(4700, CROSS_PAIR_CACHE_BUDGET));
+    }
+
+    #[test]
+    fn adaptive_budget_floors_at_the_fixed_default() {
+        // No detection at all: exactly the old constant.
+        assert_eq!(
+            BlockParams::budget_from_caches(None, None),
+            CROSS_PAIR_CACHE_BUDGET
+        );
+        // A small private L2 and no L3 cannot shrink the budget.
+        let small_l2 = SharedCache {
+            geom: CacheGeometry::kib(512, 8),
+            shared_cpus: 2,
+        };
+        assert_eq!(
+            BlockParams::budget_from_caches(Some(small_l2), None),
+            CROSS_PAIR_CACHE_BUDGET
+        );
+        // A deep hierarchy widens it: 2 MiB private L2 + 32 MiB L3 over
+        // 8 CPUs = 6 MiB share -> 3 MiB... still under the floor; a
+        // 96 MiB L3 over 8 CPUs -> (2 + 12) / 2 = 7 MiB budget.
+        let l2 = SharedCache {
+            geom: CacheGeometry::kib(2048, 16),
+            shared_cpus: 1,
+        };
+        let l3 = SharedCache {
+            geom: CacheGeometry::kib(96 * 1024, 16),
+            shared_cpus: 8,
+        };
+        let budget = BlockParams::budget_from_caches(Some(l2), Some(l3));
+        assert_eq!(budget, 7 << 20);
+        assert!(budget >= CROSS_PAIR_CACHE_BUDGET);
+        // and the process-wide detected budget obeys the same floor
+        assert!(BlockParams::with_detected_budget() >= CROSS_PAIR_CACHE_BUDGET);
     }
 
     #[test]

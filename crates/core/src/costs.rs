@@ -96,6 +96,52 @@ impl VersionCosts {
         (m as f64 - 2.0) / 3.0
     }
 
+    /// Mean number of block-triple tasks sharing one `(b0, b1)` block
+    /// pair when `nb` blocks tile the panel: tasks are the multisets
+    /// `b0 ≤ b1 ≤ b2` (`C(nb+2, 3)` of them) over `C(nb+1, 2)` leading
+    /// pairs, i.e. `(nb + 2) / 3`.
+    pub fn mean_tasks_per_block_pair(nb: usize) -> f64 {
+        assert!(nb >= 1);
+        (nb as f64 + 2.0) / 3.0
+    }
+
+    /// V5 cost on the blocked path with the cross-task block-pair cache
+    /// *enabled*: the once-per-pair fill is amortised over the `B_S`
+    /// third SNPs of every task sharing the pair × the tasks per pair —
+    /// the whole `b2` sweep reuses one fill, which is exactly what the
+    /// budget buys over [`Self::for_version(Version::V5)`]'s per-task
+    /// amortisation of `B_S` alone.
+    pub fn v5_cross_pair_path(bs: f64, tasks_per_pair: f64) -> Self {
+        assert!(bs >= 1.0 && tasks_per_pair >= 1.0);
+        let amort = bs * tasks_per_pair;
+        VersionCosts {
+            ops_per_word: 36.0 + 20.0 / amort,
+            popcnt_per_word: 18.0 + 9.0 / amort,
+            loads_per_word: 11.0 + 4.0 / amort,
+            bytes_per_word: (11.0 + 4.0 / amort) * 4.0,
+        }
+    }
+
+    /// Cost model of a *concrete* blocked V5 configuration: picks the
+    /// cross-pair path when `budget_bytes` admits the block-pair cache
+    /// for this dataset size (`class_words_total` combined 64-bit words,
+    /// `nb` SNP blocks) — the same gate the kernel itself applies with
+    /// [`crate::block::BlockParams::cross_pair_cache_enabled`] — and the
+    /// per-task amortisation otherwise. Both arms model bit-identical
+    /// kernels; only the amortisation denominator moves.
+    pub fn v5_blocked(
+        params: &crate::block::BlockParams,
+        class_words_total: usize,
+        budget_bytes: usize,
+        nb: usize,
+    ) -> Self {
+        if params.cross_pair_cache_enabled(class_words_total, budget_bytes) {
+            Self::v5_cross_pair_path(params.bs as f64, Self::mean_tasks_per_block_pair(nb.max(1)))
+        } else {
+            Self::v5_shard_path(params.bs as f64)
+        }
+    }
+
     /// Arithmetic intensity in intops/byte — the CARM x-axis.
     pub fn arithmetic_intensity(&self) -> f64 {
         self.ops_per_word / self.bytes_per_word
@@ -190,6 +236,31 @@ mod tests {
         assert!(sharded.popcnt_per_word > 18.0);
         // degenerate run of 1 = no reuse = full per-triple fill
         assert!(VersionCosts::v5_shard_path(1.0).popcnt_per_word == 27.0);
+    }
+
+    #[test]
+    fn cross_pair_path_dominates_the_per_task_amortisation() {
+        use crate::block::{BlockParams, CROSS_PAIR_CACHE_BUDGET};
+        // 13 blocks (64 SNPs at B_S = 5): tasks per pair = 5.
+        assert!((VersionCosts::mean_tasks_per_block_pair(13) - 5.0).abs() < 1e-12);
+        let per_task = VersionCosts::for_version(Version::V5);
+        let cross = VersionCosts::v5_cross_pair_path(4.0, 5.0);
+        assert!(cross.ops_per_word < per_task.ops_per_word);
+        assert!(cross.popcnt_per_word < per_task.popcnt_per_word);
+        // floor stays the 18-popcount inner kernel
+        assert!(cross.popcnt_per_word > 18.0);
+        // degenerate single task per pair = the per-task model exactly
+        let solo = VersionCosts::v5_cross_pair_path(4.0, 1.0);
+        assert!((solo.ops_per_word - per_task.ops_per_word).abs() < 1e-12);
+
+        // the gated selector mirrors the kernel's budget gate
+        let p = BlockParams { bs: 5, bp: 160 };
+        let small_ds = 32; // fits the fixed budget (see block.rs tests)
+        let huge_ds = 4700; // overflows it
+        let enabled = VersionCosts::v5_blocked(&p, small_ds, CROSS_PAIR_CACHE_BUDGET, 13);
+        let disabled = VersionCosts::v5_blocked(&p, huge_ds, CROSS_PAIR_CACHE_BUDGET, 13);
+        assert!(enabled.popcnt_per_word < disabled.popcnt_per_word);
+        assert!((disabled.popcnt_per_word - (18.0 + 9.0 / 5.0)).abs() < 1e-12);
     }
 
     #[test]

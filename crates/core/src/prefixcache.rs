@@ -36,7 +36,11 @@
 //!   first `d` prefix SNPs, each depth an `AND` of its parent with the
 //!   next SNP's planes — and revalidated from the deepest still-matching
 //!   depth, so a combo differing only in its last prefix SNP rebuilds one
-//!   depth, not all of them.
+//!   depth, not all of them. Every depth fills through a tiered SIMD
+//!   kernel: depth 2 via [`crate::simd::fill_pair_cache`], depth 1 and
+//!   depths ≥ 3 via [`crate::simd::fill_prefix_cache`] (scalar, AVX2,
+//!   AVX-512, AVX-512 `VPOPCNTDQ`), with the final depth's popcounts
+//!   fused into the fill.
 //! * The blocked V5 kernel reuses the same idea at block granularity
 //!   (`versions/v5`): an LRU-of-one `(b0, b1)` *block-pair* cache keyed
 //!   by the leading block pair, budgeted by
@@ -54,7 +58,9 @@
 
 use crate::kway::KwayTable;
 use crate::result::Triple;
-use crate::simd::{accumulate18, accumulate_streams, fill_pair_cache, SimdLevel};
+use crate::simd::{
+    accumulate18, accumulate_streams, fill_pair_cache, fill_prefix_cache, SimdLevel,
+};
 use crate::table27::ContingencyTable;
 use bitgenome::{SplitDataset, Word, CASE, CTRL, PAIR_STREAMS};
 
@@ -78,6 +84,11 @@ pub struct PrefixCache {
     /// Final-depth per-stream popcounts (`3^(k-1)` per class) — the
     /// subtraction totals for the derived genotype-2 cells.
     counts: [Vec<u32>; 2],
+    /// All-ones scratch serving as the synthetic parent of the depth-1
+    /// fill (`ones ∧ Z[g] = Z[g]`), so order-2 caches run the same tiered
+    /// [`fill_prefix_cache`] kernel as every deeper level. Grown lazily,
+    /// only ever holds `!0` words.
+    ones: Vec<Word>,
     hits: u64,
     misses: u64,
 }
@@ -97,6 +108,7 @@ impl PrefixCache {
             words: None,
             streams: [Vec::new(), Vec::new()],
             counts: [Vec::new(), Vec::new()],
+            ones: Vec::new(),
             hits: 0,
             misses: 0,
         }
@@ -189,17 +201,18 @@ impl PrefixCache {
             self.streams[class].resize(nslots, Vec::new());
             if self.k == 2 {
                 // depth 1: the three genotype streams of the single
-                // prefix SNP (genotype 2 by NOR).
+                // prefix SNP — the tiered fill against an all-ones
+                // parent, popcounts fused (these are the final totals).
                 let (p0, p1) = cp.planes(prefix[0]);
+                if self.ones.len() < len {
+                    self.ones.resize(len, !0);
+                }
                 let buf = &mut self.streams[class][0];
                 buf.resize(3 * len, 0);
-                let (a, rest) = buf.split_at_mut(len);
-                let (b, c) = rest.split_at_mut(len);
-                for w in 0..len {
-                    a[w] = p0[w];
-                    b[w] = p1[w];
-                    c[w] = !(p0[w] | p1[w]);
-                }
+                let mut c3 = [0u32; 3];
+                fill_prefix_cache(self.level, &self.ones[..len], p0, p1, buf, &mut c3);
+                self.counts[class].clear();
+                self.counts[class].extend_from_slice(&c3);
             } else {
                 if common < 2 {
                     // depth 2: the nine pair streams, via the tiered
@@ -223,7 +236,10 @@ impl PrefixCache {
                         self.counts[class].extend_from_slice(&pair_counts);
                     }
                 }
-                // deeper levels: recursive prefix-AND, depth d from d-1.
+                // Deeper levels: recursive prefix-AND, depth d from d-1,
+                // one tiered fill per parent stream. At the final depth
+                // the fused popcounts are the subtraction totals, so no
+                // separate counting pass runs at any order.
                 for d in 3..=final_depth {
                     if common >= d {
                         continue;
@@ -236,33 +252,27 @@ impl PrefixCache {
                     let parent = &lo[slot_parent];
                     let child = &mut hi[0];
                     child.resize(3 * nparent * len, 0);
+                    let is_final = d == final_depth;
+                    if is_final {
+                        self.counts[class].clear();
+                        self.counts[class].resize(3 * nparent, 0);
+                    }
                     for s in 0..nparent {
                         let par = &parent[s * len..(s + 1) * len];
-                        let base = s * 3 * len;
-                        for w in 0..len {
-                            let pv = par[w];
-                            let g2 = !(p0[w] | p1[w]);
-                            child[base + w] = pv & p0[w];
-                            child[base + len + w] = pv & p1[w];
-                            child[base + 2 * len + w] = pv & g2;
+                        let mut c3 = [0u32; 3];
+                        fill_prefix_cache(
+                            self.level,
+                            par,
+                            p0,
+                            p1,
+                            &mut child[s * 3 * len..(s + 1) * 3 * len],
+                            &mut c3,
+                        );
+                        if is_final {
+                            self.counts[class][s * 3..s * 3 + 3].copy_from_slice(&c3);
                         }
                     }
                 }
-            }
-            if final_depth != 2 || self.k == 2 {
-                // totals of the final-depth streams (k == 3 got them
-                // fused into the pair fill above).
-                let slot = self.slot(final_depth);
-                let n = self.num_streams();
-                let buf = &self.streams[class][slot];
-                let counts = &mut self.counts[class];
-                counts.clear();
-                counts.extend((0..n).map(|p| {
-                    buf[p * len..(p + 1) * len]
-                        .iter()
-                        .map(|w| w.count_ones())
-                        .sum::<u32>()
-                }));
             }
         }
         self.prefix.copy_from_slice(prefix);

@@ -21,6 +21,103 @@ use bitgenome::Word;
 
 pub use bitgenome::SimdLevel;
 
+/// Popcount a 256-bit register via ALU lane extraction (`vextracti128` +
+/// `pextrq`) + scalar `POPCNT` — the paper's lane-extract scheme. ALU
+/// extracts deliberately: bouncing the register through a stack buffer
+/// and reloading 64-bit chunks hits the store-forwarding stall (a 32 B
+/// store followed by 8 B loads cannot forward), which is slow enough to
+/// drop the extract tiers *below* scalar throughput.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+#[inline]
+unsafe fn popcnt256(v: core::arch::x86_64::__m256i) -> u32 {
+    use core::arch::x86_64::*;
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    (_mm_cvtsi128_si64(lo) as u64).count_ones()
+        + (_mm_extract_epi64::<1>(lo) as u64).count_ones()
+        + (_mm_cvtsi128_si64(hi) as u64).count_ones()
+        + (_mm_extract_epi64::<1>(hi) as u64).count_ones()
+}
+
+/// Popcount a 512-bit register via ALU lane extraction (two 256-bit
+/// halves through [`popcnt256`]) — the Skylake-SP path, paying exactly
+/// the extract overhead §V-B measures, but not the store-forwarding
+/// stall a memory round-trip would add on top.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,popcnt")]
+#[inline]
+unsafe fn popcnt512(v: core::arch::x86_64::__m512i) -> u32 {
+    use core::arch::x86_64::*;
+    // avx512f implies avx2 on every real part; the cast/extract pair is
+    // plain avx512f
+    popcnt256(_mm512_castsi512_si256(v)) + popcnt256(_mm512_extracti64x4_epi64::<1>(v))
+}
+
+/// Per-64-bit-lane popcounts of a 256-bit register via the in-register
+/// nibble-LUT scheme (Mula: `vpshufb` lookup on both nibbles, byte add,
+/// `vpsadbw` to fold bytes into the four u64 lanes). Used by the fill
+/// kernels on the no-`VPOPCNTDQ` tiers: the result feeds straight into a
+/// vector accumulator, so a whole fill pass performs exactly one
+/// horizontal reduction per stream — no per-chunk lane extraction at
+/// all, which is what keeps these tiers ahead of the scalar fill.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn popcnt256_lanes(v: core::arch::x86_64::__m256i) -> core::arch::x86_64::__m256i {
+    use core::arch::x86_64::*;
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+    let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+}
+
+/// Horizontal sum of the four u64 lanes of a [`popcnt256_lanes`]
+/// accumulator (called once per stream, after the chunk loop).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+#[inline]
+unsafe fn reduce256_lanes(v: core::arch::x86_64::__m256i) -> u32 {
+    use core::arch::x86_64::*;
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let s = _mm_add_epi64(lo, hi);
+    (_mm_cvtsi128_si64(s) as u64 + _mm_extract_epi64::<1>(s) as u64) as u32
+}
+
+/// 512-bit analogue of [`popcnt256_lanes`] (`avx512bw` provides the
+/// zmm-wide `vpshufb`/`vpsadbw`) — the Skylake-SP fill path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn popcnt512_lanes(v: core::arch::x86_64::__m512i) -> core::arch::x86_64::__m512i {
+    use core::arch::x86_64::*;
+    #[rustfmt::skip]
+    let lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    ));
+    let low_mask = _mm512_set1_epi8(0x0f);
+    let lo = _mm512_and_si512(v, low_mask);
+    let hi = _mm512_and_si512(_mm512_srli_epi16::<4>(v), low_mask);
+    let cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo), _mm512_shuffle_epi8(lut, hi));
+    _mm512_sad_epu8(cnt, _mm512_setzero_si512())
+}
+
+/// Horizontal sum of the eight u64 lanes of a [`popcnt512_lanes`]
+/// accumulator.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn reduce512_lanes(v: core::arch::x86_64::__m512i) -> u32 {
+    core::arch::x86_64::_mm512_reduce_add_epi64(v) as u32
+}
+
 /// Six equal-length plane slices: `(x0, x1, y0, y1, z0, z1)`.
 pub type Planes<'a> = (
     &'a [Word],
@@ -123,12 +220,7 @@ unsafe fn accumulate27_avx2(
                     let v = _mm256_and_si256(xy, zv);
                     // lane extraction + scalar POPCNT (no vector popcount
                     // on this tier)
-                    let mut lanes = [0u64; L];
-                    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
-                    acc[cell] += lanes[0].count_ones()
-                        + lanes[1].count_ones()
-                        + lanes[2].count_ones()
-                        + lanes[3].count_ones();
+                    acc[cell] += popcnt256(v);
                     cell += 1;
                 }
             }
@@ -178,16 +270,10 @@ unsafe fn accumulate27_avx512(
                 let xy = _mm512_and_si512(xv, yv);
                 for zv in zs {
                     let v = _mm512_and_si512(xy, zv);
-                    // Skylake-SP path: two 256-bit extracts, then scalar
+                    // Skylake-SP path: 256-bit extracts, then scalar
                     // POPCNT per lane — the overhead §V-B blames for CI2's
                     // AVX-512 slowdown.
-                    let mut lanes = [0u64; L];
-                    _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
-                    let mut s = 0u32;
-                    for lane in lanes {
-                        s += lane.count_ones();
-                    }
-                    acc[cell] += s;
+                    acc[cell] += popcnt512(v);
                     cell += 1;
                 }
             }
@@ -360,6 +446,9 @@ unsafe fn fill_pair_cache_avx2(
     assert_eq!(streams.len(), 9 * len);
     let chunks = len / L;
     let ones = _mm256_set1_epi64x(-1);
+    // no vector POPCNT on this tier: nibble-LUT counts into per-pair
+    // vector accumulators, one reduction per stream after the loop
+    let mut vacc = [_mm256_setzero_si256(); 9];
     for c in 0..chunks {
         let i = c * L;
         let ld = |s: &[Word]| _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
@@ -372,15 +461,12 @@ unsafe fn fill_pair_cache_avx2(
                 let p = gx * 3 + gy;
                 let v = _mm256_and_si256(xv, yv);
                 _mm256_storeu_si256(streams.as_mut_ptr().add(p * len + i) as *mut __m256i, v);
-                // no vector popcount on this tier: extract + scalar POPCNT
-                let mut lanes = [0u64; L];
-                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
-                counts[p] += lanes[0].count_ones()
-                    + lanes[1].count_ones()
-                    + lanes[2].count_ones()
-                    + lanes[3].count_ones();
+                vacc[p] = _mm256_add_epi64(vacc[p], popcnt256_lanes(v));
             }
         }
+    }
+    for (p, &v) in vacc.iter().enumerate() {
+        counts[p] += reduce256_lanes(v);
     }
     fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
 }
@@ -401,6 +487,9 @@ unsafe fn fill_pair_cache_avx512(
     assert!(x1.len() == len && y0.len() == len && y1.len() == len);
     assert_eq!(streams.len(), 9 * len);
     let chunks = len / L;
+    // Skylake-SP tier (no VPOPCNTDQ): zmm nibble-LUT counts into
+    // per-pair vector accumulators, reduced once after the loop
+    let mut vacc = [_mm512_setzero_si512(); 9];
     for c in 0..chunks {
         let i = c * L;
         let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
@@ -413,16 +502,12 @@ unsafe fn fill_pair_cache_avx512(
                 let p = gx * 3 + gy;
                 let v = _mm512_and_si512(xv, yv);
                 _mm512_storeu_si512(streams.as_mut_ptr().add(p * len + i) as *mut _, v);
-                // Skylake-SP tier: extract + scalar POPCNT per lane
-                let mut lanes = [0u64; L];
-                _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
-                let mut s = 0u32;
-                for lane in lanes {
-                    s += lane.count_ones();
-                }
-                counts[p] += s;
+                vacc[p] = _mm512_add_epi64(vacc[p], popcnt512_lanes(v));
             }
         }
+    }
+    for (p, &v) in vacc.iter().enumerate() {
+        counts[p] += reduce512_lanes(v);
     }
     fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
 }
@@ -464,6 +549,184 @@ unsafe fn fill_pair_cache_avx512_vpopcnt(
         counts[p] += _mm512_reduce_add_epi64(v) as u32;
     }
     fill_pair_cache_tail(x0, x1, y0, y1, streams, counts, chunks * L);
+}
+
+/// Materialise the three child streams `parent ∧ Z[gz]` of one prefix
+/// stream — genotype 2 reconstructed by `NOR` — into `out` (child-major:
+/// `out[g·len..][..len]` holds genotype `g`) *and* add each child's
+/// popcount into `counts`. This is the depth-`d ≥ 3` fill of the k-way
+/// [`crate::prefixcache::PrefixCache`] (one call per parent stream), and
+/// with an all-ones `parent` it doubles as the depth-1 fill of an
+/// order-2 cache. Mirrors [`fill_pair_cache`]'s per-tier layout so the
+/// deep prefix levels keep pace with the vectorised pair level:
+///
+/// * **scalar** — 64-bit logic + hardware `POPCNT`;
+/// * **AVX2** — 256-bit logic/stores, lane-extracted scalar `POPCNT`;
+/// * **AVX-512** — 512-bit logic/stores, lane-extracted scalar `POPCNT`
+///   (Skylake-SP tier);
+/// * **AVX-512 `VPOPCNTDQ`** — fully vectorised count (Ice Lake SP+).
+///
+/// All tiers produce bit-identical buffers and counts (exact integer
+/// arithmetic throughout).
+///
+/// # Panics
+/// Panics (debug) if `level` exceeds the host's capability; panics if
+/// plane/parent lengths differ or `out.len() != 3 * parent.len()`.
+#[inline]
+pub fn fill_prefix_cache(
+    level: SimdLevel,
+    parent: &[Word],
+    p0: &[Word],
+    p1: &[Word],
+    out: &mut [Word],
+    counts: &mut [u32; 3],
+) {
+    debug_assert!(level <= SimdLevel::detect(), "SIMD tier not available");
+    assert!(p0.len() == parent.len() && p1.len() == parent.len());
+    assert_eq!(out.len(), 3 * parent.len());
+    match level {
+        SimdLevel::Scalar => fill_prefix_cache_tail(parent, p0, p1, out, counts, 0),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { fill_prefix_cache_avx2(parent, p0, p1, out, counts) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { fill_prefix_cache_avx512(parent, p0, p1, out, counts) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512Vpopcnt => unsafe {
+            fill_prefix_cache_avx512_vpopcnt(parent, p0, p1, out, counts)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 | SimdLevel::Avx512 | SimdLevel::Avx512Vpopcnt => {
+            debug_assert!(false, "x86 SIMD tier {level} dispatched on a non-x86 host");
+            fill_prefix_cache_tail(parent, p0, p1, out, counts, 0)
+        }
+    }
+}
+
+/// Scalar path and vector-tail of [`fill_prefix_cache`]: build and count
+/// words `from..len` of the three child streams.
+fn fill_prefix_cache_tail(
+    parent: &[Word],
+    p0: &[Word],
+    p1: &[Word],
+    out: &mut [Word],
+    counts: &mut [u32; 3],
+    from: usize,
+) {
+    let len = parent.len();
+    for w in from..len {
+        let pv = parent[w];
+        let a = pv & p0[w];
+        let b = pv & p1[w];
+        let c = pv & !(p0[w] | p1[w]);
+        out[w] = a;
+        out[len + w] = b;
+        out[2 * len + w] = c;
+        counts[0] += a.count_ones();
+        counts[1] += b.count_ones();
+        counts[2] += c.count_ones();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn fill_prefix_cache_avx2(
+    parent: &[Word],
+    p0: &[Word],
+    p1: &[Word],
+    out: &mut [Word],
+    counts: &mut [u32; 3],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 4; // u64 lanes per ymm
+    let len = parent.len();
+    let chunks = len / L;
+    let ones = _mm256_set1_epi64x(-1);
+    // no vector POPCNT on this tier: nibble-LUT counts into three
+    // per-child vector accumulators, one reduction per child at the end
+    let mut vacc = [_mm256_setzero_si256(); 3];
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
+        let pv = ld(parent);
+        let (z0, z1) = (ld(p0), ld(p1));
+        let zs = [z0, z1, _mm256_xor_si256(_mm256_or_si256(z0, z1), ones)];
+        for (g, &zv) in zs.iter().enumerate() {
+            let v = _mm256_and_si256(pv, zv);
+            _mm256_storeu_si256(out.as_mut_ptr().add(g * len + i) as *mut __m256i, v);
+            vacc[g] = _mm256_add_epi64(vacc[g], popcnt256_lanes(v));
+        }
+    }
+    for (g, &v) in vacc.iter().enumerate() {
+        counts[g] += reduce256_lanes(v);
+    }
+    fill_prefix_cache_tail(parent, p0, p1, out, counts, chunks * L);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,popcnt")]
+unsafe fn fill_prefix_cache_avx512(
+    parent: &[Word],
+    p0: &[Word],
+    p1: &[Word],
+    out: &mut [Word],
+    counts: &mut [u32; 3],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 8; // u64 lanes per zmm
+    let len = parent.len();
+    let chunks = len / L;
+    // Skylake-SP tier (no VPOPCNTDQ): zmm nibble-LUT counts into vector
+    // accumulators, one reduction per child after the loop
+    let mut vacc = [_mm512_setzero_si512(); 3];
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+        let pv = ld(parent);
+        let (z0, z1) = (ld(p0), ld(p1));
+        // ternarylogic imm 0x01 = 1 iff all inputs 0 => NOR(a, b) with c=b
+        let zs = [z0, z1, _mm512_ternarylogic_epi64(z0, z1, z1, 0x01)];
+        for (g, &zv) in zs.iter().enumerate() {
+            let v = _mm512_and_si512(pv, zv);
+            _mm512_storeu_si512(out.as_mut_ptr().add(g * len + i) as *mut _, v);
+            vacc[g] = _mm512_add_epi64(vacc[g], popcnt512_lanes(v));
+        }
+    }
+    for (g, &v) in vacc.iter().enumerate() {
+        counts[g] += reduce512_lanes(v);
+    }
+    fill_prefix_cache_tail(parent, p0, p1, out, counts, chunks * L);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+unsafe fn fill_prefix_cache_avx512_vpopcnt(
+    parent: &[Word],
+    p0: &[Word],
+    p1: &[Word],
+    out: &mut [Word],
+    counts: &mut [u32; 3],
+) {
+    use core::arch::x86_64::*;
+    const L: usize = 8;
+    let len = parent.len();
+    let chunks = len / L;
+    let mut vacc = [_mm512_setzero_si512(); 3];
+    for c in 0..chunks {
+        let i = c * L;
+        let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
+        let pv = ld(parent);
+        let (z0, z1) = (ld(p0), ld(p1));
+        let zs = [z0, z1, _mm512_ternarylogic_epi64(z0, z1, z1, 0x01)];
+        for (g, &zv) in zs.iter().enumerate() {
+            let v = _mm512_and_si512(pv, zv);
+            _mm512_storeu_si512(out.as_mut_ptr().add(g * len + i) as *mut _, v);
+            vacc[g] = _mm512_add_epi64(vacc[g], _mm512_popcnt_epi64(v));
+        }
+    }
+    for (g, &v) in vacc.iter().enumerate() {
+        counts[g] += _mm512_reduce_add_epi64(v) as u32;
+    }
+    fill_prefix_cache_tail(parent, p0, p1, out, counts, chunks * L);
 }
 
 /// Add the popcounts of the 18 `gz ∈ {0, 1}` intersections of
@@ -615,13 +878,7 @@ unsafe fn accumulate_streams_avx2(
             let ld = |s: &[Word]| _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
             let xy = ld(stream);
             for (zs, cnt) in [(z0, &mut c0), (z1, &mut c1)] {
-                let v = _mm256_and_si256(xy, ld(zs));
-                let mut lanes = [0u64; L];
-                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
-                *cnt += lanes[0].count_ones()
-                    + lanes[1].count_ones()
-                    + lanes[2].count_ones()
-                    + lanes[3].count_ones();
+                *cnt += popcnt256(_mm256_and_si256(xy, ld(zs)));
             }
         }
         acc[p * 3] += c0;
@@ -652,14 +909,7 @@ unsafe fn accumulate_streams_avx512(
             let ld = |s: &[Word]| _mm512_loadu_si512(s.as_ptr().add(i) as *const _);
             let xy = ld(stream);
             for (zs, cnt) in [(z0, &mut c0), (z1, &mut c1)] {
-                let v = _mm512_and_si512(xy, ld(zs));
-                let mut lanes = [0u64; L];
-                _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
-                let mut s = 0u32;
-                for lane in lanes {
-                    s += lane.count_ones();
-                }
-                *cnt += s;
+                *cnt += popcnt512(_mm512_and_si512(xy, ld(zs)));
             }
         }
         acc[p * 3] += c0;
@@ -831,6 +1081,71 @@ mod tests {
                 );
                 assert_eq!(streams, want_streams, "level={level} len={len}");
                 assert_eq!(counts, want_counts, "level={level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_prefix_cache_tiers_match_scalar() {
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 33, 64, 100] {
+            let data = planes(len, len as u64 + 17);
+            let (parent, p0, p1) = (&data[0], &data[1], &data[2]);
+            let mut want_out = vec![0 as Word; 3 * len];
+            let mut want_counts = [5u32; 3]; // non-zero: counts accumulate
+            fill_prefix_cache(
+                SimdLevel::Scalar,
+                parent,
+                p0,
+                p1,
+                &mut want_out,
+                &mut want_counts,
+            );
+            for level in SimdLevel::available() {
+                let mut out = vec![0 as Word; 3 * len];
+                let mut counts = [5u32; 3];
+                fill_prefix_cache(level, parent, p0, p1, &mut out, &mut counts);
+                assert_eq!(out, want_out, "level={level} len={len}");
+                assert_eq!(counts, want_counts, "level={level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_prefix_cache_children_partition_the_parent() {
+        // Every parent bit lands in exactly one child (the three genotype
+        // reconstructions partition each bit position), so the child
+        // popcounts must sum to the parent popcount on every tier.
+        let len = 37;
+        let data = planes(len, 23);
+        // make (p0, p1) a valid disjoint genotype encoding
+        let mut p0 = data[1].clone();
+        let p1: Vec<Word> = data[2].iter().zip(&p0).map(|(&b, &a)| b & !a).collect();
+        p0.iter_mut().zip(&p1).for_each(|(a, &b)| *a &= !b);
+        let parent = &data[0];
+        let parent_bits: u32 = parent.iter().map(|w| w.count_ones()).sum();
+        for level in SimdLevel::available() {
+            let mut out = vec![0 as Word; 3 * len];
+            let mut counts = [0u32; 3];
+            fill_prefix_cache(level, parent, &p0, &p1, &mut out, &mut counts);
+            assert_eq!(counts.iter().sum::<u32>(), parent_bits, "level={level}");
+        }
+    }
+
+    #[test]
+    fn fill_prefix_cache_with_ones_parent_is_the_genotype_fill() {
+        // The depth-1 use: an all-ones parent yields the raw genotype
+        // streams [p0, p1, NOR(p0, p1)].
+        let len = 19;
+        let data = planes(len, 3);
+        let ones = vec![!0 as Word; len];
+        for level in SimdLevel::available() {
+            let mut out = vec![0 as Word; 3 * len];
+            let mut counts = [0u32; 3];
+            fill_prefix_cache(level, &ones, &data[0], &data[1], &mut out, &mut counts);
+            for w in 0..len {
+                assert_eq!(out[w], data[0][w]);
+                assert_eq!(out[len + w], data[1][w]);
+                assert_eq!(out[2 * len + w], !(data[0][w] | data[1][w]));
             }
         }
     }

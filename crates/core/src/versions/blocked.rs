@@ -24,20 +24,23 @@ pub struct BlockedScanner<'a> {
     pub(crate) ds: &'a SplitDataset,
     pub(crate) params: BlockParams,
     pub(crate) level: SimdLevel,
-    /// Byte budget for the V5 cross-task block-pair cache (see
-    /// [`crate::block::CROSS_PAIR_CACHE_BUDGET`]); `0` disables it.
+    /// Byte budget for the V5 cross-task block-pair cache (the detected
+    /// L2/L3-derived [`BlockParams::with_detected_budget`] by default);
+    /// `0` disables it.
     pub(crate) xc_budget: usize,
 }
 
 impl<'a> BlockedScanner<'a> {
     /// Create a scanner; `level = Scalar` gives V3, any vector tier V4.
+    /// The cross-pair cache budget starts at the host-adaptive
+    /// [`BlockParams::with_detected_budget`] (≥ the fixed 4 MiB default).
     pub fn new(ds: &'a SplitDataset, params: BlockParams, level: SimdLevel) -> Self {
         assert!(params.bs >= 1 && params.bp >= 1);
         Self {
             ds,
             params,
             level,
-            xc_budget: crate::block::CROSS_PAIR_CACHE_BUDGET,
+            xc_budget: BlockParams::with_detected_budget(),
         }
     }
 
@@ -52,6 +55,11 @@ impl<'a> BlockedScanner<'a> {
     /// Tiling parameters in use.
     pub fn params(&self) -> BlockParams {
         self.params
+    }
+
+    /// Byte budget currently gating the cross-task block-pair cache.
+    pub fn cross_pair_budget(&self) -> usize {
+        self.xc_budget
     }
 
     /// Number of SNP blocks (`⌈M / B_S⌉`).

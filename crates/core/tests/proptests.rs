@@ -340,4 +340,72 @@ proptest! {
         let lanes = (vec_bits / 32).max(1);
         prop_assert!(p.bp.is_multiple_of(lanes) || p.bp == lanes);
     }
+
+    /// PR 4: over *any* detected L2/L3 geometry (including absent levels,
+    /// absurd sharing degrees, and tiny embedded caches) the adaptive
+    /// budget never disables the cross-pair cache on a dataset the fixed
+    /// 4 MiB budget enabled it for.
+    #[test]
+    fn adaptive_budget_never_disables_what_the_fixed_budget_enabled(
+        has_l2 in any::<bool>(),
+        l2_kib in prop::sample::select(vec![64usize, 256, 512, 1024, 2048, 4096, 16384]),
+        l2_shared in 1usize..=16,
+        has_l3 in any::<bool>(),
+        l3_mib in prop::sample::select(vec![1usize, 4, 8, 32, 105, 256, 1024]),
+        l3_shared in 1usize..=256,
+        bs in 1usize..=8,
+        class_words in 1usize..=200_000,
+    ) {
+        use devices::{CacheGeometry, SharedCache};
+        use epi_core::block::CROSS_PAIR_CACHE_BUDGET;
+        let l2 = has_l2.then_some(SharedCache {
+            geom: CacheGeometry { size_bytes: l2_kib * 1024, ways: 8, line_bytes: 64 },
+            shared_cpus: l2_shared,
+        });
+        let l3 = has_l3.then_some(SharedCache {
+            geom: CacheGeometry { size_bytes: l3_mib << 20, ways: 16, line_bytes: 64 },
+            shared_cpus: l3_shared,
+        });
+        let budget = BlockParams::budget_from_caches(l2, l3);
+        // the floor: detection can widen the gate, never narrow it
+        prop_assert!(budget >= CROSS_PAIR_CACHE_BUDGET);
+        let p = BlockParams { bs, bp: 64 };
+        if p.cross_pair_cache_enabled(class_words, CROSS_PAIR_CACHE_BUDGET) {
+            prop_assert!(
+                p.cross_pair_cache_enabled(class_words, budget),
+                "budget {budget} disabled a dataset the fixed budget admitted"
+            );
+        }
+    }
+
+    /// PR 4: the paper-policy V5 block parameters keep the whole per-task
+    /// working set — frequency tables, pair-total tables, pair-stream
+    /// cache, and the third-SNP data block — within the L1 they were
+    /// sized for, across plausible L1 geometries and vector widths.
+    #[test]
+    fn paper_policy_v5_working_set_stays_within_l1(
+        size_kib in prop::sample::select(vec![8usize, 16, 24, 32, 48, 64, 128]),
+        ways in prop::sample::select(vec![2usize, 4, 8, 12, 16]),
+        vec_bits in prop::sample::select(vec![64usize, 256, 512]),
+    ) {
+        use devices::CacheGeometry;
+        prop_assume!((size_kib * 1024).is_multiple_of(ways * 64));
+        let l1 = CacheGeometry { size_bytes: size_kib * 1024, ways, line_bytes: 64 };
+        let p = BlockParams::paper_policy_v5(&l1, vec_bits);
+        prop_assert!(p.bs >= 1 && p.bp >= 1);
+        let lanes = (vec_bits / 32).max(1);
+        // B_P floors at one vector register; above the floor the whole
+        // working set must fit the cache it was budgeted against
+        if p.bp > lanes {
+            let working_set = p.ft_bytes()
+                + p.pair_table_bytes()
+                + p.pair_cache_bytes()
+                + p.bs * p.bp * 4 * 2;
+            prop_assert!(
+                working_set <= l1.size_bytes,
+                "working set {working_set} exceeds L1 {} for {p:?}",
+                l1.size_bytes
+            );
+        }
+    }
 }

@@ -46,6 +46,27 @@ impl CacheGeometry {
     }
 }
 
+/// A detected cache level together with how many logical CPUs share it —
+/// the extra fact the outer levels need: an L2 is usually private (or
+/// shared by SMT siblings), while the L3 is shared by a whole socket or
+/// core complex, so capacity budgeting must reason in *per-CPU slices*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedCache {
+    /// Geometry of the whole cache.
+    pub geom: CacheGeometry,
+    /// Logical CPUs sharing it (from `shared_cpu_list`; `1` = private,
+    /// also the fallback when the attribute is absent or malformed).
+    pub shared_cpus: usize,
+}
+
+impl SharedCache {
+    /// One CPU's even share of the capacity.
+    #[inline]
+    pub fn per_cpu_bytes(&self) -> usize {
+        self.geom.size_bytes / self.shared_cpus.max(1)
+    }
+}
+
 /// Detect the executing host's **L1 data cache** geometry from the Linux
 /// sysfs cache hierarchy (`/sys/devices/system/cpu/cpu0/cache/index*`).
 ///
@@ -54,7 +75,21 @@ impl CacheGeometry {
 /// the paper's default 32 KiB/8-way geometry, so detection can never make
 /// a configuration *worse* than the previous hardcoded assumption.
 pub fn detect_l1d() -> Option<CacheGeometry> {
-    detect_l1d_with(|rel| read_sysfs(&format!("/sys/devices/system/cpu/cpu0/cache/{rel}")))
+    detect_l1d_with(sysfs_reader())
+}
+
+/// Detect the host's **L2** cache (level 2, `Data` or `Unified`) with its
+/// sharing degree. `None` when sysfs is absent or the values are
+/// implausible — callers keep their fixed byte-budget defaults, so
+/// detection can only refine a configuration, never break one.
+pub fn detect_l2() -> Option<SharedCache> {
+    detect_l2_with(sysfs_reader())
+}
+
+/// Detect the host's **L3** cache (level 3, `Unified`) with its sharing
+/// degree (`shared_cpu_list` typically spans a socket or core complex).
+pub fn detect_l3() -> Option<SharedCache> {
+    detect_l3_with(sysfs_reader())
 }
 
 /// [`detect_l1d`] over an arbitrary attribute reader (`rel` is the path
@@ -70,11 +105,37 @@ pub fn detect_l1d() -> Option<CacheGeometry> {
 ///   8 ways: the way-split policy needs a small way count to reason in,
 ///   and for a fully associative cache any split is realisable.
 pub fn detect_l1d_with(read: impl Fn(&str) -> Option<String>) -> Option<CacheGeometry> {
+    detect_level_with(&read, "1", plausible_l1).map(|c| c.geom)
+}
+
+/// [`detect_l2`] over an arbitrary attribute reader — same quirk handling
+/// as [`detect_l1d_with`], plus `shared_cpu_list` parsing (absent or
+/// malformed lists degrade to a private cache, never to an error).
+pub fn detect_l2_with(read: impl Fn(&str) -> Option<String>) -> Option<SharedCache> {
+    detect_level_with(&read, "2", plausible_l2)
+}
+
+/// [`detect_l3`] over an arbitrary attribute reader.
+pub fn detect_l3_with(read: impl Fn(&str) -> Option<String>) -> Option<SharedCache> {
+    detect_level_with(&read, "3", plausible_l3)
+}
+
+/// Shared sysfs hierarchy walk behind all three detectors: find the first
+/// `index*` entry of the requested level whose type is `Data` or
+/// `Unified`, apply the shared quirk fallbacks, and gate the result on a
+/// per-level plausibility filter. An implausible entry returns `None`
+/// rather than scanning on: the hierarchy is lying, so trusting a later
+/// index would be guesswork.
+fn detect_level_with(
+    read: &impl Fn(&str) -> Option<String>,
+    level: &str,
+    plausible: impl Fn(&CacheGeometry) -> bool,
+) -> Option<SharedCache> {
     for idx in 0..10 {
-        let Some(level) = read(&format!("index{idx}/level")) else {
+        let Some(lv) = read(&format!("index{idx}/level")) else {
             break; // indices are contiguous; first missing one ends the scan
         };
-        if level != "1" {
+        if lv != level {
             continue;
         }
         let Some(ty) = read(&format!("index{idx}/type")) else {
@@ -98,18 +159,49 @@ pub fn detect_l1d_with(read: impl Fn(&str) -> Option<String>) -> Option<CacheGeo
             ways,
             line_bytes,
         };
-        if plausible_l1(&geom) {
-            return Some(geom);
+        if !plausible(&geom) {
+            return None;
         }
-        return None;
+        let shared_cpus = read(&format!("index{idx}/shared_cpu_list"))
+            .and_then(|s| parse_cpu_list_len(&s))
+            .unwrap_or(1);
+        return Some(SharedCache { geom, shared_cpus });
     }
     None
+}
+
+fn sysfs_reader() -> impl Fn(&str) -> Option<String> {
+    |rel: &str| read_sysfs(&format!("/sys/devices/system/cpu/cpu0/cache/{rel}"))
 }
 
 fn read_sysfs(path: &str) -> Option<String> {
     std::fs::read_to_string(path)
         .ok()
         .map(|s| s.trim().to_string())
+}
+
+/// Count the CPUs in a sysfs cpu-list string (`"0"`, `"0-15"`,
+/// `"0-15,32-47"`). `None` on malformed input.
+fn parse_cpu_list_len(s: &str) -> Option<usize> {
+    let mut total = 0usize;
+    for part in s.split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let a: usize = a.parse().ok()?;
+                let b: usize = b.parse().ok()?;
+                if b < a {
+                    return None;
+                }
+                total += b - a + 1;
+            }
+            None => {
+                part.parse::<usize>().ok()?;
+                total += 1;
+            }
+        }
+    }
+    (total > 0).then_some(total)
 }
 
 /// Parse sysfs cache sizes: `"48K"`, `"1024K"`, `"2M"`, or a bare byte
@@ -124,8 +216,23 @@ fn parse_size_bytes(s: &str) -> Option<usize> {
 }
 
 fn plausible_l1(g: &CacheGeometry) -> bool {
-    (1024..=4 * 1024 * 1024).contains(&g.size_bytes)
-        && (1..=64).contains(&g.ways)
+    (1024..=4 * 1024 * 1024).contains(&g.size_bytes) && plausible_shape(g)
+}
+
+/// L2s range from 128 KiB (older Atoms) to tens of MiB (Apple-class /
+/// cluster-shared designs).
+fn plausible_l2(g: &CacheGeometry) -> bool {
+    (64 * 1024..=64 * 1024 * 1024).contains(&g.size_bytes) && plausible_shape(g)
+}
+
+/// L3s span 512 KiB embedded parts to >1 GiB stacked-cache parts.
+fn plausible_l3(g: &CacheGeometry) -> bool {
+    (256 * 1024..=2048 * 1024 * 1024).contains(&g.size_bytes) && plausible_shape(g)
+}
+
+/// Way/line sanity shared by every level.
+fn plausible_shape(g: &CacheGeometry) -> bool {
+    (1..=64).contains(&g.ways)
         && (16..=1024).contains(&g.line_bytes)
         && g.size_bytes.is_multiple_of(g.ways * g.line_bytes)
 }
@@ -309,5 +416,159 @@ mod tests {
         if let Some(g) = detect_l1d() {
             assert!(plausible_l1(&g), "{g:?}");
         }
+        if let Some(c) = detect_l2() {
+            assert!(plausible_l2(&c.geom), "{c:?}");
+            assert!(c.shared_cpus >= 1 && c.per_cpu_bytes() > 0);
+        }
+        if let Some(c) = detect_l3() {
+            assert!(plausible_l3(&c.geom), "{c:?}");
+            assert!(c.shared_cpus >= 1 && c.per_cpu_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn cpu_list_lengths() {
+        assert_eq!(parse_cpu_list_len("0"), Some(1));
+        assert_eq!(parse_cpu_list_len("0-15"), Some(16));
+        assert_eq!(parse_cpu_list_len("0-15,32-47"), Some(32));
+        assert_eq!(parse_cpu_list_len("3,5,7"), Some(3));
+        assert_eq!(parse_cpu_list_len("15-0"), None);
+        assert_eq!(parse_cpu_list_len("a-b"), None);
+        assert_eq!(parse_cpu_list_len(""), None);
+    }
+
+    /// The common x86 hierarchy the L2/L3 fixtures below build on:
+    /// index0 L1d, index1 L1i, index2 private L2, index3 socket-shared L3.
+    const HIERARCHY: &[(&str, &str)] = &[
+        ("index0/level", "1"),
+        ("index0/type", "Data"),
+        ("index0/size", "48K"),
+        ("index0/ways_of_associativity", "12"),
+        ("index0/coherency_line_size", "64"),
+        ("index1/level", "1"),
+        ("index1/type", "Instruction"),
+        ("index1/size", "32K"),
+        ("index2/level", "2"),
+        ("index2/type", "Unified"),
+        ("index2/size", "2048K"),
+        ("index2/ways_of_associativity", "16"),
+        ("index2/coherency_line_size", "64"),
+        ("index2/shared_cpu_list", "0-1"),
+        ("index3/level", "3"),
+        ("index3/type", "Unified"),
+        ("index3/size", "32M"),
+        ("index3/ways_of_associativity", "16"),
+        ("index3/coherency_line_size", "64"),
+        ("index3/shared_cpu_list", "0-15,32-47"),
+    ];
+
+    #[test]
+    fn fixture_l2_l3_standard_hierarchy() {
+        let l2 = detect_l2_with(fixture(HIERARCHY)).unwrap();
+        assert_eq!(l2.geom, CacheGeometry::kib(2048, 16));
+        assert_eq!(l2.shared_cpus, 2); // SMT siblings
+        assert_eq!(l2.per_cpu_bytes(), 1024 * 1024);
+
+        let l3 = detect_l3_with(fixture(HIERARCHY)).unwrap();
+        assert_eq!(l3.geom, CacheGeometry::kib(32 * 1024, 16));
+        assert_eq!(l3.shared_cpus, 32); // whole socket
+        assert_eq!(l3.per_cpu_bytes(), 1024 * 1024);
+
+        // the L1 detector still lands on index0, untouched by the rework
+        assert_eq!(
+            detect_l1d_with(fixture(HIERARCHY)),
+            Some(CacheGeometry::kib(48, 12))
+        );
+    }
+
+    #[test]
+    fn fixture_l2_bare_byte_size_and_missing_line() {
+        // Same kernel quirks the L1 detector tolerates: bare byte counts
+        // and absent coherency_line_size (→ 64 B).
+        let got = detect_l2_with(fixture(&[
+            ("index0/level", "2"),
+            ("index0/type", "Unified"),
+            ("index0/size", "1048576"),
+            ("index0/ways_of_associativity", "8"),
+        ]))
+        .unwrap();
+        assert_eq!(got.geom, CacheGeometry::kib(1024, 8));
+        assert_eq!(got.shared_cpus, 1, "no shared_cpu_list = private");
+    }
+
+    #[test]
+    fn fixture_l2_zero_ways_is_fully_associative() {
+        // ways = 0 means fully associative; fall back to 8 ways like L1.
+        let got = detect_l2_with(fixture(&[
+            ("index0/level", "2"),
+            ("index0/type", "Unified"),
+            ("index0/size", "512K"),
+            ("index0/ways_of_associativity", "0"),
+            ("index0/coherency_line_size", "64"),
+        ]))
+        .unwrap();
+        assert_eq!(got.geom, CacheGeometry::kib(512, 8));
+        assert!(got.geom.way_bytes() > 0);
+    }
+
+    #[test]
+    fn fixture_l3_shared_cpu_list_quirks() {
+        let base = |list: &'static str| {
+            move |rel: &str| {
+                fixture(&[
+                    ("index0/level", "3"),
+                    ("index0/type", "Unified"),
+                    ("index0/size", "16M"),
+                    ("index0/ways_of_associativity", "16"),
+                    ("index0/coherency_line_size", "64"),
+                    ("index0/shared_cpu_list", list),
+                ])(rel)
+            }
+        };
+        // multi-range list: a CCX-style 16-MiB slice shared by 8+8 CPUs
+        assert_eq!(detect_l3_with(base("0-7,64-71")).unwrap().shared_cpus, 16);
+        // single CPU (containers often mask the siblings out)
+        assert_eq!(detect_l3_with(base("0")).unwrap().shared_cpus, 1);
+        // garbage list degrades to private, not to a detection failure
+        let got = detect_l3_with(base("zebra-3")).unwrap();
+        assert_eq!(got.shared_cpus, 1);
+        assert_eq!(got.geom, CacheGeometry::kib(16 * 1024, 16));
+    }
+
+    #[test]
+    fn fixture_l2_l3_garbage_rejected_not_panicking() {
+        // Unparseable size → None.
+        assert_eq!(
+            detect_l2_with(fixture(&[
+                ("index0/level", "2"),
+                ("index0/type", "Unified"),
+                ("index0/size", "lots"),
+            ])),
+            None
+        );
+        // Implausible sizes: a 4 KiB "L2", a 64 KiB "L3".
+        assert_eq!(
+            detect_l2_with(fixture(&[
+                ("index0/level", "2"),
+                ("index0/type", "Unified"),
+                ("index0/size", "4K"),
+                ("index0/ways_of_associativity", "8"),
+            ])),
+            None
+        );
+        assert_eq!(
+            detect_l3_with(fixture(&[
+                ("index0/level", "3"),
+                ("index0/type", "Unified"),
+                ("index0/size", "64K"),
+                ("index0/ways_of_associativity", "8"),
+            ])),
+            None
+        );
+        // Hierarchy without the level at all (L3-less CPUs exist).
+        assert_eq!(detect_l3_with(fixture(&HIERARCHY[..14])), None);
+        // Empty hierarchy.
+        assert_eq!(detect_l2_with(|_| None), None);
+        assert_eq!(detect_l3_with(|_| None), None);
     }
 }

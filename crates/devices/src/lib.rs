@@ -18,7 +18,7 @@ pub mod dvfs;
 pub mod gpu;
 pub mod host;
 
-pub use cache::{detect_l1d, CacheGeometry};
+pub use cache::{detect_l1d, detect_l2, detect_l3, CacheGeometry, SharedCache};
 pub use cpu::{CpuDevice, CpuMicroarch, Vendor};
 pub use dvfs::{DvfsModel, DvfsPoint};
 pub use gpu::{GpuDevice, GpuVendor};

@@ -198,6 +198,11 @@ fn parse_status(rest: &str) -> Result<JobStatus, String> {
         .find(|(k, _)| k == "error")
         .map(|(_, v)| unescape(v))
         .transpose()?;
+    let simd = fields
+        .iter()
+        .find(|(k, _)| k == "simd")
+        .map(|(_, v)| bitgenome::SimdLevel::parse_token(v))
+        .transpose()?;
     Ok(JobStatus {
         id: field(&fields, "id").or_else(|_| field(&fields, "job"))?,
         state: JobState::parse(&state_name)?,
@@ -205,6 +210,7 @@ fn parse_status(rest: &str) -> Result<JobStatus, String> {
         total: field(&fields, "total")?,
         in_flight: field(&fields, "in_flight")?,
         combos: field(&fields, "combos")?,
+        simd,
         error,
     })
 }

@@ -52,6 +52,10 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Directory for job checkpoints; `None` disables persistence.
     pub spool_dir: Option<PathBuf>,
+    /// Default forced SIMD tier for jobs whose spec carries no `simd=`
+    /// key (`epi3 serve --simd` / `EPI3_SIMD` on the server). Clamped to
+    /// the host's capability; an explicit spec key always wins.
+    pub default_simd: Option<bitgenome::SimdLevel>,
 }
 
 struct EngineState {
@@ -69,6 +73,8 @@ struct Shared {
     /// prove resume never rescans checkpointed work.
     shards_scanned: AtomicU64,
     spool_dir: Option<PathBuf>,
+    /// Clamped engine-wide default tier for specs without `simd=`.
+    default_simd: Option<bitgenome::SimdLevel>,
     /// Checkpoint snapshots are taken under the state lock but written to
     /// disk outside it, so two writers can race file-creation order. Each
     /// snapshot carries a per-job sequence number (`Job::ckpt_seq`); this
@@ -100,6 +106,7 @@ impl Engine {
             shutdown: AtomicBool::new(false),
             shards_scanned: AtomicU64::new(0),
             spool_dir: cfg.spool_dir.clone(),
+            default_simd: cfg.default_simd.map(|l| l.clamped_to_host()),
             spool_written: Mutex::new(HashMap::new()),
         });
         if let Some(dir) = &cfg.spool_dir {
@@ -143,7 +150,13 @@ impl Engine {
             // The checkpoint carries the shard plan's SNP count, so a
             // restore needs no dataset access at all; the file is only
             // reloaded (and validated) when the job is resumed.
-            let job = ck.into_job();
+            let mut job = ck.into_job();
+            // A spool on shared storage may have been written by a more
+            // capable host: re-clamp the forced tier exactly as submit()
+            // does, or a resumed job would dispatch unsupported SIMD
+            // intrinsics here. (Tiers only widen the kernel choice —
+            // results are bit-identical at any tier.)
+            job.spec.simd = job.spec.simd.map(|l| l.clamped_to_host());
             state.next_id = state.next_id.max(job.id + 1);
             state.jobs.insert(job.id, job);
         }
@@ -151,7 +164,9 @@ impl Engine {
 
     /// Submit a new job. Loads and encodes the dataset synchronously so
     /// invalid submissions fail at the protocol boundary, then enqueues
-    /// every shard.
+    /// every shard. A requested SIMD tier is clamped to *this* host's
+    /// capability (the scan runs here, whatever the client supports) and
+    /// the clamped tier is what STATUS echoes back.
     pub fn submit(&self, spec: JobSpec) -> Result<JobStatus, String> {
         if spec.shards == 0 {
             return Err("a job needs at least one shard".into());
@@ -159,6 +174,11 @@ impl Engine {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err("engine is shutting down".into());
         }
+        let mut spec = spec;
+        spec.simd = spec
+            .simd
+            .map(|l| l.clamped_to_host())
+            .or(self.shared.default_simd);
         let (data, m) = load_encoded(&spec)?;
         let plan = ShardPlan::triples(m, spec.shards);
         let shards = plan.num_shards();
@@ -619,6 +639,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 3,
             spool_dir: None,
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 9;
@@ -644,6 +665,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 2,
             spool_dir: None,
+            default_simd: None,
         });
         let mut spec_a = JobSpec::new(path_a.to_str().unwrap());
         spec_a.shards = 5;
@@ -666,10 +688,71 @@ mod tests {
     }
 
     #[test]
+    fn forced_tier_is_clamped_echoed_and_bit_identical() {
+        use bitgenome::SimdLevel;
+        let path = write_dataset("simd", 13, 128, 17);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+            default_simd: None,
+        });
+
+        // unforced reference
+        let base = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
+        assert_eq!(base.simd, None);
+        engine.wait(base.id, Duration::from_secs(30)).unwrap();
+        let want = engine.result(base.id).unwrap();
+
+        // every forced tier (requesting above the host clamps, never
+        // crashes) produces the bit-identical result and echoes the
+        // clamped tier in its status
+        for requested in [
+            SimdLevel::Scalar,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+            SimdLevel::Avx512Vpopcnt,
+        ] {
+            let mut spec = JobSpec::new(path.to_str().unwrap());
+            spec.simd = Some(requested);
+            let st = engine.submit(spec).unwrap();
+            assert_eq!(st.simd, Some(requested.clamped_to_host()), "{requested}");
+            engine.wait(st.id, Duration::from_secs(30)).unwrap();
+            let got = engine.result(st.id).unwrap();
+            assert_eq!(got.len(), want.len(), "{requested}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.triple, b.triple, "{requested}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{requested}");
+            }
+        }
+        // a forced tier on a definitionally scalar version (V1-V3) is
+        // echoed as the tier that actually runs, not the raw request
+        let mut v2_spec = JobSpec::new(path.to_str().unwrap());
+        v2_spec.version = Version::V2;
+        v2_spec.simd = Some(SimdLevel::Avx2);
+        let st = engine.submit(v2_spec).unwrap();
+        assert_eq!(st.simd, Some(SimdLevel::Scalar), "V2 runs scalar");
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        engine.stop();
+
+        // a server-wide default tier applies to specs without simd=
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+            default_simd: Some(SimdLevel::Scalar),
+        });
+        let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
+        assert_eq!(st.simd, Some(SimdLevel::Scalar));
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(engine.result(st.id).unwrap(), want);
+        engine.stop();
+    }
+
+    #[test]
     fn bad_path_is_rejected_at_submit() {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             spool_dir: None,
+            default_simd: None,
         });
         assert!(engine.submit(JobSpec::new("/no/such/file.epi3")).is_err());
         assert!(engine.status(99).is_err());
@@ -687,6 +770,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             spool_dir: None,
+            default_simd: None,
         });
         let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
         assert_eq!(st.state, JobState::Done);
@@ -702,6 +786,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 2,
             spool_dir: Some(spool.clone()),
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 24;
@@ -758,6 +843,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 2,
             spool_dir: None,
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 18;
@@ -788,6 +874,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             spool_dir: None,
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 12;
@@ -823,6 +910,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 2,
             spool_dir: None,
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 8;
@@ -863,6 +951,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             spool_dir: None,
+            default_simd: None,
         });
         // Poison the state mutex the hard way: panic while holding it.
         let shared = Arc::clone(&engine.shared);
@@ -891,6 +980,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             spool_dir: Some(spool.clone()),
+            default_simd: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 16;
@@ -911,6 +1001,7 @@ mod tests {
         let engine2 = Engine::start(EngineConfig {
             workers: 2,
             spool_dir: Some(spool.clone()),
+            default_simd: None,
         });
         let restored = engine2.status(st.id).unwrap();
         assert!(matches!(

@@ -155,6 +155,13 @@ impl Job {
             total: self.plan.num_shards(),
             in_flight: self.in_flight.len() as u64,
             combos: self.plan.total_combos(),
+            // echo the tier that actually runs: the clamped forced tier
+            // for V4/V5, Scalar for the definitionally scalar V1-V3 —
+            // never the raw request
+            simd: self
+                .spec
+                .simd
+                .map(|_| self.spec.scan_config().effective_simd()),
             error: self.error.clone(),
         }
     }
@@ -173,6 +180,10 @@ pub struct JobStatus {
     pub in_flight: u64,
     /// Total combinations in the job.
     pub combos: u64,
+    /// Forced SIMD tier, post-clamp (`None` = host default). Echoed on
+    /// the wire as `simd=<token>` so clients can verify which kernel
+    /// path actually ran.
+    pub simd: Option<bitgenome::SimdLevel>,
     pub error: Option<String>,
 }
 

@@ -146,6 +146,10 @@ fn status_line(s: &JobStatus) -> String {
         s.in_flight,
         s.combos
     );
+    if let Some(level) = s.simd {
+        out.push_str(" simd=");
+        out.push_str(level.token());
+    }
     if let Some(err) = &s.error {
         out.push_str(" error=");
         out.push_str(&escape(err));

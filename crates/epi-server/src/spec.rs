@@ -1,6 +1,7 @@
 //! Job specifications and the `key=value` token format they share with
 //! the wire protocol and the checkpoint codec.
 
+use bitgenome::SimdLevel;
 use epi_core::scan::{ObjectiveKind, ScanConfig, Version};
 
 /// Everything needed to (re)create a scan job deterministically: the
@@ -18,6 +19,12 @@ pub struct JobSpec {
     pub top_k: usize,
     /// Objective function.
     pub objective: ObjectiveKind,
+    /// Forced SIMD tier for the scan kernels (`simd=` spec key). `None`
+    /// = the server host's best tier. The engine clamps a requested tier
+    /// to the *server's* capability at submit (the job runs there, not
+    /// on the submitting client) and echoes the effective tier in
+    /// STATUS replies.
+    pub simd: Option<SimdLevel>,
     /// Artificial delay per shard in milliseconds. `0` in production;
     /// tests use it to make cancellation windows deterministic, and
     /// operators can use it to pace a low-priority job.
@@ -38,6 +45,7 @@ impl JobSpec {
             shards: 64,
             top_k: 10,
             objective: ObjectiveKind::K2,
+            simd: None,
             throttle_ms: 0,
             panic_shard: None,
         }
@@ -51,6 +59,7 @@ impl JobSpec {
         cfg.top_k = self.top_k.max(1);
         cfg.threads = 1;
         cfg.objective = self.objective;
+        cfg.simd = self.simd;
         cfg
     }
 
@@ -65,6 +74,9 @@ impl JobSpec {
         );
         if self.objective == ObjectiveKind::NegMutualInformation {
             s.push_str(" mi");
+        }
+        if let Some(level) = self.simd {
+            s.push_str(&format!(" simd={}", level.token()));
         }
         if self.throttle_ms > 0 {
             s.push_str(&format!(" throttle_ms={}", self.throttle_ms));
@@ -114,6 +126,7 @@ impl JobSpec {
                         .filter(|&k| k > 0)
                         .ok_or_else(|| format!("top expects a positive number, got {value:?}"))?
                 }
+                "simd" => spec.simd = Some(SimdLevel::parse_token(value)?),
                 "throttle_ms" => {
                     spec.throttle_ms = value
                         .parse::<u64>()
@@ -200,11 +213,35 @@ mod tests {
         spec.shards = 7;
         spec.top_k = 3;
         spec.objective = ObjectiveKind::NegMutualInformation;
+        spec.simd = Some(SimdLevel::Avx2);
         spec.throttle_ms = 25;
         spec.panic_shard = Some(4);
         let line = spec.to_tokens();
         let tokens: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn simd_key_parses_and_rejects_unknown_tiers() {
+        for (token, level) in [
+            ("scalar", SimdLevel::Scalar),
+            ("avx2", SimdLevel::Avx2),
+            ("avx512", SimdLevel::Avx512),
+            ("vpopcnt", SimdLevel::Avx512Vpopcnt),
+        ] {
+            let spec = JobSpec::parse_tokens(&["path=x", &format!("simd={token}")]).unwrap();
+            assert_eq!(spec.simd, Some(level));
+            assert_eq!(spec.scan_config().simd, Some(level));
+            // roundtrip through the wire form
+            let line = spec.to_tokens();
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+        }
+        // unknown tier names are a clean parse error, not a panic
+        let err = JobSpec::parse_tokens(&["path=x", "simd=sse9"]).unwrap_err();
+        assert!(err.contains("sse9"), "unhelpful error: {err}");
+        // default stays unforced
+        assert_eq!(JobSpec::parse_tokens(&["path=x"]).unwrap().simd, None);
     }
 
     #[test]

@@ -39,32 +39,42 @@ commands:
                   [--balance] --out FILE [--text]
   scan FILE     exhaustive three-way scan
                   [--version v1|v2|v3|v4|v5] [--top K] [--threads N] [--mi]
+                  [--simd TIER]
   shards FILE   sharded three-way scan (the job service's work unit)
                   [--shards S] [--version vN] [--top K] [--threads N]
+                  [--simd TIER]
                   [--verify]  (also run monolithically and compare)
   pairs FILE    exhaustive two-way scan [--top K] [--threads N]
   significance FILE   permutation test [--permutations P] [--seed N]
   summary FILE  dataset quality-control summary
   bench         kernel-version throughput on a fixed synthetic dataset,
-                plus the cross-triple pair-cache hit rate over a
-                rank-order shard plan
+                the cross-triple pair-cache hit rate over a rank-order
+                shard plan, the detected L2/L3-derived cross-pair cache
+                budget, and a per-tier deep-prefix fill microbenchmark
                   [--snps N] [--samples N] [--seed N] [--trials T]
                   [--versions v2,v4,v5] [--threads N] [--shards S]
-                  [--simd scalar|avx2|avx512|vpopcnt] [--out FILE]
-                  (EPI3_SIMD=TIER forces the tier when --simd is absent)
+                  [--simd TIER] [--out FILE]
   devices       print the paper's device catalogs (Tables I & II)
 
 job service (line-delimited TCP, see epi_server crate docs):
   serve         run the scan-job server (blocks until SHUTDOWN)
                   [--addr HOST:PORT] [--workers N] [--spool DIR]
+                  [--simd TIER]  (default tier for jobs without simd=)
   submit FILE   submit a scan job to a server
                   [--addr HOST:PORT] [--version vN] [--shards S]
                   [--top K] [--mi] [--throttle-ms N] [--wait]
+                  [--simd TIER]  (sent as the simd= spec key; the server
+                  clamps it to its own capability and echoes it in STATUS)
   status [JOB]  poll one job, or all jobs with --all
                   [--addr HOST:PORT]
   result JOB    fetch the merged top-K of a finished job [--addr]
   cancel JOB    cancel a job, keeping its checkpoint [--addr]
   resume JOB    resume a cancelled job from its checkpoint [--addr]
+
+TIER = scalar|avx2|avx512|vpopcnt. Every command that scans accepts
+--simd; when the flag is absent the EPI3_SIMD env var applies instead.
+Tiers above the host's capability are clamped with a warning (scan,
+shards, bench, serve clamp locally; submit lets the server clamp).
 
 default server address: 127.0.0.1:7733";
 
@@ -174,17 +184,34 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let mut cfg = ScanConfig::new(version);
     cfg.top_k = opt_usize(args, "--top", 5)?;
     cfg.threads = opt_usize(args, "--threads", 0)?;
+    cfg.simd = forced_simd(args)?;
     if opt_flag(args, "--mi") {
         cfg.objective = ObjectiveKind::NegMutualInformation;
     }
+    if let Some(want) = cfg.simd {
+        // V1-V3 run scalar kernels by definition; say so instead of
+        // pretending the forced tier applied
+        let eff = cfg.effective_simd();
+        if eff != want {
+            eprintln!(
+                "note: {} runs the scalar kernel; forced SIMD tier {want} does not apply",
+                version.name()
+            );
+        }
+    }
     let res = scan(&g, &p, &cfg);
     println!(
-        "{} combinations ({:.3} G elements) in {:.3} s -> {:.2} G elements/s [{}]",
+        "{} combinations ({:.3} G elements) in {:.3} s -> {:.2} G elements/s [{}{}]",
         res.combos,
         res.elements as f64 / 1e9,
         res.elapsed.as_secs_f64(),
         res.giga_elements_per_sec(),
         version.name(),
+        match cfg.simd {
+            // report the tier that actually ran (scalar for V1-V3)
+            Some(_) => format!(", SIMD {} forced", cfg.effective_simd()),
+            None => String::new(),
+        },
     );
     for c in &res.top {
         println!(
@@ -219,6 +246,7 @@ fn cmd_shards(args: &[String]) -> Result<(), String> {
     let mut cfg = ScanConfig::new(parse_version(args)?);
     cfg.top_k = opt_usize(args, "--top", 5)?;
     cfg.threads = opt_usize(args, "--threads", 0)?;
+    cfg.simd = forced_simd(args)?;
     let plan = ShardPlan::triples(g.num_snps(), shards);
     let res = scan_sharded(&g, &p, &cfg, shards);
     println!(
@@ -256,6 +284,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let cfg = EngineConfig {
         workers: opt_usize(args, "--workers", 0)?,
         spool_dir: opt_value(args, "--spool").map(Into::into),
+        // server-wide default tier for jobs without a simd= key
+        // (clamped again inside the engine)
+        default_simd: forced_simd(args)?,
     };
     let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("epi3 job server listening on {}", server.local_addr());
@@ -270,13 +301,17 @@ fn connect(args: &[String]) -> Result<Client, String> {
 }
 
 fn print_status(s: &threeway_epistasis::epi_server::JobStatus) {
+    let simd = s
+        .simd
+        .map(|level| format!(", SIMD {level}"))
+        .unwrap_or_default();
     let extra = s
         .error
         .as_deref()
         .map(|e| format!("  error: {e}"))
         .unwrap_or_default();
     println!(
-        "job {}: {}  [{} / {} shards done, {} in flight, {} combinations]{extra}",
+        "job {}: {}  [{} / {} shards done, {} in flight, {} combinations{simd}]{extra}",
         s.id, s.state, s.done, s.total, s.in_flight, s.combos
     );
 }
@@ -303,6 +338,9 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     spec.shards = opt_usize(args, "--shards", 64)? as u64;
     spec.top_k = opt_usize(args, "--top", 10)?;
     spec.throttle_ms = opt_usize(args, "--throttle-ms", 0)? as u64;
+    // unclamped: the server clamps to its own capability and echoes the
+    // effective tier back in the STATUS reply
+    spec.simd = requested_simd(args)?;
     if opt_flag(args, "--mi") {
         spec.objective = ObjectiveKind::NegMutualInformation;
     }
@@ -414,31 +452,28 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
 
 /// Parse a SIMD tier name (`--simd` flag / `EPI3_SIMD` env values).
 fn parse_simd_name(name: &str) -> Result<bitgenome::SimdLevel, String> {
-    use bitgenome::SimdLevel;
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "scalar" => SimdLevel::Scalar,
-        "avx2" | "avx" => SimdLevel::Avx2,
-        "avx512" => SimdLevel::Avx512,
-        "avx512vpopcnt" | "vpopcnt" => SimdLevel::Avx512Vpopcnt,
-        other => {
-            return Err(format!(
-                "unknown SIMD tier {other:?} (scalar|avx2|avx512|vpopcnt)"
-            ))
-        }
-    })
+    bitgenome::SimdLevel::parse_token(name)
 }
 
-/// Forced SIMD tier: `--simd NAME` wins over the `EPI3_SIMD` env var;
-/// a tier above the host's capability is clamped (with a warning) so CI
-/// can request e.g. `avx2` on any runner and still exercise a real
-/// fallback path instead of crashing.
-fn forced_simd(args: &[String]) -> Result<Option<bitgenome::SimdLevel>, String> {
+/// Requested SIMD tier, unclamped: `--simd NAME` wins over the
+/// `EPI3_SIMD` env var. `submit` forwards this verbatim — the *server*
+/// clamps to its own capability, which may differ from the client's.
+fn requested_simd(args: &[String]) -> Result<Option<bitgenome::SimdLevel>, String> {
     let name = match opt_value(args, "--simd").map(str::to_string) {
         Some(n) => Some(n),
         None => std::env::var("EPI3_SIMD").ok().filter(|s| !s.is_empty()),
     };
-    let Some(name) = name else { return Ok(None) };
-    let want = parse_simd_name(&name)?;
+    name.as_deref().map(parse_simd_name).transpose()
+}
+
+/// Forced SIMD tier for commands that scan locally: a tier above the
+/// host's capability is clamped (with a warning) so CI can request e.g.
+/// `avx2` on any runner and still exercise a real fallback path instead
+/// of crashing.
+fn forced_simd(args: &[String]) -> Result<Option<bitgenome::SimdLevel>, String> {
+    let Some(want) = requested_simd(args)? else {
+        return Ok(None);
+    };
     let best = bitgenome::SimdLevel::detect();
     if want > best {
         eprintln!("warning: SIMD tier {want} not available on this host; clamping to {best}");
@@ -460,7 +495,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let trials = opt_usize(args, "--trials", 5)?.max(1);
     let threads = opt_usize(args, "--threads", 1)?;
     let shards = opt_usize(args, "--shards", 64)?.max(1) as u64;
-    let out = opt_value(args, "--out").unwrap_or("BENCH_PR3.json");
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR4.json");
     let forced = forced_simd(args)?;
     let versions: Vec<Version> = match opt_value(args, "--versions") {
         None => vec![Version::V2, Version::V4, Version::V5],
@@ -553,6 +588,36 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Adaptive cross-pair cache budget: what the hierarchy detectors saw
+    // and the budget the blocked V5 kernel derives from it.
+    let l2 = devices::detect_l2();
+    let l3 = devices::detect_l3();
+    let budget = BlockParams::with_detected_budget();
+    println!(
+        "  cross-pair budget: {:.1} MiB (L2 {}, L3 {}, fixed floor 4 MiB)",
+        budget as f64 / (1 << 20) as f64,
+        l2.map(|c| format!("{} KiB/{}cpu", c.geom.size_bytes >> 10, c.shared_cpus))
+            .unwrap_or_else(|| "undetected".into()),
+        l3.map(|c| format!("{} KiB/{}cpu", c.geom.size_bytes >> 10, c.shared_cpus))
+            .unwrap_or_else(|| "undetected".into()),
+    );
+
+    // Deep-prefix fill microbenchmark: the depth-≥3 k-way fill
+    // (fill_prefix_cache) per available tier, against the same buffers.
+    // The SIMD tiers must keep pace with — never fall behind — the
+    // scalar fill, or the k-way deep levels would drag the whole cache.
+    // at least 512 words per stream: enough work per pass for stable
+    // timing even on the small CI smoke datasets
+    let prefix_fill = bench_prefix_fill(samples.div_ceil(64).max(512));
+    for (level, secs) in &prefix_fill {
+        let scalar = prefix_fill[0].1;
+        println!(
+            "  prefix fill [{level}]: {:.2} ns/word ({:.2}x scalar)",
+            secs,
+            if *secs > 0.0 { scalar / secs } else { 0.0 }
+        );
+    }
+
     let geps_of = |v: Version| {
         measured
             .iter()
@@ -590,10 +655,70 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
          \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}, \
          \"sharded_seconds\": {shard_secs:.6}}}"
     ));
-    json.push_str("\n}\n");
+    json.push_str(&format!(
+        ",\n  \"cache_budget\": {{\"l2_bytes\": {}, \"l2_shared_cpus\": {}, \
+         \"l3_bytes\": {}, \"l3_shared_cpus\": {}, \"budget_bytes\": {budget}, \
+         \"fixed_floor_bytes\": {}}}",
+        l2.map(|c| c.geom.size_bytes).unwrap_or(0),
+        l2.map(|c| c.shared_cpus).unwrap_or(0),
+        l3.map(|c| c.geom.size_bytes).unwrap_or(0),
+        l3.map(|c| c.shared_cpus).unwrap_or(0),
+        epi_core::block::CROSS_PAIR_CACHE_BUDGET,
+    ));
+    json.push_str(",\n  \"prefix_fill_ns_per_word\": {");
+    for (i, (level, ns)) in prefix_fill.iter().enumerate() {
+        let comma = if i + 1 < prefix_fill.len() { "," } else { "" };
+        json.push_str(&format!("\n    \"{}\": {ns:.4}{comma}", level.token()));
+    }
+    json.push_str("\n  }\n}\n");
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Time the deep-prefix fill (`epi_core::simd::fill_prefix_cache`) on
+/// every available tier over `words`-word streams: best-of-5 passes of
+/// 3 × 9 parent fills (one depth-3 rebuild of an order-4 prefix cache),
+/// reported in nanoseconds per filled word. Scalar first.
+fn bench_prefix_fill(words: usize) -> Vec<(bitgenome::SimdLevel, f64)> {
+    use epi_core::simd::fill_prefix_cache;
+    const PARENTS: usize = 9; // depth-3 rebuild: 9 parents x 3 children
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    let parents: Vec<u64> = (0..PARENTS * words).map(|_| next()).collect();
+    let p0: Vec<u64> = (0..words).map(|_| next()).collect();
+    let p1: Vec<u64> = (0..words).map(|_| next()).collect();
+    let mut out = vec![0u64; 3 * words];
+    let mut sink = 0u32;
+    let mut results = Vec::new();
+    for level in bitgenome::SimdLevel::available() {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            for s in 0..PARENTS {
+                let mut counts = [0u32; 3];
+                fill_prefix_cache(
+                    level,
+                    &parents[s * words..(s + 1) * words],
+                    &p0,
+                    &p1,
+                    &mut out,
+                    &mut counts,
+                );
+                sink = sink.wrapping_add(counts[0]);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs * 1e9 / (PARENTS * words) as f64);
+        }
+        results.push((level, best));
+    }
+    std::hint::black_box(sink);
+    results
 }
 
 fn cmd_devices() -> Result<(), String> {
@@ -708,6 +833,36 @@ mod tests {
         assert!(text.contains("speedup_v5_over_v4"));
         assert!(text.contains("\"pair_cache\""));
         assert!(text.contains("\"hit_rate\""));
+        // adaptive-budget + deep-prefix fill reporting (PR 4)
+        assert!(text.contains("\"cache_budget\""));
+        assert!(text.contains("\"budget_bytes\""));
+        assert!(text.contains("\"prefix_fill_ns_per_word\""));
+        assert!(text.contains("\"scalar\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scan_and_shards_accept_forced_simd() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("epi3_cli_simd_test.epi3");
+        let path_s = path.to_str().unwrap();
+        run(&s(&[
+            "gen",
+            "--snps",
+            "14",
+            "--samples",
+            "96",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        run(&s(&["scan", path_s, "--top", "2", "--simd", "scalar"])).unwrap();
+        run(&s(&[
+            "shards", path_s, "--shards", "4", "--simd", "scalar", "--verify",
+        ]))
+        .unwrap();
+        // unknown tiers fail cleanly
+        assert!(run(&s(&["scan", path_s, "--simd", "sse9"])).is_err());
         let _ = std::fs::remove_file(path);
     }
 

@@ -1,0 +1,288 @@
+//! Cross-tier differential test harness (PR 4).
+//!
+//! The paper's central correctness claim is that every kernel
+//! configuration — SIMD tier, interaction order, cache budget — produces
+//! **bit-identical** results. Hand-spot-checking that configuration space
+//! does not scale (SMSI's argument for systematic configuration
+//! verification), so this harness sweeps it mechanically: the same
+//! randomized scans run at every host-supported `SimdLevel` × orders
+//! 2–4 × cross-pair budgets {0, tiny, detected, huge}, and every cell
+//! table and top-K list is compared against the scalar reference.
+//!
+//! On a mismatch the assertion message leads with a minimal repro spec
+//! (`repro: m=.. n=.. seed=.. simd=.. order=.. budget=..`) so a failure
+//! seen in a forced-tier CI shard can be replayed locally in one line.
+//!
+//! Environment knobs (the CI forced-tier matrix drives both):
+//! * `EPI3_SIMD=<tier>` — restrict the tier sweep to {scalar, tier}
+//!   (clamped to the host), mirroring the CLI/server override;
+//! * `EPI3_DIFF_CASES=N` — randomized cases per test (default 4).
+
+use std::collections::HashMap;
+use threeway_epistasis::bitgenome::{GenotypeMatrix, Phenotype, SimdLevel, SplitDataset};
+use threeway_epistasis::epi_core::k2::{K2Scorer, Objective};
+use threeway_epistasis::epi_core::result::{TopK, Triple};
+use threeway_epistasis::epi_core::table27::ContingencyTable;
+use threeway_epistasis::epi_core::versions::{BlockedScanner, V5Scratch};
+use threeway_epistasis::epi_core::{kway, BlockParams, PrefixCache};
+
+/// Minimal repro spec printed first in every assertion message.
+#[derive(Clone, Copy)]
+struct Repro {
+    m: usize,
+    n: usize,
+    seed: u64,
+    simd: SimdLevel,
+    order: usize,
+    budget: Option<usize>,
+}
+
+impl std::fmt::Display for Repro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "repro: m={} n={} seed={} simd={} order={}",
+            self.m,
+            self.n,
+            self.seed,
+            self.simd.token(),
+            self.order
+        )?;
+        if let Some(b) = self.budget {
+            write!(f, " budget={b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tiers under test: all host-supported ones, or {scalar, forced} when
+/// the EPI3_SIMD override is set (the CI matrix mode).
+fn tiers_under_test() -> Vec<SimdLevel> {
+    match std::env::var("EPI3_SIMD") {
+        Ok(name) if !name.is_empty() => {
+            let forced = SimdLevel::parse_token(&name)
+                .expect("EPI3_SIMD must name a valid tier")
+                .clamped_to_host();
+            let mut tiers = vec![SimdLevel::Scalar];
+            if forced != SimdLevel::Scalar {
+                tiers.push(forced);
+            }
+            tiers
+        }
+        _ => SimdLevel::available(),
+    }
+}
+
+/// Randomized cases per test (`EPI3_DIFF_CASES`, default 4).
+fn case_count() -> u64 {
+    std::env::var("EPI3_DIFF_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
+/// The four budget settings of the sweep: disabled, too tiny to admit
+/// anything realistic, the host-adaptive detected budget, and unbounded.
+fn budget_settings() -> [(&'static str, usize); 4] {
+    [
+        ("0", 0),
+        ("tiny", 4096),
+        ("detected", BlockParams::with_detected_budget()),
+        ("huge", usize::MAX),
+    ]
+}
+
+fn dataset(m: usize, n: usize, seed: u64) -> (GenotypeMatrix, Phenotype) {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        s >> 33
+    };
+    let data: Vec<u8> = (0..m * n).map(|_| (next() % 3) as u8).collect();
+    let labels: Vec<u8> = (0..n).map(|_| (next() % 2) as u8).collect();
+    (
+        GenotypeMatrix::from_raw(m, n, data),
+        Phenotype::from_labels(labels),
+    )
+}
+
+/// Collect every cell table and the K2 top-K of a blocked V5 scan at one
+/// (tier, budget, block shape) configuration.
+fn v5_tables_and_topk(
+    ds: &SplitDataset,
+    params: BlockParams,
+    level: SimdLevel,
+    budget: usize,
+    top_k: usize,
+) -> (HashMap<Triple, ContingencyTable>, Vec<(u64, Triple)>) {
+    let scanner = BlockedScanner::new(ds, params, level).with_cross_pair_budget(budget);
+    let scorer = K2Scorer::new(ds.num_samples());
+    let mut tables = HashMap::new();
+    let mut top = TopK::new(top_k);
+    let mut scratch = V5Scratch::new();
+    for bt in scanner.tasks() {
+        scanner.scan_block_triple_v5(bt, &mut scratch, &mut |t, ctrl, case| {
+            let table = ContingencyTable::from_counts(*ctrl, *case);
+            top.push(scorer.score(&table), t);
+            let prev = tables.insert(t, table);
+            assert!(prev.is_none(), "triple {t:?} emitted twice");
+        });
+    }
+    let top = top
+        .into_sorted()
+        .into_iter()
+        .map(|c| (c.score.to_bits(), c.triple))
+        .collect();
+    (tables, top)
+}
+
+/// The tentpole sweep: order 3 through the blocked V5 kernel at every
+/// tier × budget, orders 2 and 4 through the k-way prefix cache at every
+/// tier — all against scalar/seed-kernel references, bit-exact.
+#[test]
+fn differential_matrix_is_bit_identical_to_scalar() {
+    let tiers = tiers_under_test();
+    assert!(!tiers.is_empty() && tiers[0] == SimdLevel::Scalar);
+    println!(
+        "differential matrix: tiers {:?} x orders 2-4 x budgets {:?} x {} cases",
+        tiers.iter().map(|l| l.token()).collect::<Vec<_>>(),
+        budget_settings().map(|(name, _)| name),
+        case_count(),
+    );
+
+    for case in 0..case_count() {
+        let seed = 0xD1FF + case * 7919;
+        let m = 9 + (case as usize % 3) * 2; // 9, 11, 13 SNPs
+        let n = 96 + (case as usize % 4) * 33; // awkward sample counts
+        let (g, p) = dataset(m, n, seed);
+        let ds = SplitDataset::encode(&g, &p);
+        let params = BlockParams { bs: 3, bp: 64 };
+
+        // ---- order 3: scalar reference, then the tier x budget sweep
+        let (ref_tables, ref_top) = v5_tables_and_topk(
+            &ds,
+            params,
+            SimdLevel::Scalar,
+            BlockParams::with_detected_budget(),
+            8,
+        );
+        for &level in &tiers {
+            for (bname, budget) in budget_settings() {
+                let repro = Repro {
+                    m,
+                    n,
+                    seed,
+                    simd: level,
+                    order: 3,
+                    budget: Some(budget),
+                };
+                let (tables, top) = v5_tables_and_topk(&ds, params, level, budget, 8);
+                assert_eq!(
+                    tables.len(),
+                    ref_tables.len(),
+                    "{repro} ({bname}): combination coverage differs"
+                );
+                for (t, table) in &tables {
+                    assert_eq!(
+                        table, &ref_tables[t],
+                        "{repro} ({bname}): cell table differs at {t:?}"
+                    );
+                }
+                assert_eq!(
+                    top, ref_top,
+                    "{repro} ({bname}): top-K differs from scalar reference"
+                );
+            }
+        }
+
+        // ---- orders 2 and 4: k-way prefix cache vs the seed kernel
+        let km = 7.min(m); // keep C(m,4) sweeps cheap
+        let (kg, kp) = dataset(km, n, seed ^ 0xABCD);
+        let kds = SplitDataset::encode(&kg, &kp);
+        for order in [2usize, 4] {
+            let mut combos: Vec<Vec<usize>> = Vec::new();
+            threeway_epistasis::epi_core::combin::for_each_combo(
+                km,
+                order,
+                &mut |c: &[usize]| combos.push(c.to_vec()),
+            );
+            let reference: Vec<_> = combos
+                .iter()
+                .map(|c| kway::table_for_combo(&kds, c))
+                .collect();
+            for &level in &tiers {
+                let repro = Repro {
+                    m: km,
+                    n,
+                    seed,
+                    simd: level,
+                    order,
+                    budget: None,
+                };
+                let mut cache = PrefixCache::new(order, level);
+                for (c, want) in combos.iter().zip(&reference) {
+                    assert_eq!(
+                        cache.table_for_combo(&kds, c),
+                        *want,
+                        "{repro}: order-{order} table differs at {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sharded order-3 path (the epi-server inner loop) at every tier:
+/// merged shard top-Ks must be bit-identical to the scalar monolithic
+/// scan, with the worker-held prefix cache warm across shard boundaries.
+#[test]
+fn sharded_scan_matches_scalar_monolithic_at_every_tier() {
+    use threeway_epistasis::epi_core::scan::{scan_split, ScanConfig, Version};
+    use threeway_epistasis::epi_core::shard::{scan_shard_split_cached, ShardPlan};
+    use threeway_epistasis::epi_core::PairPrefixCache;
+
+    for case in 0..case_count() {
+        let seed = 0x5A4D + case * 104729;
+        let (m, n) = (12, 100 + (case as usize % 3) * 15);
+        let (g, p) = dataset(m, n, seed);
+        let ds = SplitDataset::encode(&g, &p);
+
+        let mut ref_cfg = ScanConfig::new(Version::V5);
+        ref_cfg.top_k = 6;
+        ref_cfg.simd = Some(SimdLevel::Scalar);
+        ref_cfg.threads = 1;
+        let want = scan_split(&ds, &ref_cfg).top;
+
+        for level in tiers_under_test() {
+            let repro = Repro {
+                m,
+                n,
+                seed,
+                simd: level,
+                order: 3,
+                budget: None,
+            };
+            let mut cfg = ScanConfig::new(Version::V5);
+            cfg.top_k = 6;
+            cfg.simd = Some(level);
+            cfg.threads = 1;
+            let plan = ShardPlan::triples(m, 9);
+            let mut cache = PairPrefixCache::new(level);
+            let mut merged = TopK::new(cfg.top_k);
+            for range in plan.ranges() {
+                merged.merge(scan_shard_split_cached(&ds, &cfg, range, &mut cache));
+            }
+            let got = merged.into_sorted();
+            assert_eq!(got.len(), want.len(), "{repro}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.triple, b.triple, "{repro}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{repro}: shard-merged score must be bit-identical"
+                );
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn start_server(
         EngineConfig {
             workers,
             spool_dir: spool,
+            default_simd: None,
         },
     )
     .expect("bind loopback");
@@ -186,6 +187,72 @@ fn cancel_keeps_checkpoint_and_resume_never_rescans() {
         client.result(job.id).unwrap(),
         detect_with(&g, &p, &cfg).top
     );
+
+    handle.shutdown();
+}
+
+#[test]
+fn forced_scalar_tier_echoes_in_status_and_matches_unforced() {
+    use threeway_epistasis::bitgenome::SimdLevel;
+    let path = write_planted_dataset("simd", 18, 224, [2, 8, 14]);
+    let (addr, handle) = start_server(2, None);
+    let mut client = Client::connect(addr).unwrap();
+
+    // unforced reference job
+    let base_spec = JobSpec::new(path.to_str().unwrap());
+    let base = client.submit(&base_spec).unwrap();
+    assert_eq!(base.simd, None, "unforced job must not echo a tier");
+    client.wait(base.id, Duration::from_secs(120)).unwrap();
+    let want = client.result(base.id).unwrap();
+
+    // simd=scalar in the spec: STATUS echoes the tier end to end and the
+    // result is bit-identical to the unforced run
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.simd = Some(SimdLevel::Scalar);
+    let st = client.submit(&spec).unwrap();
+    assert_eq!(st.simd, Some(SimdLevel::Scalar), "SUBMIT reply echo");
+    let polled = client.status(st.id).unwrap();
+    assert_eq!(polled.simd, Some(SimdLevel::Scalar), "STATUS echo");
+    let done = client.wait(st.id, Duration::from_secs(120)).unwrap();
+    assert_eq!(done.state, JobState::Done);
+    assert_eq!(done.simd, Some(SimdLevel::Scalar));
+    let got = client.result(st.id).unwrap();
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(&want) {
+        assert_eq!(a.triple, b.triple);
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "forced-scalar result must be bit-identical to unforced"
+        );
+    }
+
+    // a tier above the server's capability is clamped, never a crash
+    let mut over_spec = JobSpec::new(path.to_str().unwrap());
+    over_spec.simd = Some(SimdLevel::Avx512Vpopcnt);
+    let over = client.submit(&over_spec).unwrap();
+    assert_eq!(over.simd, Some(SimdLevel::Avx512Vpopcnt.clamped_to_host()));
+    client.wait(over.id, Duration::from_secs(120)).unwrap();
+
+    // an unsupported tier *name* is a clean protocol error, not a panic —
+    // and the connection (and server) survive to serve the next request
+    use std::io::{BufRead, BufReader, Write};
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    raw.write_all(format!("SUBMIT path={} simd=sse9\n", path.to_str().unwrap()).as_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("ERR") && line.contains("sse9"),
+        "unsupported tier must be a clean error, got {line:?}"
+    );
+    raw.write_all(b"PING\n").unwrap();
+    raw.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK pong"), "server must survive: {line:?}");
 
     handle.shutdown();
 }
