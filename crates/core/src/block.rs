@@ -191,29 +191,59 @@ impl BlockParams {
         self.cross_pair_cache_bytes(class_words_total) <= budget_bytes
     }
 
-    /// Cross-pair budget derived from explicit L2/L3 geometry: half of a
-    /// worker's cache share — its per-CPU slice of the (usually private)
-    /// L2 plus its per-CPU slice of the (usually socket-shared) L3 — with
-    /// the other half left to the z-plane blocks, the frequency tables,
-    /// and whatever else the scan streams. The result is floored at the
-    /// fixed [`CROSS_PAIR_CACHE_BUDGET`], so detection can *widen* the
-    /// cache gate on machines with deep hierarchies but never narrow it:
-    /// a dataset the fixed 4 MiB admitted is admitted by every detected
-    /// budget too (the budget only selects between two bit-identical
-    /// fill paths, so this is purely a performance guarantee).
+    /// Cross-pair budget derived from explicit L2/L3 geometry at full
+    /// subscription (one worker per CPU): half of a worker's per-CPU
+    /// cache share, floored at the fixed [`CROSS_PAIR_CACHE_BUDGET`].
+    /// Shorthand for [`Self::budget_from_caches_for_workers`] with a
+    /// saturating worker count — the concurrency-honest form should be
+    /// preferred wherever the actual pool size is known.
     pub fn budget_from_caches(l2: Option<SharedCache>, l3: Option<SharedCache>) -> usize {
-        let share =
-            l2.map(|c| c.per_cpu_bytes()).unwrap_or(0) + l3.map(|c| c.per_cpu_bytes()).unwrap_or(0);
+        Self::budget_from_caches_for_workers(l2, l3, usize::MAX)
+    }
+
+    /// Concurrency-honest cross-pair budget: half of one *worker's* cache
+    /// share — its slice of the (usually private) L2 plus its slice of
+    /// the (usually socket-shared) L3, each divided by the number of
+    /// workers actually mapped onto that cache domain
+    /// ([`SharedCache::per_worker_bytes`]) — with the other half left to
+    /// the z-plane blocks, the frequency tables, and whatever else the
+    /// scan streams. A single-threaded scan therefore gets the whole L3
+    /// to cache pair streams in, while a fully subscribed pool divides it
+    /// by the domain's sharing degree; workers beyond the sharing degree
+    /// cannot shrink the share further (timeslicing never makes more
+    /// workers concurrently resident than the domain has CPUs).
+    ///
+    /// The result is floored at the fixed [`CROSS_PAIR_CACHE_BUDGET`] —
+    /// never zero, whatever the worker count — so detection and worker
+    /// division can *widen* the cache gate but never narrow it below the
+    /// catalogued-CPU default: a dataset the fixed 4 MiB admitted is
+    /// admitted at every worker count (the budget only selects between
+    /// two bit-identical fill paths, so this is purely a performance
+    /// guarantee).
+    pub fn budget_from_caches_for_workers(
+        l2: Option<SharedCache>,
+        l3: Option<SharedCache>,
+        workers: usize,
+    ) -> usize {
+        let share = l2.map(|c| c.per_worker_bytes(workers)).unwrap_or(0)
+            + l3.map(|c| c.per_worker_bytes(workers)).unwrap_or(0);
         (share / 2).max(CROSS_PAIR_CACHE_BUDGET)
     }
 
-    /// Cross-pair budget for the executing host, from the detected L2/L3
-    /// geometry ([`devices::detect_l2`]/[`devices::detect_l3`]); the
-    /// fixed [`CROSS_PAIR_CACHE_BUDGET`] when detection finds nothing.
-    /// Detected once per process.
+    /// Cross-pair budget for the executing host at full subscription,
+    /// from the detected L2/L3 geometry
+    /// ([`devices::detect_l2`]/[`devices::detect_l3`]); the fixed
+    /// [`CROSS_PAIR_CACHE_BUDGET`] when detection finds nothing.
+    /// Detection runs once per process.
     pub fn with_detected_budget() -> usize {
-        static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-        *BUDGET.get_or_init(|| Self::budget_from_caches(devices::detect_l2(), devices::detect_l3()))
+        Self::with_detected_budget_for_workers(usize::MAX)
+    }
+
+    /// [`Self::budget_from_caches_for_workers`] over the host's detected
+    /// L2/L3 — the budget the parallel drivers hand their
+    /// `BlockedScanner`s once the worker count is resolved.
+    pub fn with_detected_budget_for_workers(workers: usize) -> usize {
+        Self::budget_from_caches_for_workers(detected_l2(), detected_l3(), workers)
     }
 
     /// Sample-block length in this crate's 64-bit packing units (each
@@ -226,6 +256,18 @@ impl BlockParams {
     pub fn bp_samples(&self) -> usize {
         self.bp * 32
     }
+}
+
+/// Host L2, detected once per process (None cached too).
+fn detected_l2() -> Option<SharedCache> {
+    static L2: std::sync::OnceLock<Option<SharedCache>> = std::sync::OnceLock::new();
+    *L2.get_or_init(devices::detect_l2)
+}
+
+/// Host L3, detected once per process.
+fn detected_l3() -> Option<SharedCache> {
+    static L3: std::sync::OnceLock<Option<SharedCache>> = std::sync::OnceLock::new();
+    *L3.get_or_init(devices::detect_l3)
 }
 
 #[cfg(test)]
@@ -344,6 +386,47 @@ mod tests {
         assert!(budget >= CROSS_PAIR_CACHE_BUDGET);
         // and the process-wide detected budget obeys the same floor
         assert!(BlockParams::with_detected_budget() >= CROSS_PAIR_CACHE_BUDGET);
+    }
+
+    #[test]
+    fn worker_aware_budget_is_concurrency_honest() {
+        // 2 MiB private L2 + 96 MiB L3 shared by 8 CPUs.
+        let l2 = SharedCache {
+            geom: CacheGeometry::kib(2048, 16),
+            shared_cpus: 1,
+        };
+        let l3 = SharedCache {
+            geom: CacheGeometry::kib(96 * 1024, 16),
+            shared_cpus: 8,
+        };
+        let at = |w| BlockParams::budget_from_caches_for_workers(Some(l2), Some(l3), w);
+        // one worker owns the whole hierarchy: (2 + 96) / 2 = 49 MiB
+        assert_eq!(at(1), 49 << 20);
+        // four workers split only the shared L3: (2 + 24) / 2 = 13 MiB
+        assert_eq!(at(4), 13 << 20);
+        // full subscription equals the per-CPU formula
+        assert_eq!(at(8), BlockParams::budget_from_caches(Some(l2), Some(l3)));
+        // workers beyond the sharing degree cannot shrink it further,
+        // and the floor holds at absurd counts and with nothing detected
+        assert_eq!(at(8), at(512));
+        assert!(at(usize::MAX) >= CROSS_PAIR_CACHE_BUDGET);
+        assert_eq!(
+            BlockParams::budget_from_caches_for_workers(None, None, 7),
+            CROSS_PAIR_CACHE_BUDGET
+        );
+        // the detected-host form is monotone non-increasing in workers
+        // and floored like everything else
+        let mut prev = usize::MAX;
+        for w in [1usize, 2, 4, 16, 4096] {
+            let b = BlockParams::with_detected_budget_for_workers(w);
+            assert!(b >= CROSS_PAIR_CACHE_BUDGET);
+            assert!(b <= prev, "budget must not grow with more workers");
+            prev = b;
+        }
+        assert_eq!(
+            BlockParams::with_detected_budget_for_workers(usize::MAX),
+            BlockParams::with_detected_budget()
+        );
     }
 
     #[test]

@@ -421,20 +421,60 @@ pub fn scan_sharded(
     cfg: &ScanConfig,
     s: u64,
 ) -> crate::scan::ScanResult {
+    scan_sharded_inner(genotypes, phenotype, cfg, s, None).0
+}
+
+/// [`scan_sharded`] that also returns the aggregated per-worker
+/// [`PairPrefixCache`] statistics — hits and misses summed across the
+/// whole pool (and min/max-able per worker), not just worker 0's, so
+/// hit-rate gates judge what every worker saw.
+pub fn scan_sharded_stats(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    cfg: &ScanConfig,
+    s: u64,
+) -> (crate::scan::ScanResult, crate::pool::PoolCacheStats) {
+    scan_sharded_inner(genotypes, phenotype, cfg, s, None)
+}
+
+/// [`scan_sharded_stats`] at an **exact** worker count (no host clamp):
+/// the scheduler-locality benchmark oversubscribes deliberately. Results
+/// are bit-identical at any worker count.
+pub fn scan_sharded_with_workers(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    cfg: &ScanConfig,
+    s: u64,
+    workers: usize,
+) -> (crate::scan::ScanResult, crate::pool::PoolCacheStats) {
+    scan_sharded_inner(genotypes, phenotype, cfg, s, Some(workers.max(1)))
+}
+
+fn scan_sharded_inner(
+    genotypes: &GenotypeMatrix,
+    phenotype: &Phenotype,
+    cfg: &ScanConfig,
+    s: u64,
+    workers: Option<usize>,
+) -> (crate::scan::ScanResult, crate::pool::PoolCacheStats) {
     use crate::combin;
     use crate::pool;
+    use crate::scan::Scheduler;
     use std::time::Instant;
 
     let m = genotypes.num_snps();
     let n = genotypes.num_samples();
     let plan = ShardPlan::triples(m, s);
     if plan.total_combos() == 0 {
-        return crate::scan::ScanResult {
-            top: Vec::new(),
-            combos: 0,
-            elements: 0,
-            elapsed: std::time::Duration::ZERO,
-        };
+        return (
+            crate::scan::ScanResult {
+                top: Vec::new(),
+                combos: 0,
+                elements: 0,
+                elapsed: std::time::Duration::ZERO,
+            },
+            crate::pool::PoolCacheStats::default(),
+        );
     }
     let split;
     let unsplit;
@@ -452,32 +492,46 @@ pub fn scan_sharded(
             Box::new(|r, cache| scan_shard_split_cached(&split, cfg, r, cache))
         }
     };
+    let w = workers.unwrap_or_else(|| pool::resolve_threads(cfg.threads));
+    let n_shards = plan.num_shards() as usize;
+    // Prefix-run-aware claiming: shards tile the rank range contiguously,
+    // so a claim of consecutive shards is one contiguous rank span — the
+    // worker's PairPrefixCache misses once per (a, b) prefix run inside
+    // the span instead of once per prefix per shard. All shards form one
+    // "run"; plan_claims tail-splits it into per-worker contiguous
+    // chunks. The chunk-1 baseline claims shard-by-shard, scattering
+    // consecutive shards (and their shared boundary prefixes) across the
+    // pool.
+    let make = || {
+        (
+            TopK::new(cfg.top_k),
+            PairPrefixCache::new(cfg.effective_simd()),
+        )
+    };
+    let task = |i: usize, (top, cache): &mut (TopK, PairPrefixCache)| {
+        top.merge(scan_one(plan.range(i as u64), cache));
+    };
     let start = Instant::now();
-    let states = pool::run_dynamic(
-        plan.num_shards() as usize,
-        cfg.threads,
-        1,
-        || {
-            (
-                TopK::new(cfg.top_k),
-                PairPrefixCache::new(cfg.effective_simd()),
-            )
-        },
-        |i, (top, cache): &mut (TopK, PairPrefixCache)| {
-            top.merge(scan_one(plan.range(i as u64), cache));
-        },
-    );
+    let states = match cfg.scheduler {
+        Scheduler::Pool => pool::run_claims(&pool::plan_claims(&[n_shards], w), w, make, task),
+        _ => pool::run_unit_claims(n_shards, w, make, task),
+    };
     let elapsed = start.elapsed();
     let mut merged = TopK::new(cfg.top_k);
-    for (t, _) in states {
+    let mut stats = crate::pool::PoolCacheStats::default();
+    for (t, cache) in states {
         merged.merge(t);
+        stats.per_worker.push((cache.hits(), cache.misses()));
     }
-    crate::scan::ScanResult {
-        top: merged.into_sorted(),
-        combos: combin::num_triples(m),
-        elements: combin::num_elements(m, n),
-        elapsed,
-    }
+    (
+        crate::scan::ScanResult {
+            top: merged.into_sorted(),
+            combos: combin::num_triples(m),
+            elements: combin::num_elements(m, n),
+            elapsed,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -617,6 +671,51 @@ mod tests {
                 assert_eq!(res.top, want, "{version} s={s}");
             }
         }
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_the_whole_pool_and_runs_stay_warm() {
+        use crate::scan::Scheduler;
+        let (g, p) = dataset(16, 100, 99);
+        let mut cfg = ScanConfig::new(Version::V5);
+        cfg.top_k = 4;
+
+        // single worker, run-aware: one contiguous rank sweep — misses =
+        // number of (a, b) prefixes with a continuation, C(m-1, 2)
+        let (res1, stats1) = scan_sharded_with_workers(&g, &p, &cfg, 24, 1);
+        assert_eq!(stats1.per_worker.len(), 1);
+        assert_eq!(
+            stats1.hits() + stats1.misses(),
+            num_triples(16),
+            "every triple consults the cache once"
+        );
+        assert_eq!(stats1.misses(), n_choose_k(15, 2));
+
+        // more workers: same results bit-identically, stats cover every
+        // worker, and run-aware claims keep misses within one extra
+        // prefix rebuild per claim of the sequential count
+        for workers in [2usize, 3, 5] {
+            let (res, stats) = scan_sharded_with_workers(&g, &p, &cfg, 24, workers);
+            assert_eq!(res.top, res1.top, "workers={workers}");
+            assert!(stats.per_worker.len() <= workers);
+            assert_eq!(stats.hits() + stats.misses(), num_triples(16));
+            assert!(
+                stats.misses() <= stats1.misses() + 2 * workers as u64,
+                "workers={workers}: {stats:?}"
+            );
+            assert!(stats.min_hit_rate() <= stats.max_hit_rate());
+        }
+
+        // the chunk-1 baseline can only do worse on misses
+        cfg.scheduler = Scheduler::PoolChunk1;
+        let (res, chunk1) = scan_sharded_with_workers(&g, &p, &cfg, 24, 3);
+        assert_eq!(res.top, res1.top);
+        assert!(chunk1.misses() >= stats1.misses(), "{chunk1:?}");
+
+        // V1 has no pair cache: zero stats, result still right
+        let cfg1 = ScanConfig::new(Version::V1);
+        let (_, v1_stats) = scan_sharded_stats(&g, &p, &cfg1, 8);
+        assert_eq!(v1_stats.hits() + v1_stats.misses(), 0);
     }
 
     #[test]

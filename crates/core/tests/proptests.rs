@@ -408,4 +408,70 @@ proptest! {
             );
         }
     }
+
+    /// PR 5: the concurrency-honest budget never collapses to zero —
+    /// whatever the detected geometry and however many workers share (or
+    /// oversubscribe) a cache domain, the fixed 4 MiB floor holds, a
+    /// worker's share never drops below its per-CPU slice, and more
+    /// workers can only shrink the budget, never grow it.
+    #[test]
+    fn worker_budget_floors_and_is_monotone(
+        l2_kib in prop::sample::select(vec![0usize, 256, 512, 1024, 2048, 4096]),
+        l2_cpus in 1usize..=8,
+        l3_kib in prop::sample::select(vec![0usize, 1024, 4096, 32 * 1024, 512 * 1024]),
+        l3_cpus in 1usize..=128,
+        workers in 1usize..=512,
+    ) {
+        use devices::{CacheGeometry, SharedCache};
+        use epi_core::block::CROSS_PAIR_CACHE_BUDGET;
+        let mk = |kib: usize, cpus: usize| (kib > 0).then(|| SharedCache {
+            geom: CacheGeometry::kib(kib, 8),
+            shared_cpus: cpus,
+        });
+        let (l2, l3) = (mk(l2_kib, l2_cpus), mk(l3_kib, l3_cpus));
+        let budget = BlockParams::budget_from_caches_for_workers(l2, l3, workers);
+        prop_assert!(budget >= CROSS_PAIR_CACHE_BUDGET, "budget {budget} below the floor");
+        // never below the fully subscribed (per-CPU) budget
+        prop_assert!(budget >= BlockParams::budget_from_caches(l2, l3));
+        // monotone: doubling the workers cannot widen the budget
+        let denser = BlockParams::budget_from_caches_for_workers(l2, l3, workers * 2);
+        prop_assert!(denser <= budget);
+        // and workers beyond every sharing degree change nothing
+        let degree = l2.map_or(1, |c| c.shared_cpus).max(l3.map_or(1, |c| c.shared_cpus));
+        if workers >= degree {
+            prop_assert_eq!(budget, BlockParams::budget_from_caches(l2, l3));
+        }
+    }
+
+    /// PR 5: thread-count and scheduler invariance of the blocked V5
+    /// path with the cross-pair cache enabled — the property-based twin
+    /// of `pairs::pair_scan_is_thread_invariant`, over random datasets,
+    /// worker counts, and both pool schedulers.
+    #[test]
+    fn blocked_v5_scan_is_thread_invariant(
+        (g, p) in labelled_strategy(),
+        workers in prop::sample::select(vec![2usize, 3, 7]),
+        chunk1 in prop::sample::select(vec![false, true]),
+    ) {
+        use epi_core::scan::{scan_split_with_workers, ScanConfig, Scheduler, Version};
+        let ds = SplitDataset::encode(&g, &p);
+        let mut cfg = ScanConfig::new(Version::V5);
+        cfg.top_k = 5;
+        let (want, _) = scan_split_with_workers(&ds, &cfg, 1);
+        if chunk1 {
+            cfg.scheduler = Scheduler::PoolChunk1;
+        }
+        let (got, stats) = scan_split_with_workers(&ds, &cfg, workers);
+        prop_assert_eq!(got.top.len(), want.top.len());
+        for (a, b) in got.top.iter().zip(&want.top) {
+            prop_assert_eq!(a.triple, b.triple, "workers={} chunk1={}", workers, chunk1);
+            prop_assert_eq!(
+                a.score.to_bits(), b.score.to_bits(),
+                "workers={} chunk1={}: scores must be bit-identical", workers, chunk1
+            );
+        }
+        // V5 always reports pool stats, and every worker state is counted
+        let stats = stats.unwrap();
+        prop_assert!(stats.per_worker.len() <= workers);
+    }
 }

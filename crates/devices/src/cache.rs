@@ -65,6 +65,18 @@ impl SharedCache {
     pub fn per_cpu_bytes(&self) -> usize {
         self.geom.size_bytes / self.shared_cpus.max(1)
     }
+
+    /// One worker's share of the capacity when `workers` threads run on
+    /// the machine: a cache domain spanning `shared_cpus` CPUs hosts at
+    /// most `min(workers, shared_cpus)` of them concurrently, so a
+    /// private L2 belongs to its worker outright at any pool size while
+    /// a socket-wide L3 is split only among the workers actually mapped
+    /// onto it. Equals [`Self::per_cpu_bytes`] at full subscription and
+    /// can only be larger below it — never zero.
+    #[inline]
+    pub fn per_worker_bytes(&self, workers: usize) -> usize {
+        self.geom.size_bytes / workers.min(self.shared_cpus).max(1)
+    }
 }
 
 /// Detect the executing host's **L1 data cache** geometry from the Linux
@@ -424,6 +436,29 @@ mod tests {
             assert!(plausible_l3(&c.geom), "{c:?}");
             assert!(c.shared_cpus >= 1 && c.per_cpu_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn per_worker_share_honors_the_sharing_degree() {
+        let l3 = SharedCache {
+            geom: CacheGeometry::kib(32 * 1024, 16),
+            shared_cpus: 16,
+        };
+        // below full subscription each worker's slice grows
+        assert_eq!(l3.per_worker_bytes(1), 32 * 1024 * 1024);
+        assert_eq!(l3.per_worker_bytes(4), 8 * 1024 * 1024);
+        // at or beyond the sharing degree it bottoms out at the per-CPU
+        // slice — timeslicing can't make more workers *concurrently*
+        // resident than the domain has CPUs
+        assert_eq!(l3.per_worker_bytes(16), l3.per_cpu_bytes());
+        assert_eq!(l3.per_worker_bytes(512), l3.per_cpu_bytes());
+        assert!(l3.per_worker_bytes(usize::MAX) > 0);
+        // a private L2 is never divided, whatever the pool size
+        let l2 = SharedCache {
+            geom: CacheGeometry::kib(1024, 16),
+            shared_cpus: 1,
+        };
+        assert_eq!(l2.per_worker_bytes(64), 1024 * 1024);
     }
 
     #[test]

@@ -146,6 +146,21 @@ impl Client {
         ))
     }
 
+    /// Pool-wide pair-prefix cache counters from STATS:
+    /// `(hits, misses, hit_rate, per-worker min rate, per-worker max
+    /// rate)` aggregated over every engine worker.
+    pub fn stats_pair_cache(&mut self) -> Result<(u64, u64, f64, f64, f64), String> {
+        let line = self.send("STATS")?;
+        let fields = parse_kv(Self::expect_ok(&line)?)?;
+        Ok((
+            field(&fields, "pair_hits")?,
+            field(&fields, "pair_misses")?,
+            field(&fields, "pair_hit_rate")?,
+            field(&fields, "pair_hit_min")?,
+            field(&fields, "pair_hit_max")?,
+        ))
+    }
+
     /// Ask the server to stop accepting connections and shut down.
     pub fn shutdown(&mut self) -> Result<(), String> {
         let line = self.send("SHUTDOWN")?;

@@ -1,12 +1,20 @@
 //! The job engine: a shared shard queue drained by a worker pool.
 //!
 //! All jobs feed one FIFO queue of `(job, shard)` tasks; workers claim
-//! tasks one at a time (the dynamic self-scheduling idiom of
-//! `epi_core::pool`, here with a `Mutex` + `Condvar` because tasks arrive
-//! over time from concurrent submissions). Per-shard results are recorded
-//! under the job, a checkpoint is persisted after every completed shard,
-//! and the final top-K is merged when the last shard lands — so a cancel
-//! or crash at any point loses at most the shards currently in flight.
+//! work dynamically (the self-scheduling idiom of `epi_core::pool`, here
+//! with a `Mutex` + `Condvar` because tasks arrive over time from
+//! concurrent submissions) — and claim it **run-aware**: a claim takes a
+//! batch of immediately consecutive shards of one job, so the worker's
+//! pair-prefix cache stays warm across the batch's contiguous rank span
+//! instead of collapsing when several workers interleave shard-by-shard
+//! (the same locality scheme as `epi_core::pool::plan_claims`, bounded
+//! by the identical `⌈shards / 2·workers⌉` balance cap). Per-shard
+//! results are recorded under the job, a checkpoint is persisted after
+//! every completed shard, and the final top-K is merged when the last
+//! shard lands — so a cancel or crash at any point loses at most the
+//! shards currently in flight; a cancel also makes the worker abandon
+//! the unscanned remainder of its batch, so batching never widens the
+//! cancel window beyond the shard mid-scan.
 
 use crate::codec::Checkpoint;
 use crate::job::{EncodedData, Job, JobState, JobStatus};
@@ -75,6 +83,12 @@ struct Shared {
     spool_dir: Option<PathBuf>,
     /// Clamped engine-wide default tier for specs without `simd=`.
     default_simd: Option<bitgenome::SimdLevel>,
+    /// Worker-pool size (sets the batch-claim balance cap).
+    workers: usize,
+    /// Per-worker pair-prefix cache counters `(hits, misses)`, flushed by
+    /// each worker after every shard, so STATS reports the whole pool —
+    /// not whichever worker a single counter happened to follow.
+    pair_stats: Vec<(AtomicU64, AtomicU64)>,
     /// Checkpoint snapshots are taken under the state lock but written to
     /// disk outside it, so two writers can race file-creation order. Each
     /// snapshot carries a per-job sequence number (`Job::ckpt_seq`); this
@@ -96,6 +110,9 @@ impl Engine {
     /// directory is configured, restores every checkpoint found there
     /// (restored jobs sit in `Cancelled`/`Done` until resumed).
     pub fn start(cfg: EngineConfig) -> Arc<Self> {
+        // `0` = all cores; explicit requests are clamped to the host's
+        // parallelism like every other thread knob (epi_core::pool).
+        let threads = epi_core::pool::resolve_threads(cfg.workers);
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 jobs: HashMap::new(),
@@ -107,23 +124,20 @@ impl Engine {
             shards_scanned: AtomicU64::new(0),
             spool_dir: cfg.spool_dir.clone(),
             default_simd: cfg.default_simd.map(|l| l.clamped_to_host()),
+            workers: threads,
+            pair_stats: (0..threads)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
             spool_written: Mutex::new(HashMap::new()),
         });
         if let Some(dir) = &cfg.spool_dir {
             let _ = std::fs::create_dir_all(dir);
             Self::restore_spool(&shared, dir);
         }
-        let threads = if cfg.workers > 0 {
-            cfg.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
         let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for widx in 0..threads {
             let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+            workers.push(std::thread::spawn(move || worker_loop(&shared, widx)));
         }
         Arc::new(Self {
             shared,
@@ -252,9 +266,13 @@ impl Engine {
         Ok(job.merged_top())
     }
 
-    /// Cancel a job: pending shards are dropped from the queue, completed
-    /// shard results stay checkpointed, in-flight shards finish and are
-    /// recorded. Idempotent for finished jobs.
+    /// Cancel a job: pending shards are dropped from the queue and
+    /// completed shard results stay checkpointed. Of a worker's claimed
+    /// batch, only the shard *mid-scan* finishes and is recorded — the
+    /// unscanned remainder is handed back (leaves `in_flight`) for a
+    /// later RESUME, so the status returned here may briefly show more
+    /// `in_flight` shards than will actually be recorded. Idempotent for
+    /// finished jobs.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
         let mut state = lock(&self.shared.state);
         state.queue.retain(|&(job_id, _)| job_id != id);
@@ -367,6 +385,21 @@ impl Engine {
         self.shared.shards_scanned.load(Ordering::Relaxed)
     }
 
+    /// Aggregated per-worker pair-prefix cache statistics since engine
+    /// start: hits/misses summed across the pool plus per-worker min/max
+    /// rates — what the STATS verb reports and hit-rate gates should
+    /// judge, instead of a single worker's view.
+    pub fn pair_cache_stats(&self) -> epi_core::pool::PoolCacheStats {
+        epi_core::pool::PoolCacheStats {
+            per_worker: self
+                .shared
+                .pair_stats
+                .iter()
+                .map(|(h, m)| (h.load(Ordering::Relaxed), m.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
     /// Current worker count.
     pub fn num_workers(&self) -> usize {
         lock(&self.workers).len()
@@ -386,8 +419,10 @@ impl Engine {
         }
     }
 
-    /// Stop the worker pool: in-flight shards finish and are recorded,
-    /// then any job left unfinished is parked in `Cancelled` (checkpoint
+    /// Stop the worker pool: each worker finishes (and records) at most
+    /// the shard it is mid-scan on — the unscanned remainder of a
+    /// claimed batch is handed back — then any job left unfinished is
+    /// parked in `Cancelled` (checkpoint
     /// intact) so clients see a resumable terminal state instead of a
     /// forever-queued job. This also closes the submit/shutdown race: a
     /// submission that slipped in just before the flag was set is parked
@@ -481,39 +516,65 @@ fn load_encoded(spec: &JobSpec) -> Result<(EncodedData, usize), String> {
     Ok((data, m))
 }
 
-fn worker_loop(shared: &Shared) {
-    // Worker-local pair-prefix cache, keyed by (job, dataset identity):
-    // shards of one job tile the rank range contiguously, so streams
-    // stay warm from one shard task to the next (`epi_core::prefixcache`).
-    // The identity is a Weak to the job's Arc<EncodedData>: holding the
-    // Weak keeps the allocation address from being reused even after a
-    // cancel/resume drops and reloads the dataset, so pointer equality
-    // is ABA-safe — and unlike a strong Arc it doesn't pin the (large)
-    // encoded planes in memory while the worker idles.
-    let mut cache: Option<(u64, std::sync::Weak<EncodedData>, PairPrefixCache)> = None;
+/// Worker-local pair-prefix cache, keyed by (job, dataset identity), plus
+/// the hit/miss counts already flushed to the shared per-worker stats.
+/// The identity is a Weak to the job's Arc<EncodedData>: holding the
+/// Weak keeps the allocation address from being reused even after a
+/// cancel/resume drops and reloads the dataset, so pointer equality
+/// is ABA-safe — and unlike a strong Arc it doesn't pin the (large)
+/// encoded planes in memory while the worker idles.
+struct WorkerCache {
+    job_id: u64,
+    data: std::sync::Weak<EncodedData>,
+    cache: PairPrefixCache,
+    flushed: (u64, u64),
+}
+
+fn worker_loop(shared: &Shared, widx: usize) {
+    let mut cache: Option<WorkerCache> = None;
     loop {
-        // claim one task
+        // Claim a run of work: the queue's front shard plus every
+        // immediately consecutive shard of the same job behind it, up to
+        // the balance cap — shards tile the rank range contiguously, so
+        // the batch is one contiguous rank span and the worker's
+        // pair-prefix cache stays warm across all of it.
         let claimed = {
             let mut state = lock(&shared.state);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some((job_id, shard)) = state.queue.pop_front() {
-                    match state.jobs.get_mut(&job_id) {
+                let st = &mut *state;
+                if let Some((job_id, shard)) = st.queue.pop_front() {
+                    match st.jobs.get_mut(&job_id) {
                         Some(job)
                             if job.state == JobState::Queued || job.state == JobState::Running =>
                         {
                             job.state = JobState::Running;
-                            job.in_flight.insert(shard);
+                            let cap = epi_core::pool::balance_cap(
+                                job.plan.num_shards() as usize,
+                                shared.workers,
+                            );
+                            let mut shards = vec![shard];
+                            while shards.len() < cap {
+                                match st.queue.front() {
+                                    Some(&(jid, s))
+                                        if jid == job_id
+                                            && s == *shards.last().expect("nonempty") + 1 =>
+                                    {
+                                        st.queue.pop_front();
+                                        shards.push(s);
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            for &s in &shards {
+                                job.in_flight.insert(s);
+                            }
                             let data = Arc::clone(job.data.as_ref().expect("queued job has data"));
-                            break Some((
-                                job_id,
-                                shard,
-                                job.plan.range(shard),
-                                job.spec.clone(),
-                                data,
-                            ));
+                            let ranges: Vec<_> =
+                                shards.iter().map(|&s| job.plan.range(s)).collect();
+                            break Some((job_id, shards, ranges, job.spec.clone(), data));
                         }
                         // job vanished or was cancelled after enqueue: drop task
                         _ => continue,
@@ -526,96 +587,147 @@ fn worker_loop(shared: &Shared) {
                     .0;
             }
         };
-        let Some((job_id, shard, range, spec, data)) = claimed else {
+        let Some((job_id, shards, ranges, spec, data)) = claimed else {
             return;
         };
 
-        // Scan outside the lock, behind a panic boundary: a panicking
-        // kernel (or the injected panic_shard fault) must fail only its
-        // job — the claim/record sections never unwind mid-update, so
-        // catching here keeps the shared state consistent and the lock
-        // recovery above is a second line of defence, not the plan.
-        let scanned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if spec.panic_shard == Some(shard) {
-                panic!("injected fault (panic_shard={shard})");
-            }
-            if spec.throttle_ms > 0 {
-                std::thread::sleep(Duration::from_millis(spec.throttle_ms));
-            }
-            let cfg = spec.scan_config();
-            match &*data {
-                EncodedData::Split(ds) => {
-                    let same = matches!(&cache, Some((j, w, _))
-                        if *j == job_id && std::ptr::eq(w.as_ptr(), Arc::as_ptr(&data)));
-                    if !same {
-                        cache = Some((
-                            job_id,
-                            Arc::downgrade(&data),
-                            PairPrefixCache::new(cfg.effective_simd()),
-                        ));
+        for (bi, (&shard, range)) in shards.iter().zip(&ranges).enumerate() {
+            // A shutdown must not wait for the whole batch: hand the
+            // unscanned remainder back (out of in_flight, so stop() can
+            // park the job resumably) and exit like the claim loop does.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let mut state = lock(&shared.state);
+                if let Some(job) = state.jobs.get_mut(&job_id) {
+                    for &s in &shards[bi..] {
+                        job.in_flight.remove(&s);
                     }
-                    let pair_cache = &mut cache.as_mut().expect("cache just set").2;
-                    scan_shard_split_cached(ds, &cfg, range, pair_cache)
                 }
-                EncodedData::Unsplit(ds) => scan_shard_unsplit(ds, &cfg, range),
+                return;
             }
-        }));
-        let top = match scanned {
-            Ok(top) => top,
-            Err(payload) => {
-                // The cache may have been mid-rebuild when the stack
-                // unwound; drop it rather than trust partial streams.
-                cache = None;
-                let msg = panic_message(payload.as_ref());
-                let checkpoint = {
-                    let mut state = lock(&shared.state);
-                    // drop the job's pending shards: it cannot finish
-                    state.queue.retain(|&(jid, _)| jid != job_id);
-                    let Some(job) = state.jobs.get_mut(&job_id) else {
-                        continue;
-                    };
-                    job.in_flight.remove(&shard);
-                    job.state = JobState::Failed;
-                    job.error = Some(format!("worker panicked on shard {shard}: {msg}"));
-                    if job.in_flight.is_empty() {
-                        job.data = None; // resume reloads from spec.path
+            let range = range.clone();
+            // Scan outside the lock, behind a panic boundary: a panicking
+            // kernel (or the injected panic_shard fault) must fail only
+            // its job — the claim/record sections never unwind
+            // mid-update, so catching here keeps the shared state
+            // consistent and the lock recovery above is a second line of
+            // defence, not the plan.
+            let scanned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if spec.panic_shard == Some(shard) {
+                    panic!("injected fault (panic_shard={shard})");
+                }
+                if spec.throttle_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(spec.throttle_ms));
+                }
+                let cfg = spec.scan_config();
+                match &*data {
+                    EncodedData::Split(ds) => {
+                        let same = matches!(&cache, Some(wc)
+                            if wc.job_id == job_id
+                                && std::ptr::eq(wc.data.as_ptr(), Arc::as_ptr(&data)));
+                        if !same {
+                            cache = Some(WorkerCache {
+                                job_id,
+                                data: Arc::downgrade(&data),
+                                cache: PairPrefixCache::new(cfg.effective_simd()),
+                                flushed: (0, 0),
+                            });
+                        }
+                        let pair_cache = &mut cache.as_mut().expect("cache just set").cache;
+                        scan_shard_split_cached(ds, &cfg, range, pair_cache)
                     }
-                    snapshot_if_spooled(job, shared.spool_dir.as_deref())
-                };
-                shared.write_checkpoint(checkpoint);
-                continue;
-            }
-        };
-        shared.shards_scanned.fetch_add(1, Ordering::Relaxed);
-
-        // record the result
-        let checkpoint = {
-            let mut state = lock(&shared.state);
-            let Some(job) = state.jobs.get_mut(&job_id) else {
-                continue;
+                    EncodedData::Unsplit(ds) => scan_shard_unsplit(ds, &cfg, range),
+                }
+            }));
+            let top = match scanned {
+                Ok(top) => top,
+                Err(payload) => {
+                    // The cache may have been mid-rebuild when the stack
+                    // unwound; drop it rather than trust partial streams.
+                    cache = None;
+                    let msg = panic_message(payload.as_ref());
+                    let checkpoint = {
+                        let mut state = lock(&shared.state);
+                        // drop the job's pending shards: it cannot finish
+                        state.queue.retain(|&(jid, _)| jid != job_id);
+                        let Some(job) = state.jobs.get_mut(&job_id) else {
+                            break;
+                        };
+                        // this shard and the unscanned rest of the batch
+                        // are no longer in flight
+                        for &s in &shards[bi..] {
+                            job.in_flight.remove(&s);
+                        }
+                        job.state = JobState::Failed;
+                        job.error = Some(format!("worker panicked on shard {shard}: {msg}"));
+                        if job.in_flight.is_empty() {
+                            job.data = None; // resume reloads from spec.path
+                        }
+                        snapshot_if_spooled(job, shared.spool_dir.as_deref())
+                    };
+                    shared.write_checkpoint(checkpoint);
+                    break;
+                }
             };
-            job.in_flight.remove(&shard);
-            job.shard_results[shard as usize] = Some(top.into_sorted());
-            let all_done = job.completed() == job.plan.num_shards();
-            if all_done && job.state == JobState::Running {
-                job.state = JobState::Done;
+            // Flush this worker's cache-counter delta so STATS always
+            // reflects completed shards pool-wide.
+            if let Some(wc) = &mut cache {
+                let (h, m) = (wc.cache.hits(), wc.cache.misses());
+                shared.pair_stats[widx]
+                    .0
+                    .fetch_add(h - wc.flushed.0, Ordering::Relaxed);
+                shared.pair_stats[widx]
+                    .1
+                    .fetch_add(m - wc.flushed.1, Ordering::Relaxed);
+                wc.flushed = (h, m);
             }
-            if all_done && job.state == JobState::Cancelled {
-                // last in-flight shard of a cancelled job completed the
-                // job anyway — promote, nothing left to resume
-                job.state = JobState::Done;
+            shared.shards_scanned.fetch_add(1, Ordering::Relaxed);
+
+            // record the result
+            let (checkpoint, abandon) = {
+                let mut state = lock(&shared.state);
+                let Some(job) = state.jobs.get_mut(&job_id) else {
+                    break;
+                };
+                job.in_flight.remove(&shard);
+                job.shard_results[shard as usize] = Some(top.into_sorted());
+                let all_done = job.completed() == job.plan.num_shards();
+                if all_done && job.state == JobState::Running {
+                    job.state = JobState::Done;
+                }
+                if all_done && job.state == JobState::Cancelled {
+                    // last in-flight shard of a cancelled job completed
+                    // the job anyway — promote, nothing left to resume
+                    job.state = JobState::Done;
+                }
+                // A cancelled (or failed) job should not keep burning CPU
+                // on the rest of this batch: hand the unscanned shards
+                // back (they leave in_flight, so RESUME re-enqueues them)
+                // and stop after the shard that was actually mid-scan.
+                let abandon = matches!(job.state, JobState::Cancelled | JobState::Failed);
+                if abandon {
+                    for &s in &shards[bi + 1..] {
+                        job.in_flight.remove(&s);
+                    }
+                }
+                // Failed jobs park like cancelled ones: when the last
+                // in-flight shard of a panic-failed job lands here,
+                // release the dataset too — resume reloads it from
+                // spec.path.
+                let parked = matches!(job.state, JobState::Cancelled | JobState::Failed)
+                    && job.in_flight.is_empty();
+                if job.data.is_some() && (job.state == JobState::Done || parked) {
+                    job.data = None; // release the encoded dataset; resume reloads
+                }
+                (
+                    snapshot_if_spooled(job, shared.spool_dir.as_deref()),
+                    abandon,
+                )
+            };
+            shared.write_checkpoint(checkpoint);
+            if abandon {
+                break;
             }
-            // Failed jobs park like cancelled ones: when the last
-            // in-flight shard of a panic-failed job lands here, release
-            // the dataset too — resume reloads it from spec.path.
-            let parked = matches!(job.state, JobState::Cancelled | JobState::Failed)
-                && job.in_flight.is_empty();
-            if job.data.is_some() && (job.state == JobState::Done || parked) {
-                job.data = None; // release the encoded dataset; resume reloads
-            }
-            snapshot_if_spooled(job, shared.spool_dir.as_deref())
-        };
-        shared.write_checkpoint(checkpoint);
+        }
     }
 }
 
@@ -744,6 +856,50 @@ mod tests {
         assert_eq!(st.simd, Some(SimdLevel::Scalar));
         engine.wait(st.id, Duration::from_secs(30)).unwrap();
         assert_eq!(engine.result(st.id).unwrap(), want);
+        engine.stop();
+    }
+
+    #[test]
+    fn pool_cache_stats_cover_every_worker_and_survive_batching() {
+        let path = write_dataset("stats", 16, 128, 77);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+            default_simd: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 20;
+        spec.version = Version::V5;
+        let st = engine.submit(spec).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(engine.shards_scanned(), 20, "batching must not rescan");
+
+        let stats = engine.pair_cache_stats();
+        assert_eq!(stats.per_worker.len(), engine.num_workers());
+        // every triple consulted the cache exactly once, pool-wide
+        assert_eq!(
+            stats.hits() + stats.misses(),
+            epi_core::combin::num_triples(16)
+        );
+        // run-aware batch claiming keeps the pool's rate at the
+        // sequential level: misses bounded by prefixes + a rebuild per
+        // batch boundary
+        assert!(
+            stats.misses() <= epi_core::combin::n_choose_k(15, 2) + 20,
+            "{stats:?}"
+        );
+        assert!(stats.hit_rate() > 0.5, "{stats:?}");
+        assert!(stats.min_hit_rate() <= stats.max_hit_rate());
+
+        // and the merged result is still the monolithic answer
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V5);
+        cfg.top_k = 10;
+        assert_eq!(
+            engine.result(st.id).unwrap(),
+            epi_core::scan::scan(&g, &p, &cfg).top
+        );
         engine.stop();
     }
 
@@ -943,6 +1099,42 @@ mod tests {
         assert_eq!(done.state, JobState::Done);
         assert!(!engine.result(healthy.id).unwrap().is_empty());
         engine.stop();
+    }
+
+    #[test]
+    fn stop_does_not_wait_for_a_whole_claimed_batch() {
+        let path = write_dataset("faststop", 16, 128, 13);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+            default_simd: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 20; // one worker claims a batch of up to 10
+        spec.throttle_ms = 100;
+        let st = engine.submit(spec).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.status(st.id).unwrap().done < 1 {
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let done_before = engine.status(st.id).unwrap().done;
+        engine.stop();
+        // Structural bound, immune to runner load: the worker may finish
+        // only the shard it was mid-scan on (plus at most one that
+        // completed while stop() raced the status read) — draining the
+        // whole 10-shard batch would add ~9.
+        let parked = engine.status(st.id).unwrap();
+        assert!(
+            parked.done <= done_before + 2,
+            "worker drained its batch after stop: {done_before} -> {}",
+            parked.done
+        );
+        // the job parks resumably: terminal state, nothing in flight,
+        // and the handed-back shards are recorded as missing, not lost
+        assert_eq!(parked.state, JobState::Cancelled);
+        assert_eq!(parked.in_flight, 0);
+        assert!(parked.done < 20);
     }
 
     #[test]

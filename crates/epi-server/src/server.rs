@@ -202,12 +202,24 @@ fn dispatch(request: &str, engine: &Engine) -> (String, bool) {
             out.push_str("END\n");
             Ok(out)
         }
-        "STATS" => Ok(format!(
-            "OK jobs={} scanned={} workers={}\n",
-            engine.jobs().len(),
-            engine.shards_scanned(),
-            engine.num_workers(),
-        )),
+        "STATS" => {
+            // Pool-wide pair-prefix cache statistics: hits/misses summed
+            // across every worker plus the per-worker rate spread, so a
+            // monitoring gate sees the whole pool, not worker 0.
+            let cache = engine.pair_cache_stats();
+            Ok(format!(
+                "OK jobs={} scanned={} workers={} pair_hits={} pair_misses={} \
+                 pair_hit_rate={:.4} pair_hit_min={:.4} pair_hit_max={:.4}\n",
+                engine.jobs().len(),
+                engine.shards_scanned(),
+                engine.num_workers(),
+                cache.hits(),
+                cache.misses(),
+                cache.hit_rate(),
+                cache.min_hit_rate(),
+                cache.max_hit_rate(),
+            ))
+        }
         "SHUTDOWN" => {
             return ("OK bye\n".to_string(), true);
         }

@@ -50,9 +50,12 @@ commands:
   bench         kernel-version throughput on a fixed synthetic dataset,
                 the cross-triple pair-cache hit rate over a rank-order
                 shard plan, the detected L2/L3-derived cross-pair cache
-                budget, and a per-tier deep-prefix fill microbenchmark
+                budget, a per-tier deep-prefix fill microbenchmark, and
+                a parallel scaling sweep (chunk-1 vs run-aware scheduler
+                at each worker count, with pool-wide cache hit rates)
                   [--snps N] [--samples N] [--seed N] [--trials T]
                   [--versions v2,v4,v5] [--threads N] [--shards S]
+                  [--scale-threads a,b,c] [--scale-samples N]
                   [--simd TIER] [--out FILE]
   devices       print the paper's device catalogs (Tables I & II)
 
@@ -75,6 +78,10 @@ TIER = scalar|avx2|avx512|vpopcnt. Every command that scans accepts
 --simd; when the flag is absent the EPI3_SIMD env var applies instead.
 Tiers above the host's capability are clamped with a warning (scan,
 shards, bench, serve clamp locally; submit lets the server clamp).
+
+Thread counts: scan/shards/pairs --threads and serve --workers default
+to 0 (= all cores); when the flag is absent the EPI3_THREADS env var
+applies instead. Requests beyond the host's parallelism are clamped.
 
 default server address: 127.0.0.1:7733";
 
@@ -126,6 +133,37 @@ fn opt_usize(args: &[String], key: &str, default: usize) -> Result<usize, String
 
 fn opt_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Worker/thread count for commands that scan: the explicit flag wins,
+/// then the `EPI3_THREADS` env var, then `default` (`0` = all cores —
+/// the uniform default of scan/shards/pairs/serve; requests beyond the
+/// host's parallelism are clamped downstream by
+/// `epi_core::pool::resolve_threads`).
+fn opt_threads(args: &[String], key: &str, default: usize) -> Result<usize, String> {
+    let env = std::env::var("EPI3_THREADS").ok();
+    opt_threads_with(args, key, default, env.as_deref())
+}
+
+/// [`opt_threads`] over an injected env value (unit-testable without
+/// mutating process-global state under a parallel test runner).
+fn opt_threads_with(
+    args: &[String],
+    key: &str,
+    default: usize,
+    env: Option<&str>,
+) -> Result<usize, String> {
+    if let Some(v) = opt_value(args, key) {
+        return v
+            .parse()
+            .map_err(|_| format!("{key} expects a number, got {v:?}"));
+    }
+    match env {
+        Some(v) if !v.is_empty() => v
+            .parse()
+            .map_err(|_| format!("EPI3_THREADS expects a number, got {v:?}")),
+        _ => Ok(default),
+    }
 }
 
 fn positional(args: &[String]) -> Option<&str> {
@@ -183,7 +221,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let version = parse_version(args)?;
     let mut cfg = ScanConfig::new(version);
     cfg.top_k = opt_usize(args, "--top", 5)?;
-    cfg.threads = opt_usize(args, "--threads", 0)?;
+    cfg.threads = opt_threads(args, "--threads", 0)?;
     cfg.simd = forced_simd(args)?;
     if opt_flag(args, "--mi") {
         cfg.objective = ObjectiveKind::NegMutualInformation;
@@ -245,7 +283,7 @@ fn cmd_shards(args: &[String]) -> Result<(), String> {
     }
     let mut cfg = ScanConfig::new(parse_version(args)?);
     cfg.top_k = opt_usize(args, "--top", 5)?;
-    cfg.threads = opt_usize(args, "--threads", 0)?;
+    cfg.threads = opt_threads(args, "--threads", 0)?;
     cfg.simd = forced_simd(args)?;
     let plan = ShardPlan::triples(g.num_snps(), shards);
     let res = scan_sharded(&g, &p, &cfg, shards);
@@ -282,7 +320,9 @@ fn cmd_shards(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = opt_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let cfg = EngineConfig {
-        workers: opt_usize(args, "--workers", 0)?,
+        // same 0 = all-cores default and EPI3_THREADS override as the
+        // local scan commands; the effective pool size is echoed in STATS
+        workers: opt_threads(args, "--workers", 0)?,
         spool_dir: opt_value(args, "--spool").map(Into::into),
         // server-wide default tier for jobs without a simd= key
         // (clamped again inside the engine)
@@ -407,7 +447,7 @@ fn cmd_job_verb(args: &[String], verb: JobVerb) -> Result<(), String> {
 fn cmd_pairs(args: &[String]) -> Result<(), String> {
     let (g, p) = load_dataset(args)?;
     let top_k = opt_usize(args, "--top", 5)?;
-    let threads = opt_usize(args, "--threads", 0)?;
+    let threads = opt_threads(args, "--threads", 0)?;
     let res = epi_core::pairs::scan_pairs(&g, &p, top_k, threads);
     println!("{} pairs in {:.3} s", res.combos, res.elapsed.as_secs_f64());
     for c in &res.top {
@@ -493,9 +533,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let samples = opt_usize(args, "--samples", 2048)?;
     let seed = opt_usize(args, "--seed", 9)? as u64;
     let trials = opt_usize(args, "--trials", 5)?.max(1);
+    // The kernel table stays single-threaded unless --threads says
+    // otherwise (isolating kernel quality); the scaling sweep below
+    // covers the parallel dimension. Deliberately NOT EPI3_THREADS-
+    // sensitive: an env var exported for serving must not silently turn
+    // the version-to-version comparison into a scheduler benchmark.
     let threads = opt_usize(args, "--threads", 1)?;
     let shards = opt_usize(args, "--shards", 64)?.max(1) as u64;
-    let out = opt_value(args, "--out").unwrap_or("BENCH_PR4.json");
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR5.json");
     let forced = forced_simd(args)?;
     let versions: Vec<Version> = match opt_value(args, "--versions") {
         None => vec![Version::V2, Version::V4, Version::V5],
@@ -618,6 +663,76 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Parallel scaling sweep: the blocked V5 scan under both schedulers
+    // (pre-locality chunk-1 vs run-aware claiming) at each worker count,
+    // with pool-aggregated cross-pair and prefix-cache hit rates, plus
+    // the analytic model's predictions for comparison. Worker counts
+    // beyond the host's cores are run anyway (deliberately
+    // oversubscribed) — that is precisely the regime where scheduler
+    // locality shows, and it keeps the sweep meaningful on small CI
+    // boxes. The sweep runs on its own, wider sample dimension
+    // (--scale-samples, default 256 Ki samples): tasks must be
+    // comparable to an OS timeslice for worker interleaving — and with
+    // it the chunk-1 cache collapse — to be physically observable even
+    // when cores are scarce; on tiny tasks a single timeslice covers
+    // whole runs and every scheduler looks sequential.
+    let scale_counts = scale_thread_counts(args)?;
+    let scale_samples = opt_usize(args, "--scale-samples", samples.max(256 * 1024))?.max(64);
+    let scale_data_owned;
+    let scale_data: &Dataset = if scale_samples == samples {
+        &data
+    } else {
+        scale_data_owned = DatasetSpec::noise(snps, scale_samples, seed).generate();
+        &scale_data_owned
+    };
+    println!(
+        "  scaling sweep: {snps} SNPs x {scale_samples} samples, workers {scale_counts:?}, \
+         chunk-1 vs run-aware"
+    );
+    let sweep = bench_scaling(scale_data, forced, trials, shards, &scale_counts)?;
+    let nb = {
+        let cfg5 = {
+            let mut c = ScanConfig::new(Version::V5);
+            c.simd = forced;
+            c
+        };
+        snps.div_ceil(cfg5.effective_block().bs)
+    };
+    let model: Vec<epi_core::costs::V5ParallelModel> = scale_counts
+        .iter()
+        .map(|&w| {
+            epi_core::costs::VersionCosts::v5_parallel(
+                nb,
+                w,
+                devices::detect_l2(),
+                devices::detect_l3(),
+            )
+        })
+        .collect();
+    for (row_ra, (row_c1, m)) in sweep.run_aware.iter().zip(sweep.chunk1.iter().zip(&model)) {
+        println!(
+            "  scaling @{} worker(s): run-aware {:.3} GEPS (eff {:.2}, xpair {:.0}%/{:.0}% model) \
+             | chunk-1 {:.3} GEPS (xpair {:.0}%/{:.0}% model)",
+            row_ra.workers,
+            row_ra.geps,
+            row_ra.efficiency,
+            row_ra.cross_pair_hit_rate * 100.0,
+            m.hit_rate_run_aware * 100.0,
+            row_c1.geps,
+            row_c1.cross_pair_hit_rate * 100.0,
+            m.hit_rate_chunk1 * 100.0,
+        );
+    }
+    if let (Some(ra), Some(c1)) = (sweep.run_aware.last(), sweep.chunk1.last()) {
+        println!(
+            "  scaling verdict @{} worker(s): run-aware {:.3} GEPS vs chunk-1 {:.3} GEPS ({:+.1}%)",
+            ra.workers,
+            ra.geps,
+            c1.geps,
+            (ra.geps / c1.geps - 1.0) * 100.0
+        );
+    }
+
     let geps_of = |v: Version| {
         measured
             .iter()
@@ -670,10 +785,217 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let comma = if i + 1 < prefix_fill.len() { "," } else { "" };
         json.push_str(&format!("\n    \"{}\": {ns:.4}{comma}", level.token()));
     }
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  }");
+    // the scaling block: measured per-worker-count rows per scheduler,
+    // plus the analytic model the measurements validate
+    json.push_str(&format!(
+        ",\n  \"scaling\": {{\n    \"scale_samples\": {scale_samples},\n    \"thread_counts\": ["
+    ));
+    json.push_str(
+        &scale_counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n    \"chunk1\": ");
+    json.push_str(&scaling_rows_json(&sweep.chunk1));
+    json.push_str(",\n    \"run_aware\": ");
+    json.push_str(&scaling_rows_json(&sweep.run_aware));
+    json.push_str(",\n    \"model\": [");
+    for (i, m) in model.iter().enumerate() {
+        json.push_str(&format!(
+            "\n      {{\"threads\": {}, \"per_worker_budget_bytes\": {}, \
+             \"mean_claim_run_len\": {:.4}, \"hit_rate_run_aware\": {:.4}, \
+             \"hit_rate_chunk1\": {:.4}}}{}",
+            m.workers,
+            m.per_worker_budget,
+            m.mean_claim_run_len,
+            m.hit_rate_run_aware,
+            m.hit_rate_chunk1,
+            if i + 1 < model.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("\n    ]\n  }\n}\n");
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// One measured point of the scaling sweep.
+struct ScaleRow {
+    workers: usize,
+    best_seconds: f64,
+    geps: f64,
+    /// Per-worker GEPS relative to the sweep's lowest worker count:
+    /// `(geps / workers) / (geps_base / workers_base)` — 1.0 is perfect
+    /// scaling from the base row (the base is `workers = 1` under the
+    /// default counts).
+    efficiency: f64,
+    /// Pool-aggregated V5 block-pair cache rates (blocked path).
+    cross_pair_hit_rate: f64,
+    cross_pair_hit_min: f64,
+    cross_pair_hit_max: f64,
+    /// Pool-aggregated pair-prefix cache rate (rank-order sharded path).
+    prefix_hit_rate: f64,
+}
+
+/// Measured scaling of both schedulers.
+struct ScalingSweep {
+    chunk1: Vec<ScaleRow>,
+    run_aware: Vec<ScaleRow>,
+}
+
+/// Worker counts of the scaling sweep: `--scale-threads a,b,c` or the
+/// default `1, 2, 4, …` powers of two up to the core count (always at
+/// least {1, 2, 4} so the sweep says something even on tiny hosts).
+fn scale_thread_counts(args: &[String]) -> Result<Vec<usize>, String> {
+    if let Some(list) = opt_value(args, "--scale-threads") {
+        let counts: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+        let counts =
+            counts.map_err(|_| format!("--scale-threads expects numbers, got {list:?}"))?;
+        if counts.is_empty() || counts.contains(&0) {
+            return Err("--scale-threads needs positive worker counts".into());
+        }
+        return Ok(counts);
+    }
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    let mut w = 8;
+    while w <= ncores {
+        counts.push(w);
+        w *= 2;
+    }
+    counts.push(ncores);
+    counts.sort_unstable();
+    counts.dedup();
+    Ok(counts)
+}
+
+/// Run the blocked V5 scan (and one rank-order sharded pass) under both
+/// schedulers at each worker count, checking that every configuration
+/// reproduces the single-worker result bit-identically.
+///
+/// Measurement methodology: the two schedulers are *interleaved* within
+/// each trial round (chunk-1, then run-aware, repeat), so slow drift on
+/// a shared box — thermal throttling, a noisy neighbour — biases neither
+/// side; each cell reports its best round.
+fn bench_scaling(
+    data: &Dataset,
+    forced: Option<bitgenome::SimdLevel>,
+    trials: usize,
+    shards: u64,
+    counts: &[usize],
+) -> Result<ScalingSweep, String> {
+    use epi_core::scan::scan_split_with_workers;
+    use epi_core::shard::scan_sharded_with_workers;
+
+    let ds = bitgenome::SplitDataset::encode(&data.genotypes, &data.phenotype);
+    let mut sweep = ScalingSweep {
+        chunk1: Vec::new(),
+        run_aware: Vec::new(),
+    };
+    let schedulers = [Scheduler::PoolChunk1, Scheduler::Pool];
+    let mut reference: Option<Candidate> = None;
+    for &w in counts {
+        let mut best = [None::<(f64, f64)>; 2];
+        let mut stats = [
+            epi_core::PoolCacheStats::default(),
+            epi_core::PoolCacheStats::default(),
+        ];
+        for _ in 0..trials {
+            for (si, &scheduler) in schedulers.iter().enumerate() {
+                let mut cfg = ScanConfig::new(Version::V5);
+                cfg.simd = forced;
+                cfg.scheduler = scheduler;
+                let (res, s) = scan_split_with_workers(&ds, &cfg, w);
+                let secs = res.elapsed.as_secs_f64();
+                if best[si].is_none_or(|(b, _)| secs < b) {
+                    best[si] = Some((secs, res.giga_elements_per_sec()));
+                }
+                stats[si] = s.expect("V5 reports cross-pair stats");
+                // every (scheduler, workers) cell must agree bit-identically
+                match (&reference, res.best()) {
+                    (None, c) => reference = c,
+                    (Some(want), Some(got))
+                        if want.triple != got.triple
+                            || want.score.to_bits() != got.score.to_bits() =>
+                    {
+                        return Err(format!(
+                            "scaling consistency FAILED: {scheduler:?} at {w} workers found \
+                             {:?} ({}) instead of {:?} ({})",
+                            got.triple, got.score, want.triple, want.score
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (si, &scheduler) in schedulers.iter().enumerate() {
+            let (best_seconds, geps) = best[si].expect("at least one trial");
+            let mut cfg = ScanConfig::new(Version::V5);
+            cfg.simd = forced;
+            cfg.scheduler = scheduler;
+            let (_, prefix_stats) =
+                scan_sharded_with_workers(&data.genotypes, &data.phenotype, &cfg, shards, w);
+            let rows = match scheduler {
+                Scheduler::Pool => &mut sweep.run_aware,
+                _ => &mut sweep.chunk1,
+            };
+            rows.push(ScaleRow {
+                workers: w,
+                best_seconds,
+                geps,
+                efficiency: 0.0, // filled below once the w = 1 base is known
+                cross_pair_hit_rate: stats[si].hit_rate(),
+                cross_pair_hit_min: stats[si].min_hit_rate(),
+                cross_pair_hit_max: stats[si].max_hit_rate(),
+                prefix_hit_rate: prefix_stats.hit_rate(),
+            });
+        }
+    }
+    // Efficiency against the lowest measured worker count (per-worker
+    // GEPS relative to the base's per-worker GEPS), so a sweep without a
+    // workers = 1 row still reports meaningful numbers.
+    for rows in [&mut sweep.chunk1, &mut sweep.run_aware] {
+        let base = rows
+            .iter()
+            .min_by_key(|r| r.workers)
+            .map(|r| (r.geps, r.workers as f64));
+        for r in rows.iter_mut() {
+            r.efficiency = match base {
+                Some((bg, bw)) if bg > 0.0 => (r.geps / r.workers as f64) / (bg / bw),
+                _ => 0.0,
+            };
+        }
+    }
+    Ok(sweep)
+}
+
+/// Render one scheduler's sweep rows as a JSON array.
+fn scaling_rows_json(rows: &[ScaleRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "\n      {{\"threads\": {}, \"best_seconds\": {:.6}, \"geps\": {:.4}, \
+             \"efficiency\": {:.4}, \"cross_pair_hit_rate\": {:.4}, \
+             \"cross_pair_hit_min\": {:.4}, \"cross_pair_hit_max\": {:.4}, \
+             \"prefix_hit_rate\": {:.4}}}{}",
+            r.workers,
+            r.best_seconds,
+            r.geps,
+            r.efficiency,
+            r.cross_pair_hit_rate,
+            r.cross_pair_hit_min,
+            r.cross_pair_hit_max,
+            r.prefix_hit_rate,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("\n    ]");
+    out
 }
 
 /// Time the deep-prefix fill (`epi_core::simd::fill_prefix_cache`) on
@@ -824,6 +1146,12 @@ mod tests {
             "128",
             "--trials",
             "1",
+            // keep the sweep tiny: debug-mode tests cannot afford the
+            // timeslice-scale default sample dimension
+            "--scale-samples",
+            "2048",
+            "--scale-threads",
+            "1,2",
             "--out",
             &path_s,
         ]))
@@ -838,7 +1166,49 @@ mod tests {
         assert!(text.contains("\"budget_bytes\""));
         assert!(text.contains("\"prefix_fill_ns_per_word\""));
         assert!(text.contains("\"scalar\""));
+        // parallel scaling block (PR 5): both schedulers + the model
+        assert!(text.contains("\"scaling\""));
+        assert!(text.contains("\"thread_counts\""));
+        assert!(text.contains("\"chunk1\""));
+        assert!(text.contains("\"run_aware\""));
+        assert!(text.contains("\"cross_pair_hit_rate\""));
+        assert!(text.contains("\"model\""));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scale_thread_counts_parsing() {
+        assert_eq!(
+            scale_thread_counts(&s(&["--scale-threads", "1,3,9"])).unwrap(),
+            vec![1, 3, 9]
+        );
+        assert!(scale_thread_counts(&s(&["--scale-threads", "1,0"])).is_err());
+        assert!(scale_thread_counts(&s(&["--scale-threads", "two"])).is_err());
+        // default always carries at least three counts, starting at 1
+        let d = scale_thread_counts(&[]).unwrap();
+        assert!(d.len() >= 3 && d[0] == 1 && d.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn threads_env_override_applies_when_flag_absent() {
+        // flag wins over env; env wins over default; default unified on 0
+        let flag = s(&["x.epi3", "--threads", "5"]);
+        let bare = s(&["x.epi3"]);
+        assert_eq!(
+            opt_threads_with(&flag, "--threads", 0, Some("3")).unwrap(),
+            5
+        );
+        assert_eq!(
+            opt_threads_with(&bare, "--threads", 0, Some("3")).unwrap(),
+            3
+        );
+        assert_eq!(opt_threads_with(&bare, "--threads", 0, None).unwrap(), 0);
+        assert_eq!(
+            opt_threads_with(&bare, "--threads", 1, Some("")).unwrap(),
+            1
+        );
+        assert!(opt_threads_with(&bare, "--threads", 0, Some("zebra")).is_err());
+        assert!(opt_threads_with(&s(&["--threads", "x"]), "--threads", 0, None).is_err());
     }
 
     #[test]
@@ -881,6 +1251,10 @@ mod tests {
             "96",
             "--trials",
             "1",
+            "--scale-samples",
+            "2048",
+            "--scale-threads",
+            "1,2",
             "--simd",
             "scalar",
             "--out",

@@ -13,10 +13,12 @@
 //! (`repro: m=.. n=.. seed=.. simd=.. order=.. budget=..`) so a failure
 //! seen in a forced-tier CI shard can be replayed locally in one line.
 //!
-//! Environment knobs (the CI forced-tier matrix drives both):
+//! Environment knobs (the CI forced-tier matrix drives all three):
 //! * `EPI3_SIMD=<tier>` — restrict the tier sweep to {scalar, tier}
 //!   (clamped to the host), mirroring the CLI/server override;
-//! * `EPI3_DIFF_CASES=N` — randomized cases per test (default 4).
+//! * `EPI3_DIFF_CASES=N` — randomized cases per test (default 4);
+//! * `EPI3_DIFF_THREADS=N` — restrict the thread-invariance sweep to
+//!   {1, N} (default {1, 2, 3, 7}); CI runs the matrix legs at 4.
 
 use std::collections::HashMap;
 use threeway_epistasis::bitgenome::{GenotypeMatrix, Phenotype, SimdLevel, SplitDataset};
@@ -80,6 +82,25 @@ fn case_count() -> u64 {
         .and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(4)
+}
+
+/// Worker counts of the thread-invariance sweep: {1, N} under the
+/// `EPI3_DIFF_THREADS` override (the CI matrix mode), {1, 2, 3, 7}
+/// otherwise. Counts above the host's cores still exercise real
+/// multi-worker interleaving — the pool spawns them; the OS timeslices.
+fn threads_under_test() -> Vec<usize> {
+    match std::env::var("EPI3_DIFF_THREADS") {
+        Ok(n) if !n.is_empty() => {
+            let n: usize = n.parse().expect("EPI3_DIFF_THREADS must be a number");
+            assert!(n > 0, "EPI3_DIFF_THREADS must be positive");
+            if n == 1 {
+                vec![1]
+            } else {
+                vec![1, n]
+            }
+        }
+        _ => vec![1, 2, 3, 7],
+    }
 }
 
 /// The four budget settings of the sweep: disabled, too tiny to admit
@@ -226,6 +247,89 @@ fn differential_matrix_is_bit_identical_to_scalar() {
                         cache.table_for_combo(&kds, c),
                         *want,
                         "{repro}: order-{order} table differs at {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The PR 5 axis: thread-count and scheduler invariance of the blocked
+/// V5 path with the cross-pair cache enabled. For every tier × worker
+/// count × scheduler (run-aware and the chunk-1 baseline) the **entire
+/// score surface** must be bit-identical to the single-threaded scalar
+/// reference: `top_k` is set to `C(m, 3)`, so the comparison covers every
+/// combination's score and triple, not just the winners — a wrong cell
+/// in any table on any worker cannot hide.
+#[test]
+fn blocked_v5_is_thread_and_scheduler_invariant() {
+    use threeway_epistasis::epi_core::scan::{
+        scan_split, scan_split_with_workers, ScanConfig, Scheduler, Version,
+    };
+
+    let threads = threads_under_test();
+    println!(
+        "thread invariance: tiers {:?} x workers {threads:?} x schedulers [run-aware, chunk-1]",
+        tiers_under_test()
+            .iter()
+            .map(|l| l.token())
+            .collect::<Vec<_>>(),
+    );
+    for case in 0..case_count() {
+        let seed = 0x7A6B + case * 6151;
+        let m = 10 + (case as usize % 3) * 2; // 10, 12, 14 SNPs
+        let n = 90 + (case as usize % 4) * 21;
+        let (g, p) = dataset(m, n, seed);
+        let ds = SplitDataset::encode(&g, &p);
+        let all = threeway_epistasis::epi_core::combin::num_triples(m) as usize;
+
+        let mut ref_cfg = ScanConfig::new(Version::V5);
+        ref_cfg.top_k = all;
+        ref_cfg.simd = Some(SimdLevel::Scalar);
+        ref_cfg.threads = 1;
+        let want = scan_split(&ds, &ref_cfg).top;
+        assert_eq!(want.len(), all);
+
+        for level in tiers_under_test() {
+            for &workers in &threads {
+                for scheduler in [Scheduler::Pool, Scheduler::PoolChunk1] {
+                    let repro = Repro {
+                        m,
+                        n,
+                        seed,
+                        simd: level,
+                        order: 3,
+                        budget: None,
+                    };
+                    let mut cfg = ScanConfig::new(Version::V5);
+                    cfg.top_k = all;
+                    cfg.simd = Some(level);
+                    cfg.scheduler = scheduler;
+                    // exact worker counts (not host-clamped): >1 worker
+                    // must interleave for real even on small CI boxes
+                    let (res, stats) = scan_split_with_workers(&ds, &cfg, workers);
+                    assert_eq!(
+                        res.top.len(),
+                        want.len(),
+                        "{repro} workers={workers} {scheduler:?}"
+                    );
+                    for (a, b) in res.top.iter().zip(&want) {
+                        assert_eq!(
+                            a.triple, b.triple,
+                            "{repro} workers={workers} {scheduler:?}"
+                        );
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{repro} workers={workers} {scheduler:?}: score must be bit-identical"
+                        );
+                    }
+                    // the cache was actually exercised (the invariance
+                    // must not be vacuous) and every task consulted it
+                    let stats = stats.expect("V5 reports cross-pair stats");
+                    assert!(
+                        stats.hits() + stats.misses() > 0,
+                        "{repro}: cross-pair cache never consulted"
                     );
                 }
             }

@@ -65,11 +65,26 @@ fn loopback_job_returns_the_planted_triple() {
     }
     assert_eq!(got[0].triple, (4, 13, 27), "planted triple wins");
 
-    // server-side counters visible over the wire
+    // server-side counters visible over the wire (worker requests are
+    // clamped to the host's parallelism, like every thread knob)
     let (jobs, scanned, workers) = client.stats().unwrap();
     assert_eq!(jobs, 1);
     assert_eq!(scanned, 24);
-    assert_eq!(workers, 2);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    assert_eq!(workers, 2.min(avail));
+
+    // pool-aggregated pair-prefix cache stats: every triple consulted a
+    // cache exactly once, and the run-aware batch claiming kept the
+    // pool-wide hit rate at the sequential level
+    let (hits, misses, rate, min_rate, max_rate) = client.stats_pair_cache().unwrap();
+    assert_eq!(
+        hits + misses,
+        threeway_epistasis::epi_core::combin::num_triples(32)
+    );
+    assert!(rate > 0.5, "pool-wide hit rate {rate}");
+    assert!((0.0..=max_rate).contains(&min_rate) && max_rate <= 1.0);
 
     handle.shutdown();
 }
