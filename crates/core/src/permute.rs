@@ -44,13 +44,30 @@ impl SplitMix64 {
     }
 }
 
-/// Fisher–Yates shuffle of phenotype labels.
-fn permuted_phenotype(p: &Phenotype, rng: &mut SplitMix64) -> Phenotype {
-    let mut labels = p.labels().to_vec();
-    for i in (1..labels.len()).rev() {
-        labels.swap(i, rng.below(i + 1));
+/// Fisher–Yates permutation of `0..n` drawn from `rng`: the exact index
+/// mapping one shuffle replicate applies to the labels.
+fn permutation_with(n: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.below(i + 1));
     }
-    Phenotype::from_labels(labels)
+    perm
+}
+
+/// The seeded Fisher–Yates permutation of `0..n` that the significance
+/// test's *first* replicate applies to the phenotype labels (replicate
+/// `k` continues the same SplitMix64 stream). Exposed so callers can
+/// reproduce, audit, or reuse the exact shuffles a test ran: the result
+/// is a bijection on `0..n`, fully determined by `(n, seed)`.
+pub fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    permutation_with(n, &mut SplitMix64(seed))
+}
+
+/// Phenotype with labels shuffled by one permutation drawn from `rng`.
+fn permuted_phenotype(p: &Phenotype, rng: &mut SplitMix64) -> Phenotype {
+    let labels = p.labels();
+    let perm = permutation_with(labels.len(), rng);
+    Phenotype::from_labels(perm.iter().map(|&i| labels[i]).collect())
 }
 
 /// Run a permutation test: one observed scan plus `permutations`
@@ -125,6 +142,28 @@ mod tests {
         assert_eq!(q.num_cases(), p.num_cases());
         assert_eq!(q.num_controls(), p.num_controls());
         assert_ne!(q.labels(), p.labels());
+    }
+
+    #[test]
+    fn seeded_permutation_is_deterministic_and_seed_sensitive() {
+        let a = seeded_permutation(257, 0xBEEF);
+        assert_eq!(a, seeded_permutation(257, 0xBEEF));
+        assert_ne!(a, seeded_permutation(257, 0xBEF0));
+        // degenerate sizes are well-defined
+        assert!(seeded_permutation(0, 1).is_empty());
+        assert_eq!(seeded_permutation(1, 1), vec![0]);
+    }
+
+    #[test]
+    fn seeded_permutation_matches_the_first_shuffle_replicate() {
+        // the public permutation IS the index map the first replicate
+        // applies: labels[perm[i]] must equal the shuffled labels
+        let (_, p) = noise(4, 83, 17);
+        let seed = 0x5EED;
+        let q = permuted_phenotype(&p, &mut SplitMix64(seed));
+        let perm = seeded_permutation(p.labels().len(), seed);
+        let applied: Vec<u8> = perm.iter().map(|&i| p.labels()[i]).collect();
+        assert_eq!(applied, q.labels());
     }
 
     #[test]

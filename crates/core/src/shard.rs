@@ -534,6 +534,208 @@ fn scan_sharded_inner(
     )
 }
 
+/// A set of shard indices, kept as sorted, disjoint, non-adjacent
+/// half-open ranges — the exact-accounting currency of scan federation.
+///
+/// A federation coordinator assigns each node a `ShardSet` of one global
+/// [`ShardPlan`], tracks which indices each node has completed, and
+/// computes steal targets by set difference. The compact `lo-hi,i,lo-hi`
+/// text form (`2` alone means the single index 2; `0-4` means `[0, 5)`…
+/// rendered inclusive) travels on the wire as the `shard_set=` job-spec
+/// key and the `SHARDS_DONE` reply, so every party reasons about the
+/// *same* global shard indices — which is what makes re-execution after a
+/// steal duplicate-free at merge time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardSet {
+    /// Sorted, pairwise disjoint, non-adjacent (normalized) ranges.
+    ranges: Vec<Range<u64>>,
+}
+
+impl ShardSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set holding one contiguous range.
+    pub fn from_range(r: Range<u64>) -> Self {
+        let mut s = Self::new();
+        s.insert_range(r);
+        s
+    }
+
+    /// Set from arbitrary indices (any order, duplicates collapse).
+    pub fn from_indices(iter: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Insert one index.
+    pub fn insert(&mut self, i: u64) {
+        self.insert_range(i..i + 1);
+    }
+
+    /// Insert a range, merging with neighbours to keep the normal form.
+    pub fn insert_range(&mut self, r: Range<u64>) {
+        if r.start >= r.end {
+            return;
+        }
+        // position of the first existing range that could touch `r`
+        let mut lo = r.start;
+        let mut hi = r.end;
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        let mut placed = false;
+        for existing in self.ranges.drain(..) {
+            if existing.end < lo || (placed && existing.start > hi) {
+                out.push(existing);
+            } else if existing.start > hi {
+                // past the merge window: emit the merged range first
+                out.push(lo..hi);
+                placed = true;
+                out.push(existing);
+            } else {
+                // overlaps or is adjacent: absorb
+                lo = lo.min(existing.start);
+                hi = hi.max(existing.end);
+            }
+        }
+        if !placed {
+            out.push(lo..hi);
+            // restore sort order if the merged range belongs earlier
+            out.sort_by_key(|r| r.start);
+        }
+        self.ranges = out;
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// True when no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u64) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if i < r.start {
+                    std::cmp::Ordering::Greater
+                } else if i >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// The normalized ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[Range<u64>] {
+        &self.ranges
+    }
+
+    /// Iterate every index in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ranges.iter().flat_map(|r| r.clone())
+    }
+
+    /// Largest index present, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.ranges.last().map(|r| r.end - 1)
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &ShardSet) -> ShardSet {
+        let mut out = ShardSet::new();
+        for r in &self.ranges {
+            let mut cur = r.start;
+            for o in &other.ranges {
+                if o.end <= cur {
+                    continue;
+                }
+                if o.start >= r.end {
+                    break;
+                }
+                if o.start > cur {
+                    out.insert_range(cur..o.start.min(r.end));
+                }
+                cur = cur.max(o.end);
+                if cur >= r.end {
+                    break;
+                }
+            }
+            if cur < r.end {
+                out.insert_range(cur..r.end);
+            }
+        }
+        out
+    }
+
+    /// Split into `n` near-equal consecutive chunks (some possibly empty
+    /// when `n > len`); the balanced unit of a steal reassignment.
+    pub fn split_chunks(&self, n: usize) -> Vec<ShardSet> {
+        let n = n.max(1);
+        let total = self.len();
+        let mut out = Vec::with_capacity(n);
+        let mut iter = self.iter();
+        for c in 0..n as u64 {
+            // same near-equal arithmetic as ShardPlan::range
+            let lo = mul_div(c, total, n as u64);
+            let hi = mul_div(c + 1, total, n as u64);
+            out.push(ShardSet::from_indices(
+                iter.by_ref().take((hi - lo) as usize),
+            ));
+        }
+        out
+    }
+
+    /// Render the compact text form: `0-4,7,9-12` (inclusive bounds,
+    /// single indices bare), or the empty string for the empty set.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if r.end - r.start == 1 {
+                out.push_str(&r.start.to_string());
+            } else {
+                out.push_str(&format!("{}-{}", r.start, r.end - 1));
+            }
+        }
+        out
+    }
+
+    /// Parse the compact text form (inverse of [`ShardSet::to_compact`]).
+    pub fn parse_compact(s: &str) -> Result<Self, String> {
+        let mut set = ShardSet::new();
+        if s.is_empty() {
+            return Ok(set);
+        }
+        for part in s.split(',') {
+            let bad = || format!("bad shard range {part:?} in {s:?}");
+            match part.split_once('-') {
+                Some((lo, hi)) => {
+                    let lo: u64 = lo.parse().map_err(|_| bad())?;
+                    let hi: u64 = hi.parse().map_err(|_| bad())?;
+                    if hi < lo {
+                        return Err(bad());
+                    }
+                    set.insert_range(lo..hi + 1);
+                }
+                None => set.insert(part.parse().map_err(|_| bad())?),
+            }
+        }
+        Ok(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,5 +929,119 @@ mod tests {
         let res = scan_sharded(&g, &p, &cfg, 4);
         assert!(res.top.is_empty());
         assert_eq!(res.combos, 0);
+    }
+
+    #[test]
+    fn shard_set_normalizes_and_roundtrips() {
+        let mut s = ShardSet::new();
+        s.insert_range(5..8);
+        s.insert(9);
+        s.insert(3);
+        s.insert_range(0..2);
+        assert_eq!(s.to_compact(), "0-1,3,5-7,9");
+        assert_eq!(s.len(), 7);
+        assert!(s.contains(0) && s.contains(6) && s.contains(9));
+        assert!(!s.contains(2) && !s.contains(4) && !s.contains(8) && !s.contains(10));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(ShardSet::parse_compact(&s.to_compact()).unwrap(), s);
+
+        // adjacency and overlap both merge
+        s.insert(4); // bridges 3 and 5-7
+        s.insert(2); // bridges 0-1 and 3
+        assert_eq!(s.to_compact(), "0-7,9");
+        s.insert_range(3..20);
+        assert_eq!(s.to_compact(), "0-19");
+
+        // the empty set renders and parses as the empty string
+        assert_eq!(ShardSet::new().to_compact(), "");
+        assert_eq!(ShardSet::parse_compact("").unwrap(), ShardSet::new());
+        assert!(ShardSet::new().is_empty());
+        assert_eq!(ShardSet::new().max(), None);
+
+        // malformed forms fail loudly
+        assert!(ShardSet::parse_compact("3-1").is_err());
+        assert!(ShardSet::parse_compact("a-b").is_err());
+        assert!(ShardSet::parse_compact("1,,2").is_err());
+    }
+
+    #[test]
+    fn shard_set_difference_and_split() {
+        let assigned = ShardSet::from_range(0..20);
+        let done = ShardSet::parse_compact("0-4,7,12-19").unwrap();
+        let undone = assigned.difference(&done);
+        assert_eq!(undone.to_compact(), "5-6,8-11");
+        assert_eq!(undone.len(), 6);
+        // difference with self / empty
+        assert!(assigned.difference(&assigned).is_empty());
+        assert_eq!(assigned.difference(&ShardSet::new()), assigned);
+        assert!(ShardSet::new().difference(&assigned).is_empty());
+
+        // split covers everything exactly once, near-equally
+        let chunks = undone.split_chunks(3);
+        assert_eq!(chunks.len(), 3);
+        let mut rebuilt = ShardSet::new();
+        let mut sizes = Vec::new();
+        for c in &chunks {
+            sizes.push(c.len());
+            for i in c.iter() {
+                assert!(!rebuilt.contains(i), "chunk overlap at {i}");
+                rebuilt.insert(i);
+            }
+        }
+        assert_eq!(rebuilt, undone);
+        assert_eq!(sizes.iter().sum::<u64>(), 6);
+        assert!(sizes.iter().all(|&s| s == 2));
+
+        // more chunks than elements: trailing chunks are empty
+        let chunks = ShardSet::from_range(0..2).split_chunks(4);
+        assert_eq!(chunks.iter().map(ShardSet::len).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn shard_set_random_ops_agree_with_a_naive_model() {
+        // differential check of insert/contains/difference against a
+        // Vec<bool> model across random operation sequences
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        const N: u64 = 64;
+        for _ in 0..200 {
+            let mut set = ShardSet::new();
+            let mut model = [false; N as usize];
+            for _ in 0..12 {
+                let lo = next() % N;
+                let hi = (lo + next() % 8).min(N);
+                set.insert_range(lo..hi);
+                for i in lo..hi {
+                    model[i as usize] = true;
+                }
+            }
+            for i in 0..N {
+                assert_eq!(set.contains(i), model[i as usize], "index {i}");
+            }
+            assert_eq!(set.len(), model.iter().filter(|&&b| b).count() as u64);
+            assert_eq!(ShardSet::parse_compact(&set.to_compact()).unwrap(), set);
+            // ranges are normalized: sorted, disjoint, non-adjacent
+            for w in set.ranges().windows(2) {
+                assert!(w[0].end < w[1].start, "{set:?}");
+            }
+
+            let mut other = ShardSet::new();
+            for _ in 0..6 {
+                let lo = next() % N;
+                let hi = (lo + next() % 8).min(N);
+                other.insert_range(lo..hi);
+            }
+            let diff = set.difference(&other);
+            for i in 0..N {
+                assert_eq!(
+                    diff.contains(i),
+                    set.contains(i) && !other.contains(i),
+                    "difference at {i}"
+                );
+            }
+        }
     }
 }

@@ -474,4 +474,33 @@ proptest! {
         let stats = stats.unwrap();
         prop_assert!(stats.per_worker.len() <= workers);
     }
+
+    /// PR 6: the significance test's seeded label permutation is a
+    /// bijection on `0..n` (every index appears exactly once — a shuffle
+    /// that drops or duplicates samples would silently corrupt the null
+    /// distribution) and is fully determined by `(n, seed)`.
+    #[test]
+    fn seeded_permutation_is_a_seed_deterministic_bijection(
+        n in 0usize..=300,
+        seed in any::<u64>(),
+    ) {
+        use epi_core::permute::seeded_permutation;
+        let perm = seeded_permutation(n, seed);
+        prop_assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &i in &perm {
+            prop_assert!(i < n, "index {} out of range 0..{}", i, n);
+            prop_assert!(!seen[i], "index {} appears twice", i);
+            seen[i] = true;
+        }
+        // surjective follows from injective + same cardinality, but say so
+        prop_assert!(seen.iter().all(|&s| s));
+        // same (n, seed) -> same permutation, bit for bit
+        prop_assert_eq!(&perm, &seeded_permutation(n, seed));
+        // a different seed almost surely moves something (skip tiny n,
+        // where there is only one possible permutation)
+        if n >= 16 {
+            prop_assert_ne!(&perm, &seeded_permutation(n, seed ^ 0x1));
+        }
+    }
 }

@@ -1,0 +1,484 @@
+//! The federation coordinator: partition one plan, submit per-node
+//! sub-jobs, poll, steal, and merge bit-exactly.
+
+use crate::node::{is_transport_error, NodeHandle};
+use epi_core::result::{Candidate, TopK};
+use epi_core::shard::ShardSet;
+use epi_server::{JobSpec, JobState};
+use std::time::{Duration, Instant};
+
+/// Knobs of a federation run. `FederationConfig::new(nodes)` gives
+/// production-ready defaults; tests tighten the timing knobs.
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    /// Fleet addresses (`host:port`), one epi-server each.
+    pub nodes: Vec<String>,
+    /// Connect/read/write deadline of every coordinator RPC. A node
+    /// that answers nothing for this long counts one transport failure.
+    pub rpc_deadline: Duration,
+    /// Consecutive transport failures before a node is declared dead
+    /// and its unmerged shards are resubmitted elsewhere.
+    pub max_rpc_failures: u32,
+    /// How long a node may sit idle (its partition drained) while
+    /// another node still has a backlog before the coordinator steals.
+    pub steal_patience: Duration,
+    /// How long to wait for a cancelled straggler to quiesce (in-flight
+    /// shards landing) before harvesting and resubmitting its backlog.
+    pub steal_quiesce: Duration,
+    /// Poll-loop sleep bounds: exponential backoff from floor to cap,
+    /// reset whenever any node reports progress.
+    pub poll_floor: Duration,
+    pub poll_cap: Duration,
+    /// Hard wall-clock bound on the whole federated scan.
+    pub overall_deadline: Duration,
+}
+
+impl FederationConfig {
+    pub fn new(nodes: Vec<String>) -> Self {
+        Self {
+            nodes,
+            rpc_deadline: Duration::from_secs(5),
+            max_rpc_failures: 3,
+            steal_patience: Duration::from_millis(150),
+            steal_quiesce: Duration::from_secs(2),
+            poll_floor: Duration::from_millis(1),
+            poll_cap: Duration::from_millis(50),
+            overall_deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Why shards moved between nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealReason {
+    /// Victim was healthy but backlogged while the thief sat idle.
+    Straggler,
+    /// Victim stopped answering RPCs and was declared dead.
+    DeadNode,
+    /// Victim answered fine but its sub-job failed (worker panic…).
+    FailedJob,
+}
+
+/// One reassignment of shards from a victim to a new owner.
+#[derive(Clone, Debug)]
+pub struct StealEvent {
+    pub from: String,
+    pub to: String,
+    pub shards: ShardSet,
+    pub reason: StealReason,
+    /// Decision-to-resubmission latency: from the moment the steal (or
+    /// death) was detected to the new sub-job being acked.
+    pub latency: Duration,
+    /// Offset from the start of the federated scan.
+    pub at: Duration,
+}
+
+/// Outcome of a federated scan.
+#[derive(Clone, Debug)]
+pub struct FederationReport {
+    /// Final merged top-K — bit-identical to the monolithic scan.
+    pub top: Vec<Candidate>,
+    /// Shards in the global plan.
+    pub num_shards: u64,
+    /// Shards merged per node address (who did the work that counted;
+    /// every global shard is attributed to exactly one node).
+    pub per_node_shards: Vec<(String, u64)>,
+    pub steals: Vec<StealEvent>,
+    pub dead_nodes: Vec<String>,
+    pub elapsed: Duration,
+}
+
+/// Split the global plan's `num_shards` shard indices into `n`
+/// near-equal contiguous partitions, one per node. Deterministic: any
+/// party with the same `(num_shards, n)` derives the same split.
+pub fn partition(num_shards: u64, n: usize) -> Vec<ShardSet> {
+    ShardSet::from_range(0..num_shards).split_chunks(n)
+}
+
+/// One sub-job tracked on one node.
+struct Assignment {
+    node: usize,
+    job_id: u64,
+    owned: ShardSet,
+    /// Shards already harvested (merged) from this sub-job.
+    done: ShardSet,
+    active: bool,
+}
+
+/// Shards awaiting (re)assignment, with provenance for the report.
+struct PendingWork {
+    shards: ShardSet,
+    from: String,
+    reason: StealReason,
+    since: Instant,
+}
+
+/// Everything the poll loop mutates, grouped so helpers can borrow it
+/// as one unit.
+struct Run<'a> {
+    cfg: &'a FederationConfig,
+    spec: &'a JobSpec,
+    nodes: Vec<NodeHandle>,
+    idle_since: Vec<Option<Instant>>,
+    assignments: Vec<Assignment>,
+    pending: Vec<PendingWork>,
+    merged: ShardSet,
+    node_merged: Vec<u64>,
+    top: TopK,
+    steals: Vec<StealEvent>,
+    started: Instant,
+}
+
+/// Run `spec` federated across `cfg.nodes` and merge the result
+/// bit-identically to a monolithic scan. The spec's `shard_set` must be
+/// `None` — partitioning is the coordinator's job. Blocks until every
+/// shard of the global plan is merged, or fails when the fleet dies or
+/// the overall deadline expires.
+pub fn federate(spec: &JobSpec, cfg: &FederationConfig) -> Result<FederationReport, String> {
+    if cfg.nodes.is_empty() {
+        return Err("federation needs at least one node".into());
+    }
+    if spec.shard_set.is_some() {
+        return Err("spec.shard_set is the coordinator's to assign; leave it unset".into());
+    }
+    let num_shards = spec.shards;
+    let n = cfg.nodes.len();
+    let mut run = Run {
+        cfg,
+        spec,
+        nodes: cfg
+            .nodes
+            .iter()
+            .map(|a| NodeHandle::new(a.clone(), cfg.rpc_deadline, cfg.max_rpc_failures))
+            .collect(),
+        idle_since: vec![None; n],
+        assignments: Vec::new(),
+        pending: Vec::new(),
+        merged: ShardSet::new(),
+        node_merged: vec![0; n],
+        top: TopK::new(spec.top_k.max(1)),
+        steals: Vec::new(),
+        started: Instant::now(),
+    };
+
+    // Initial partition: one contiguous chunk per node (empty chunks --
+    // more nodes than shards -- leave that node idle from the start).
+    for (node, chunk) in partition(num_shards, n).into_iter().enumerate() {
+        if chunk.is_empty() {
+            continue;
+        }
+        run.submit_to(node, chunk, None);
+    }
+
+    let mut backoff = cfg.poll_floor;
+    loop {
+        let progressed = run.tick()?;
+        if run.merged.len() == num_shards {
+            break;
+        }
+        if run.started.elapsed() > cfg.overall_deadline {
+            return Err(format!(
+                "federation deadline exceeded: {}/{} shards merged after {:?}",
+                run.merged.len(),
+                num_shards,
+                run.started.elapsed()
+            ));
+        }
+        if progressed {
+            backoff = cfg.poll_floor;
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.poll_cap);
+        }
+    }
+
+    Ok(FederationReport {
+        top: run.top.into_sorted(),
+        num_shards,
+        per_node_shards: cfg
+            .nodes
+            .iter()
+            .cloned()
+            .zip(run.node_merged.iter().copied())
+            .collect(),
+        steals: run.steals,
+        dead_nodes: run
+            .nodes
+            .iter()
+            .filter(|n| n.is_dead())
+            .map(|n| n.addr().to_string())
+            .collect(),
+        elapsed: run.started.elapsed(),
+    })
+}
+
+impl Run<'_> {
+    /// Submit `shards` as a new sub-job on `node`. On failure the work
+    /// goes (back) to the pending pool — nothing is ever lost. Returns
+    /// true when the submission was acked.
+    fn submit_to(
+        &mut self,
+        node: usize,
+        shards: ShardSet,
+        provenance: Option<PendingWork>,
+    ) -> bool {
+        let mut sub = self.spec.clone();
+        sub.shard_set = Some(shards.clone());
+        match self.nodes[node].rpc(|c| c.submit(&sub)) {
+            Ok(st) => {
+                self.assignments.push(Assignment {
+                    node,
+                    job_id: st.id,
+                    owned: shards,
+                    done: ShardSet::new(),
+                    active: true,
+                });
+                self.idle_since[node] = None;
+                if let Some(p) = provenance {
+                    self.steals.push(StealEvent {
+                        from: p.from,
+                        to: self.nodes[node].addr().to_string(),
+                        shards: p.shards,
+                        reason: p.reason,
+                        latency: p.since.elapsed(),
+                        at: self.started.elapsed(),
+                    });
+                }
+                true
+            }
+            Err(_) => {
+                // requeue; the health machinery decides whether the node
+                // is dying, and the next tick finds another owner
+                self.pending.push(provenance.unwrap_or(PendingWork {
+                    shards: shards.clone(),
+                    from: self.nodes[node].addr().to_string(),
+                    reason: StealReason::DeadNode,
+                    since: Instant::now(),
+                }));
+                false
+            }
+        }
+    }
+
+    /// Merge every not-yet-merged completed shard of `assignment` from a
+    /// PARTIAL harvest. First copy of a shard wins; later copies (a
+    /// stolen shard that was mid-scan during the cancel and landed on
+    /// both nodes) are bit-identical by construction and dropped.
+    fn harvest(&mut self, ai: usize) -> Result<bool, String> {
+        let (node, job_id) = (self.assignments[ai].node, self.assignments[ai].job_id);
+        let parts = self.nodes[node].rpc(|c| c.partial(job_id))?;
+        let mut new = false;
+        for (shard, cands) in parts {
+            self.assignments[ai].done.insert(shard);
+            if self.merged.contains(shard) {
+                continue;
+            }
+            self.merged.insert(shard);
+            self.node_merged[node] += 1;
+            new = true;
+            for c in cands {
+                self.top.push(c.score, c.triple);
+            }
+        }
+        Ok(new)
+    }
+
+    /// Close an assignment whose node died or whose job failed: requeue
+    /// everything owned but not merged.
+    fn close_assignment(&mut self, ai: usize, reason: StealReason) {
+        let a = &mut self.assignments[ai];
+        a.active = false;
+        let remaining = a.owned.difference(&a.done);
+        if !remaining.is_empty() {
+            self.pending.push(PendingWork {
+                shards: remaining,
+                from: self.nodes[a.node].addr().to_string(),
+                reason,
+                since: Instant::now(),
+            });
+        }
+    }
+
+    /// One scheduler pass: poll every active sub-job (harvesting new
+    /// shards), reassign pending work, update idle clocks, and steal
+    /// from stragglers. Returns true when anything moved.
+    fn tick(&mut self) -> Result<bool, String> {
+        let mut progressed = false;
+
+        // 1. Poll active assignments.
+        for ai in 0..self.assignments.len() {
+            if !self.assignments[ai].active {
+                continue;
+            }
+            let (node, job_id) = (self.assignments[ai].node, self.assignments[ai].job_id);
+            if self.nodes[node].is_dead() {
+                self.close_assignment(ai, StealReason::DeadNode);
+                progressed = true;
+                continue;
+            }
+            let st = match self.nodes[node].rpc(|c| c.status(job_id)) {
+                Ok(st) => st,
+                Err(e) => {
+                    if self.nodes[node].is_dead() {
+                        self.close_assignment(ai, StealReason::DeadNode);
+                        progressed = true;
+                    } else if !is_transport_error(&e) {
+                        // healthy node, but the job is gone (restarted
+                        // server?): re-own the work elsewhere
+                        self.close_assignment(ai, StealReason::FailedJob);
+                        progressed = true;
+                    }
+                    continue;
+                }
+            };
+            if st.done > self.assignments[ai].done.len() {
+                progressed |= self.harvest(ai).unwrap_or(false);
+            }
+            match st.state {
+                JobState::Done => {
+                    // deactivate only once fully harvested — a failed
+                    // PARTIAL above leaves the assignment active so the
+                    // harvest retries next tick instead of dropping work
+                    let a = &mut self.assignments[ai];
+                    if a.done.len() == a.owned.len() {
+                        a.active = false;
+                        progressed = true;
+                    }
+                }
+                JobState::Failed | JobState::Cancelled => {
+                    // harvest() above already banked its completed shards
+                    self.close_assignment(ai, StealReason::FailedJob);
+                    progressed = true;
+                }
+                JobState::Queued | JobState::Running => {}
+            }
+        }
+
+        // 2. Reassign pending work to the least-loaded living node.
+        let mut pending = std::mem::take(&mut self.pending);
+        for work in pending.drain(..) {
+            match self.least_loaded_alive() {
+                Some(node) => {
+                    self.submit_to(node, work.shards.clone(), Some(work));
+                    progressed = true;
+                }
+                None => {
+                    return Err(format!(
+                        "all {} nodes dead with {} shards unscanned",
+                        self.nodes.len(),
+                        work.shards.len()
+                            + self.pending.iter().map(|p| p.shards.len()).sum::<u64>()
+                    ));
+                }
+            }
+        }
+
+        // 3. Update idle clocks.
+        let now = Instant::now();
+        for node in 0..self.nodes.len() {
+            let busy = self.assignments.iter().any(|a| a.active && a.node == node);
+            self.idle_since[node] =
+                match (busy || self.nodes[node].is_dead(), self.idle_since[node]) {
+                    (true, _) => None,
+                    (false, Some(t)) => Some(t),
+                    (false, None) => Some(now),
+                };
+        }
+
+        // 4. Steal: an idle node past its patience takes half of the
+        // biggest backlog.
+        let thief = (0..self.nodes.len())
+            .find(|&i| self.idle_since[i].is_some_and(|t| t.elapsed() >= self.cfg.steal_patience));
+        if let Some(thief) = thief {
+            if self.steal_for(thief) {
+                progressed = true;
+            }
+        }
+
+        Ok(progressed)
+    }
+
+    /// Living node with the smallest outstanding shard count.
+    fn least_loaded_alive(&self) -> Option<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].is_dead())
+            .min_by_key(|&i| {
+                self.assignments
+                    .iter()
+                    .filter(|a| a.active && a.node == i)
+                    .map(|a| a.owned.len() - a.done.len())
+                    .sum::<u64>()
+            })
+    }
+
+    /// Steal for idle node `thief`: cancel the biggest healthy backlog,
+    /// let it quiesce, harvest what finished, and split the remainder
+    /// between the thief and the victim. Returns true when a steal
+    /// actually moved work.
+    fn steal_for(&mut self, thief: usize) -> bool {
+        // victim: the active assignment with the most unscanned shards
+        // (at least 2 — a single straggling shard is likely mid-scan and
+        // not worth the cancel round-trip)
+        let Some(ai) = (0..self.assignments.len())
+            .filter(|&ai| {
+                let a = &self.assignments[ai];
+                a.active && a.node != thief && !self.nodes[a.node].is_dead()
+            })
+            .max_by_key(|&ai| {
+                let a = &self.assignments[ai];
+                a.owned.len() - a.done.len()
+            })
+        else {
+            return false;
+        };
+        let undone = self.assignments[ai].owned.len() - self.assignments[ai].done.len();
+        if undone < 2 {
+            return false;
+        }
+        let decided = Instant::now();
+        let (victim, job_id) = (self.assignments[ai].node, self.assignments[ai].job_id);
+        let victim_addr = self.nodes[victim].addr().to_string();
+
+        // cancel; the engine hands back every unscanned shard
+        if self.nodes[victim].rpc(|c| c.cancel(job_id)).is_err() {
+            return false; // health machinery took note; retry next tick
+        }
+        // let the in-flight shard land so the harvest below is maximal
+        // (a timeout here is fine: the merge dedups by shard index)
+        let quiesce = self.cfg.steal_quiesce;
+        let _ = self.nodes[victim].rpc(|c| c.wait(job_id, quiesce));
+        let _ = self.harvest(ai);
+        self.assignments[ai].active = false;
+
+        let a = &self.assignments[ai];
+        let remaining = a.owned.difference(&a.done);
+        if remaining.is_empty() {
+            return false; // the cancel lost the race with completion
+        }
+        // thief takes the first half, the victim keeps the rest (unless
+        // too little remains to split)
+        let (to_thief, to_victim) = if remaining.len() >= 2 {
+            let mut chunks = remaining.split_chunks(2).into_iter();
+            (
+                chunks.next().unwrap_or_default(),
+                chunks.next().unwrap_or_default(),
+            )
+        } else {
+            (remaining.clone(), ShardSet::new())
+        };
+        self.submit_to(
+            thief,
+            to_thief.clone(),
+            Some(PendingWork {
+                shards: to_thief,
+                from: victim_addr.clone(),
+                reason: StealReason::Straggler,
+                since: decided,
+            }),
+        );
+        if !to_victim.is_empty() {
+            self.submit_to(victim, to_victim, None);
+        }
+        true
+    }
+}

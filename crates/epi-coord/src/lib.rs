@@ -1,0 +1,44 @@
+//! # epi-coord — multi-node scan federation
+//!
+//! One exhaustive three-way scan, split across a fleet of epi-servers.
+//!
+//! A scan job's `ShardPlan` is already deterministic: shard boundaries
+//! depend only on `(M, order, shards)`, so every party — coordinator and
+//! every node — derives the identical global plan, and a shard index
+//! means the same rank range everywhere. The coordinator exploits this:
+//! it partitions the global shard indices into per-node [`ShardSet`]s,
+//! submits one sub-job per node (`shard_set=` spec key), polls progress,
+//! and merges the per-shard top-Ks **bit-identically** to a monolithic
+//! scan.
+//!
+//! ```text
+//!             ┌─ node A ── SUBMIT shard_set=0-15   ──┐
+//!  one spec ──┼─ node B ── SUBMIT shard_set=16-31  ──┼── per-shard merge
+//!             └─ node C ── SUBMIT shard_set=32-47  ──┘   (bit-exact)
+//! ```
+//!
+//! ## Fault tolerance
+//!
+//! * **Dead nodes.** Every RPC carries a deadline
+//!   ([`Client::connect_with_deadline`](epi_server::client::Client::connect_with_deadline));
+//!   a configurable number of consecutive transport failures marks a node
+//!   dead and its unmerged shards are resubmitted to the survivors.
+//!   Results harvested from the node before it died stay merged — exact
+//!   shard accounting means only genuinely missing work is re-executed.
+//! * **Stragglers.** When a node has drained its partition and sits
+//!   idle while another still has a backlog, the coordinator *steals*:
+//!   CANCEL the straggler's sub-job (the engine hands back unscanned
+//!   shards), harvest its completed shards (`PARTIAL`), and resubmit the
+//!   remainder split between the idle node and the straggler. A shard
+//!   that was mid-scan during the cancel may land on both nodes; the
+//!   merge keys results by global shard index (first copy wins, copies
+//!   are bit-identical), so re-execution is duplicate-free by
+//!   construction.
+//!
+//! [`ShardSet`]: epi_core::shard::ShardSet
+
+pub mod coord;
+pub mod node;
+
+pub use coord::{federate, partition, FederationConfig, FederationReport, StealEvent, StealReason};
+pub use node::NodeHandle;

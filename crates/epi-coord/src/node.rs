@@ -1,0 +1,154 @@
+//! The node registry's unit: one handle per fleet member, tracking the
+//! connection, consecutive-failure health, and deadline-bounded RPC.
+
+use epi_server::Client;
+use std::time::Duration;
+
+/// Classify a client error string: transport trouble (timeouts, refused
+/// or dropped connections, a server announcing shutdown) versus a
+/// protocol-level `ERR` the server answered while perfectly healthy
+/// (`no such job`, a spec typo). Only the former counts against a
+/// node's health — a coordinator must not declare a node dead because
+/// one request was malformed.
+pub fn is_transport_error(e: &str) -> bool {
+    e.starts_with("connect ")
+        || e.starts_with("send ")
+        || e.starts_with("receive ")
+        || e.contains("server closed the connection")
+        || e.contains("shutting down")
+}
+
+/// One fleet member: address, lazily (re)established deadline-bounded
+/// connection, and a consecutive-transport-failure counter that trips
+/// into `dead` at a configurable threshold.
+pub struct NodeHandle {
+    addr: String,
+    deadline: Duration,
+    max_failures: u32,
+    client: Option<Client>,
+    failures: u32,
+    dead: bool,
+}
+
+impl NodeHandle {
+    /// Handle for `addr` (`host:port`). No connection is attempted until
+    /// the first [`NodeHandle::rpc`].
+    pub fn new(addr: impl Into<String>, deadline: Duration, max_failures: u32) -> Self {
+        Self {
+            addr: addr.into(),
+            deadline,
+            max_failures: max_failures.max(1),
+            client: None,
+            failures: 0,
+            dead: false,
+        }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Declared dead: `max_failures` consecutive transport failures (or
+    /// an explicit [`NodeHandle::mark_dead`]). Dead is terminal — a
+    /// node that comes back gets no work until a new federation run.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Consecutive transport failures since the last successful RPC.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    pub fn mark_dead(&mut self) {
+        self.dead = true;
+        self.client = None;
+    }
+
+    /// Run one request against this node, connecting (with the deadline)
+    /// if needed. A transport failure drops the connection — the next
+    /// call reconnects fresh rather than reading a half-dead stream —
+    /// and counts toward the death threshold; any successful exchange
+    /// resets the counter, even when the server's answer is an `ERR`.
+    pub fn rpc<T>(
+        &mut self,
+        op: impl FnOnce(&mut Client) -> Result<T, String>,
+    ) -> Result<T, String> {
+        if self.dead {
+            return Err(format!("node {} is dead", self.addr));
+        }
+        if self.client.is_none() {
+            match Client::connect_with_deadline(self.addr.as_str(), self.deadline) {
+                Ok(c) => self.client = Some(c),
+                Err(e) => {
+                    self.note_transport_failure();
+                    return Err(format!("connect to {} failed: {e}", self.addr));
+                }
+            }
+        }
+        let client = self.client.as_mut().expect("connected above");
+        match op(client) {
+            Ok(v) => {
+                self.failures = 0;
+                Ok(v)
+            }
+            Err(e) => {
+                if is_transport_error(&e) {
+                    self.client = None;
+                    self.note_transport_failure();
+                } else {
+                    self.failures = 0;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn note_transport_failure(&mut self) {
+        self.failures += 1;
+        if self.failures >= self.max_failures {
+            self.mark_dead();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_errors_are_distinguished_from_protocol_errors() {
+        for e in [
+            "connect to 10.0.0.1:7733 failed: Connection refused",
+            "connect timed out",
+            "send timed out after 5s",
+            "receive timed out after 5s",
+            "send failed: Broken pipe (os error 32)",
+            "receive failed: Connection reset by peer",
+            "server closed the connection",
+            "server shutting down",
+        ] {
+            assert!(is_transport_error(e), "{e:?} should be transport");
+        }
+        for e in [
+            "no such job 7",
+            "shard_set selects no shards",
+            "unknown verb \"FROB\"",
+        ] {
+            assert!(!is_transport_error(e), "{e:?} should be protocol");
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_death_threshold() {
+        // 127.0.0.1:1 — reserved port, connection refused immediately
+        let mut node = NodeHandle::new("127.0.0.1:1", Duration::from_millis(200), 3);
+        for expect_dead in [false, false, true] {
+            assert!(node.rpc(|c| c.ping()).is_err());
+            assert_eq!(node.is_dead(), expect_dead);
+        }
+        // dead is terminal: no further connection attempts
+        let err = node.rpc(|c| c.ping()).unwrap_err();
+        assert!(err.contains("dead"), "{err}");
+    }
+}

@@ -4,7 +4,8 @@
 use crate::job::{JobState, JobStatus};
 use crate::spec::{unescape, JobSpec};
 use epi_core::result::Candidate;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use epi_core::shard::ShardSet;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -14,17 +15,65 @@ use std::time::{Duration, Instant};
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Connect/read/write deadline, when connected with one. Kept so
+    /// timeout errors can say how long the caller actually waited.
+    deadline: Option<Duration>,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server with no I/O deadline: calls block
+    /// until the server replies or the connection drops. Interactive use
+    /// only — anything supervising *other* machines (the federation
+    /// coordinator above all) must use [`Client::connect_with_deadline`],
+    /// because a dead-but-not-closed peer hangs this client forever.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, None)
+    }
+
+    /// Connect with a deadline applied to the connection attempt and to
+    /// every subsequent read/write. A peer that stops answering turns
+    /// into a clean `timed out` error after `deadline` instead of a hang
+    /// — the basis of the coordinator's liveness detection.
+    pub fn connect_with_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Duration,
+    ) -> std::io::Result<Self> {
+        // `TcpStream::connect_timeout` wants one concrete SocketAddr;
+        // resolve and try each like `connect` does.
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, deadline) {
+                Ok(stream) => return Self::from_stream(stream, Some(deadline)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream, deadline: Option<Duration>) -> std::io::Result<Self> {
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
+            deadline,
         })
+    }
+
+    /// Describe an I/O error, naming the deadline when it expired.
+    /// (A timed-out read surfaces as `WouldBlock` on Unix, `TimedOut`
+    /// on Windows.)
+    fn io_error(&self, what: &str, e: std::io::Error) -> String {
+        match (e.kind(), self.deadline) {
+            (ErrorKind::WouldBlock | ErrorKind::TimedOut, Some(d)) => {
+                format!("{what} timed out after {d:?}")
+            }
+            _ => format!("{what} failed: {e}"),
+        }
     }
 
     fn send(&mut self, request: &str) -> Result<String, String> {
@@ -32,7 +81,7 @@ impl Client {
             .write_all(request.as_bytes())
             .and_then(|_| self.writer.write_all(b"\n"))
             .and_then(|_| self.writer.flush())
-            .map_err(|e| format!("send failed: {e}"))?;
+            .map_err(|e| self.io_error("send", e))?;
         self.read_line()
     }
 
@@ -41,7 +90,7 @@ impl Client {
         match self.reader.read_line(&mut line) {
             Ok(0) => Err("server closed the connection".into()),
             Ok(_) => Ok(line.trim_end().to_string()),
-            Err(e) => Err(format!("receive failed: {e}")),
+            Err(e) => Err(self.io_error("receive", e)),
         }
     }
 
@@ -93,20 +142,53 @@ impl Client {
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let line = self.read_line()?;
+            out.push(parse_candidate(&line)?);
+        }
+        let end = self.read_line()?;
+        if end != "END" {
+            return Err(format!("expected END, got {end:?}"));
+        }
+        Ok(out)
+    }
+
+    /// Exact set of completed shard indices of a job, at any state —
+    /// the coordinator's steal accounting (STATUS's `done` count can't
+    /// say *which* shards finished; batch claiming completes them out
+    /// of order).
+    pub fn shards_done(&mut self, id: u64) -> Result<ShardSet, String> {
+        let line = self.send(&format!("SHARDS_DONE {id}"))?;
+        let fields = parse_kv(Self::expect_ok(&line)?)?;
+        let done = fields
+            .iter()
+            .find(|(k, _)| k == "done")
+            .map(|(_, v)| v.as_str())
+            .ok_or("missing field done")?;
+        ShardSet::parse_compact(done)
+    }
+
+    /// Per-shard candidate lists of every completed shard, in any job
+    /// state. The federation coordinator harvests a cancelled (or
+    /// half-finished) node's completed work through this; merging per
+    /// shard index keeps re-executed shards duplicate-free.
+    pub fn partial(&mut self, id: u64) -> Result<Vec<(u64, Vec<Candidate>)>, String> {
+        let header = self.send(&format!("PARTIAL {id}"))?;
+        let fields = parse_kv(Self::expect_ok(&header)?)?;
+        let count: usize = field(&fields, "count")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
             let mut parts = line.split_whitespace();
-            if parts.next() != Some("CAND") {
-                return Err(format!("expected CAND line, got {line:?}"));
+            if parts.next() != Some("SHARD") {
+                return Err(format!("expected SHARD line, got {line:?}"));
             }
-            let a: u32 = parse_num(parts.next(), "i0")?;
-            let b: u32 = parse_num(parts.next(), "i1")?;
-            let c: u32 = parse_num(parts.next(), "i2")?;
-            let bits = parts.next().ok_or("missing score bits")?;
-            let bits =
-                u64::from_str_radix(bits, 16).map_err(|_| format!("bad score bits {bits:?}"))?;
-            out.push(Candidate {
-                score: f64::from_bits(bits),
-                triple: (a, b, c),
-            });
+            let shard: u64 = parse_num(parts.next(), "shard index")?;
+            let n: usize = parse_num(parts.next(), "candidate count")?;
+            let mut cands = Vec::with_capacity(n);
+            for _ in 0..n {
+                let line = self.read_line()?;
+                cands.push(parse_candidate(&line)?);
+            }
+            out.push((shard, cands));
         }
         let end = self.read_line()?;
         if end != "END" {
@@ -168,17 +250,45 @@ impl Client {
     }
 
     /// Poll until the job is stable (done/failed/cancelled with nothing
-    /// in flight) or the timeout elapses.
+    /// in flight) or the timeout elapses. Polls with exponential backoff
+    /// — 2 ms doubling to a 250 ms cap — so short jobs still resolve in
+    /// milliseconds while a coordinator waiting on many long-running
+    /// nodes doesn't busy-spin the fleet with STATUS traffic.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(2);
+        const BACKOFF_CAP: Duration = Duration::from_millis(250);
         loop {
             let status = self.status(id)?;
-            if status.is_stable() || Instant::now() >= deadline {
+            let now = Instant::now();
+            if status.is_stable() || now >= deadline {
                 return Ok(status);
             }
-            std::thread::sleep(Duration::from_millis(10));
+            // never sleep past the deadline: the final poll happens on
+            // time even when the backoff has grown to the cap
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
         }
     }
+}
+
+/// Parse one `CAND i0 i1 i2 <score-bits-hex> [...]` line, score
+/// reconstructed bit-exactly from the hex field (any trailing display
+/// fields are ignored).
+fn parse_candidate(line: &str) -> Result<Candidate, String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("CAND") {
+        return Err(format!("expected CAND line, got {line:?}"));
+    }
+    let a: u32 = parse_num(parts.next(), "i0")?;
+    let b: u32 = parse_num(parts.next(), "i1")?;
+    let c: u32 = parse_num(parts.next(), "i2")?;
+    let bits = parts.next().ok_or("missing score bits")?;
+    let bits = u64::from_str_radix(bits, 16).map_err(|_| format!("bad score bits {bits:?}"))?;
+    Ok(Candidate {
+        score: f64::from_bits(bits),
+        triple: (a, b, c),
+    })
 }
 
 fn parse_kv(rest: &str) -> Result<Vec<(String, String)>, String> {

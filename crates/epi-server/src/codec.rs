@@ -234,6 +234,62 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_scores_roundtrip_bit_for_bit() {
+        // The "exact f64 bits" claim must hold even for values decimal
+        // formatting cannot represent at all: NaNs (including distinct
+        // payload bits, which `==` can never check — NaN != NaN), both
+        // infinities, and the two zeros (-0.0 == 0.0 yet differs in
+        // sign bit). Compare raw bits, not values.
+        let scores = [
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // quiet NaN, nonzero payload
+            f64::from_bits(0xfff0_0000_0000_0001), // signalling-style NaN pattern
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal, while we're at it
+        ];
+        let cands: Vec<Candidate> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| Candidate {
+                score,
+                triple: (i as u32, i as u32 + 1, i as u32 + 2),
+            })
+            .collect();
+        let mut spec = JobSpec::new("/tmp/nonfinite.epi3");
+        spec.shards = 1;
+        let ck = Checkpoint {
+            job_id: 99,
+            spec,
+            snps: 12,
+            shard_results: vec![Some(cands)],
+        };
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&buf[..]).unwrap();
+        let restored = back.shard_results[0].as_ref().unwrap();
+        assert_eq!(restored.len(), scores.len());
+        for (got, want) in restored.iter().zip(&scores) {
+            assert_eq!(
+                got.score.to_bits(),
+                want.to_bits(),
+                "score {want:?} (bits {:016x}) corrupted to {:?} (bits {:016x})",
+                want.to_bits(),
+                got.score,
+                got.score.to_bits()
+            );
+        }
+        // sanity: the two NaNs with different payloads stayed distinct
+        assert_ne!(restored[0].score.to_bits(), restored[2].score.to_bits());
+        // and the signs of -0.0 / +0.0 survived even though they compare ==
+        assert!(restored[6].score.is_sign_negative());
+        assert!(restored[7].score.is_sign_positive());
+    }
+
+    #[test]
     fn rejects_corruption() {
         let ck = sample_checkpoint();
         let mut buf = Vec::new();

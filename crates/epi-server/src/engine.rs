@@ -23,7 +23,7 @@ use bitgenome::{SplitDataset, UnsplitDataset};
 use epi_core::prefixcache::PairPrefixCache;
 use epi_core::result::Candidate;
 use epi_core::scan::Version;
-use epi_core::shard::{scan_shard_split_cached, scan_shard_unsplit, ShardPlan};
+use epi_core::shard::{scan_shard_split_cached, scan_shard_unsplit, ShardPlan, ShardSet};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -196,6 +196,27 @@ impl Engine {
         let (data, m) = load_encoded(&spec)?;
         let plan = ShardPlan::triples(m, spec.shards);
         let shards = plan.num_shards();
+        if let Some(set) = &spec.shard_set {
+            // shard_set indexes the *global* plan derived from this spec;
+            // an out-of-range index means the submitter's plan disagrees
+            // with ours — fail loudly rather than silently scan less.
+            match set.max() {
+                Some(max) if max < shards => {}
+                Some(max) => {
+                    return Err(format!(
+                        "shard_set index {max} out of range: plan has {shards} shards"
+                    ))
+                }
+                None => return Err("shard_set selects no shards".into()),
+            }
+        }
+        // The global shard indices this job actually scans. Results are
+        // still recorded at their global index, so a coordinator can
+        // merge sub-jobs from many nodes without translation.
+        let owned: Vec<u64> = match &spec.shard_set {
+            Some(set) => set.iter().collect(),
+            None => (0..shards).collect(),
+        };
         let mut state = lock(&self.shared.state);
         let id = state.next_id;
         state.next_id += 1;
@@ -213,8 +234,8 @@ impl Engine {
         if job.plan.total_combos() == 0 {
             // Degenerate dataset (M < 3): complete immediately with the
             // empty result rather than scheduling no-op shards.
-            for slot in &mut job.shard_results {
-                *slot = Some(Vec::new());
+            for &shard in &owned {
+                job.shard_results[shard as usize] = Some(Vec::new());
             }
             job.state = JobState::Done;
             job.data = None;
@@ -225,7 +246,7 @@ impl Engine {
             self.shared.write_checkpoint(snapshot);
             return Ok(status);
         }
-        for shard in 0..shards {
+        for shard in owned {
             state.queue.push_back((id, shard));
         }
         let status = job.status();
@@ -377,6 +398,46 @@ impl Engine {
         drop(state);
         self.shared.work_ready.notify_all();
         Ok(status)
+    }
+
+    /// Exact set of completed shard indices of a job, at any state (the
+    /// SHARDS_DONE verb). Batch claiming completes shards out of order,
+    /// so STATUS's `done` count alone cannot tell a coordinator *which*
+    /// shards are safe to skip when it reassigns a straggler's work —
+    /// this can.
+    pub fn shards_done(&self, id: u64) -> Result<ShardSet, String> {
+        let state = lock(&self.shared.state);
+        let job = state
+            .jobs
+            .get(&id)
+            .ok_or_else(|| format!("no such job {id}"))?;
+        Ok(ShardSet::from_indices(
+            job.shard_results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_some())
+                .map(|(i, _)| i as u64),
+        ))
+    }
+
+    /// Per-shard candidate lists of every *completed* shard, in any job
+    /// state (the PARTIAL verb). Unlike [`Engine::result`] this does not
+    /// require `Done`: a federation coordinator harvests the completed
+    /// shards of a cancelled straggler through this, resubmits only the
+    /// rest elsewhere, and merges per shard index — duplicate-free by
+    /// construction.
+    pub fn partial(&self, id: u64) -> Result<Vec<(u64, Vec<Candidate>)>, String> {
+        let state = lock(&self.shared.state);
+        let job = state
+            .jobs
+            .get(&id)
+            .ok_or_else(|| format!("no such job {id}"))?;
+        Ok(job
+            .shard_results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|c| (i as u64, c.clone())))
+            .collect())
     }
 
     /// Total shards scanned since engine start (monitoring; also the
@@ -552,7 +613,10 @@ fn worker_loop(shared: &Shared, widx: usize) {
                         {
                             job.state = JobState::Running;
                             let cap = epi_core::pool::balance_cap(
-                                job.plan.num_shards() as usize,
+                                // the job's own shard count, not the full
+                                // plan's: a shard_set sub-job should batch
+                                // relative to the work it actually has
+                                job.owned_total() as usize,
                                 shared.workers,
                             );
                             let mut shards = vec![shard];
@@ -690,7 +754,9 @@ fn worker_loop(shared: &Shared, widx: usize) {
                 };
                 job.in_flight.remove(&shard);
                 job.shard_results[shard as usize] = Some(top.into_sorted());
-                let all_done = job.completed() == job.plan.num_shards();
+                // "all done" = no *owned* shard missing — a shard_set job
+                // finishes when its partition is scanned, not the plan.
+                let all_done = job.missing_shards().is_empty();
                 if all_done && job.state == JobState::Running {
                     job.state = JobState::Done;
                 }
@@ -767,6 +833,67 @@ mod tests {
         cfg.top_k = 5;
         let want = epi_core::scan::scan(&g, &p, &cfg).top;
         assert_eq!(got, want);
+        engine.stop();
+    }
+
+    #[test]
+    fn shard_set_subjobs_partition_the_plan_exactly() {
+        let path = write_dataset("subset", 15, 192, 55);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+            default_simd: None,
+        });
+        // Split one 12-shard plan into two sub-jobs with interleaved,
+        // gappy ownership — the worst case for batch claiming.
+        let mut spec_a = JobSpec::new(path.to_str().unwrap());
+        spec_a.shards = 12;
+        spec_a.top_k = 6;
+        let mut spec_b = spec_a.clone();
+        spec_a.shard_set = Some(ShardSet::from_indices([0, 1, 4, 5, 8, 11]));
+        spec_b.shard_set = Some(ShardSet::from_indices([2, 3, 6, 7, 9, 10]));
+        let a = engine.submit(spec_a).unwrap();
+        let b = engine.submit(spec_b).unwrap();
+        assert_eq!(a.total, 6);
+        assert_eq!(b.total, 6);
+        let a_done = engine.wait(a.id, Duration::from_secs(30)).unwrap();
+        let b_done = engine.wait(b.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(a_done.state, JobState::Done);
+        assert_eq!(b_done.state, JobState::Done);
+        assert_eq!(a_done.done, 6);
+        // exactly the 12 distinct shards were scanned — no overlap
+        assert_eq!(engine.shards_scanned(), 12);
+        assert_eq!(
+            engine.shards_done(a.id).unwrap(),
+            ShardSet::from_indices([0, 1, 4, 5, 8, 11])
+        );
+
+        // merging the two partitions per shard index reproduces the
+        // monolithic scan bit-for-bit
+        let mut top = epi_core::result::TopK::new(6);
+        for id in [a.id, b.id] {
+            for (_, cands) in engine.partial(id).unwrap() {
+                for c in cands {
+                    top.push(c.score, c.triple);
+                }
+            }
+        }
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut cfg = epi_core::scan::ScanConfig::new(Version::V5);
+        cfg.top_k = 6;
+        let want = epi_core::scan::scan(&g, &p, &cfg).top;
+        let got = top.into_sorted();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.triple, b.triple);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+
+        // out-of-range shard_set is rejected at submit
+        let mut bad = JobSpec::new(path.to_str().unwrap());
+        bad.shards = 12;
+        bad.shard_set = Some(ShardSet::from_indices([12]));
+        assert!(engine.submit(bad).unwrap_err().contains("out of range"));
         engine.stop();
     }
 

@@ -109,17 +109,44 @@ pub struct Job {
 }
 
 impl Job {
+    /// Does this job own (and therefore scan) the given global shard
+    /// index? Jobs without a `shard_set` own the whole plan.
+    pub fn owns(&self, shard: u64) -> bool {
+        match &self.spec.shard_set {
+            Some(set) => set.contains(shard),
+            None => shard < self.plan.num_shards(),
+        }
+    }
+
+    /// Number of shards this job owns (its `total` for progress).
+    pub fn owned_total(&self) -> u64 {
+        match &self.spec.shard_set {
+            Some(set) => set.len(),
+            None => self.plan.num_shards(),
+        }
+    }
+
+    /// Combinations covered by the owned shards.
+    pub fn owned_combos(&self) -> u64 {
+        match &self.spec.shard_set {
+            Some(set) => set.iter().map(|s| self.plan.shard_len(s)).sum(),
+            None => self.plan.total_combos(),
+        }
+    }
+
     /// Number of completed shards.
     pub fn completed(&self) -> u64 {
         self.shard_results.iter().filter(|r| r.is_some()).count() as u64
     }
 
-    /// Shard indices that still need scanning (no result yet).
+    /// Shard indices that still need scanning: owned but no result yet.
+    /// (Shards outside the job's `shard_set` are someone else's work and
+    /// are never reported missing.)
     pub fn missing_shards(&self) -> Vec<u64> {
         self.shard_results
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.is_none())
+            .filter(|(i, r)| r.is_none() && self.owns(*i as u64))
             .map(|(i, _)| i as u64)
             .collect()
     }
@@ -152,9 +179,9 @@ impl Job {
             id: self.id,
             state: self.state,
             done: self.completed(),
-            total: self.plan.num_shards(),
+            total: self.owned_total(),
             in_flight: self.in_flight.len() as u64,
-            combos: self.plan.total_combos(),
+            combos: self.owned_combos(),
             // echo the tier that actually runs: the clamped forced tier
             // for V4/V5, Scalar for the definitionally scalar V1-V3 —
             // never the raw request

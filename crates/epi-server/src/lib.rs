@@ -39,15 +39,29 @@
 //!
 //! | Request | Reply |
 //! |---------|-------|
-//! | `SUBMIT path=<f> [version=v1..v5] [shards=N] [top=K] [mi] [throttle_ms=N]` | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C>` |
-//! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [error=<e>]` |
-//! | `RESULT <id>` | `OK job=<id> count=<k>` then `k` x `CAND <i0> <i1> <i2> <bits-hex> <score>` then `END` |
+//! | `SUBMIT <spec keys>` (see below) | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C> [simd=<tier>]` |
+//! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [simd=<tier>] [error=<e>]` |
+//! | `RESULT <id>` | `OK job=<id> count=<k>` then `k` x `CAND <i0> <i1> <i2> <bits-hex> <score>` then `END` (job must be `done`) |
+//! | `PARTIAL <id>` | `OK job=<id> count=<s>` then per completed shard `SHARD <idx> <n>` + `n` x `CAND <i0> <i1> <i2> <bits-hex>`, then `END` — any job state |
+//! | `SHARDS_DONE <id>` | `OK job=<id> done=<compact set, e.g. 0-4,7>` — any job state |
 //! | `CANCEL <id>` | status line; pending shards dropped, finished ones kept |
 //! | `RESUME <id>` | status line; missing shards re-enqueued |
 //! | `JOBS` | `OK count=<n>`, `n` x `JOB <status fields>`, `END` |
-//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w>` |
+//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w> pair_hits=<h> pair_misses=<m> pair_hit_rate=<r> pair_hit_min=<r> pair_hit_max=<r>` |
 //! | `PING` | `OK pong` |
 //! | `SHUTDOWN` | `OK bye`, then the server stops |
+//!
+//! `SUBMIT` spec keys: `path=<f>` (required), `version=v1..v5`,
+//! `shards=N`, `top=K`, `mi`, `throttle_ms=N`, `simd=<tier>` (clamped
+//! to the server's capability and echoed back in `simd=`),
+//! `shard_set=<compact>` (own only these global shard indices — the
+//! federation sub-job key; `total`/`combos` then count owned work), and
+//! `panic_shard=N` (fault injection, tests only).
+//!
+//! `STATUS`'s `done` counts completed shards but not *which* ones;
+//! `SHARDS_DONE` + `PARTIAL` exist so a coordinator can harvest exactly
+//! the finished shards of a cancelled or dying sub-job and resubmit the
+//! rest elsewhere (see the `epi-coord` crate).
 //!
 //! States: `queued → running → done`, with `cancelled` (resumable) and
 //! `failed` (diagnostic in `error=`) off the main path.

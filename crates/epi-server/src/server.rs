@@ -192,6 +192,34 @@ fn dispatch(request: &str, engine: &Engine) -> (String, bool) {
             out.push_str("END\n");
             Ok(out)
         }),
+        "SHARDS_DONE" => parse_id(&rest).and_then(|id| {
+            // Exact completed-shard accounting, any job state. STATUS's
+            // `done` count can't tell a coordinator *which* shards a
+            // straggler finished; the compact set here can.
+            let set = engine.shards_done(id)?;
+            Ok(format!("OK job={id} done={}\n", set.to_compact()))
+        }),
+        "PARTIAL" => parse_id(&rest).and_then(|id| {
+            // Per-shard candidate dumps of completed shards, any job
+            // state — how a coordinator harvests a cancelled straggler's
+            // finished work before resubmitting the rest elsewhere.
+            let shards = engine.partial(id)?;
+            let mut out = format!("OK job={id} count={}\n", shards.len());
+            for (shard, cands) in &shards {
+                out.push_str(&format!("SHARD {shard} {}\n", cands.len()));
+                for c in cands {
+                    out.push_str(&format!(
+                        "CAND {} {} {} {:016x}\n",
+                        c.triple.0,
+                        c.triple.1,
+                        c.triple.2,
+                        c.score.to_bits()
+                    ));
+                }
+            }
+            out.push_str("END\n");
+            Ok(out)
+        }),
         "JOBS" => {
             let jobs = engine.jobs();
             let mut out = format!("OK count={}\n", jobs.len());
@@ -225,7 +253,7 @@ fn dispatch(request: &str, engine: &Engine) -> (String, bool) {
         }
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (try SUBMIT/STATUS/RESULT/CANCEL/RESUME/JOBS/STATS/PING/SHUTDOWN)"
+            "unknown verb {other:?} (try SUBMIT/STATUS/RESULT/PARTIAL/SHARDS_DONE/CANCEL/RESUME/JOBS/STATS/PING/SHUTDOWN)"
         )),
     };
     let text = match reply {

@@ -3,6 +3,7 @@
 
 use bitgenome::SimdLevel;
 use epi_core::scan::{ObjectiveKind, ScanConfig, Version};
+use epi_core::shard::ShardSet;
 
 /// Everything needed to (re)create a scan job deterministically: the
 /// dataset location plus the scan and sharding configuration. A spec is
@@ -15,6 +16,13 @@ pub struct JobSpec {
     pub version: Version,
     /// Number of shards the combination range is split into.
     pub shards: u64,
+    /// Subset of the global shard plan this job owns (`shard_set=` key,
+    /// compact `0-4,7,9` form). `None` = every shard. A federation
+    /// coordinator uses this to hand each node a partition of **one**
+    /// global plan: all parties index the same `ShardPlan::triples(m,
+    /// shards)`, so completed-shard accounting (and steal resubmission)
+    /// is exact across machines.
+    pub shard_set: Option<ShardSet>,
     /// Candidates retained per shard and in the final result.
     pub top_k: usize,
     /// Objective function.
@@ -43,6 +51,7 @@ impl JobSpec {
             path: path.into(),
             version: Version::V5,
             shards: 64,
+            shard_set: None,
             top_k: 10,
             objective: ObjectiveKind::K2,
             simd: None,
@@ -72,6 +81,9 @@ impl JobSpec {
             self.shards,
             self.top_k,
         );
+        if let Some(set) = &self.shard_set {
+            s.push_str(&format!(" shard_set={}", set.to_compact()));
+        }
         if self.objective == ObjectiveKind::NegMutualInformation {
             s.push_str(" mi");
         }
@@ -125,6 +137,13 @@ impl JobSpec {
                         .ok()
                         .filter(|&k| k > 0)
                         .ok_or_else(|| format!("top expects a positive number, got {value:?}"))?
+                }
+                "shard_set" => {
+                    let set = ShardSet::parse_compact(value)?;
+                    if set.is_empty() {
+                        return Err("shard_set selects no shards".into());
+                    }
+                    spec.shard_set = Some(set);
                 }
                 "simd" => spec.simd = Some(SimdLevel::parse_token(value)?),
                 "throttle_ms" => {
@@ -216,9 +235,22 @@ mod tests {
         spec.simd = Some(SimdLevel::Avx2);
         spec.throttle_ms = 25;
         spec.panic_shard = Some(4);
+        spec.shard_set = Some(ShardSet::from_indices([0, 1, 2, 5]));
         let line = spec.to_tokens();
         let tokens: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn shard_set_key_roundtrips_and_rejects_empty() {
+        let spec = JobSpec::parse_tokens(&["path=x", "shard_set=0-2,5"]).unwrap();
+        assert_eq!(spec.shard_set, Some(ShardSet::from_indices([0, 1, 2, 5])));
+        let line = spec.to_tokens();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+        // an empty selection is a spec error, not a degenerate job
+        assert!(JobSpec::parse_tokens(&["path=x", "shard_set="]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "shard_set=3-1"]).is_err());
     }
 
     #[test]

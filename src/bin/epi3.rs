@@ -11,6 +11,7 @@
 //! $ epi3 serve --addr 127.0.0.1:7733 --spool /var/spool/epi3 &
 //! $ epi3 submit data.epi3 --shards 64 --wait
 //! $ epi3 status --all
+//! $ epi3 federate data.epi3 --spawn 2 --shards 64 --verify
 //! ```
 
 use std::process::ExitCode;
@@ -50,9 +51,11 @@ commands:
   bench         kernel-version throughput on a fixed synthetic dataset,
                 the cross-triple pair-cache hit rate over a rank-order
                 shard plan, the detected L2/L3-derived cross-pair cache
-                budget, a per-tier deep-prefix fill microbenchmark, and
-                a parallel scaling sweep (chunk-1 vs run-aware scheduler
-                at each worker count, with pool-wide cache hit rates)
+                budget, a per-tier deep-prefix fill microbenchmark, a
+                parallel scaling sweep (chunk-1 vs run-aware scheduler
+                at each worker count, with pool-wide cache hit rates),
+                and a federation block (1/2/4-node loopback fleets plus
+                a forced-straggler steal-latency measurement)
                   [--snps N] [--samples N] [--seed N] [--trials T]
                   [--versions v2,v4,v5] [--threads N] [--shards S]
                   [--scale-threads a,b,c] [--scale-samples N]
@@ -73,6 +76,15 @@ job service (line-delimited TCP, see epi_server crate docs):
   result JOB    fetch the merged top-K of a finished job [--addr]
   cancel JOB    cancel a job, keeping its checkpoint [--addr]
   resume JOB    resume a cancelled job from its checkpoint [--addr]
+  federate FILE split one sharded scan across a fleet of epi-servers,
+                merging the per-shard top-Ks bit-identically and
+                stealing work from slow or dead nodes
+                  --nodes HOST:PORT,...  (the fleet)
+                  --spawn N   (instead of --nodes: launch N in-process
+                  loopback servers on ephemeral ports [--workers N each])
+                  [--shards S] [--version vN] [--top K] [--mi]
+                  [--throttle-ms N] [--simd TIER]
+                  [--verify]  (also scan monolithically and compare)
 
 TIER = scalar|avx2|avx512|vpopcnt. Every command that scans accepts
 --simd; when the flag is absent the EPI3_SIMD env var applies instead.
@@ -105,6 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "result" => cmd_result(rest),
         "cancel" => cmd_job_verb(rest, JobVerb::Cancel),
         "resume" => cmd_job_verb(rest, JobVerb::Resume),
+        "federate" => cmd_federate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -444,6 +457,136 @@ fn cmd_job_verb(args: &[String], verb: JobVerb) -> Result<(), String> {
     Ok(())
 }
 
+/// Launch `n` in-process loopback servers on ephemeral ports; returns
+/// their addresses and the handles to shut them down with.
+fn spawn_loopback_fleet(
+    n: usize,
+    workers: usize,
+    default_simd: Option<bitgenome::SimdLevel>,
+) -> Result<
+    (
+        Vec<String>,
+        Vec<threeway_epistasis::epi_server::ServerHandle>,
+    ),
+    String,
+> {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            EngineConfig {
+                workers,
+                spool_dir: None,
+                default_simd,
+            },
+        )
+        .map_err(|e| format!("cannot bind a loopback server: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        handles.push(server.spawn());
+    }
+    Ok((addrs, handles))
+}
+
+fn print_federation_report(r: &FederationReport) {
+    println!(
+        "federated {} shards over {} node(s) in {:.3} s",
+        r.num_shards,
+        r.per_node_shards.len(),
+        r.elapsed.as_secs_f64()
+    );
+    for (addr, n) in &r.per_node_shards {
+        let dead = if r.dead_nodes.contains(addr) {
+            "  [DEAD]"
+        } else {
+            ""
+        };
+        println!("  {addr}: {n} shard(s){dead}");
+    }
+    for s in &r.steals {
+        println!(
+            "  steal [{:?}] {} -> {}: {} shard(s), latency {:.1} ms at +{:.2} s",
+            s.reason,
+            s.from,
+            s.to,
+            s.shards.len(),
+            s.latency.as_secs_f64() * 1e3,
+            s.at.as_secs_f64(),
+        );
+    }
+    print_candidates(&r.top);
+}
+
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("expected a dataset file argument")?;
+    // Every fleet member loads the dataset itself (shared storage is
+    // assumed); resolve to an absolute path like `submit` does.
+    let path = std::fs::canonicalize(path)
+        .map_err(|e| format!("cannot resolve {path}: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let mut spec = JobSpec::new(&path);
+    spec.version = parse_version(args)?;
+    spec.shards = opt_usize(args, "--shards", 64)? as u64;
+    spec.top_k = opt_usize(args, "--top", 10)?;
+    spec.throttle_ms = opt_usize(args, "--throttle-ms", 0)? as u64;
+    // unclamped, like submit: each server clamps to its own capability
+    spec.simd = requested_simd(args)?;
+    if opt_flag(args, "--mi") {
+        spec.objective = ObjectiveKind::NegMutualInformation;
+    }
+
+    let spawn = opt_usize(args, "--spawn", 0)?;
+    let nodes_arg = opt_value(args, "--nodes");
+    if spawn > 0 && nodes_arg.is_some() {
+        return Err("--nodes and --spawn are mutually exclusive".into());
+    }
+    let mut handles = Vec::new();
+    let nodes: Vec<String> = if spawn > 0 {
+        let workers = opt_threads(args, "--workers", 0)?;
+        let (addrs, hs) = spawn_loopback_fleet(spawn, workers, forced_simd(args)?)?;
+        handles = hs;
+        println!("spawned {spawn} in-process server(s): {}", addrs.join(", "));
+        addrs
+    } else {
+        nodes_arg
+            .ok_or("--nodes HOST:PORT,... or --spawn N is required")?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Into::into)
+            .collect()
+    };
+
+    let cfg = FederationConfig::new(nodes);
+    let outcome = federate(&spec, &cfg);
+    // spawned servers must come down even when the federation failed
+    for h in handles {
+        h.shutdown();
+    }
+    let report = outcome?;
+    print_federation_report(&report);
+
+    if opt_flag(args, "--verify") {
+        let (g, p) = datagen::io::load(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut cfg = ScanConfig::new(spec.version);
+        cfg.top_k = spec.top_k;
+        cfg.objective = spec.objective;
+        cfg.simd = forced_simd(args)?;
+        let mono = scan(&g, &p, &cfg);
+        if mono.top == report.top {
+            println!(
+                "verify: federated == monolithic ({} candidates bit-identical; monolithic {:.3} s)",
+                mono.top.len(),
+                mono.elapsed.as_secs_f64()
+            );
+        } else {
+            return Err("verify FAILED: federated result differs from monolithic scan".into());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_pairs(args: &[String]) -> Result<(), String> {
     let (g, p) = load_dataset(args)?;
     let top_k = opt_usize(args, "--top", 5)?;
@@ -540,7 +683,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // the version-to-version comparison into a scheduler benchmark.
     let threads = opt_usize(args, "--threads", 1)?;
     let shards = opt_usize(args, "--shards", 64)?.max(1) as u64;
-    let out = opt_value(args, "--out").unwrap_or("BENCH_PR5.json");
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR6.json");
     let forced = forced_simd(args)?;
     let versions: Vec<Version> = match opt_value(args, "--versions") {
         None => vec![Version::V2, Version::V4, Version::V5],
@@ -733,6 +876,21 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Federation block: the same workload federated over loopback fleets
+    // of 1, 2 and 4 in-process servers, plus one forced-straggler run to
+    // measure steal latency (decision -> resubmission ack).
+    let fed = bench_federation(&data, snps, samples, trials.min(3), shards)?;
+    for row in &fed.rows {
+        println!(
+            "  federation @{} node(s): {:.4} s -> {:.3} G elements/s ({} steal(s))",
+            row.nodes, row.best_seconds, row.geps, row.steals
+        );
+    }
+    match fed.steal_latency_ms {
+        Some(ms) => println!("  federation steal latency (forced straggler): {ms:.1} ms"),
+        None => println!("  federation steal latency: no steal occurred (timing-dependent)"),
+    }
+
     let geps_of = |v: Version| {
         measured
             .iter()
@@ -816,7 +974,28 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             if i + 1 < model.len() { "," } else { "" }
         ));
     }
-    json.push_str("\n    ]\n  }\n}\n");
+    json.push_str("\n    ]\n  }");
+    // the federation block: loopback fleet throughput + steal latency
+    json.push_str(&format!(
+        ",\n  \"federation\": {{\n    \"shards\": {shards},\n    \"rows\": ["
+    ));
+    for (i, r) in fed.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "\n      {{\"nodes\": {}, \"best_seconds\": {:.6}, \"geps\": {:.4}, \
+             \"steals\": {}}}{}",
+            r.nodes,
+            r.best_seconds,
+            r.geps,
+            r.steals,
+            if i + 1 < fed.rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("\n    ],\n    \"steal_latency_ms\": ");
+    match fed.steal_latency_ms {
+        Some(ms) => json.push_str(&format!("{ms:.3}")),
+        None => json.push_str("null"),
+    }
+    json.push_str("\n  }\n}\n");
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
@@ -972,6 +1151,132 @@ fn bench_scaling(
         }
     }
     Ok(sweep)
+}
+
+/// One measured fleet size of the federation benchmark.
+struct FederationRow {
+    nodes: usize,
+    best_seconds: f64,
+    geps: f64,
+    /// Steals observed across all trials at this fleet size (expected 0
+    /// on a quiet loopback fleet; nonzero means the patience threshold
+    /// fired, which is interesting in itself).
+    steals: usize,
+}
+
+/// Measured federation benchmark: per-fleet-size throughput plus one
+/// forced-straggler steal-latency measurement.
+struct FederationBench {
+    rows: Vec<FederationRow>,
+    /// Mean decision-to-resubmission-ack latency over the steals of the
+    /// forced-straggler run; `None` when no steal fired (the window is
+    /// timing-dependent — a very fast host can drain the backlog before
+    /// the patience threshold trips).
+    steal_latency_ms: Option<f64>,
+}
+
+/// Federate the bench workload over in-process loopback fleets of 1, 2
+/// and 4 servers (best-of-`trials` each), then force a straggler — one
+/// node pre-loaded with a throttled background job — to measure steal
+/// latency. Every run's merged top-1 is checked against the others
+/// bit-identically via the coordinator's own per-shard merge.
+fn bench_federation(
+    data: &Dataset,
+    snps: usize,
+    samples: usize,
+    trials: usize,
+    shards: u64,
+) -> Result<FederationBench, String> {
+    // the fleet loads the dataset from disk like any real deployment
+    let path = std::env::temp_dir().join(format!("epi3_bench_fed_{}.epi3", std::process::id()));
+    datagen::io::save_binary(&path, data).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    let path_s = path.to_string_lossy().into_owned();
+    let elements = epi_core::combin::num_elements(snps, samples) as f64;
+
+    let fed_config = |addrs: &[String]| {
+        let mut cfg = FederationConfig::new(addrs.to_vec());
+        cfg.poll_cap = Duration::from_millis(10); // tighten for short runs
+        cfg
+    };
+    let run = |addrs: &[String], spec: &JobSpec| -> Result<FederationReport, String> {
+        federate(spec, &fed_config(addrs))
+    };
+
+    let mut rows = Vec::new();
+    let mut reference: Option<Candidate> = None;
+    for nodes in [1usize, 2, 4] {
+        let mut best = f64::INFINITY;
+        let mut steals = 0;
+        for _ in 0..trials.max(1) {
+            let (addrs, handles) = spawn_loopback_fleet(nodes, 0, None)?;
+            let mut spec = JobSpec::new(&path_s);
+            spec.shards = shards;
+            spec.top_k = 1;
+            let outcome = run(&addrs, &spec);
+            for h in handles {
+                h.shutdown();
+            }
+            let report = outcome?;
+            best = best.min(report.elapsed.as_secs_f64());
+            steals += report.steals.len();
+            match (&reference, report.top.first()) {
+                (None, c) => reference = c.cloned(),
+                (Some(want), Some(got))
+                    if want.triple != got.triple || want.score.to_bits() != got.score.to_bits() =>
+                {
+                    return Err(format!(
+                        "federation consistency FAILED: {nodes} node(s) found {:?} ({}) \
+                         instead of {:?} ({})",
+                        got.triple, got.score, want.triple, want.score
+                    ));
+                }
+                _ => {}
+            }
+        }
+        rows.push(FederationRow {
+            nodes,
+            best_seconds: best,
+            geps: elements / 1e9 / best,
+            steals,
+        });
+    }
+
+    // Forced straggler: node 1 first chews through a throttled background
+    // job (the engine's shard queue is FIFO across jobs, so the
+    // federation sub-job waits behind it), node 0 drains its own half
+    // quickly and steals the backlog once its patience runs out.
+    let (addrs, handles) = spawn_loopback_fleet(2, 0, None)?;
+    let mut bg = JobSpec::new(&path_s);
+    bg.shards = 12;
+    bg.top_k = 1;
+    bg.throttle_ms = 30;
+    Client::connect(addrs[1].as_str())
+        .map_err(|e| format!("connect to straggler failed: {e}"))?
+        .submit(&bg)
+        .map_err(|e| format!("background job submit failed: {e}"))?;
+    let mut spec = JobSpec::new(&path_s);
+    spec.shards = 16;
+    spec.top_k = 1;
+    spec.throttle_ms = 10;
+    let mut cfg = fed_config(&addrs);
+    cfg.steal_patience = Duration::from_millis(50);
+    let outcome = federate(&spec, &cfg);
+    for h in handles {
+        h.shutdown();
+    }
+    let report = outcome?;
+    let lat: Vec<f64> = report
+        .steals
+        .iter()
+        .map(|s| s.latency.as_secs_f64() * 1e3)
+        .collect();
+    let steal_latency_ms = (!lat.is_empty()).then(|| lat.iter().sum::<f64>() / lat.len() as f64);
+
+    let _ = std::fs::remove_file(&path);
+    Ok(FederationBench {
+        rows,
+        steal_latency_ms,
+    })
 }
 
 /// Render one scheduler's sweep rows as a JSON array.
@@ -1173,6 +1478,47 @@ mod tests {
         assert!(text.contains("\"run_aware\""));
         assert!(text.contains("\"cross_pair_hit_rate\""));
         assert!(text.contains("\"model\""));
+        // federation block (PR 6): loopback fleet rows + steal latency
+        assert!(text.contains("\"federation\""));
+        assert!(text.contains("\"nodes\": 1"));
+        assert!(text.contains("\"nodes\": 2"));
+        assert!(text.contains("\"nodes\": 4"));
+        assert!(text.contains("\"steal_latency_ms\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn federate_spawns_a_loopback_fleet_and_verifies() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("epi3_cli_federate_test.epi3");
+        let path_s = path.to_str().unwrap();
+        run(&s(&[
+            "gen",
+            "--snps",
+            "18",
+            "--samples",
+            "128",
+            "--plant",
+            "2,7,11",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "federate", path_s, "--spawn", "2", "--shards", "8", "--top", "4", "--verify",
+        ]))
+        .unwrap();
+        // --nodes and --spawn cannot be combined; one of them is required
+        assert!(run(&s(&[
+            "federate",
+            path_s,
+            "--spawn",
+            "2",
+            "--nodes",
+            "127.0.0.1:1",
+        ]))
+        .is_err());
+        assert!(run(&s(&["federate", path_s])).is_err());
         let _ = std::fs::remove_file(path);
     }
 

@@ -41,12 +41,14 @@
 //! | [`carm`] | Cache-Aware Roofline Model characterisation (Fig. 2) |
 //! | [`baselines`] | MPI3SNP-style and naive comparators (Table III) |
 //! | [`epi_server`] | sharded, resumable scan jobs behind a TCP service |
+//! | [`epi_coord`] | multi-node federation of one scan across a fleet |
 
 pub use baselines;
 pub use bitgenome;
 pub use carm;
 pub use datagen;
 pub use devices;
+pub use epi_coord;
 pub use epi_core;
 pub use epi_server;
 pub use gpu_sim;
@@ -59,8 +61,9 @@ pub mod prelude {
     pub use crate::{detect, detect_with};
     pub use bitgenome::{GenotypeMatrix, Phenotype};
     pub use datagen::{Dataset, DatasetSpec, GroundTruth, MafModel, PenetranceTable};
+    pub use epi_coord::{federate, FederationConfig, FederationReport};
     pub use epi_core::scan::{scan, ObjectiveKind, ScanConfig, ScanResult, Scheduler, Version};
-    pub use epi_core::shard::{scan_shard, scan_sharded, ShardPlan};
+    pub use epi_core::shard::{scan_shard, scan_sharded, ShardPlan, ShardSet};
     pub use epi_core::{BlockParams, Candidate, Triple};
     pub use epi_server::{Client, EngineConfig, JobSpec, JobState, Server};
     pub use gpu_sim::{GpuScan, GpuScanConfig, GpuTimingModel, GpuVersion};

@@ -19,6 +19,11 @@
 //! * `EPI3_DIFF_CASES=N` — randomized cases per test (default 4);
 //! * `EPI3_DIFF_THREADS=N` — restrict the thread-invariance sweep to
 //!   {1, N} (default {1, 2, 3, 7}); CI runs the matrix legs at 4.
+//!
+//! PR 6 adds the distribution axis: the same scan federated over
+//! loopback fleets of real epi-servers (1 node, 2 nodes, and 2 nodes
+//! with one killed mid-scan) must merge bit-identically to the scalar
+//! monolithic reference.
 
 use std::collections::HashMap;
 use threeway_epistasis::bitgenome::{GenotypeMatrix, Phenotype, SimdLevel, SplitDataset};
@@ -335,6 +340,146 @@ fn blocked_v5_is_thread_and_scheduler_invariant() {
             }
         }
     }
+}
+
+/// The PR 6 axis: multi-node federation. One spec, four execution
+/// shapes — monolithic, a 1-node fleet, a 2-node fleet, and a 2-node
+/// fleet that loses a member mid-scan — must all produce bit-identical
+/// top-Ks. The fleet legs run at every tier under test (the spec's
+/// `simd=` key forces the servers' kernels); the kill leg runs once at
+/// the default tier, with a watcher thread that waits for the victim to
+/// complete at least one shard before shutting it down, so work is
+/// genuinely lost and reassigned rather than never started.
+#[test]
+fn federated_scan_matches_monolithic_at_every_tier() {
+    use std::time::Duration;
+    use threeway_epistasis::datagen;
+    use threeway_epistasis::epi_coord::{federate, FederationConfig};
+    use threeway_epistasis::epi_core::scan::{scan, ScanConfig, Version};
+    use threeway_epistasis::epi_server::{Client, EngineConfig, JobSpec, Server, ServerHandle};
+
+    fn fleet(n: usize) -> (Vec<String>, Vec<ServerHandle>) {
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                EngineConfig {
+                    workers: 0,
+                    spool_dir: None,
+                    default_simd: None,
+                },
+            )
+            .expect("bind loopback");
+            addrs.push(server.local_addr().to_string());
+            handles.push(server.spawn());
+        }
+        (addrs, handles)
+    }
+    fn config(addrs: Vec<String>) -> FederationConfig {
+        let mut cfg = FederationConfig::new(addrs);
+        cfg.poll_cap = Duration::from_millis(20);
+        cfg.steal_patience = Duration::from_millis(50);
+        cfg
+    }
+
+    let (m, n, seed) = (20usize, 160usize, 0xFED5EED);
+    let data = datagen::DatasetSpec::noise(m, n, seed).generate();
+    let dir = std::env::temp_dir().join("epi3_differential");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("fed-{}.epi3", std::process::id()));
+    datagen::io::save_binary(&path, &data).unwrap();
+    let path_s = path.to_string_lossy().into_owned();
+
+    // the monolithic reference: scalar, single-threaded
+    let mut ref_cfg = ScanConfig::new(Version::V5);
+    ref_cfg.top_k = 8;
+    ref_cfg.simd = Some(SimdLevel::Scalar);
+    ref_cfg.threads = 1;
+    let want = scan(&data.genotypes, &data.phenotype, &ref_cfg).top;
+    assert_eq!(want.len(), 8);
+
+    for level in tiers_under_test() {
+        for nodes in [1usize, 2] {
+            let repro = Repro {
+                m,
+                n,
+                seed,
+                simd: level,
+                order: 3,
+                budget: None,
+            };
+            let (addrs, handles) = fleet(nodes);
+            let mut spec = JobSpec::new(&path_s);
+            spec.shards = 12;
+            spec.top_k = 8;
+            spec.simd = Some(level);
+            let report = federate(&spec, &config(addrs)).expect("federation");
+            for h in handles {
+                h.shutdown();
+            }
+            assert_eq!(report.top.len(), want.len(), "{repro} nodes={nodes}");
+            for (a, b) in report.top.iter().zip(&want) {
+                assert_eq!(a.triple, b.triple, "{repro} nodes={nodes}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{repro} nodes={nodes}: federated score must be bit-identical"
+                );
+            }
+        }
+    }
+
+    // the fault leg: one of two nodes dies mid-scan; the merge must not
+    // notice (exact shard accounting makes re-execution duplicate-free)
+    {
+        let (addrs, mut handles) = fleet(2);
+        let mut spec = JobSpec::new(&path_s);
+        spec.shards = 12;
+        spec.top_k = 8;
+        spec.throttle_ms = 25; // keep the victim mid-scan long enough to die there
+        let victim = addrs[1].clone();
+        let killer = std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            while std::time::Instant::now() < deadline {
+                if let Ok(mut c) =
+                    Client::connect_with_deadline(victim.as_str(), Duration::from_secs(2))
+                {
+                    let progressed = c
+                        .jobs()
+                        .map(|js| js.iter().any(|j| j.done >= 1 && j.done < j.total));
+                    if matches!(progressed, Ok(true)) {
+                        let _ = c.shutdown();
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            panic!("victim never made progress");
+        });
+        let report = federate(&spec, &config(addrs.clone())).expect("federation survives the kill");
+        killer.join().unwrap();
+        assert_eq!(
+            report.dead_nodes,
+            vec![addrs[1].clone()],
+            "the killed node must be declared dead"
+        );
+        assert_eq!(report.top.len(), want.len(), "killed-node leg");
+        for (a, b) in report.top.iter().zip(&want) {
+            assert_eq!(a.triple, b.triple, "killed-node leg");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "killed-node leg: score must be bit-identical"
+            );
+        }
+        handles.remove(1); // killed itself; shutdown() would hang
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The sharded order-3 path (the epi-server inner loop) at every tier:

@@ -273,6 +273,98 @@ fn forced_scalar_tier_echoes_in_status_and_matches_unforced() {
 }
 
 #[test]
+fn shard_set_jobs_and_progress_verbs_work_over_the_wire() {
+    use threeway_epistasis::epi_core::shard::ShardSet;
+    let path = write_planted_dataset("fedverbs", 20, 256, [3, 8, 16]);
+    let (addr, handle) = start_server(2, None);
+    let mut client = Client::connect(addr).unwrap();
+
+    // two sub-jobs partitioning one 10-shard global plan
+    let mut spec_a = JobSpec::new(path.to_str().unwrap());
+    spec_a.shards = 10;
+    spec_a.top_k = 4;
+    let mut spec_b = spec_a.clone();
+    spec_a.shard_set = Some(ShardSet::from_range(0..6));
+    spec_b.shard_set = Some(ShardSet::from_range(6..10));
+    let a = client.submit(&spec_a).unwrap();
+    let b = client.submit(&spec_b).unwrap();
+    assert_eq!(a.total, 6);
+    assert_eq!(b.total, 4);
+    assert_eq!(
+        client.wait(a.id, Duration::from_secs(120)).unwrap().state,
+        JobState::Done
+    );
+    assert_eq!(
+        client.wait(b.id, Duration::from_secs(120)).unwrap().state,
+        JobState::Done
+    );
+
+    // SHARDS_DONE reports exactly each sub-job's owned partition
+    assert_eq!(
+        client.shards_done(a.id).unwrap(),
+        ShardSet::from_range(0..6)
+    );
+    assert_eq!(
+        client.shards_done(b.id).unwrap(),
+        ShardSet::from_range(6..10)
+    );
+
+    // PARTIAL dumps per-shard candidates; merging the two partitions per
+    // shard index reproduces the monolithic scan bit-for-bit
+    let mut top = threeway_epistasis::epi_core::result::TopK::new(4);
+    for id in [a.id, b.id] {
+        for (_, cands) in client.partial(id).unwrap() {
+            for c in cands {
+                top.push(c.score, c.triple);
+            }
+        }
+    }
+    let (g, p) = datagen::io::load(&path).unwrap();
+    let mut cfg = ScanConfig::new(Version::V5);
+    cfg.top_k = 4;
+    let want = detect_with(&g, &p, &cfg).top;
+    let got = top.into_sorted();
+    assert_eq!(got.len(), want.len());
+    for (x, y) in got.iter().zip(&want) {
+        assert_eq!(x.triple, y.triple);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+
+    // both verbs fail cleanly on unknown jobs
+    assert!(client.shards_done(999).is_err());
+    assert!(client.partial(999).is_err());
+
+    handle.shutdown();
+}
+
+#[test]
+fn client_deadline_turns_a_silent_peer_into_a_clean_timeout() {
+    // a listener that never answers: connection succeeds (backlog), but
+    // every request goes unreplied — exactly what a hung node looks like
+    let silent = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = silent.local_addr().unwrap();
+
+    let mut client = Client::connect_with_deadline(addr, Duration::from_millis(150)).unwrap();
+    let start = std::time::Instant::now();
+    let err = client.ping().unwrap_err();
+    assert!(
+        err.contains("timed out"),
+        "expected a clean timeout error, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline must fire promptly, took {:?}",
+        start.elapsed()
+    );
+
+    // against a live server the deadline-enabled client works normally
+    let (srv_addr, handle) = start_server(1, None);
+    let mut live = Client::connect_with_deadline(srv_addr, Duration::from_secs(5)).unwrap();
+    live.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
 fn connections_surviving_shutdown_are_refused() {
     let (addr, handle) = start_server(1, None);
     use std::io::{BufRead, BufReader, Write};
