@@ -33,6 +33,7 @@
 pub mod block;
 pub mod combin;
 pub mod costs;
+pub mod integrity;
 pub mod k2;
 pub mod kway;
 pub mod pairs;
@@ -47,6 +48,7 @@ pub mod table27;
 pub mod versions;
 
 pub use block::BlockParams;
+pub use integrity::{dataset_hash, ContentHash64};
 pub use k2::{K2Scorer, LnFactTable, MutualInformation, Objective};
 pub use pool::PoolCacheStats;
 pub use prefixcache::{PairPrefixCache, PrefixCache};

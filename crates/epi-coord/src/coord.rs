@@ -1,10 +1,27 @@
 //! The federation coordinator: partition one plan, submit per-node
-//! sub-jobs, poll, steal, and merge bit-exactly.
+//! sub-jobs, poll, steal, spool checkpoints, and merge bit-exactly.
+//!
+//! Robustness posture (PR 7): every failure the fleet can throw at the
+//! coordinator has an explicit, tested answer —
+//!
+//! * a **dead node** moves to probation and is re-PINGed on exponential
+//!   backoff; an answered probe re-admits it and the scheduler hands it
+//!   fresh work ([`ReadmissionEvent`] records the provenance);
+//! * a **diverged dataset replica** is caught by content hash — at
+//!   SUBMIT (the node refuses the spec's `dataset_hash=`) or at STATUS
+//!   (the node's reported hash disagrees) — and the node is
+//!   *quarantined*: terminally excluded, its results never merged;
+//! * a **killed coordinator** resumes from its spool file
+//!   ([`resume_from_spool`]): merged shards and the harvested top-K are
+//!   reloaded bit-exactly, live sub-jobs are re-adopted by address, and
+//!   only genuinely unmerged work is rescanned.
 
+use crate::checkpoint::{CheckpointAssignment, FederationCheckpoint};
 use crate::node::{is_transport_error, NodeHandle};
 use epi_core::result::{Candidate, TopK};
 use epi_core::shard::ShardSet;
 use epi_server::{JobSpec, JobState};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Knobs of a federation run. `FederationConfig::new(nodes)` gives
@@ -29,8 +46,24 @@ pub struct FederationConfig {
     /// reset whenever any node reports progress.
     pub poll_floor: Duration,
     pub poll_cap: Duration,
+    /// Probation probe bounds: a dead node is re-PINGed on exponential
+    /// backoff from floor to cap until it answers (re-admission) or the
+    /// run ends.
+    pub probe_floor: Duration,
+    pub probe_cap: Duration,
     /// Hard wall-clock bound on the whole federated scan.
     pub overall_deadline: Duration,
+    /// Pin the dataset content hash (computed from the coordinator's
+    /// local copy when the spec doesn't carry one) into every sub-job,
+    /// so nodes with diverged replicas are rejected at SUBMIT.
+    pub verify_dataset: bool,
+    /// Where to spool [`FederationCheckpoint`]s (after every merge
+    /// batch); `None` disables checkpointing.
+    pub spool_path: Option<PathBuf>,
+    /// Fault injection (tests only): abort the coordinator once this
+    /// many shards merged — while the scan is still incomplete — as a
+    /// stand-in for `kill -9` mid-run.
+    pub fail_after_merges: Option<u64>,
 }
 
 impl FederationConfig {
@@ -43,7 +76,12 @@ impl FederationConfig {
             steal_quiesce: Duration::from_secs(2),
             poll_floor: Duration::from_millis(1),
             poll_cap: Duration::from_millis(50),
+            probe_floor: Duration::from_millis(50),
+            probe_cap: Duration::from_secs(2),
             overall_deadline: Duration::from_secs(600),
+            verify_dataset: true,
+            spool_path: None,
+            fail_after_merges: None,
         }
     }
 }
@@ -57,6 +95,10 @@ pub enum StealReason {
     DeadNode,
     /// Victim answered fine but its sub-job failed (worker panic…).
     FailedJob,
+    /// Work re-owned while resuming from a coordinator checkpoint
+    /// (vanished job, node no longer in the fleet, or never-assigned
+    /// shards).
+    Resume,
 }
 
 /// One reassignment of shards from a victim to a new owner.
@@ -73,6 +115,16 @@ pub struct StealEvent {
     pub at: Duration,
 }
 
+/// A dead node that answered a probation probe and rejoined the fleet.
+#[derive(Clone, Debug)]
+pub struct ReadmissionEvent {
+    pub node: String,
+    /// Death-to-readmission span.
+    pub downtime: Duration,
+    /// Offset from the start of the federated scan.
+    pub at: Duration,
+}
+
 /// Outcome of a federated scan.
 #[derive(Clone, Debug)]
 pub struct FederationReport {
@@ -84,7 +136,16 @@ pub struct FederationReport {
     /// every global shard is attributed to exactly one node).
     pub per_node_shards: Vec<(String, u64)>,
     pub steals: Vec<StealEvent>,
+    /// Nodes re-admitted from probation during the run.
+    pub readmissions: Vec<ReadmissionEvent>,
+    /// Nodes still dead (probation unanswered) when the run ended.
+    /// Quarantined nodes are listed separately.
     pub dead_nodes: Vec<String>,
+    /// Terminally excluded nodes and why (dataset hash mismatch…).
+    pub quarantined: Vec<(String, String)>,
+    /// Shards adopted from a checkpoint instead of being rescanned
+    /// (zero on a fresh run).
+    pub resumed_merged: u64,
     pub elapsed: Duration,
 }
 
@@ -117,7 +178,7 @@ struct PendingWork {
 /// as one unit.
 struct Run<'a> {
     cfg: &'a FederationConfig,
-    spec: &'a JobSpec,
+    spec: JobSpec,
     nodes: Vec<NodeHandle>,
     idle_since: Vec<Option<Instant>>,
     assignments: Vec<Assignment>,
@@ -126,7 +187,39 @@ struct Run<'a> {
     node_merged: Vec<u64>,
     top: TopK,
     steals: Vec<StealEvent>,
+    readmissions: Vec<ReadmissionEvent>,
+    /// Merged-shard count at the last spooled checkpoint.
+    spooled: u64,
+    /// Shards adopted from a checkpoint (resume runs only).
+    resumed_merged: u64,
     started: Instant,
+}
+
+fn new_run<'a>(spec: JobSpec, cfg: &'a FederationConfig) -> Run<'a> {
+    let n = cfg.nodes.len();
+    Run {
+        cfg,
+        top: TopK::new(spec.top_k.max(1)),
+        spec,
+        nodes: cfg
+            .nodes
+            .iter()
+            .map(|a| {
+                NodeHandle::new(a.clone(), cfg.rpc_deadline, cfg.max_rpc_failures)
+                    .with_probe_backoff(cfg.probe_floor, cfg.probe_cap)
+            })
+            .collect(),
+        idle_since: vec![None; n],
+        assignments: Vec::new(),
+        pending: Vec::new(),
+        merged: ShardSet::new(),
+        node_merged: vec![0; n],
+        steals: Vec::new(),
+        readmissions: Vec::new(),
+        spooled: 0,
+        resumed_merged: 0,
+        started: Instant::now(),
+    }
 }
 
 /// Run `spec` federated across `cfg.nodes` and merge the result
@@ -141,38 +234,132 @@ pub fn federate(spec: &JobSpec, cfg: &FederationConfig) -> Result<FederationRepo
     if spec.shard_set.is_some() {
         return Err("spec.shard_set is the coordinator's to assign; leave it unset".into());
     }
+    let mut spec = spec.clone();
+    // Pin the dataset content hash so every node proves its replica
+    // matches before any shard is assigned to it. Best-effort: when the
+    // coordinator itself has no readable copy (data lives only on the
+    // nodes), federation still runs — just without the integrity gate.
+    if cfg.verify_dataset && spec.dataset_hash.is_none() {
+        if let Ok((g, p)) = datagen::io::load(Path::new(&spec.path)) {
+            spec.dataset_hash = Some(epi_core::integrity::dataset_hash(&g, &p));
+        }
+    }
     let num_shards = spec.shards;
-    let n = cfg.nodes.len();
-    let mut run = Run {
-        cfg,
-        spec,
-        nodes: cfg
-            .nodes
-            .iter()
-            .map(|a| NodeHandle::new(a.clone(), cfg.rpc_deadline, cfg.max_rpc_failures))
-            .collect(),
-        idle_since: vec![None; n],
-        assignments: Vec::new(),
-        pending: Vec::new(),
-        merged: ShardSet::new(),
-        node_merged: vec![0; n],
-        top: TopK::new(spec.top_k.max(1)),
-        steals: Vec::new(),
-        started: Instant::now(),
-    };
+    let mut run = new_run(spec, cfg);
 
     // Initial partition: one contiguous chunk per node (empty chunks --
     // more nodes than shards -- leave that node idle from the start).
-    for (node, chunk) in partition(num_shards, n).into_iter().enumerate() {
+    for (node, chunk) in partition(num_shards, cfg.nodes.len())
+        .into_iter()
+        .enumerate()
+    {
         if chunk.is_empty() {
             continue;
         }
         run.submit_to(node, chunk, None);
     }
 
+    drive(run)
+}
+
+/// Continue a federation whose coordinator died, from the checkpoint it
+/// spooled. Merged shards and the harvested top-K are adopted verbatim
+/// (bit-exact, no rescan); checkpointed sub-jobs are re-adopted by node
+/// address and polled where the fleet still runs them; everything else
+/// — vanished jobs, nodes no longer configured, never-assigned shards —
+/// re-enters the pending pool with [`StealReason::Resume`] provenance.
+pub fn resume_from_spool(path: &Path, cfg: &FederationConfig) -> Result<FederationReport, String> {
+    if cfg.nodes.is_empty() {
+        return Err("federation needs at least one node".into());
+    }
+    let ckpt = FederationCheckpoint::load(path)?;
+    let num_shards = ckpt.spec.shards;
+    let mut run = new_run(ckpt.spec, cfg);
+    run.merged = ckpt.merged;
+    run.spooled = run.merged.len();
+    run.resumed_merged = run.merged.len();
+    for c in &ckpt.top {
+        run.top.push(c.score, c.triple);
+    }
+    for (addr, count) in &ckpt.node_merged {
+        if let Some(i) = cfg.nodes.iter().position(|a| a == addr) {
+            run.node_merged[i] = *count;
+        }
+    }
+
+    let now = Instant::now();
+    // every shard the checkpoint accounts for, one way or another
+    let mut covered = run.merged.clone();
+    for a in ckpt.assignments {
+        for shard in a.owned.iter() {
+            covered.insert(shard);
+        }
+        match cfg.nodes.iter().position(|addr| *addr == a.node) {
+            Some(node) => {
+                // Adopt the live sub-job: what the fleet merged before
+                // the crash counts as done; the node answers STATUS for
+                // the rest (a vanished job surfaces as a protocol error
+                // and its shards are re-owned by the normal machinery).
+                let done =
+                    ShardSet::from_indices(a.owned.iter().filter(|&s| run.merged.contains(s)));
+                let fully_merged = done.len() == a.owned.len();
+                run.assignments.push(Assignment {
+                    node,
+                    job_id: a.job_id,
+                    owned: a.owned,
+                    done,
+                    active: !fully_merged,
+                });
+            }
+            None => {
+                let rest = a.owned.difference(&run.merged);
+                if !rest.is_empty() {
+                    run.pending.push(PendingWork {
+                        shards: rest,
+                        from: a.node,
+                        reason: StealReason::Resume,
+                        since: now,
+                    });
+                }
+            }
+        }
+    }
+    // shards the checkpoint never assigned (work that sat in the dead
+    // coordinator's pending pool)
+    let leftover = ShardSet::from_range(0..num_shards).difference(&covered);
+    if !leftover.is_empty() {
+        run.pending.push(PendingWork {
+            shards: leftover,
+            from: "checkpoint".into(),
+            reason: StealReason::Resume,
+            since: now,
+        });
+    }
+
+    drive(run)
+}
+
+/// The poll loop shared by fresh and resumed runs: tick, spool, maybe
+/// crash (injection), finish or back off.
+fn drive(mut run: Run<'_>) -> Result<FederationReport, String> {
+    let cfg = run.cfg;
+    let num_shards = run.spec.shards;
     let mut backoff = cfg.poll_floor;
     loop {
         let progressed = run.tick()?;
+        // spool BEFORE the crash check: the injected crash models a
+        // coordinator that died after its last checkpoint write, which
+        // is exactly what resume_from_spool must recover from
+        run.maybe_spool()?;
+        if let Some(limit) = cfg.fail_after_merges {
+            if run.merged.len() >= limit && run.merged.len() < num_shards {
+                return Err(format!(
+                    "injected coordinator crash: {} of {} shards merged",
+                    run.merged.len(),
+                    num_shards
+                ));
+            }
+        }
         if run.merged.len() == num_shards {
             break;
         }
@@ -202,19 +389,31 @@ pub fn federate(spec: &JobSpec, cfg: &FederationConfig) -> Result<FederationRepo
             .zip(run.node_merged.iter().copied())
             .collect(),
         steals: run.steals,
+        readmissions: run.readmissions,
         dead_nodes: run
             .nodes
             .iter()
-            .filter(|n| n.is_dead())
+            .filter(|n| n.is_dead() && !n.is_quarantined())
             .map(|n| n.addr().to_string())
             .collect(),
+        quarantined: run
+            .nodes
+            .iter()
+            .filter_map(|n| {
+                n.quarantine_reason()
+                    .map(|r| (n.addr().to_string(), r.to_string()))
+            })
+            .collect(),
+        resumed_merged: run.resumed_merged,
         elapsed: run.started.elapsed(),
     })
 }
 
 impl Run<'_> {
     /// Submit `shards` as a new sub-job on `node`. On failure the work
-    /// goes (back) to the pending pool — nothing is ever lost. Returns
+    /// goes (back) to the pending pool — nothing is ever lost. A
+    /// `hash mismatch` refusal quarantines the node on the spot: its
+    /// replica diverged and no amount of retrying fixes data. Returns
     /// true when the submission was acked.
     fn submit_to(
         &mut self,
@@ -246,7 +445,10 @@ impl Run<'_> {
                 }
                 true
             }
-            Err(_) => {
+            Err(e) => {
+                if e.contains("hash mismatch") {
+                    self.nodes[node].quarantine(e);
+                }
                 // requeue; the health machinery decides whether the node
                 // is dying, and the next tick finds another owner
                 self.pending.push(provenance.unwrap_or(PendingWork {
@@ -283,6 +485,44 @@ impl Run<'_> {
         Ok(new)
     }
 
+    /// Spool a [`FederationCheckpoint`] when the merged set advanced
+    /// since the last write. The spool rotates (`.prev` keeps the last
+    /// good copy), so a crash mid-write still leaves a loadable file.
+    fn maybe_spool(&mut self) -> Result<(), String> {
+        let Some(path) = &self.cfg.spool_path else {
+            return Ok(());
+        };
+        if self.merged.len() == self.spooled {
+            return Ok(());
+        }
+        let ckpt = FederationCheckpoint {
+            spec: self.spec.clone(),
+            merged: self.merged.clone(),
+            node_merged: self
+                .cfg
+                .nodes
+                .iter()
+                .cloned()
+                .zip(self.node_merged.iter().copied())
+                .collect(),
+            assignments: self
+                .assignments
+                .iter()
+                .filter(|a| a.active)
+                .map(|a| CheckpointAssignment {
+                    node: self.nodes[a.node].addr().to_string(),
+                    job_id: a.job_id,
+                    owned: a.owned.clone(),
+                    done: a.done.clone(),
+                })
+                .collect(),
+            top: self.top.clone().into_sorted(),
+        };
+        ckpt.save(path)?;
+        self.spooled = self.merged.len();
+        Ok(())
+    }
+
     /// Close an assignment whose node died or whose job failed: requeue
     /// everything owned but not merged.
     fn close_assignment(&mut self, ai: usize, reason: StealReason) {
@@ -299,11 +539,26 @@ impl Run<'_> {
         }
     }
 
-    /// One scheduler pass: poll every active sub-job (harvesting new
-    /// shards), reassign pending work, update idle clocks, and steal
-    /// from stragglers. Returns true when anything moved.
+    /// One scheduler pass: probe probation, poll every active sub-job
+    /// (harvesting new shards), reassign pending work, update idle
+    /// clocks, and steal from stragglers. Returns true when anything
+    /// moved.
     fn tick(&mut self) -> Result<bool, String> {
         let mut progressed = false;
+
+        // 0. Probation probes: re-admit any dead node that answers.
+        //    A re-admitted node starts with no assignment, so the idle
+        //    clock and steal machinery below hand it work immediately.
+        for i in 0..self.nodes.len() {
+            if let Some(downtime) = self.nodes[i].probe() {
+                self.readmissions.push(ReadmissionEvent {
+                    node: self.nodes[i].addr().to_string(),
+                    downtime,
+                    at: self.started.elapsed(),
+                });
+                progressed = true;
+            }
+        }
 
         // 1. Poll active assignments.
         for ai in 0..self.assignments.len() {
@@ -331,6 +586,19 @@ impl Run<'_> {
                     continue;
                 }
             };
+            // Integrity gate, checked BEFORE any harvest: a node whose
+            // dataset hash disagrees with the pinned one must never
+            // contribute a shard to the merge.
+            if let (Some(want), Some(got)) = (self.spec.dataset_hash, st.dataset_hash) {
+                if got != want {
+                    self.nodes[node].quarantine(format!(
+                        "dataset hash mismatch: node reports {got:016x}, federation pinned {want:016x}"
+                    ));
+                    self.close_assignment(ai, StealReason::FailedJob);
+                    progressed = true;
+                    continue;
+                }
+            }
             if st.done > self.assignments[ai].done.len() {
                 progressed |= self.harvest(ai).unwrap_or(false);
             }
@@ -363,11 +631,13 @@ impl Run<'_> {
                     progressed = true;
                 }
                 None => {
+                    let unscanned = work.shards.len()
+                        + self.pending.iter().map(|p| p.shards.len()).sum::<u64>();
+                    self.pending.push(work);
                     return Err(format!(
                         "all {} nodes dead with {} shards unscanned",
                         self.nodes.len(),
-                        work.shards.len()
-                            + self.pending.iter().map(|p| p.shards.len()).sum::<u64>()
+                        unscanned
                     ));
                 }
             }
@@ -444,9 +714,16 @@ impl Run<'_> {
             return false; // health machinery took note; retry next tick
         }
         // let the in-flight shard land so the harvest below is maximal
-        // (a timeout here is fine: the merge dedups by shard index)
-        let quiesce = self.cfg.steal_quiesce;
-        let _ = self.nodes[victim].rpc(|c| c.wait(job_id, quiesce));
+        // (a timeout here is fine: the merge dedups by shard index) —
+        // polled on the same floor→cap backoff as the main loop, and
+        // never past the run's own deadline
+        let quiesce = self.cfg.steal_quiesce.min(
+            self.cfg
+                .overall_deadline
+                .saturating_sub(self.started.elapsed()),
+        );
+        let (floor, cap) = (self.cfg.poll_floor, self.cfg.poll_cap);
+        let _ = self.nodes[victim].rpc(|c| c.wait_with_backoff(job_id, quiesce, floor, cap));
         let _ = self.harvest(ai);
         self.assignments[ai].active = false;
 

@@ -2,7 +2,7 @@
 //! connection, consecutive-failure health, and deadline-bounded RPC.
 
 use epi_server::Client;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Classify a client error string: transport trouble (timeouts, refused
 /// or dropped connections, a server announcing shutdown) versus a
@@ -21,6 +21,13 @@ pub fn is_transport_error(e: &str) -> bool {
 /// One fleet member: address, lazily (re)established deadline-bounded
 /// connection, and a consecutive-transport-failure counter that trips
 /// into `dead` at a configurable threshold.
+///
+/// Dead is **probation**, not a grave: [`NodeHandle::probe`] re-PINGs a
+/// dead node on its own exponential backoff schedule and re-admits it
+/// on the first answered ping — unless it has been
+/// [`NodeHandle::quarantine`]d, which *is* terminal (a node whose
+/// dataset replica diverged must never rejoin, however healthy its
+/// transport looks).
 pub struct NodeHandle {
     addr: String,
     deadline: Duration,
@@ -28,6 +35,15 @@ pub struct NodeHandle {
     client: Option<Client>,
     failures: u32,
     dead: bool,
+    /// Probation probe schedule: backoff bounds, the moment the next
+    /// probe is due, and when the node died (for downtime provenance).
+    probe_floor: Duration,
+    probe_cap: Duration,
+    probe_backoff: Duration,
+    next_probe_at: Option<Instant>,
+    dead_since: Option<Instant>,
+    /// Terminal disqualification reason; `Some` wins over any probe.
+    quarantined: Option<String>,
 }
 
 impl NodeHandle {
@@ -41,7 +57,22 @@ impl NodeHandle {
             client: None,
             failures: 0,
             dead: false,
+            probe_floor: Duration::from_millis(50),
+            probe_cap: Duration::from_secs(2),
+            probe_backoff: Duration::from_millis(50),
+            next_probe_at: None,
+            dead_since: None,
+            quarantined: None,
         }
+    }
+
+    /// Override the probation probe backoff bounds (floor doubles to
+    /// cap while a dead node stays unreachable).
+    pub fn with_probe_backoff(mut self, floor: Duration, cap: Duration) -> Self {
+        self.probe_floor = floor.max(Duration::from_millis(1));
+        self.probe_cap = cap.max(self.probe_floor);
+        self.probe_backoff = self.probe_floor;
+        self
     }
 
     pub fn addr(&self) -> &str {
@@ -49,10 +80,22 @@ impl NodeHandle {
     }
 
     /// Declared dead: `max_failures` consecutive transport failures (or
-    /// an explicit [`NodeHandle::mark_dead`]). Dead is terminal — a
-    /// node that comes back gets no work until a new federation run.
+    /// an explicit [`NodeHandle::mark_dead`]). A dead node refuses
+    /// [`NodeHandle::rpc`] but sits in probation — only a successful
+    /// [`NodeHandle::probe`] re-admits it.
     pub fn is_dead(&self) -> bool {
         self.dead
+    }
+
+    /// Terminally disqualified (dataset mismatch or other integrity
+    /// breach); a quarantined node is also dead and never re-admitted.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.is_some()
+    }
+
+    /// Why the node was quarantined, if it was.
+    pub fn quarantine_reason(&self) -> Option<&str> {
+        self.quarantined.as_deref()
     }
 
     /// Consecutive transport failures since the last successful RPC.
@@ -61,8 +104,57 @@ impl NodeHandle {
     }
 
     pub fn mark_dead(&mut self) {
+        if !self.dead {
+            self.dead_since = Some(Instant::now());
+            self.probe_backoff = self.probe_floor;
+            self.next_probe_at = Some(Instant::now() + self.probe_floor);
+        }
         self.dead = true;
         self.client = None;
+    }
+
+    /// Disqualify the node permanently: dead, and probes stop trying.
+    pub fn quarantine(&mut self, reason: impl Into<String>) {
+        self.mark_dead();
+        self.quarantined = Some(reason.into());
+        self.next_probe_at = None;
+    }
+
+    /// True when the node is in probation and its next re-admission
+    /// probe is due.
+    pub fn probe_due(&self, now: Instant) -> bool {
+        self.dead && self.quarantined.is_none() && self.next_probe_at.is_some_and(|at| now >= at)
+    }
+
+    /// Re-admission probe: PING a dead node once (bypassing the `rpc`
+    /// dead-gate) if its backoff schedule says it's due. An answered
+    /// ping re-admits the node — health reset, connection kept — and
+    /// returns its downtime; an unanswered one doubles the backoff
+    /// (floor→cap) and returns `None`. Quarantined nodes never probe.
+    pub fn probe(&mut self) -> Option<Duration> {
+        if !self.probe_due(Instant::now()) {
+            return None;
+        }
+        let answered = Client::connect_with_deadline(self.addr.as_str(), self.deadline)
+            .ok()
+            .and_then(|mut c| c.ping().ok().map(|_| c));
+        match answered {
+            Some(c) => {
+                let downtime = self.dead_since.map(|t| t.elapsed()).unwrap_or_default();
+                self.dead = false;
+                self.failures = 0;
+                self.client = Some(c);
+                self.next_probe_at = None;
+                self.dead_since = None;
+                self.probe_backoff = self.probe_floor;
+                Some(downtime)
+            }
+            None => {
+                self.probe_backoff = (self.probe_backoff * 2).min(self.probe_cap);
+                self.next_probe_at = Some(Instant::now() + self.probe_backoff);
+                None
+            }
+        }
     }
 
     /// Run one request against this node, connecting (with the deadline)
@@ -147,8 +239,75 @@ mod tests {
             assert!(node.rpc(|c| c.ping()).is_err());
             assert_eq!(node.is_dead(), expect_dead);
         }
-        // dead is terminal: no further connection attempts
+        // dead gates rpc: work only flows again through a probe
         let err = node.rpc(|c| c.ping()).unwrap_err();
         assert!(err.contains("dead"), "{err}");
+    }
+
+    #[test]
+    fn probe_readmits_a_restarted_node() {
+        use epi_server::{EngineConfig, Server};
+        let server = Server::bind("127.0.0.1:0", EngineConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let mut node = NodeHandle::new(addr.to_string(), Duration::from_secs(2), 1)
+            .with_probe_backoff(Duration::from_millis(5), Duration::from_millis(40));
+        node.rpc(|c| c.ping()).unwrap();
+
+        handle.shutdown();
+        // the next rpc hits a closed port and (max_failures=1) kills it
+        while !node.is_dead() {
+            let _ = node.rpc(|c| c.ping());
+        }
+        assert!(node.rpc(|c| c.ping()).is_err(), "dead gates rpc");
+        // unanswered probes keep it in probation
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(node.probe().is_none());
+        assert!(node.is_dead());
+
+        // restart the server on the *same* address, as a recovered
+        // fleet member would
+        let revived = Server::bind(addr, EngineConfig::default()).unwrap();
+        let revived_handle = revived.spawn();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let downtime = loop {
+            assert!(Instant::now() < deadline, "probe never re-admitted");
+            if let Some(d) = node.probe() {
+                break d;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(!node.is_dead());
+        assert_eq!(node.failures(), 0);
+        assert!(downtime > Duration::ZERO);
+        // and the re-admitted node serves RPCs again
+        node.rpc(|c| c.ping()).unwrap();
+        revived_handle.shutdown();
+    }
+
+    #[test]
+    fn quarantine_is_terminal_even_for_a_healthy_transport() {
+        use epi_server::{EngineConfig, Server};
+        let server = Server::bind("127.0.0.1:0", EngineConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let mut node = NodeHandle::new(addr.to_string(), Duration::from_secs(2), 2)
+            .with_probe_backoff(Duration::from_millis(1), Duration::from_millis(10));
+        node.rpc(|c| c.ping()).unwrap();
+        node.quarantine("hash mismatch: replica diverged");
+        assert!(node.is_dead());
+        assert!(node.is_quarantined());
+        assert_eq!(
+            node.quarantine_reason(),
+            Some("hash mismatch: replica diverged")
+        );
+        // the server is perfectly reachable — the probe must not even try
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!node.probe_due(Instant::now()));
+        assert!(node.probe().is_none());
+        assert!(node.is_dead());
+        handle.shutdown();
     }
 }

@@ -28,6 +28,7 @@ fn spawn_fleet(workers: &[usize]) -> (Vec<SocketAddr>, Vec<ServerHandle>) {
                 workers: w,
                 spool_dir: None,
                 default_simd: None,
+                dataset_root: None,
             },
         )
         .expect("bind loopback");

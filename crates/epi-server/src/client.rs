@@ -255,19 +255,46 @@ impl Client {
     /// milliseconds while a coordinator waiting on many long-running
     /// nodes doesn't busy-spin the fleet with STATUS traffic.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
+        self.wait_with_backoff(
+            id,
+            timeout,
+            Duration::from_millis(2),
+            Duration::from_millis(250),
+        )
+    }
+
+    /// [`Client::wait`] with explicit backoff bounds, resetting to the
+    /// floor whenever the job makes progress (`done` advances): a job
+    /// draining shards gets polled at the floor's cadence, one that has
+    /// stalled backs off toward the cap. Coordinators use this during
+    /// steal quiesce so the victim's deadline budget is spent watching,
+    /// not oversleeping.
+    pub fn wait_with_backoff(
+        &mut self,
+        id: u64,
+        timeout: Duration,
+        floor: Duration,
+        cap: Duration,
+    ) -> Result<JobStatus, String> {
+        let floor = floor.max(Duration::from_millis(1));
+        let cap = cap.max(floor);
         let deadline = Instant::now() + timeout;
-        let mut backoff = Duration::from_millis(2);
-        const BACKOFF_CAP: Duration = Duration::from_millis(250);
+        let mut backoff = floor;
+        let mut last_done: Option<u64> = None;
         loop {
             let status = self.status(id)?;
             let now = Instant::now();
             if status.is_stable() || now >= deadline {
                 return Ok(status);
             }
+            if last_done.is_some_and(|d| status.done > d) {
+                backoff = floor;
+            }
+            last_done = Some(status.done);
             // never sleep past the deadline: the final poll happens on
             // time even when the backoff has grown to the cap
             std::thread::sleep(backoff.min(deadline - now));
-            backoff = (backoff * 2).min(BACKOFF_CAP);
+            backoff = (backoff * 2).min(cap);
         }
     }
 }
@@ -328,6 +355,13 @@ fn parse_status(rest: &str) -> Result<JobStatus, String> {
         .find(|(k, _)| k == "simd")
         .map(|(_, v)| bitgenome::SimdLevel::parse_token(v))
         .transpose()?;
+    let dataset_hash = fields
+        .iter()
+        .find(|(k, _)| k == "dataset_hash")
+        .map(|(_, v)| {
+            u64::from_str_radix(v, 16).map_err(|_| format!("bad dataset_hash field {v:?}"))
+        })
+        .transpose()?;
     Ok(JobStatus {
         id: field(&fields, "id").or_else(|_| field(&fields, "job"))?,
         state: JobState::parse(&state_name)?,
@@ -336,6 +370,7 @@ fn parse_status(rest: &str) -> Result<JobStatus, String> {
         in_flight: field(&fields, "in_flight")?,
         combos: field(&fields, "combos")?,
         simd,
+        dataset_hash,
         error,
     })
 }

@@ -56,6 +56,7 @@ impl Checkpoint {
     pub fn into_job(self) -> Job {
         let plan = ShardPlan::triples(self.snps, self.spec.shards);
         let complete = self.shard_results.iter().all(|r| r.is_some());
+        let fail_partial_left = self.spec.fail_partial;
         let mut job = Job {
             id: self.job_id,
             spec: self.spec,
@@ -70,6 +71,8 @@ impl Checkpoint {
             data: None,
             error: None,
             ckpt_seq: 0,
+            dataset_hash: None,
+            fail_partial_left,
         };
         if job.shard_results.len() as u64 != job.plan.num_shards() {
             job.state = JobState::Failed;

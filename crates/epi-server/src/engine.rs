@@ -64,6 +64,13 @@ pub struct EngineConfig {
     /// key (`epi3 serve --simd` / `EPI3_SIMD` on the server). Clamped to
     /// the host's capability; an explicit spec key always wins.
     pub default_simd: Option<bitgenome::SimdLevel>,
+    /// Node-local dataset directory (`epi3 serve --data-root`). When
+    /// set, spec paths are resolved as *file names* under this root
+    /// instead of absolute paths — the deployment shape where every
+    /// fleet node carries its own replica of the dataset, which is
+    /// exactly when `dataset_hash=` verification matters: replicas
+    /// drift, and the hash is what catches a stale or corrupted copy.
+    pub dataset_root: Option<PathBuf>,
 }
 
 struct EngineState {
@@ -83,6 +90,8 @@ struct Shared {
     spool_dir: Option<PathBuf>,
     /// Clamped engine-wide default tier for specs without `simd=`.
     default_simd: Option<bitgenome::SimdLevel>,
+    /// Node-local dataset directory; see [`EngineConfig::dataset_root`].
+    dataset_root: Option<PathBuf>,
     /// Worker-pool size (sets the batch-claim balance cap).
     workers: usize,
     /// Per-worker pair-prefix cache counters `(hits, misses)`, flushed by
@@ -124,6 +133,7 @@ impl Engine {
             shards_scanned: AtomicU64::new(0),
             spool_dir: cfg.spool_dir.clone(),
             default_simd: cfg.default_simd.map(|l| l.clamped_to_host()),
+            dataset_root: cfg.dataset_root.clone(),
             workers: threads,
             pair_stats: (0..threads)
                 .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
@@ -193,7 +203,7 @@ impl Engine {
             .simd
             .map(|l| l.clamped_to_host())
             .or(self.shared.default_simd);
-        let (data, m) = load_encoded(&spec)?;
+        let (data, m, hash) = load_encoded(&spec, self.shared.dataset_root.as_deref())?;
         let plan = ShardPlan::triples(m, spec.shards);
         let shards = plan.num_shards();
         if let Some(set) = &spec.shard_set {
@@ -220,6 +230,7 @@ impl Engine {
         let mut state = lock(&self.shared.state);
         let id = state.next_id;
         state.next_id += 1;
+        let fail_partial_left = spec.fail_partial;
         let mut job = Job {
             id,
             spec,
@@ -230,6 +241,8 @@ impl Engine {
             data: Some(Arc::new(data)),
             error: None,
             ckpt_seq: 0,
+            dataset_hash: Some(hash),
+            fail_partial_left,
         };
         if job.plan.total_combos() == 0 {
             // Degenerate dataset (M < 3): complete immediately with the
@@ -342,7 +355,21 @@ impl Engine {
             job.data.is_none().then(|| job.spec.clone())
         };
         let loaded = match reload_spec {
-            Some(spec) => Some(load_encoded(&spec)?),
+            Some(spec) => match load_encoded(&spec, self.shared.dataset_root.as_deref()) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    // Park the failure on the job so STATUS echoes it
+                    // (a coordinator polls STATUS, not this reply).
+                    let mut state = lock(&self.shared.state);
+                    if let Some(job) = state.jobs.get_mut(&id) {
+                        if matches!(job.state, JobState::Cancelled | JobState::Failed) {
+                            job.state = JobState::Failed;
+                            job.error = Some(e.clone());
+                        }
+                    }
+                    return Err(e);
+                }
+            },
             None => None,
         };
 
@@ -359,7 +386,7 @@ impl Engine {
             _ => return Ok(job.status()),
         }
         if job.data.is_none() {
-            let Some((data, m)) = loaded else {
+            let Some((data, m, hash)) = loaded else {
                 // data appeared and vanished again between the phases;
                 // exceedingly unlikely — ask the client to retry
                 return Err(format!("job {id} is mid-transition; retry resume"));
@@ -373,6 +400,7 @@ impl Engine {
                 return Err(job.error.clone().unwrap());
             }
             job.data = Some(Arc::new(data));
+            job.dataset_hash = Some(hash);
         }
         job.error = None;
         if job.missing_shards().is_empty() {
@@ -427,11 +455,22 @@ impl Engine {
     /// rest elsewhere, and merges per shard index — duplicate-free by
     /// construction.
     pub fn partial(&self, id: u64) -> Result<Vec<(u64, Vec<Candidate>)>, String> {
-        let state = lock(&self.shared.state);
+        let mut state = lock(&self.shared.state);
         let job = state
             .jobs
-            .get(&id)
+            .get_mut(&id)
             .ok_or_else(|| format!("no such job {id}"))?;
+        if job.fail_partial_left > 0 {
+            // Fault injection (`fail_partial=` spec key): answer with a
+            // protocol-level ERR — a healthy server saying no, which is
+            // exactly the failure a coordinator must retry rather than
+            // count against the node's transport health.
+            job.fail_partial_left -= 1;
+            return Err(format!(
+                "injected fault: partial harvest of job {id} refused ({} left)",
+                job.fail_partial_left
+            ));
+        }
         Ok(job
             .shard_results
             .iter()
@@ -565,16 +604,43 @@ fn write_checkpoint_file(dir: &Path, ck: &Checkpoint) {
     }
 }
 
-/// Load and encode a dataset for a spec's scan version.
-fn load_encoded(spec: &JobSpec) -> Result<(EncodedData, usize), String> {
-    let (g, p) = datagen::io::load(&spec.path)
-        .map_err(|e| format!("cannot read dataset {}: {e}", spec.path))?;
+/// Resolve a spec's dataset path against an optional node-local root:
+/// with a root configured, only the file name of the spec path is used
+/// (every node keeps its replica under its own root); without one the
+/// spec path is taken verbatim.
+fn resolve_dataset_path(spec_path: &str, root: Option<&Path>) -> PathBuf {
+    match root {
+        Some(root) => match Path::new(spec_path).file_name() {
+            Some(name) => root.join(name),
+            None => root.join(spec_path),
+        },
+        None => PathBuf::from(spec_path),
+    }
+}
+
+/// Load, fingerprint, and encode a dataset for a spec's scan version.
+/// When the spec pins a `dataset_hash=`, the recomputed hash of the
+/// local file must match or the load fails — this is the integrity gate
+/// that keeps a node with a divergent replica out of a federation.
+fn load_encoded(spec: &JobSpec, root: Option<&Path>) -> Result<(EncodedData, usize, u64), String> {
+    let path = resolve_dataset_path(&spec.path, root);
+    let (g, p) = datagen::io::load(&path)
+        .map_err(|e| format!("cannot read dataset {}: {e}", path.display()))?;
+    let hash = epi_core::integrity::dataset_hash(&g, &p);
+    if let Some(want) = spec.dataset_hash {
+        if hash != want {
+            return Err(format!(
+                "hash mismatch: dataset {} hashes to {hash:016x}, spec expects {want:016x}",
+                path.display()
+            ));
+        }
+    }
     let m = g.num_snps();
     let data = match spec.version {
         Version::V1 => EncodedData::Unsplit(UnsplitDataset::encode(&g, &p)),
         _ => EncodedData::Split(SplitDataset::encode(&g, &p)),
     };
-    Ok((data, m))
+    Ok((data, m, hash))
 }
 
 /// Worker-local pair-prefix cache, keyed by (job, dataset identity), plus
@@ -818,6 +884,7 @@ mod tests {
             workers: 3,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 9;
@@ -843,6 +910,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         // Split one 12-shard plan into two sub-jobs with interleaved,
         // gappy ownership — the worst case for batch claiming.
@@ -905,6 +973,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec_a = JobSpec::new(path_a.to_str().unwrap());
         spec_a.shards = 5;
@@ -934,6 +1003,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
 
         // unforced reference
@@ -978,6 +1048,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: Some(SimdLevel::Scalar),
+            dataset_root: None,
         });
         let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
         assert_eq!(st.simd, Some(SimdLevel::Scalar));
@@ -993,6 +1064,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 20;
@@ -1036,6 +1108,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         assert!(engine.submit(JobSpec::new("/no/such/file.epi3")).is_err());
         assert!(engine.status(99).is_err());
@@ -1054,6 +1127,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
         assert_eq!(st.state, JobState::Done);
@@ -1070,6 +1144,7 @@ mod tests {
             workers: 2,
             spool_dir: Some(spool.clone()),
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 24;
@@ -1127,6 +1202,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 18;
@@ -1158,6 +1234,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 12;
@@ -1194,6 +1271,7 @@ mod tests {
             workers: 2,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 8;
@@ -1235,6 +1313,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 20; // one worker claims a batch of up to 10
@@ -1271,6 +1350,7 @@ mod tests {
             workers: 1,
             spool_dir: None,
             default_simd: None,
+            dataset_root: None,
         });
         // Poison the state mutex the hard way: panic while holding it.
         let shared = Arc::clone(&engine.shared);
@@ -1300,6 +1380,7 @@ mod tests {
             workers: 1,
             spool_dir: Some(spool.clone()),
             default_simd: None,
+            dataset_root: None,
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 16;
@@ -1321,6 +1402,7 @@ mod tests {
             workers: 2,
             spool_dir: Some(spool.clone()),
             default_simd: None,
+            dataset_root: None,
         });
         let restored = engine2.status(st.id).unwrap();
         assert!(matches!(
@@ -1342,5 +1424,137 @@ mod tests {
         );
         engine2.stop();
         let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn dataset_hash_gate_admits_matching_and_rejects_divergent_files() {
+        let path = write_dataset("hashgate", 12, 128, 77);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+            default_simd: None,
+            dataset_root: None,
+        });
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let want = epi_core::integrity::dataset_hash(&g, &p);
+
+        // the pinned hash matches the file: accepted, and STATUS echoes it
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 4;
+        spec.dataset_hash = Some(want);
+        let st = engine.submit(spec.clone()).unwrap();
+        assert_eq!(st.dataset_hash, Some(want));
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+
+        // a divergent pin is refused at the protocol boundary — no job,
+        // no shard ever scanned against the wrong data
+        let scanned_before = engine.shards_scanned();
+        spec.dataset_hash = Some(want ^ 1);
+        let err = engine.submit(spec).unwrap_err();
+        assert!(err.contains("hash mismatch"), "unhelpful error: {err}");
+        assert!(
+            err.contains(&format!("{want:016x}")),
+            "got-hash missing: {err}"
+        );
+        assert_eq!(engine.shards_scanned(), scanned_before);
+
+        // an unpinned spec still reports the computed hash for
+        // coordinator-side cross-checks
+        let mut unpinned = JobSpec::new(path.to_str().unwrap());
+        unpinned.shards = 2;
+        let st = engine.submit(unpinned).unwrap();
+        assert_eq!(st.dataset_hash, Some(want));
+        engine.stop();
+    }
+
+    #[test]
+    fn hash_mismatch_at_resume_parks_the_job_failed_with_the_error_in_status() {
+        let path = write_dataset("hashresume", 12, 128, 78);
+        let spool = std::env::temp_dir().join(format!("epi_hashresume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+            default_simd: None,
+            dataset_root: None,
+        });
+        let (g, p) = datagen::io::load(&path).unwrap();
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 8;
+        spec.throttle_ms = 10;
+        spec.dataset_hash = Some(epi_core::integrity::dataset_hash(&g, &p));
+        let st = engine.submit(spec).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.status(st.id).unwrap().done < 1 {
+            assert!(std::time::Instant::now() < deadline, "no progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        engine.cancel(st.id).unwrap();
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+
+        // 'replica drift': same shape, different content, same path
+        let drifted = DatasetSpec::with_planted_triple(12, 128, [2, 5, 9], 9999).generate();
+        datagen::io::save_binary(&path, &drifted).unwrap();
+
+        let err = engine.resume(st.id).unwrap_err();
+        assert!(err.contains("hash mismatch"), "unhelpful error: {err}");
+        let status = engine.status(st.id).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(status.error.unwrap().contains("hash mismatch"));
+        engine.stop();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn dataset_root_resolves_spec_paths_as_local_file_names() {
+        // node-local replica layout: the spec carries the coordinator's
+        // absolute path, the node resolves just the file name under its
+        // own root
+        let path = write_dataset("rooted", 12, 128, 79);
+        let root = std::env::temp_dir().join(format!("epi_dataroot_{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let local = root.join(path.file_name().unwrap());
+        std::fs::copy(&path, &local).unwrap();
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: None,
+            default_simd: None,
+            dataset_root: Some(root.clone()),
+        });
+        let mut spec = JobSpec::new(format!(
+            "/somewhere/else/{}",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        spec.shards = 3;
+        let st = engine.submit(spec).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        engine.stop();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fail_partial_injects_protocol_errors_then_recovers() {
+        let path = write_dataset("failpartial", 12, 128, 80);
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: None,
+            default_simd: None,
+            dataset_root: None,
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 4;
+        spec.fail_partial = 2;
+        let st = engine.submit(spec).unwrap();
+        engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        // exactly the first two harvests fail, the third succeeds in full
+        for _ in 0..2 {
+            let err = engine.partial(st.id).unwrap_err();
+            assert!(err.contains("injected fault"), "{err}");
+        }
+        let harvest = engine.partial(st.id).unwrap();
+        assert_eq!(harvest.len(), 4);
+        engine.stop();
     }
 }

@@ -106,6 +106,14 @@ pub struct Job {
     /// Monotonic checkpoint-snapshot counter; the engine uses it to drop
     /// stale disk writes that lost the race against a newer snapshot.
     pub ckpt_seq: u64,
+    /// Content hash of the dataset as loaded on *this* node, recorded
+    /// whenever the file is (re)read. `None` for checkpoint-restored
+    /// jobs until RESUME reloads the data. Echoed in STATUS so a
+    /// coordinator can cross-check a node's copy before merging.
+    pub dataset_hash: Option<u64>,
+    /// Remaining `PARTIAL` requests to fail for this job (fault
+    /// injection, counts down from `spec.fail_partial`).
+    pub fail_partial_left: u32,
 }
 
 impl Job {
@@ -189,6 +197,7 @@ impl Job {
                 .spec
                 .simd
                 .map(|_| self.spec.scan_config().effective_simd()),
+            dataset_hash: self.dataset_hash,
             error: self.error.clone(),
         }
     }
@@ -211,6 +220,9 @@ pub struct JobStatus {
     /// the wire as `simd=<token>` so clients can verify which kernel
     /// path actually ran.
     pub simd: Option<bitgenome::SimdLevel>,
+    /// Content hash of the dataset as this node loaded it (`None` until
+    /// the file has been read). Wire form `dataset_hash=<16 hex>`.
+    pub dataset_hash: Option<u64>,
     pub error: Option<String>,
 }
 
@@ -242,6 +254,8 @@ mod tests {
             data: None,
             error: None,
             ckpt_seq: 0,
+            dataset_hash: None,
+            fail_partial_left: 0,
         }
     }
 

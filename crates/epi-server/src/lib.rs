@@ -40,7 +40,7 @@
 //! | Request | Reply |
 //! |---------|-------|
 //! | `SUBMIT <spec keys>` (see below) | `OK job=<id> state=queued done=0 total=<S> in_flight=0 combos=<C> [simd=<tier>]` |
-//! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [simd=<tier>] [error=<e>]` |
+//! | `STATUS <id>` | `OK job=<id> state=<s> done=<d> total=<S> in_flight=<f> combos=<C> [simd=<tier>] [dataset_hash=<16 hex>] [error=<e>]` |
 //! | `RESULT <id>` | `OK job=<id> count=<k>` then `k` x `CAND <i0> <i1> <i2> <bits-hex> <score>` then `END` (job must be `done`) |
 //! | `PARTIAL <id>` | `OK job=<id> count=<s>` then per completed shard `SHARD <idx> <n>` + `n` x `CAND <i0> <i1> <i2> <bits-hex>`, then `END` — any job state |
 //! | `SHARDS_DONE <id>` | `OK job=<id> done=<compact set, e.g. 0-4,7>` — any job state |
@@ -51,12 +51,18 @@
 //! | `PING` | `OK pong` |
 //! | `SHUTDOWN` | `OK bye`, then the server stops |
 //!
-//! `SUBMIT` spec keys: `path=<f>` (required), `version=v1..v5`,
-//! `shards=N`, `top=K`, `mi`, `throttle_ms=N`, `simd=<tier>` (clamped
-//! to the server's capability and echoed back in `simd=`),
-//! `shard_set=<compact>` (own only these global shard indices — the
-//! federation sub-job key; `total`/`combos` then count owned work), and
-//! `panic_shard=N` (fault injection, tests only).
+//! `SUBMIT` spec keys: `path=<f>` (required; resolved under the
+//! server's `dataset_root` when configured and the path is relative),
+//! `version=v1..v5`, `shards=N`, `top=K`, `mi`, `throttle_ms=N`,
+//! `simd=<tier>` (clamped to the server's capability and echoed back
+//! in `simd=`), `shard_set=<compact>` (own only these global shard
+//! indices — the federation sub-job key; `total`/`combos` then count
+//! owned work), `dataset_hash=<16 hex>` (expected
+//! [`epi_core::integrity::dataset_hash`] of the dataset; the server
+//! hashes its local copy at SUBMIT and refuses a diverging replica
+//! with `ERR hash mismatch …`; the job's actual hash is echoed in
+//! STATUS for later audit), and `panic_shard=N` / `fail_partial=N`
+//! (fault injection, tests only).
 //!
 //! `STATUS`'s `done` counts completed shards but not *which* ones;
 //! `SHARDS_DONE` + `PARTIAL` exist so a coordinator can harvest exactly
@@ -96,4 +102,4 @@ pub use codec::Checkpoint;
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobState, JobStatus};
 pub use server::{Server, ServerHandle};
-pub use spec::JobSpec;
+pub use spec::{escape, unescape, JobSpec};

@@ -150,6 +150,9 @@ fn status_line(s: &JobStatus) -> String {
         out.push_str(" simd=");
         out.push_str(level.token());
     }
+    if let Some(hash) = s.dataset_hash {
+        out.push_str(&format!(" dataset_hash={hash:016x}"));
+    }
     if let Some(err) = &s.error {
         out.push_str(" error=");
         out.push_str(&escape(err));

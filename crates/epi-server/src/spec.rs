@@ -42,6 +42,19 @@ pub struct JobSpec {
     /// drills) use it to prove a panicking worker fails only its job
     /// instead of wedging the engine.
     pub panic_shard: Option<u64>,
+    /// Expected dataset content hash (`dataset_hash=` key, 16 hex
+    /// digits of [`epi_core::integrity::dataset_hash`]). When set, the
+    /// engine recomputes the hash of the node-local file at SUBMIT (and
+    /// RESUME) and rejects the job with `ERR hash mismatch …` if it
+    /// differs — a federation coordinator pins this so a node with a
+    /// stale or corrupted dataset copy can never contribute candidates.
+    /// `None` skips verification.
+    pub dataset_hash: Option<u64>,
+    /// Fault injection: answer the first N `PARTIAL` requests for this
+    /// job with a protocol-level `ERR injected fault …` (`fail_partial=`
+    /// key). `0` in production; the chaos tests use it to prove the
+    /// coordinator retries harvests instead of losing shards.
+    pub fail_partial: u32,
 }
 
 impl JobSpec {
@@ -57,6 +70,8 @@ impl JobSpec {
             simd: None,
             throttle_ms: 0,
             panic_shard: None,
+            dataset_hash: None,
+            fail_partial: 0,
         }
     }
 
@@ -95,6 +110,12 @@ impl JobSpec {
         }
         if let Some(shard) = self.panic_shard {
             s.push_str(&format!(" panic_shard={shard}"));
+        }
+        if let Some(hash) = self.dataset_hash {
+            s.push_str(&format!(" dataset_hash={hash:016x}"));
+        }
+        if self.fail_partial > 0 {
+            s.push_str(&format!(" fail_partial={}", self.fail_partial));
         }
         s
     }
@@ -157,6 +178,16 @@ impl JobSpec {
                             .parse::<u64>()
                             .map_err(|_| format!("panic_shard expects a number, got {value:?}"))?,
                     )
+                }
+                "dataset_hash" => {
+                    spec.dataset_hash = Some(u64::from_str_radix(value, 16).map_err(|_| {
+                        format!("dataset_hash expects 16 hex digits, got {value:?}")
+                    })?)
+                }
+                "fail_partial" => {
+                    spec.fail_partial = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("fail_partial expects a number, got {value:?}"))?
                 }
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -236,9 +267,28 @@ mod tests {
         spec.throttle_ms = 25;
         spec.panic_shard = Some(4);
         spec.shard_set = Some(ShardSet::from_indices([0, 1, 2, 5]));
+        spec.dataset_hash = Some(0x0123_4567_89ab_cdef);
+        spec.fail_partial = 2;
         let line = spec.to_tokens();
         let tokens: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn dataset_hash_key_roundtrips_full_width() {
+        // leading zeros and the top bit must both survive the hex form
+        for hash in [0u64, 1, 0x8000_0000_0000_0000, u64::MAX] {
+            let mut spec = JobSpec::new("/data/x.epi3");
+            spec.dataset_hash = Some(hash);
+            let line = spec.to_tokens();
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+        }
+        assert!(JobSpec::parse_tokens(&["path=x", "dataset_hash=xyz"]).is_err());
+        assert_eq!(
+            JobSpec::parse_tokens(&["path=x"]).unwrap().dataset_hash,
+            None
+        );
     }
 
     #[test]

@@ -54,8 +54,10 @@ commands:
                 budget, a per-tier deep-prefix fill microbenchmark, a
                 parallel scaling sweep (chunk-1 vs run-aware scheduler
                 at each worker count, with pool-wide cache hit rates),
-                and a federation block (1/2/4-node loopback fleets plus
-                a forced-straggler steal-latency measurement)
+                a federation block (1/2/4-node loopback fleets plus
+                a forced-straggler steal-latency measurement), and a
+                federation-recovery block (node re-admission latency,
+                crash-resume vs fresh wall-clock, hash-verify overhead)
                   [--snps N] [--samples N] [--seed N] [--trials T]
                   [--versions v2,v4,v5] [--threads N] [--shards S]
                   [--scale-threads a,b,c] [--scale-samples N]
@@ -66,6 +68,8 @@ job service (line-delimited TCP, see epi_server crate docs):
   serve         run the scan-job server (blocks until SHUTDOWN)
                   [--addr HOST:PORT] [--workers N] [--spool DIR]
                   [--simd TIER]  (default tier for jobs without simd=)
+                  [--data-root DIR]  (resolve spec paths as file names
+                  under DIR — the node-local dataset replica directory)
   submit FILE   submit a scan job to a server
                   [--addr HOST:PORT] [--version vN] [--shards S]
                   [--top K] [--mi] [--throttle-ms N] [--wait]
@@ -85,6 +89,12 @@ job service (line-delimited TCP, see epi_server crate docs):
                   [--shards S] [--version vN] [--top K] [--mi]
                   [--throttle-ms N] [--simd TIER]
                   [--verify]  (also scan monolithically and compare)
+                  [--spool FILE]  (checkpoint the coordinator after every
+                  merge batch so a killed run can be continued)
+                  [--resume FILE]  (continue from a spooled checkpoint;
+                  the dataset argument is then only needed with --verify)
+                  [--fail-after-merges N]  (fault injection, tests only:
+                  abort once N shards merged, as a stand-in for kill -9)
 
 TIER = scalar|avx2|avx512|vpopcnt. Every command that scans accepts
 --simd; when the flag is absent the EPI3_SIMD env var applies instead.
@@ -340,6 +350,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // server-wide default tier for jobs without a simd= key
         // (clamped again inside the engine)
         default_simd: forced_simd(args)?,
+        // node-local dataset directory: spec paths resolve as file
+        // names under it, the fleet shape dataset_hash= verifies
+        dataset_root: opt_value(args, "--data-root").map(Into::into),
     };
     let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("epi3 job server listening on {}", server.local_addr());
@@ -479,6 +492,7 @@ fn spawn_loopback_fleet(
                 workers,
                 spool_dir: None,
                 default_simd,
+                dataset_root: None,
             },
         )
         .map_err(|e| format!("cannot bind a loopback server: {e}"))?;
@@ -495,13 +509,32 @@ fn print_federation_report(r: &FederationReport) {
         r.per_node_shards.len(),
         r.elapsed.as_secs_f64()
     );
+    if r.resumed_merged > 0 {
+        println!(
+            "  resumed: {} shard(s) adopted from the checkpoint, not rescanned",
+            r.resumed_merged
+        );
+    }
     for (addr, n) in &r.per_node_shards {
-        let dead = if r.dead_nodes.contains(addr) {
+        let mark = if r.quarantined.iter().any(|(a, _)| a == addr) {
+            "  [QUARANTINED]"
+        } else if r.dead_nodes.contains(addr) {
             "  [DEAD]"
         } else {
             ""
         };
-        println!("  {addr}: {n} shard(s){dead}");
+        println!("  {addr}: {n} shard(s){mark}");
+    }
+    for e in &r.readmissions {
+        println!(
+            "  readmitted {} after {:.1} ms down at +{:.2} s",
+            e.node,
+            e.downtime.as_secs_f64() * 1e3,
+            e.at.as_secs_f64(),
+        );
+    }
+    for (addr, why) in &r.quarantined {
+        println!("  quarantined {addr}: {why}");
     }
     for s in &r.steals {
         println!(
@@ -518,23 +551,21 @@ fn print_federation_report(r: &FederationReport) {
 }
 
 fn cmd_federate(args: &[String]) -> Result<(), String> {
-    let path = positional(args).ok_or("expected a dataset file argument")?;
-    // Every fleet member loads the dataset itself (shared storage is
-    // assumed); resolve to an absolute path like `submit` does.
-    let path = std::fs::canonicalize(path)
-        .map_err(|e| format!("cannot resolve {path}: {e}"))?
-        .to_string_lossy()
-        .into_owned();
-    let mut spec = JobSpec::new(&path);
-    spec.version = parse_version(args)?;
-    spec.shards = opt_usize(args, "--shards", 64)? as u64;
-    spec.top_k = opt_usize(args, "--top", 10)?;
-    spec.throttle_ms = opt_usize(args, "--throttle-ms", 0)? as u64;
-    // unclamped, like submit: each server clamps to its own capability
-    spec.simd = requested_simd(args)?;
-    if opt_flag(args, "--mi") {
-        spec.objective = ObjectiveKind::NegMutualInformation;
-    }
+    let resume = opt_value(args, "--resume");
+    // Every fleet member loads the dataset itself (shared storage or
+    // per-node replicas); resolve to an absolute path like `submit`
+    // does. On --resume the spec (path included) comes from the
+    // checkpoint, so the dataset argument is only needed for --verify.
+    let canonical = |p: &str| -> Result<String, String> {
+        Ok(std::fs::canonicalize(p)
+            .map_err(|e| format!("cannot resolve {p}: {e}"))?
+            .to_string_lossy()
+            .into_owned())
+    };
+    let dataset = positional(args);
+    let version = parse_version(args)?;
+    let top_k = opt_usize(args, "--top", 10)?;
+    let mi = opt_flag(args, "--mi");
 
     let spawn = opt_usize(args, "--spawn", 0)?;
     let nodes_arg = opt_value(args, "--nodes");
@@ -558,8 +589,32 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             .collect()
     };
 
-    let cfg = FederationConfig::new(nodes);
-    let outcome = federate(&spec, &cfg);
+    let mut cfg = FederationConfig::new(nodes);
+    cfg.spool_path = opt_value(args, "--spool").map(Into::into);
+    if let Some(v) = opt_value(args, "--fail-after-merges") {
+        cfg.fail_after_merges = Some(
+            v.parse()
+                .map_err(|_| format!("--fail-after-merges expects a number, got {v:?}"))?,
+        );
+    }
+    let outcome = match resume {
+        Some(spool) => resume_from_spool(std::path::Path::new(spool), &cfg),
+        None => {
+            let path = canonical(dataset.ok_or("expected a dataset file argument")?)?;
+            let mut spec = JobSpec::new(&path);
+            spec.version = version;
+            spec.shards = opt_usize(args, "--shards", 64)? as u64;
+            spec.top_k = top_k;
+            spec.throttle_ms = opt_usize(args, "--throttle-ms", 0)? as u64;
+            // unclamped, like submit: each server clamps to its own
+            // capability
+            spec.simd = requested_simd(args)?;
+            if mi {
+                spec.objective = ObjectiveKind::NegMutualInformation;
+            }
+            federate(&spec, &cfg)
+        }
+    };
     // spawned servers must come down even when the federation failed
     for h in handles {
         h.shutdown();
@@ -568,10 +623,15 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     print_federation_report(&report);
 
     if opt_flag(args, "--verify") {
+        let path = canonical(
+            dataset.ok_or("--verify needs the dataset file argument (also with --resume)")?,
+        )?;
         let (g, p) = datagen::io::load(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let mut cfg = ScanConfig::new(spec.version);
-        cfg.top_k = spec.top_k;
-        cfg.objective = spec.objective;
+        let mut cfg = ScanConfig::new(version);
+        cfg.top_k = top_k;
+        if mi {
+            cfg.objective = ObjectiveKind::NegMutualInformation;
+        }
         cfg.simd = forced_simd(args)?;
         let mono = scan(&g, &p, &cfg);
         if mono.top == report.top {
@@ -683,7 +743,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // the version-to-version comparison into a scheduler benchmark.
     let threads = opt_usize(args, "--threads", 1)?;
     let shards = opt_usize(args, "--shards", 64)?.max(1) as u64;
-    let out = opt_value(args, "--out").unwrap_or("BENCH_PR6.json");
+    let out = opt_value(args, "--out").unwrap_or("BENCH_PR7.json");
     let forced = forced_simd(args)?;
     let versions: Vec<Version> = match opt_value(args, "--versions") {
         None => vec![Version::V2, Version::V4, Version::V5],
@@ -891,6 +951,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         None => println!("  federation steal latency: no steal occurred (timing-dependent)"),
     }
 
+    // Recovery block (PR 7): what the robustness machinery costs —
+    // dataset-hash verification, crash-resume vs a fresh run, and the
+    // probation-probe re-admission latency after a node restart.
+    let rec = bench_recovery(&data, shards)?;
+    println!(
+        "  federation recovery: hash-verify {:.2} ms, fresh {:.3} s vs crash+resume {:.3} s \
+         ({} shard(s) adopted, not rescanned)",
+        rec.hash_verify_ms, rec.fresh_seconds, rec.resume_seconds, rec.resumed_merged
+    );
+    match rec.readmission_ms {
+        Some(ms) => println!("  federation re-admission latency (killed node): {ms:.1} ms"),
+        None => println!("  federation re-admission latency: node never probed back in time"),
+    }
+
     let geps_of = |v: Version| {
         measured
             .iter()
@@ -995,7 +1069,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         Some(ms) => json.push_str(&format!("{ms:.3}")),
         None => json.push_str("null"),
     }
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  }");
+    // the recovery block: robustness-machinery cost and latency figures
+    json.push_str(&format!(
+        ",\n  \"federation_recovery\": {{\"hash_verify_ms\": {:.4}, \
+         \"fresh_seconds\": {:.6}, \"resume_seconds\": {:.6}, \
+         \"resumed_merged\": {}, \"readmission_ms\": {}}}",
+        rec.hash_verify_ms,
+        rec.fresh_seconds,
+        rec.resume_seconds,
+        rec.resumed_merged,
+        match rec.readmission_ms {
+            Some(ms) => format!("{ms:.3}"),
+            None => "null".into(),
+        }
+    ));
+    json.push_str("\n}\n");
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
@@ -1279,6 +1368,139 @@ fn bench_federation(
     })
 }
 
+/// Measured cost and latency of the federation robustness machinery.
+struct RecoveryBench {
+    /// One dataset content hash over the bench cohort — the per-SUBMIT
+    /// integrity-verification overhead.
+    hash_verify_ms: f64,
+    /// Wall clock of an uninterrupted 2-node federated run.
+    fresh_seconds: f64,
+    /// Wall clock of the resumed half of a crashed run (coordinator
+    /// killed after half the shards merged, then `resume_from_spool`).
+    resume_seconds: f64,
+    /// Shards the resume adopted from the checkpoint instead of
+    /// rescanning.
+    resumed_merged: u64,
+    /// Death-to-readmission span of a killed-and-restarted node; `None`
+    /// when the scan outran the restart (timing-dependent).
+    readmission_ms: Option<f64>,
+}
+
+/// Benchmark the PR 7 robustness machinery: hash-verify overhead,
+/// crash-resume wall-clock against a fresh run, and probation
+/// re-admission latency after a node kill/restart.
+fn bench_recovery(data: &Dataset, shards: u64) -> Result<RecoveryBench, String> {
+    use std::time::Instant;
+
+    let t = Instant::now();
+    let digest = epi_core::integrity::dataset_hash(&data.genotypes, &data.phenotype);
+    let hash_verify_ms = t.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(digest);
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("epi3_bench_rec_{}.epi3", std::process::id()));
+    datagen::io::save_binary(&path, data).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    let path_s = path.to_string_lossy().into_owned();
+    let spool = dir.join(format!("epi3_bench_rec_{}.fedckpt", std::process::id()));
+    let _ = std::fs::remove_file(&spool);
+
+    let base_cfg = |addrs: &[String]| {
+        let mut cfg = FederationConfig::new(addrs.to_vec());
+        cfg.poll_cap = Duration::from_millis(10);
+        cfg.probe_floor = Duration::from_millis(5);
+        cfg.probe_cap = Duration::from_millis(50);
+        cfg
+    };
+    let mut spec = JobSpec::new(&path_s);
+    spec.shards = shards;
+    spec.top_k = 1;
+
+    // fresh run: the baseline the resume is compared against
+    let (addrs, handles) = spawn_loopback_fleet(2, 0, None)?;
+    let fresh = federate(&spec, &base_cfg(&addrs));
+    for h in handles {
+        h.shutdown();
+    }
+    let fresh_seconds = fresh?.elapsed.as_secs_f64();
+
+    // crash after half the merges, then resume against the SAME fleet —
+    // the nodes keep scanning while the coordinator is gone, which is
+    // exactly the deployment story
+    let (addrs, handles) = spawn_loopback_fleet(2, 0, None)?;
+    let mut cfg = base_cfg(&addrs);
+    cfg.spool_path = Some(spool.clone());
+    cfg.fail_after_merges = Some((shards / 2).max(1));
+    let crash = federate(&spec, &cfg);
+    cfg.fail_after_merges = None;
+    let resumed = if crash.is_err() && spool.exists() {
+        resume_from_spool(&spool, &cfg)
+    } else {
+        // the whole scan merged inside one tick — nothing to resume;
+        // fall back to a fresh run so the row is still comparable
+        federate(&spec, &cfg)
+    };
+    for h in handles {
+        h.shutdown();
+    }
+    let resumed = resumed?;
+    let (resume_seconds, resumed_merged) = (resumed.elapsed.as_secs_f64(), resumed.resumed_merged);
+
+    // kill node 1 mid-scan, restart it, and time the re-admission
+    let (addrs, mut handles) = spawn_loopback_fleet(2, 0, None)?;
+    let victim_addr = addrs[1].clone();
+    let reviver = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            if let Ok(mut c) = Client::connect(victim_addr.as_str()) {
+                let running = c.jobs().map(|jobs| jobs.iter().any(|j| j.in_flight > 0));
+                if matches!(running, Ok(true)) {
+                    let _ = c.shutdown();
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        Server::bind(
+            victim_addr.as_str(),
+            EngineConfig {
+                workers: 0,
+                spool_dir: None,
+                default_simd: None,
+                dataset_root: None,
+            },
+        )
+        .ok()
+        .map(|s| s.spawn())
+    });
+    let mut spec = spec.clone();
+    spec.throttle_ms = 10; // stretch the scan past the restart window
+    let outcome = federate(&spec, &base_cfg(&addrs));
+    let revived = reviver.join().map_err(|_| "reviver thread panicked")?;
+    handles.remove(1); // first incarnation shut itself down
+    for h in handles {
+        h.shutdown();
+    }
+    if let Some(h) = revived {
+        h.shutdown();
+    }
+    let readmission_ms = outcome?
+        .readmissions
+        .first()
+        .map(|r| r.downtime.as_secs_f64() * 1e3);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&spool);
+    let _ = std::fs::remove_file(spool.with_extension("fedckpt.prev"));
+    Ok(RecoveryBench {
+        hash_verify_ms,
+        fresh_seconds,
+        resume_seconds,
+        resumed_merged,
+        readmission_ms,
+    })
+}
+
 /// Render one scheduler's sweep rows as a JSON array.
 fn scaling_rows_json(rows: &[ScaleRow]) -> String {
     let mut out = String::from("[");
@@ -1484,7 +1706,67 @@ mod tests {
         assert!(text.contains("\"nodes\": 2"));
         assert!(text.contains("\"nodes\": 4"));
         assert!(text.contains("\"steal_latency_ms\""));
+        // recovery block (PR 7): robustness-machinery cost figures
+        assert!(text.contains("\"federation_recovery\""));
+        assert!(text.contains("\"hash_verify_ms\""));
+        assert!(text.contains("\"fresh_seconds\""));
+        assert!(text.contains("\"resume_seconds\""));
+        assert!(text.contains("\"resumed_merged\""));
+        assert!(text.contains("\"readmission_ms\""));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn federate_crash_and_resume_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("epi3_cli_resume_test.epi3");
+        let path_s = path.to_str().unwrap();
+        let spool = dir.join("epi3_cli_resume_test.fedckpt");
+        let spool_s = spool.to_str().unwrap();
+        let _ = std::fs::remove_file(&spool);
+        run(&s(&[
+            "gen",
+            "--snps",
+            "18",
+            "--samples",
+            "128",
+            "--plant",
+            "2,7,11",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        // coordinator "killed" (injected) after 2 merges, spool left behind
+        let err = run(&s(&[
+            "federate",
+            path_s,
+            "--spawn",
+            "2",
+            "--shards",
+            "8",
+            "--top",
+            "4",
+            "--throttle-ms",
+            "5",
+            "--spool",
+            spool_s,
+            "--fail-after-merges",
+            "2",
+        ]))
+        .expect_err("injected crash must abort the run");
+        assert!(err.contains("injected coordinator crash"), "{err}");
+        assert!(spool.exists(), "crash must leave the spooled checkpoint");
+        // resume on a fresh fleet; --verify proves the merged result is
+        // still bit-identical to the monolithic scan
+        run(&s(&[
+            "federate", path_s, "--resume", spool_s, "--spawn", "2", "--top", "4", "--verify",
+        ]))
+        .unwrap();
+        // without --resume, the spool argument alone must not resume
+        assert!(run(&s(&["federate", "--resume"])).is_err());
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(&spool);
+        let _ = std::fs::remove_file(dir.join("epi3_cli_resume_test.fedckpt.prev"));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub mod prelude {
     pub use crate::{detect, detect_with};
     pub use bitgenome::{GenotypeMatrix, Phenotype};
     pub use datagen::{Dataset, DatasetSpec, GroundTruth, MafModel, PenetranceTable};
-    pub use epi_coord::{federate, FederationConfig, FederationReport};
+    pub use epi_coord::{
+        federate, resume_from_spool, ChaosProxy, ChaosSchedule, FederationConfig, FederationReport,
+    };
     pub use epi_core::scan::{scan, ObjectiveKind, ScanConfig, ScanResult, Scheduler, Version};
     pub use epi_core::shard::{scan_shard, scan_sharded, ShardPlan, ShardSet};
     pub use epi_core::{BlockParams, Candidate, Triple};

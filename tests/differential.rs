@@ -368,6 +368,7 @@ fn federated_scan_matches_monolithic_at_every_tier() {
                     workers: 0,
                     spool_dir: None,
                     default_simd: None,
+                    dataset_root: None,
                 },
             )
             .expect("bind loopback");
@@ -477,6 +478,46 @@ fn federated_scan_matches_monolithic_at_every_tier() {
         for h in handles {
             h.shutdown();
         }
+    }
+
+    // the crash leg: the *coordinator* dies mid-merge and a fresh one
+    // resumes from the spooled checkpoint; adopted shards are never
+    // rescanned, and the merged top-K must still match the monolithic
+    // reference bit for bit
+    {
+        use threeway_epistasis::epi_coord::resume_from_spool;
+        let (addrs, handles) = fleet(2);
+        let spool = dir.join(format!("fed-{}.fedckpt", std::process::id()));
+        let mut spec = JobSpec::new(&path_s);
+        spec.shards = 12;
+        spec.top_k = 8;
+        spec.throttle_ms = 5; // slow enough for >=4 merge batches to spool
+        let mut cfg = config(addrs.clone());
+        cfg.spool_path = Some(spool.clone());
+        cfg.fail_after_merges = Some(4);
+        let err = federate(&spec, &cfg).expect_err("injected coordinator crash must fire");
+        assert!(err.contains("injected coordinator crash"), "{err}");
+        cfg.fail_after_merges = None;
+        let report = resume_from_spool(&spool, &cfg).expect("resume from spool");
+        for h in handles {
+            h.shutdown();
+        }
+        assert!(
+            report.resumed_merged >= 4,
+            "resume must adopt the checkpointed shards, got {}",
+            report.resumed_merged
+        );
+        assert_eq!(report.top.len(), want.len(), "crash-resume leg");
+        for (a, b) in report.top.iter().zip(&want) {
+            assert_eq!(a.triple, b.triple, "crash-resume leg");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "crash-resume leg: score must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_file(&spool);
+        let _ = std::fs::remove_file(spool.with_extension("fedckpt.prev"));
     }
 
     let _ = std::fs::remove_file(&path);

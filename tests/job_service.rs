@@ -28,6 +28,7 @@ fn start_server(
             workers,
             spool_dir: spool,
             default_simd: None,
+            dataset_root: None,
         },
     )
     .expect("bind loopback");
