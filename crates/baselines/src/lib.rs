@@ -16,6 +16,8 @@
 //!   pre-BOOST baseline), useful to demonstrate what binarisation alone
 //!   buys.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod mpi3snp;
 pub mod naive;

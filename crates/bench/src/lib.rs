@@ -11,6 +11,8 @@
 //! (combinations × samples / s). Every binary accepts `--full` style
 //! overrides where that is practical.
 
+#![forbid(unsafe_code)]
+
 use bitgenome::{GenotypeMatrix, Phenotype};
 use datagen::DatasetSpec;
 use epi_core::scan::{scan, ScanConfig, ScanResult, Version};

@@ -31,6 +31,8 @@
 //! (see `epi-core::table27`). This keeps the hot loop free of masking, at
 //! the price of a single O(1) correction per table.
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
 pub mod layout;
 pub mod matrix;

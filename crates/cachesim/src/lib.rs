@@ -10,6 +10,8 @@
 //! oversized blocks collapse it — the micro-architectural mechanism
 //! behind the V3 speedup, made visible without hardware counters.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod replay;
 pub mod trace;

@@ -15,6 +15,8 @@
 //!   regenerates the cross-device panels of Fig. 3;
 //! * [`plot`] — ASCII log-log roofline rendering for the bench harness.
 
+#![forbid(unsafe_code)]
+
 pub mod characterize;
 pub mod cpumodel;
 pub mod plot;

@@ -30,6 +30,8 @@ pub use bitgenome::SimdLevel;
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
 #[inline]
+// SAFETY: register-only ALU ops, no memory access; callers (the dispatch
+// arms and the avx512 wrappers) guarantee avx2+popcnt are present.
 unsafe fn popcnt256(v: core::arch::x86_64::__m256i) -> u32 {
     use core::arch::x86_64::*;
     let lo = _mm256_castsi256_si128(v);
@@ -47,6 +49,8 @@ unsafe fn popcnt256(v: core::arch::x86_64::__m256i) -> u32 {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
 #[inline]
+// SAFETY: register-only; callers guarantee avx512f+avx512bw+popcnt, and
+// every avx512-capable part also has the avx2 that popcnt256 needs.
 unsafe fn popcnt512(v: core::arch::x86_64::__m512i) -> u32 {
     use core::arch::x86_64::*;
     // avx512f implies avx2 on every real part; the cast/extract pair is
@@ -64,6 +68,8 @@ unsafe fn popcnt512(v: core::arch::x86_64::__m512i) -> u32 {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[inline]
+// SAFETY: register-only (LUT lives in a register, not memory); callers
+// guarantee avx2 is present.
 unsafe fn popcnt256_lanes(v: core::arch::x86_64::__m256i) -> core::arch::x86_64::__m256i {
     use core::arch::x86_64::*;
     #[rustfmt::skip]
@@ -83,6 +89,7 @@ unsafe fn popcnt256_lanes(v: core::arch::x86_64::__m256i) -> core::arch::x86_64:
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
 #[inline]
+// SAFETY: register-only; callers guarantee avx2+popcnt are present.
 unsafe fn reduce256_lanes(v: core::arch::x86_64::__m256i) -> u32 {
     use core::arch::x86_64::*;
     let lo = _mm256_castsi256_si128(v);
@@ -96,6 +103,7 @@ unsafe fn reduce256_lanes(v: core::arch::x86_64::__m256i) -> u32 {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw")]
 #[inline]
+// SAFETY: register-only; callers guarantee avx512f+avx512bw are present.
 unsafe fn popcnt512_lanes(v: core::arch::x86_64::__m512i) -> core::arch::x86_64::__m512i {
     use core::arch::x86_64::*;
     #[rustfmt::skip]
@@ -114,6 +122,7 @@ unsafe fn popcnt512_lanes(v: core::arch::x86_64::__m512i) -> core::arch::x86_64:
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw")]
 #[inline]
+// SAFETY: register-only; callers guarantee avx512f+avx512bw are present.
 unsafe fn reduce512_lanes(v: core::arch::x86_64::__m512i) -> u32 {
     core::arch::x86_64::_mm512_reduce_add_epi64(v) as u32
 }
@@ -148,10 +157,14 @@ pub fn accumulate27(level: SimdLevel, planes: Planes<'_>, acc: &mut [u32; 27]) {
     match level {
         SimdLevel::Scalar => accumulate27_scalar(planes, acc),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level <= SimdLevel::detect()` (asserted above), so the
+        // features each kernel was compiled for are present on this host.
         SimdLevel::Avx2 => unsafe { accumulate27_avx2(x0, x1, y0, y1, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512 => unsafe { accumulate27_avx512(x0, x1, y0, y1, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512Vpopcnt => unsafe {
             accumulate27_avx512_vpopcnt(x0, x1, y0, y1, z0, z1, acc)
         },
@@ -189,6 +202,10 @@ pub fn accumulate27_scalar(planes: Planes<'_>, acc: &mut [u32; 27]) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
+// SAFETY: reached only through the Avx2 dispatch arm, so avx2+popcnt are
+// present. Loads are unaligned (`loadu`) at offsets i..i+LANES with
+// i + LANES <= chunks * LANES <= x0.len(); `accumulate27` checks all six
+// slices share that length, and the scalar tail uses safe indexing.
 unsafe fn accumulate27_avx2(
     x0: &[Word],
     x1: &[Word],
@@ -242,6 +259,9 @@ unsafe fn accumulate27_avx2(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
+// SAFETY: reached only through the Avx512 dispatch arm, so
+// avx512f+avx512bw+popcnt are present. Same in-bounds argument as the
+// avx2 kernel with LANES = 8.
 unsafe fn accumulate27_avx512(
     x0: &[Word],
     x1: &[Word],
@@ -295,6 +315,9 @@ unsafe fn accumulate27_avx512(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+// SAFETY: reached only through the Avx512Vpopcnt dispatch arm, so
+// avx512f+avx512bw+avx512vpopcntdq are present. Same in-bounds argument
+// as the avx2 kernel with LANES = 8.
 unsafe fn accumulate27_avx512_vpopcnt(
     x0: &[Word],
     x1: &[Word],
@@ -375,10 +398,14 @@ pub fn fill_pair_cache(
     match level {
         SimdLevel::Scalar => fill_pair_cache_scalar(x0, x1, y0, y1, streams, counts),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level <= SimdLevel::detect()` (asserted above), so the
+        // features each kernel was compiled for are present on this host.
         SimdLevel::Avx2 => unsafe { fill_pair_cache_avx2(x0, x1, y0, y1, streams, counts) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512 => unsafe { fill_pair_cache_avx512(x0, x1, y0, y1, streams, counts) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512Vpopcnt => unsafe {
             fill_pair_cache_avx512_vpopcnt(x0, x1, y0, y1, streams, counts)
         },
@@ -431,6 +458,10 @@ fn fill_pair_cache_tail(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
+// SAFETY: reached only through the Avx2 dispatch arm, so avx2+popcnt are
+// present. The asserts at function entry pin the slice-length
+// relationships; all `loadu`/`storeu` offsets stay below chunks * LANES,
+// which those asserts bound by each row's length.
 unsafe fn fill_pair_cache_avx2(
     x0: &[Word],
     x1: &[Word],
@@ -473,6 +504,9 @@ unsafe fn fill_pair_cache_avx2(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
+// SAFETY: reached only through the Avx512 dispatch arm, so
+// avx512f+avx512bw+popcnt are present. Same entry asserts and in-bounds
+// argument as the avx2 variant with LANES = 8.
 unsafe fn fill_pair_cache_avx512(
     x0: &[Word],
     x1: &[Word],
@@ -514,6 +548,9 @@ unsafe fn fill_pair_cache_avx512(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+// SAFETY: reached only through the Avx512Vpopcnt dispatch arm, so
+// avx512f+avx512bw+avx512vpopcntdq are present. Same entry asserts and
+// in-bounds argument as the avx2 variant with LANES = 8.
 unsafe fn fill_pair_cache_avx512_vpopcnt(
     x0: &[Word],
     x1: &[Word],
@@ -587,10 +624,14 @@ pub fn fill_prefix_cache(
     match level {
         SimdLevel::Scalar => fill_prefix_cache_tail(parent, p0, p1, out, counts, 0),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level <= SimdLevel::detect()` (asserted above), so the
+        // features each kernel was compiled for are present on this host.
         SimdLevel::Avx2 => unsafe { fill_prefix_cache_avx2(parent, p0, p1, out, counts) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512 => unsafe { fill_prefix_cache_avx512(parent, p0, p1, out, counts) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512Vpopcnt => unsafe {
             fill_prefix_cache_avx512_vpopcnt(parent, p0, p1, out, counts)
         },
@@ -629,6 +670,10 @@ fn fill_prefix_cache_tail(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
+// SAFETY: reached only through the Avx2 dispatch arm, so avx2+popcnt are
+// present. `fill_prefix_cache` asserts the row/output length
+// relationships before dispatching; every `loadu`/`storeu` offset is
+// below chunks * LANES, which those asserts bound by the row length.
 unsafe fn fill_prefix_cache_avx2(
     parent: &[Word],
     p0: &[Word],
@@ -664,6 +709,9 @@ unsafe fn fill_prefix_cache_avx2(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
+// SAFETY: reached only through the Avx512 dispatch arm, so
+// avx512f+avx512bw+popcnt are present. Same caller asserts and in-bounds
+// argument as the avx2 variant with LANES = 8.
 unsafe fn fill_prefix_cache_avx512(
     parent: &[Word],
     p0: &[Word],
@@ -699,6 +747,9 @@ unsafe fn fill_prefix_cache_avx512(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+// SAFETY: reached only through the Avx512Vpopcnt dispatch arm, so
+// avx512f+avx512bw+avx512vpopcntdq are present. Same caller asserts and
+// in-bounds argument as the avx2 variant with LANES = 8.
 unsafe fn fill_prefix_cache_avx512_vpopcnt(
     parent: &[Word],
     p0: &[Word],
@@ -809,10 +860,14 @@ pub fn accumulate_streams_strided(
     match level {
         SimdLevel::Scalar => accumulate_streams_scalar_from(streams, stride, z0, z1, 0, acc),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level <= SimdLevel::detect()` (asserted above), so the
+        // features each kernel was compiled for are present on this host.
         SimdLevel::Avx2 => unsafe { accumulate_streams_avx2(streams, stride, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512 => unsafe { accumulate_streams_avx512(streams, stride, z0, z1, acc) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as the Avx2 arm.
         SimdLevel::Avx512Vpopcnt => unsafe {
             accumulate_streams_avx512_vpopcnt(streams, stride, z0, z1, acc)
         },
@@ -858,6 +913,10 @@ fn accumulate_streams_scalar_from(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
+// SAFETY: reached only through the Avx2 dispatch arm, so avx2+popcnt are
+// present. Stream rows are taken with bounds-checked slicing;
+// `accumulate_streams_strided` debug-asserts the stride/length contract,
+// and vector loads stop at chunks * LANES <= len for every row.
 unsafe fn accumulate_streams_avx2(
     streams: &[Word],
     stride: usize,
@@ -889,6 +948,9 @@ unsafe fn accumulate_streams_avx2(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,popcnt")]
+// SAFETY: reached only through the Avx512 dispatch arm, so
+// avx512f+avx512bw+popcnt are present. Same bounds argument as the avx2
+// variant with LANES = 8.
 unsafe fn accumulate_streams_avx512(
     streams: &[Word],
     stride: usize,
@@ -920,6 +982,9 @@ unsafe fn accumulate_streams_avx512(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+// SAFETY: reached only through the Avx512Vpopcnt dispatch arm, so
+// avx512f+avx512bw+avx512vpopcntdq are present. Same bounds argument as
+// the avx2 variant with LANES = 8.
 unsafe fn accumulate_streams_avx512_vpopcnt(
     streams: &[Word],
     stride: usize,

@@ -12,6 +12,8 @@
 //! * a reproducible, seedable generator ([`generator`]);
 //! * text and binary dataset I/O ([`io`]).
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod io;
 pub mod maf;

@@ -12,6 +12,8 @@
 //! vendor specifications of each part and are only used to position
 //! roofline ceilings, not to claim cycle-accurate simulation.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cpu;
 pub mod dvfs;

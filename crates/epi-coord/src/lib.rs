@@ -60,6 +60,8 @@
 //!
 //! [`ShardSet`]: epi_core::shard::ShardSet
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod checkpoint;
 pub mod coord;

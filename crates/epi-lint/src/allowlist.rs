@@ -1,0 +1,188 @@
+//! The findings allowlist: `epi-lint.allow` at the repo root.
+//!
+//! Format — one entry per line, four pipe-separated fields:
+//!
+//! ```text
+//! CHECK-ID | path-suffix | needle | justification
+//! ```
+//!
+//! An entry suppresses a finding when the finding's check ID matches, the
+//! finding's file path ends with `path-suffix`, and the source line the
+//! finding points at contains `needle`. The justification is mandatory and
+//! is carried into `--json` output so audits can read why each site is
+//! accepted. Blank lines and lines starting with `#` are ignored.
+//!
+//! Entries that suppress nothing are themselves reported as
+//! `ALLOW-UNUSED` findings, so the allowlist can only shrink-to-fit: a
+//! stale entry fails CI just like a new violation.
+
+use crate::Finding;
+
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub check: String,
+    pub path_suffix: String,
+    pub needle: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file, for ALLOW-UNUSED reporting.
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    pub path: String,
+}
+
+/// A parse problem in the allowlist file itself.
+#[derive(Debug)]
+pub struct AllowParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl Allowlist {
+    pub fn parse(path: &str, text: &str) -> Result<Allowlist, AllowParseError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.splitn(4, '|').map(str::trim).collect();
+            if fields.len() != 4 {
+                return Err(AllowParseError {
+                    line,
+                    message: format!(
+                        "expected 4 pipe-separated fields (CHECK-ID | path | needle | why), got {}",
+                        fields.len()
+                    ),
+                });
+            }
+            if fields.iter().any(|f| f.is_empty()) {
+                return Err(AllowParseError {
+                    line,
+                    message: "empty field; every entry needs a check ID, path, needle, and \
+                              justification"
+                        .to_string(),
+                });
+            }
+            entries.push(AllowEntry {
+                check: fields[0].to_string(),
+                path_suffix: fields[1].to_string(),
+                needle: fields[2].to_string(),
+                justification: fields[3].to_string(),
+                line,
+            });
+        }
+        Ok(Allowlist {
+            entries,
+            path: path.to_string(),
+        })
+    }
+
+    /// Split findings into (kept, suppressed) and append an `ALLOW-UNUSED`
+    /// finding for every entry that suppressed nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for mut f in findings {
+            let hit = self.entries.iter().enumerate().find(|(_, e)| {
+                e.check == f.check
+                    && f.file.ends_with(&e.path_suffix)
+                    && f.excerpt.contains(&e.needle)
+            });
+            match hit {
+                Some((i, e)) => {
+                    used[i] = true;
+                    f.justification = Some(e.justification.clone());
+                    suppressed.push(f);
+                }
+                None => kept.push(f),
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding {
+                    check: "ALLOW-UNUSED".to_string(),
+                    file: self.path.clone(),
+                    line: e.line,
+                    message: format!(
+                        "allowlist entry `{} | {} | {}` no longer matches any finding; delete it",
+                        e.check, e.path_suffix, e.needle
+                    ),
+                    excerpt: String::new(),
+                    justification: None,
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(check: &str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            check: check.into(),
+            file: file.into(),
+            line: 10,
+            message: "m".into(),
+            excerpt: excerpt.into(),
+            justification: None,
+        }
+    }
+
+    #[test]
+    fn matching_entry_suppresses_and_carries_justification() {
+        let al = Allowlist::parse(
+            "epi-lint.allow",
+            "DET-TIME | src/scan.rs | Instant::now | progress reporting only\n",
+        )
+        .unwrap();
+        let (kept, supp) = al.apply(vec![finding(
+            "DET-TIME",
+            "crates/core/src/scan.rs",
+            "let t0 = Instant::now();",
+        )]);
+        assert!(kept.is_empty());
+        assert_eq!(supp.len(), 1);
+        assert_eq!(
+            supp[0].justification.as_deref(),
+            Some("progress reporting only")
+        );
+    }
+
+    #[test]
+    fn unused_entry_becomes_a_finding() {
+        let al = Allowlist::parse("epi-lint.allow", "DET-TIME | gone.rs | x | stale\n").unwrap();
+        let (kept, _) = al.apply(vec![]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].check, "ALLOW-UNUSED");
+        assert_eq!(kept[0].line, 1);
+    }
+
+    #[test]
+    fn wrong_check_or_path_does_not_suppress() {
+        let al = Allowlist::parse("a", "DET-TIME | scan.rs | Instant | why\n").unwrap();
+        let (kept, supp) = al.apply(vec![finding("DET-HASH-ITER", "scan.rs", "Instant::now()")]);
+        assert_eq!(kept.len(), 2); // the finding + the unused entry
+        assert!(supp.is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(Allowlist::parse("a", "DET-TIME | only-two\n").is_err());
+        assert!(Allowlist::parse("a", "A | b | c | \n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let al = Allowlist::parse("a", "# header\n\n  # indented\n").unwrap();
+        assert!(al.entries.is_empty());
+    }
+}

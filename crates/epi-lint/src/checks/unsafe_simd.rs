@@ -1,0 +1,388 @@
+//! Unsafe/SIMD hygiene.
+//!
+//! * `UNSAFE-NO-SAFETY` — every `unsafe fn` / `unsafe {}` / `unsafe impl`
+//!   must carry a `// SAFETY:` comment on the same line or immediately
+//!   above it (attribute lines may sit between). The SIMD kernels are
+//!   the only unsafe in the tree and every contract (alignment, feature
+//!   availability, in-bounds lanes) must be written down.
+//! * `UNSAFE-FORBID` — every crate root except `epi-core` must carry
+//!   `#![forbid(unsafe_code)]` (the core carries `#![deny(unsafe_code)]`
+//!   with a module-scoped allow), so the unsafe audit surface is
+//!   provably just the SIMD module.
+//! * `SIMD-TF-DISPATCH` — a `#[target_feature(enable = …)]` fn may only
+//!   be called from a fn whose own target features imply the callee's,
+//!   or from a `match level { SimdLevel::X => … }` arm whose runtime-
+//!   detected level guarantees those features. Anything else is UB on
+//!   the wrong CPU.
+//! * `SIMD-NONX86-ASSERT` — wildcard / non-x86 `SimdLevel` arms must
+//!   `debug_assert!` so a mis-detected level is loud in debug builds
+//!   instead of silently taking the scalar path.
+
+use super::{finding, punct2, Tree};
+use crate::lexer::Kind;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+pub fn run(tree: &Tree, out: &mut Vec<Finding>) {
+    let tf_fns = collect_target_feature_fns(tree);
+    for f in &tree.files {
+        unsafe_needs_safety(f, out);
+        tf_dispatch(f, &tf_fns, out);
+        nonx86_asserts(f, out);
+        if f.path.ends_with("src/lib.rs") {
+            forbid_unsafe(f, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- SAFETY
+
+fn unsafe_needs_safety(f: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &f.sig {
+        if t.kind != Kind::Ident || f.tok_text(*t) != "unsafe" {
+            continue;
+        }
+        if !has_safety_comment(f, t.start) {
+            out.push(finding(
+                f,
+                t.start,
+                "UNSAFE-NO-SAFETY",
+                "`unsafe` without a `// SAFETY:` comment on this line or immediately above"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `// SAFETY:` on the `unsafe` token's own line, or in the unbroken run
+/// of comment-only / attribute-only lines directly above it. A blank
+/// line or a code line ends the run.
+fn has_safety_comment(f: &SourceFile, byte: usize) -> bool {
+    let line = f.lx.line_of(byte);
+    if f.line_text(line).contains("SAFETY") {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = f.line_text(l).trim();
+        if text.is_empty() {
+            return false;
+        }
+        let (s, e) = f.lx.line_span(l);
+        let mask_line = f.lx.mask[s..e.min(f.lx.mask.len())].trim();
+        let comment_only = mask_line.is_empty(); // all tokens blanked ⇒ comments
+        let attr_only = text.starts_with('#') || text == "]" || text.starts_with(")]");
+        if comment_only {
+            if text.contains("SAFETY") {
+                return true;
+            }
+        } else if !attr_only {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- forbid
+
+fn forbid_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
+    let has_gate =
+        f.lx.mask.contains("forbid(unsafe_code)") || f.lx.mask.contains("deny(unsafe_code)");
+    if !has_gate {
+        out.push(finding(
+            f,
+            0,
+            "UNSAFE-FORBID",
+            "crate root lacks `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` for the \
+             SIMD core); the unsafe audit surface must be explicit"
+                .to_string(),
+        ));
+    }
+}
+
+// ------------------------------------------------------------- dispatch
+
+/// `SimdLevel` variant → the target features its runtime detection
+/// guarantees. AVX-512 levels are only ever selected when AVX2 also
+/// probed true, hence the closure.
+fn level_features(variant: &str) -> Vec<&'static str> {
+    match variant {
+        "Avx2" => vec!["avx2", "popcnt"],
+        "Avx512" => vec!["avx512f", "avx512bw", "popcnt", "avx2"],
+        "Avx512Vpopcnt" => vec!["avx512f", "avx512bw", "avx512vpopcntdq", "popcnt", "avx2"],
+        _ => vec![], // Scalar and anything unknown guarantee nothing
+    }
+}
+
+/// A caller already compiled with avx512 features implies avx2 paths are
+/// sound on any CPU the caller itself can run on.
+fn close_features(mut feats: Vec<String>) -> Vec<String> {
+    if feats.iter().any(|f| f == "avx512f" || f == "avx512bw") && !feats.iter().any(|f| f == "avx2")
+    {
+        feats.push("avx2".to_string());
+    }
+    feats
+}
+
+fn collect_target_feature_fns(tree: &Tree) -> BTreeMap<String, Vec<String>> {
+    let mut map = BTreeMap::new();
+    for f in &tree.files {
+        for fx in &f.fns {
+            if !fx.target_features.is_empty() {
+                map.insert(fx.name.clone(), fx.target_features.clone());
+            }
+        }
+    }
+    map
+}
+
+fn tf_dispatch(f: &SourceFile, tf_fns: &BTreeMap<String, Vec<String>>, out: &mut Vec<Finding>) {
+    if tf_fns.is_empty() {
+        return;
+    }
+    for (i, t) in f.sig.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let name = f.tok_text(*t);
+        let Some(callee_feats) = tf_fns.get(name) else {
+            continue;
+        };
+        if !f.is_punct(i + 1, '(') {
+            continue;
+        }
+        // skip the declaration itself
+        if i > 0 && f.is_ident(i - 1, "fn") {
+            continue;
+        }
+        let Some(encl) = f.enclosing_fn(t.start) else {
+            continue;
+        };
+        // caller's own target features imply the callee's?
+        let own = close_features(encl.target_features.clone());
+        if callee_feats.iter().all(|c| own.iter().any(|o| o == c)) {
+            continue;
+        }
+        // otherwise: nearest preceding dispatch arm within this fn
+        let arm = nearest_arm_features(f, encl.body.0, t.start);
+        let ok = match arm {
+            Some(feats) => callee_feats.iter().all(|c| feats.iter().any(|a| a == c)),
+            None => false,
+        };
+        if !ok {
+            out.push(finding(
+                f,
+                t.start,
+                "SIMD-TF-DISPATCH",
+                format!(
+                    "call to `{name}` (target_feature {:?}) not guarded by a matching \
+                     `SimdLevel` dispatch arm or caller target features",
+                    callee_feats
+                ),
+            ));
+        }
+    }
+}
+
+/// Features guaranteed by the `SimdLevel::X =>` arm nearest before
+/// `until` inside the fn body starting at `body_start`. An `|` chain
+/// guarantees only the intersection; a `_ =>` guarantees nothing.
+fn nearest_arm_features(f: &SourceFile, body_start: usize, until: usize) -> Option<Vec<String>> {
+    let mut current: Option<Vec<String>> = None;
+    let mut buffer: Vec<&str> = Vec::new();
+    for (i, t) in f.sig.iter().enumerate() {
+        if t.start < body_start {
+            continue;
+        }
+        if t.start >= until {
+            break;
+        }
+        if t.kind == Kind::Ident && f.tok_text(*t) == "SimdLevel" && punct2(f, i + 1, ':', ':') {
+            if let Some(v) = f.sig.get(i + 3) {
+                if v.kind == Kind::Ident {
+                    buffer.push(f.tok_text(*v));
+                }
+            }
+        }
+        if punct2(f, i, '=', '>') {
+            if buffer.is_empty() {
+                current = None; // `_ =>` or a non-SimdLevel match arm
+            } else {
+                // intersection over the chain
+                let mut feats: Vec<String> = level_features(buffer[0])
+                    .into_iter()
+                    .map(String::from)
+                    .collect();
+                for v in &buffer[1..] {
+                    let fv = level_features(v);
+                    feats.retain(|x| fv.iter().any(|y| y == x));
+                }
+                current = Some(feats);
+            }
+            buffer.clear();
+        }
+    }
+    current
+}
+
+// ------------------------------------------------------------ non-x86
+
+fn nonx86_asserts(f: &SourceFile, out: &mut Vec<Finding>) {
+    wildcard_arms_in_simd_matches(f, out);
+    cfg_not_x86_arms(f, out);
+}
+
+/// `_ =>` arms inside a `match` whose span mentions `SimdLevel` must
+/// `debug_assert`.
+fn wildcard_arms_in_simd_matches(f: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in f.sig.iter().enumerate() {
+        if t.kind != Kind::Ident || f.tok_text(*t) != "match" {
+            continue;
+        }
+        // first `{` after the scrutinee
+        let mut open = None;
+        for j in i + 1..f.sig.len() {
+            if f.is_punct(j, '{') {
+                open = Some(j);
+                break;
+            }
+            if f.is_punct(j, ';') {
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = f.match_brace(open) else {
+            continue;
+        };
+        // arms at depth 1: (pattern start, `=>` index). The match is a
+        // SimdLevel dispatch only when some arm *pattern* names
+        // SimdLevel — arm bodies that merely return a level (e.g.
+        // `match version { …, _ => SimdLevel::Scalar }`) don't count.
+        let mut arms: Vec<(usize, usize)> = Vec::new();
+        let mut depth = 0i64;
+        let mut pattern_start = open + 1;
+        for j in open..close {
+            if f.sig[j].kind == Kind::Punct {
+                match f.tok_text(f.sig[j]) {
+                    "{" | "(" | "[" => {
+                        depth += 1;
+                        if depth == 2 && j > open {
+                            // entering an arm body block; the next
+                            // pattern starts after it closes
+                            if let Some(body_close) = f.match_brace(j) {
+                                if arms.last().is_some_and(|&(_, a)| a < j) {
+                                    pattern_start = body_close + 1;
+                                }
+                            }
+                        }
+                    }
+                    "}" | ")" | "]" => depth -= 1,
+                    "," if depth == 1 => pattern_start = j + 1,
+                    _ => {}
+                }
+            }
+            if depth == 1 && punct2(f, j, '=', '>') {
+                arms.push((pattern_start, j));
+            }
+        }
+        let is_simd_match = arms.iter().any(|&(s, a)| {
+            (s..a).any(|j| f.sig[j].kind == Kind::Ident && f.tok_text(f.sig[j]) == "SimdLevel")
+        });
+        if !is_simd_match {
+            continue;
+        }
+        for &(s, a) in &arms {
+            let wildcard = a == s + 1 && f.is_ident(s, "_");
+            if !wildcard {
+                continue;
+            }
+            let body = arm_body_text(f, a + 2, close);
+            if !body.contains("debug_assert") {
+                out.push(finding(
+                    f,
+                    f.sig[s].start,
+                    "SIMD-NONX86-ASSERT",
+                    "wildcard arm in a SimdLevel match without a debug_assert; a \
+                     mis-detected level must be loud in debug builds"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Arms annotated `#[cfg(not(target_arch = …))]` on a SimdLevel pattern
+/// must `debug_assert`.
+fn cfg_not_x86_arms(f: &SourceFile, out: &mut Vec<Finding>) {
+    let needle = "cfg(not(target_arch";
+    let mut from = 0usize;
+    while let Some(off) = f.lx.mask[from..].find(needle) {
+        let at = from + off;
+        from = at + needle.len();
+        // the arm's `=>`: first adjacent `=` `>` pair after the attribute
+        let mut arrow = None;
+        for (i, t) in f.sig.iter().enumerate() {
+            if t.start <= at {
+                continue;
+            }
+            if t.kind == Kind::Ident && f.tok_text(*t) == "fn" {
+                break; // attribute was on an item, not a match arm
+            }
+            if punct2(f, i, '=', '>') {
+                arrow = Some(i);
+                break;
+            }
+        }
+        let Some(arrow) = arrow else { continue };
+        let pattern = &f.text[at..f.sig[arrow].start];
+        if !pattern.contains("SimdLevel") {
+            continue;
+        }
+        let body = arm_body_text(f, arrow + 2, f.sig.len() - 1);
+        if !body.contains("debug_assert") {
+            out.push(finding(
+                f,
+                at,
+                "SIMD-NONX86-ASSERT",
+                "non-x86 SimdLevel arm without a debug_assert; a vector level on an \
+                 architecture without the kernels must be loud in debug builds"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Text of a match-arm body starting at sig index `start`: a block's
+/// brace span, or the expression up to the first `,` at depth 0 (bounded
+/// by `limit`).
+fn arm_body_text(f: &SourceFile, start: usize, limit: usize) -> &str {
+    let Some(first) = f.sig.get(start) else {
+        return "";
+    };
+    if f.is_punct(start, '{') {
+        if let Some(close) = f.match_brace(start) {
+            return &f.text[first.start..f.sig[close].end];
+        }
+    }
+    let mut depth = 0i64;
+    for j in start..=limit.min(f.sig.len() - 1) {
+        if f.sig[j].kind == Kind::Punct {
+            match f.tok_text(f.sig[j]) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return &f.text[first.start..f.sig[j].start];
+                    }
+                }
+                "," if depth == 0 => {
+                    return &f.text[first.start..f.sig[j].start];
+                }
+                _ => {}
+            }
+        }
+    }
+    &f.text[first.start..]
+}

@@ -1,0 +1,436 @@
+//! A small, std-only Rust lexer — just enough syntax awareness for the
+//! lint passes to never be fooled by comments or string literals.
+//!
+//! The checks in this crate are token-sequence scanners, so the one
+//! thing that must be exactly right is *classification*: a
+//! `.lock().unwrap()` inside a doc comment, a raw string, or a byte
+//! string is prose, not code, and must produce no tokens. The tricky
+//! corners (each covered by a fixture in `tests/fixtures.rs`):
+//!
+//! * nested block comments (`/* a /* b */ c */` is one comment);
+//! * raw strings `r"…"` / `r#"…"#` (any number of `#`s, no escapes);
+//! * byte and raw-byte strings `b"…"`, `br#"…"#`, and C strings `c"…"`;
+//! * `//` and `/*` *inside* string literals (still string data);
+//! * the lifetime-tick ambiguity: `'a` is a lifetime, `'a'` is a char,
+//!   `b'x'` is a byte literal, and `&'static str` must not swallow the
+//!   rest of the file as an unterminated char.
+//!
+//! Alongside the token list the lexer builds a **mask**: a copy of the
+//! source where every comment and every literal body is blanked to
+//! spaces (newlines preserved), so byte offsets and line numbers in the
+//! mask line up with the original text. Checks that want "is there real
+//! code matching X on this line" grep the mask; checks that want
+//! structure walk the tokens.
+
+/// Token classification. `Str` covers every string-ish literal form
+/// (plain/raw/byte/C); `Char` covers char and byte-char literals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    Ident,
+    Lifetime,
+    Num,
+    Str,
+    Char,
+    LineComment,
+    BlockComment,
+    Punct,
+}
+
+/// One token: classification plus the byte span in the original source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    pub kind: Kind,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Lexed source: all tokens (comments included), the code mask, and a
+/// line-start table for byte→line conversion.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub mask: String,
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    pub fn lex(src: &str) -> Lexed {
+        let mut lx = Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            toks: Vec::new(),
+            mask: vec![b' '; src.len()],
+        };
+        lx.run();
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        // newlines survive in the mask so its line numbers match
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                lx.mask[i] = b'\n';
+            }
+        }
+        Lexed {
+            toks: lx.toks,
+            mask: String::from_utf8(lx.mask).expect("mask is ASCII + source newlines"),
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, byte: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= byte)
+    }
+
+    /// The (1-based) line's text span in the source.
+    pub fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&s| s.saturating_sub(1))
+            .unwrap_or(usize::MAX);
+        (start, end)
+    }
+
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    toks: Vec<Tok>,
+    mask: Vec<u8>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.bytes.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn char_at(&self, pos: usize) -> Option<char> {
+        self.src[pos..].chars().next()
+    }
+
+    fn push(&mut self, kind: Kind, start: usize) {
+        // code tokens keep their text in the mask; literal/comment
+        // bodies stay blank so text searches can't match inside them
+        if matches!(kind, Kind::Ident | Kind::Num | Kind::Punct | Kind::Lifetime) {
+            self.mask[start..self.pos].copy_from_slice(&self.bytes[start..self.pos]);
+        }
+        self.toks.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    self.push(Kind::LineComment, start);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while self.pos < self.bytes.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.pos += 2;
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.pos += 2;
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                    self.push(Kind::BlockComment, start);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.scan_plain_string();
+                    self.push(Kind::Str, start);
+                }
+                b'\'' => self.scan_tick(start),
+                b'0'..=b'9' => {
+                    self.scan_number();
+                    self.push(Kind::Num, start);
+                }
+                _ => {
+                    let ch = match self.char_at(self.pos) {
+                        Some(c) => c,
+                        None => {
+                            self.pos += 1;
+                            continue;
+                        }
+                    };
+                    if ch == '_' || ch.is_alphabetic() {
+                        if self.try_string_prefix(start) {
+                            continue;
+                        }
+                        self.scan_ident();
+                        self.push(Kind::Ident, start);
+                    } else {
+                        self.pos += ch.len_utf8();
+                        self.push(Kind::Punct, start);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'` — literal
+    /// forms that *start* with an identifier character. Returns true
+    /// when a literal was consumed.
+    fn try_string_prefix(&mut self, start: usize) -> bool {
+        let rest = &self.bytes[self.pos..];
+        let (prefix_len, raw, is_char) = if rest.starts_with(b"br") || rest.starts_with(b"cr") {
+            (2, true, false)
+        } else if rest.starts_with(b"r") {
+            (1, true, false)
+        } else if rest.starts_with(b"b\"") || rest.starts_with(b"c\"") {
+            (1, false, false)
+        } else if rest.starts_with(b"b'") {
+            (1, false, true)
+        } else {
+            return false;
+        };
+        if is_char {
+            self.pos += prefix_len; // at the tick
+            let tick = self.pos;
+            self.scan_tick(tick);
+            // scan_tick pushed its own token (Char or Lifetime); widen
+            // the span to include the `b` prefix
+            if let Some(t) = self.toks.last_mut() {
+                t.start = start;
+            }
+            return true;
+        }
+        // raw forms: prefix, then `#`*N, then `"` … `"` + `#`*N
+        let mut p = self.pos + prefix_len;
+        let mut hashes = 0usize;
+        if raw {
+            while self.bytes.get(p) == Some(&b'#') {
+                hashes += 1;
+                p += 1;
+            }
+        }
+        if self.bytes.get(p) != Some(&b'"') {
+            return false; // `r` / `b` was just an identifier after all
+        }
+        self.pos = p + 1;
+        if raw {
+            // no escapes in raw strings: find `"` followed by N hashes
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => break,
+                    Some(b'"') => {
+                        let after = &self.bytes[self.pos + 1..];
+                        if after.len() >= hashes && after[..hashes].iter().all(|&c| c == b'#') {
+                            self.pos += 1 + hashes;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+        } else {
+            self.scan_plain_string();
+        }
+        self.push(Kind::Str, start);
+        true
+    }
+
+    /// After the opening `"` of a non-raw string: consume through the
+    /// closing quote, honouring `\"` and `\\` escapes.
+    fn scan_plain_string(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// At a `'`: decide lifetime vs char literal.
+    fn scan_tick(&mut self, start: usize) {
+        self.pos += 1; // consume the tick
+        match self.peek(0) {
+            b'\\' => {
+                // escaped char literal: `'\n'`, `'\u{1F600}'`, `'\''`
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(Kind::Char, start);
+            }
+            c if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+                // an identifier-ish run: `'a'` is a char, `'a` / `'static`
+                // is a lifetime
+                let run_start = self.pos;
+                while self.pos < self.bytes.len() {
+                    let b = self.bytes[self.pos];
+                    if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == b'\'' && self.pos > run_start {
+                    self.pos += 1;
+                    self.push(Kind::Char, start);
+                } else {
+                    self.push(Kind::Lifetime, start);
+                }
+            }
+            0 => self.push(Kind::Punct, start), // stray tick at EOF
+            _ => {
+                // `'('`-style single-char literal, or a stray tick
+                if self.peek(1) == b'\'' {
+                    self.pos += 2;
+                    self.push(Kind::Char, start);
+                } else {
+                    self.push(Kind::Punct, start);
+                }
+            }
+        }
+    }
+
+    fn scan_ident(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.char_at(self.pos) {
+                Some(c) if c == '_' || c.is_alphanumeric() => self.pos += c.len_utf8(),
+                _ => break,
+            }
+        }
+    }
+
+    fn scan_number(&mut self) {
+        // pragmatic: digits, alnum suffixes (`u64`, hex, `_`), a decimal
+        // point only when followed by a digit (so `1..n` and `1.min(x)`
+        // stay three tokens), and a sign right after an exponent `e`
+        let mut prev = b'0';
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let ok = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_ascii_digit() && prev != b'.')
+                || ((b == b'+' || b == b'-')
+                    && (prev == b'e' || prev == b'E')
+                    && self.peek(1).is_ascii_digit());
+            if !ok {
+                break;
+            }
+            prev = b;
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        let lx = Lexed::lex(src);
+        lx.toks
+            .iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let t = kinds("a /* x /* y */ z */ b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].0, Kind::BlockComment);
+        assert_eq!(t[1].1, "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let t = kinds(r####"let s = r#"has "quotes" and // slashes"#;"####);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == Kind::Str && s.contains("slashes")));
+        // nothing inside the raw string leaked into the mask
+        let lx = Lexed::lex(r####"let s = r#"x.lock().unwrap()"#;"####);
+        assert!(!lx.mask.contains("unwrap"));
+    }
+
+    #[test]
+    fn line_comment_inside_string_is_string() {
+        let lx = Lexed::lex("let url = \"http://example.com\"; call();");
+        assert!(!lx.mask.contains("example"));
+        assert!(lx.mask.contains("call"));
+        assert_eq!(
+            lx.toks
+                .iter()
+                .filter(|t| t.kind == Kind::LineComment)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let t = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = t.iter().filter(|(k, _)| *k == Kind::Lifetime).collect();
+        let chars: Vec<_> = t.iter().filter(|(k, _)| *k == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{t:?}");
+        assert_eq!(chars.len(), 2, "{t:?}");
+        assert_eq!(chars[0].1, "'z'");
+    }
+
+    #[test]
+    fn static_lifetime_does_not_eat_the_file() {
+        let t = kinds("const S: &'static str = \"x\"; fn g() {}");
+        assert!(t.iter().any(|(k, s)| *k == Kind::Ident && s == "g"));
+    }
+
+    #[test]
+    fn numbers_stay_out_of_ranges_and_method_calls() {
+        let t = kinds("for i in 1..n { x = 1.5e-3; y = 2.min(z); }");
+        let nums: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == Kind::Num)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, ["1", "1.5e-3", "2"]);
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let lx = Lexed::lex("a\nb\nc");
+        assert_eq!(lx.line_of(0), 1);
+        assert_eq!(lx.line_of(2), 2);
+        assert_eq!(lx.line_of(4), 3);
+    }
+}

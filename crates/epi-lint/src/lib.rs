@@ -1,0 +1,259 @@
+//! epi-lint — in-tree static analysis for the epistasis workspace.
+//!
+//! The correctness story of this repo rests on invariants no compiler
+//! checks. Each check below exists because hand-audit stopped scaling
+//! once the wire protocol, checkpoint formats, and SIMD dispatch spread
+//! across four crates. Run it as `epi3 lint` or
+//! `cargo run -p epi-lint`; findings print as
+//! `file:line: CHECK-ID message`, `--json` emits the machine-readable
+//! form, and `epi-lint.allow` at the repo root carries per-site
+//! justifications (see [`allowlist`]).
+//!
+//! # Checks and the invariants behind them
+//!
+//! **determinism** — merges and checkpoints must be byte-identical
+//! across SIMD tiers, worker counts, and federation topologies
+//! (`tests/differential.rs` locks this in behaviorally; the lint keeps
+//! new code from breaking it structurally):
+//! * `DET-HASH-ITER`: hash-order iteration feeding merge/codec/report
+//!   paths — hash order varies per process.
+//! * `DET-TIME`: `SystemTime::now`/`Instant::now` in scan/merge logic —
+//!   timestamps in results break replay (deadline/backoff modules are
+//!   out of scope by design).
+//! * `DET-FLOAT-FMT`: decimal float text in codecs — MI scores
+//!   round-trip as exact f64 bit patterns, never `{:.6}`.
+//!
+//! **unsafe-simd** — the SIMD core is the only unsafe in the tree and
+//! every contract must be written down:
+//! * `UNSAFE-NO-SAFETY`: `unsafe` without a `// SAFETY:` comment.
+//! * `UNSAFE-FORBID`: a crate root missing `#![forbid(unsafe_code)]`
+//!   (the core carries `deny` + a module-scoped allow).
+//! * `SIMD-TF-DISPATCH`: a `#[target_feature]` fn reachable outside the
+//!   matching `SimdLevel` dispatch arm — UB on the wrong CPU.
+//! * `SIMD-NONX86-ASSERT`: wildcard/non-x86 dispatch arms without a
+//!   `debug_assert` — mis-detected levels must be loud.
+//!
+//! **locks** — a poisoned mutex must degrade to recovery, not a crash
+//! loop, and lock order must be globally consistent:
+//! * `LOCK-RAW-UNWRAP`: `.lock().unwrap()`/`.lock().expect(` outside
+//!   the poisoning-recovery helper.
+//! * `LOCK-ORDER`: two mutexes acquired in opposite orders in two
+//!   functions, or re-acquired while held.
+//!
+//! **protocol** — verbs, spec keys, and checkpoint record kinds each
+//! live in several places that drift independently:
+//! * `PROTO-VERB`: server dispatch vs client wrappers vs README table
+//!   vs crate docs.
+//! * `PROTO-KEY`: spec parser vs emitter vs README spec-keys paragraph.
+//! * `PROTO-RECORD`: checkpoint encoder vs decoder — an asymmetric kind
+//!   is a checkpoint that cannot be resumed.
+//!
+//! **panics** — every `unwrap`/`expect`/`panic!`/index on a server or
+//! coordinator request path is inventoried against the allowlist:
+//! `PANIC-UNWRAP`, `PANIC-EXPECT`, `PANIC-PANIC`, `PANIC-INDEX`.
+//!
+//! Finally `ALLOW-UNUSED` fires on allowlist entries that no longer
+//! suppress anything, so the allowlist can only shrink to fit.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod checks;
+pub mod lexer;
+pub mod source;
+
+use allowlist::Allowlist;
+use checks::{Tree, CHECKS};
+use source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, printable as `file:line: CHECK-ID message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub check: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    /// The trimmed source line, used for allowlist needle matching.
+    pub excerpt: String,
+    /// Set on suppressed findings: the allowlist justification.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.file, self.line, self.check, self.message
+        )
+    }
+}
+
+/// Result of a lint run: what survived the allowlist and what it
+/// suppressed (kept for `--json` so audits see the justified sites too).
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Finding>,
+}
+
+/// Directories under the repo root that hold lintable Rust sources.
+const SOURCE_ROOTS: &[&str] = &["crates", "src", "shims", "tests", "benches"];
+
+/// Walk the workspace and lex every `.rs` file.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in SOURCE_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::new(rel, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the named checks (all when `only` is empty) over an
+/// already-built tree. This is the seam the fixture tests use.
+pub fn lint_tree(tree: &Tree, only: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, _, run) in CHECKS {
+        if only.is_empty() || only.iter().any(|o| o == name) {
+            run(tree, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.check, &a.message).cmp(&(&b.file, b.line, &b.check, &b.message))
+    });
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.check == b.check);
+    findings
+}
+
+/// Full run: collect sources under `root`, lint, apply the allowlist at
+/// `allow_path` (when it exists).
+pub fn run_lint(root: &Path, allow_path: &Path, only: &[String]) -> Result<LintReport, String> {
+    let files = collect_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {}", root.display()));
+    }
+    let readme_path = root.join("README.md");
+    let readme = fs::read_to_string(&readme_path)
+        .ok()
+        .map(|t| ("README.md".to_string(), t));
+    let tree = Tree { files, readme };
+    let findings = lint_tree(&tree, only);
+    let (findings, suppressed) = match fs::read_to_string(allow_path) {
+        Ok(text) => {
+            let rel = allow_path
+                .strip_prefix(root)
+                .unwrap_or(allow_path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let allow = Allowlist::parse(&rel, &text)
+                .map_err(|e| format!("{rel}:{}: {}", e.line, e.message))?;
+            allow.apply(findings)
+        }
+        Err(_) => (findings, Vec::new()),
+    };
+    Ok(LintReport {
+        findings,
+        suppressed,
+    })
+}
+
+// ------------------------------------------------------------- output
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut s = format!(
+        "{{\"check\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"excerpt\":\"{}\"",
+        json_escape(&f.check),
+        json_escape(&f.file),
+        f.line,
+        json_escape(&f.message),
+        json_escape(&f.excerpt),
+    );
+    if let Some(j) = &f.justification {
+        s.push_str(&format!(",\"justification\":\"{}\"", json_escape(j)));
+    }
+    s.push('}');
+    s
+}
+
+impl LintReport {
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(finding_json).collect();
+        let suppressed: Vec<String> = self.suppressed.iter().map(finding_json).collect();
+        format!(
+            "{{\"findings\":[{}],\"suppressed\":[{}],\"ok\":{}}}",
+            findings.join(","),
+            suppressed.join(","),
+            self.findings.is_empty(),
+        )
+    }
+
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "epi-lint: {} finding(s), {} suppressed by allowlist\n",
+            self.findings.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+}
+
+/// `--list` output: each nameable check with its IDs.
+pub fn list_checks() -> String {
+    let mut out = String::new();
+    for (name, desc, _) in CHECKS {
+        out.push_str(&format!("{name:12} {desc}\n"));
+    }
+    out
+}

@@ -1,0 +1,307 @@
+//! Per-file analysis context shared by every check: significant tokens,
+//! `#[cfg(test)]` / `#[test]` regions, function spans, and attribute
+//! attachment.
+
+use crate::lexer::{Kind, Lexed, Tok};
+
+/// One function item: name, the byte where its `fn` keyword starts, its
+/// body's byte span, and the `#[target_feature(enable = "…")]` features
+/// attached to it (empty when none).
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub start: usize,
+    pub body: (usize, usize),
+    pub target_features: Vec<String>,
+}
+
+/// A lexed source file plus the derived structure the checks share.
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    pub text: String,
+    pub lx: Lexed,
+    /// Significant tokens: everything except comments.
+    pub sig: Vec<Tok>,
+    /// Byte ranges of test-only code: `#[cfg(test)] mod …` bodies and
+    /// `#[test] fn` bodies.
+    pub test_regions: Vec<(usize, usize)>,
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    pub fn new(path: String, text: String) -> SourceFile {
+        let lx = Lexed::lex(&text);
+        let sig: Vec<Tok> = lx
+            .toks
+            .iter()
+            .copied()
+            .filter(|t| !matches!(t.kind, Kind::LineComment | Kind::BlockComment))
+            .collect();
+        let mut f = SourceFile {
+            path,
+            text,
+            lx,
+            sig,
+            test_regions: Vec::new(),
+            fns: Vec::new(),
+        };
+        f.find_structure();
+        f
+    }
+
+    pub fn tok_text(&self, t: Tok) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// Is this significant-token index an identifier with this text?
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.sig
+            .get(i)
+            .is_some_and(|t| t.kind == Kind::Ident && self.tok_text(*t) == text)
+    }
+
+    pub fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.sig
+            .get(i)
+            .is_some_and(|t| t.kind == Kind::Punct && self.tok_text(*t).starts_with(ch))
+    }
+
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    pub fn line_text(&self, line: usize) -> &str {
+        let (s, e) = self.lx.line_span(line);
+        self.text[s..e.min(self.text.len())].trim_end()
+    }
+
+    /// Innermost function span containing `byte`.
+    pub fn enclosing_fn(&self, byte: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| byte >= f.start && byte < f.body.1)
+            .min_by_key(|f| f.body.1 - f.start)
+    }
+
+    /// Index of the significant token matching the closing brace for the
+    /// opening brace at sig index `open`.
+    pub fn match_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for i in open..self.sig.len() {
+            if self.sig[i].kind == Kind::Punct {
+                match self.tok_text(self.sig[i]) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Walk items once, attaching attributes, recording test regions and
+    /// function spans.
+    fn find_structure(&mut self) {
+        // A `#[…]` attribute starting at sig index i: returns (index past
+        // the closing `]`, raw attribute text).
+        let attr_at = |i: usize| -> Option<(usize, String)> {
+            if !self.is_punct(i, '#') || !self.is_punct(i + 1, '[') {
+                return None;
+            }
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < self.sig.len() {
+                let t = self.tok_text(self.sig[j]);
+                if self.sig[j].kind == Kind::Punct {
+                    if t == "[" {
+                        depth += 1;
+                    } else if t == "]" {
+                        depth -= 1;
+                        if depth == 0 {
+                            let text = self.text[self.sig[i].start..self.sig[j].end].to_string();
+                            return Some((j + 1, text));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        };
+
+        let mut pending: Vec<String> = Vec::new();
+        let mut fns = Vec::new();
+        let mut test_regions = Vec::new();
+        let mut i = 0;
+        while i < self.sig.len() {
+            if let Some((next, text)) = attr_at(i) {
+                pending.push(text);
+                i = next;
+                continue;
+            }
+            let tok = self.sig[i];
+            let text = self.tok_text(tok);
+            if tok.kind == Kind::Ident {
+                match text {
+                    // modifiers that may sit between attributes and the item
+                    "pub" | "unsafe" | "const" | "extern" | "async" | "crate" | "in" => {
+                        i += 1;
+                        continue;
+                    }
+                    "fn" => {
+                        let name = self
+                            .sig
+                            .get(i + 1)
+                            .filter(|t| t.kind == Kind::Ident)
+                            .map(|t| self.tok_text(*t).to_string())
+                            .unwrap_or_default();
+                        // body: first `{` at zero paren/bracket depth
+                        // (stop at `;` — trait method without a body)
+                        let mut j = i + 2;
+                        let mut depth = 0i64;
+                        let mut body = None;
+                        while j < self.sig.len() {
+                            let t = self.tok_text(self.sig[j]);
+                            if self.sig[j].kind == Kind::Punct {
+                                match t {
+                                    "(" | "[" => depth += 1,
+                                    ")" | "]" => depth -= 1,
+                                    "{" if depth == 0 => {
+                                        body = Some(j);
+                                        break;
+                                    }
+                                    ";" if depth == 0 => break,
+                                    _ => {}
+                                }
+                            }
+                            j += 1;
+                        }
+                        if let Some(open) = body {
+                            if let Some(close) = self.match_brace(open) {
+                                let span = FnSpan {
+                                    name,
+                                    start: tok.start,
+                                    body: (self.sig[open].start, self.sig[close].end),
+                                    target_features: pending
+                                        .iter()
+                                        .filter_map(|a| parse_target_features(a))
+                                        .flatten()
+                                        .collect(),
+                                };
+                                if pending.iter().any(|a| attr_is_test(a)) {
+                                    test_regions.push(span.body);
+                                }
+                                fns.push(span);
+                            }
+                        }
+                        pending.clear();
+                        i += 1;
+                        continue;
+                    }
+                    "mod" => {
+                        if pending.iter().any(|a| attr_is_cfg_test(a)) {
+                            let mut j = i + 1;
+                            while j < self.sig.len()
+                                && !self.is_punct(j, '{')
+                                && !self.is_punct(j, ';')
+                            {
+                                j += 1;
+                            }
+                            if self.is_punct(j, '{') {
+                                if let Some(close) = self.match_brace(j) {
+                                    test_regions.push((self.sig[j].start, self.sig[close].end));
+                                }
+                            }
+                        }
+                        pending.clear();
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            pending.clear();
+            i += 1;
+        }
+        self.fns = fns;
+        self.test_regions = test_regions;
+    }
+}
+
+fn attr_is_cfg_test(attr: &str) -> bool {
+    attr.contains("cfg") && attr.contains("test")
+}
+
+fn attr_is_test(attr: &str) -> bool {
+    let inner = attr.trim_start_matches("#[").trim_end_matches(']').trim();
+    inner == "test"
+}
+
+/// Extract the feature list from `#[target_feature(enable = "a,b")]`.
+fn parse_target_features(attr: &str) -> Option<Vec<String>> {
+    if !attr.contains("target_feature") {
+        return None;
+    }
+    let q0 = attr.find('"')? + 1;
+    let q1 = attr[q0..].find('"')? + q0;
+    Some(
+        attr[q0..q1]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn a() { work(); }\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let f = SourceFile::new("x.rs".into(), src.into());
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test(unwrap_at));
+        assert!(!f.in_test(src.find("work").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_outside_mod_is_a_test_region() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn real() { z(); }\n";
+        let f = SourceFile::new("x.rs".into(), src.into());
+        assert!(f.in_test(src.find("unwrap").unwrap()));
+        assert!(!f.in_test(src.find("z()").unwrap()));
+    }
+
+    #[test]
+    fn target_features_attach_to_the_following_fn() {
+        let src = r#"
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+#[inline]
+unsafe fn fast(x: u64) -> u32 { x.count_ones() }
+fn plain() {}
+"#;
+        let f = SourceFile::new("x.rs".into(), src.into());
+        let fast = f.fns.iter().find(|f| f.name == "fast").unwrap();
+        assert_eq!(fast.target_features, ["avx2", "popcnt"]);
+        let plain = f.fns.iter().find(|f| f.name == "plain").unwrap();
+        assert!(plain.target_features.is_empty());
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let f = SourceFile::new("x.rs".into(), src.into());
+        let at = src.find("mark").unwrap();
+        assert_eq!(f.enclosing_fn(at).unwrap().name, "inner");
+    }
+}

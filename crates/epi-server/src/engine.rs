@@ -392,12 +392,13 @@ impl Engine {
                 return Err(format!("job {id} is mid-transition; retry resume"));
             };
             if m != job.plan.num_snps() {
-                job.state = JobState::Failed;
-                job.error = Some(format!(
+                let msg = format!(
                     "dataset changed: checkpoint plan covers {} SNPs, file has {m}",
                     job.plan.num_snps()
-                ));
-                return Err(job.error.clone().unwrap());
+                );
+                job.state = JobState::Failed;
+                job.error = Some(msg.clone());
+                return Err(msg);
             }
             job.data = Some(Arc::new(data));
             job.dataset_hash = Some(hash);
@@ -1248,7 +1249,7 @@ mod tests {
         engine.cancel(st.id).unwrap();
         engine.wait(st.id, Duration::from_secs(30)).unwrap();
         {
-            let state = engine.shared.state.lock().unwrap();
+            let state = lock(&engine.shared.state);
             let job = state.jobs.get(&st.id).unwrap();
             if job.state == JobState::Cancelled {
                 assert!(
@@ -1355,7 +1356,7 @@ mod tests {
         // Poison the state mutex the hard way: panic while holding it.
         let shared = Arc::clone(&engine.shared);
         let _ = std::thread::spawn(move || {
-            let _guard = shared.state.lock().unwrap();
+            let _guard = lock(&shared.state);
             panic!("deliberate poison");
         })
         .join();

@@ -90,6 +90,8 @@
 //! handle.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod codec;
 pub mod engine;

@@ -23,6 +23,8 @@
 //! Together they regenerate Fig. 4 and the GPU rows of Table III in
 //! shape: who wins, by what factor, and why.
 
+#![forbid(unsafe_code)]
+
 pub mod coalesce;
 pub mod hetero;
 pub mod kernels;

@@ -9,6 +9,8 @@
 //! are printed to stdout; there is no HTML report or statistical
 //! regression machinery.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -9,6 +9,8 @@
 //! per-test seed. There is **no shrinking**; a failing case panics with
 //! the ordinary assertion message.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::ops::{Range, RangeInclusive};
 

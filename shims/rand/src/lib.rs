@@ -7,6 +7,8 @@
 //! statistically sound) streams. Nothing in the workspace depends on the
 //! exact upstream streams, only on determinism per seed.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs {

@@ -9,6 +9,8 @@
 //! `with_min_len`, `fold`, `reduce`, `collect`, `ThreadPoolBuilder`,
 //! `install`, and `scope` — with real parallelism, if not work stealing.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::ops::Range;
 

@@ -12,6 +12,7 @@
 //! $ epi3 submit data.epi3 --shards 64 --wait
 //! $ epi3 status --all
 //! $ epi3 federate data.epi3 --spawn 2 --shards 64 --verify
+//! $ epi3 lint
 //! ```
 
 use std::process::ExitCode;
@@ -63,6 +64,11 @@ commands:
                   [--scale-threads a,b,c] [--scale-samples N]
                   [--simd TIER] [--out FILE]
   devices       print the paper's device catalogs (Tables I & II)
+  lint          in-tree static analysis: determinism, unsafe/SIMD
+                hygiene, lock discipline, wire-protocol conformance,
+                panic-path audit (see README \"Static analysis\")
+                  [--root DIR] [--allowlist FILE] [--check NAME]...
+                  [--json] [--list]  (exit 1 on non-allowlisted findings)
 
 job service (line-delimited TCP, see epi_server crate docs):
   serve         run the scan-job server (blocks until SHUTDOWN)
@@ -128,6 +134,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cancel" => cmd_job_verb(rest, JobVerb::Cancel),
         "resume" => cmd_job_verb(rest, JobVerb::Resume),
         "federate" => cmd_federate(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -156,6 +163,47 @@ fn opt_usize(args: &[String], key: &str, default: usize) -> Result<usize, String
 
 fn opt_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+// --- lint ------------------------------------------------------------------
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    if opt_flag(args, "--list") {
+        print!("{}", epi_lint::list_checks());
+        return Ok(());
+    }
+    let root = std::path::PathBuf::from(opt_value(args, "--root").unwrap_or("."));
+    let allow = match opt_value(args, "--allowlist") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("epi-lint.allow"),
+    };
+    let mut only = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--check" {
+            let name = args
+                .get(i + 1)
+                .ok_or("--check expects a name (see --list)")?;
+            if !epi_lint::checks::CHECKS.iter().any(|(n, _, _)| n == name) {
+                return Err(format!("unknown check {name:?}; --list shows the registry"));
+            }
+            only.push(name.clone());
+            i += 1;
+        }
+        i += 1;
+    }
+    let report = epi_lint::run_lint(&root, &allow, &only)?;
+    if opt_flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.findings.is_empty() {
+        Ok(())
+    } else {
+        // findings already printed; skip the usage blurb an Err would add
+        std::process::exit(1);
+    }
 }
 
 /// Worker/thread count for commands that scan: the explicit flag wins,

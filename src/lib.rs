@@ -43,6 +43,8 @@
 //! | [`epi_server`] | sharded, resumable scan jobs behind a TCP service |
 //! | [`epi_coord`] | multi-node federation of one scan across a fleet |
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use bitgenome;
 pub use carm;
