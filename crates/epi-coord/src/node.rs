@@ -135,7 +135,7 @@ impl NodeHandle {
         if !self.probe_due(Instant::now()) {
             return None;
         }
-        let answered = Client::connect_with_deadline(self.addr.as_str(), self.deadline)
+        let answered = Client::connect_framed_with_deadline(self.addr.as_str(), self.deadline)
             .ok()
             .and_then(|mut c| c.ping().ok().map(|_| c));
         match answered {
@@ -170,7 +170,9 @@ impl NodeHandle {
             return Err(format!("node {} is dead", self.addr));
         }
         if self.client.is_none() {
-            match Client::connect_with_deadline(self.addr.as_str(), self.deadline) {
+            // framed transport: every cross-machine request and reply is
+            // checksummed in transit (same verbs, bit-identical replies)
+            match Client::connect_framed_with_deadline(self.addr.as_str(), self.deadline) {
                 Ok(c) => self.client = Some(c),
                 Err(e) => {
                     self.note_transport_failure();

@@ -1,20 +1,62 @@
 //! Blocking client for the job service, used by the `epi3` CLI, the
 //! examples, and the end-to-end tests.
 
+use crate::frame::{FrameReader, FrameWriter};
 use crate::job::{JobState, JobStatus};
+use crate::server::MAX_REQUEST_LEN;
 use crate::spec::{unescape, JobSpec};
 use epi_core::result::Candidate;
 use epi_core::shard::ShardSet;
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Receiving half of a connection: raw text bytes, or the byte stream
+/// unwrapped from length-prefixed frames. Either way the bytes *read*
+/// are the same text protocol — framing is pure transport.
+enum ReadHalf {
+    Text(TcpStream),
+    Framed(FrameReader<TcpStream>),
+}
+
+impl Read for ReadHalf {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ReadHalf::Text(s) => s.read(buf),
+            ReadHalf::Framed(r) => r.read(buf),
+        }
+    }
+}
+
+/// Sending half: plain buffered writes, or writes wrapped into a frame
+/// (with checksum) per flush.
+enum WriteHalf {
+    Text(BufWriter<TcpStream>),
+    Framed(FrameWriter<TcpStream>),
+}
+
+impl Write for WriteHalf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WriteHalf::Text(w) => w.write(buf),
+            WriteHalf::Framed(w) => w.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WriteHalf::Text(w) => w.flush(),
+            WriteHalf::Framed(w) => w.flush(),
+        }
+    }
+}
 
 /// One TCP connection to an epi-server. Requests are serialized; the
 /// protocol is strictly request/reply, so one connection serves any
 /// number of sequential calls.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<ReadHalf>,
+    writer: WriteHalf,
     /// Connect/read/write deadline, when connected with one. Kept so
     /// timeout errors can say how long the caller actually waited.
     deadline: Option<Duration>,
@@ -28,7 +70,17 @@ impl Client {
     /// because a dead-but-not-closed peer hangs this client forever.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        Self::from_stream(stream, None)
+        Self::from_stream(stream, None, false)
+    }
+
+    /// [`Client::connect`] over the length-prefixed binary framing
+    /// ([`crate::frame`]): every request and reply is checksummed in
+    /// transit, so a flipped bit surfaces as a clean error instead of a
+    /// silently corrupted candidate. Same verbs, same replies, byte for
+    /// byte — the server detects the transport from the first byte.
+    pub fn connect_framed(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, None, true)
     }
 
     /// Connect with a deadline applied to the connection attempt and to
@@ -39,12 +91,30 @@ impl Client {
         addr: impl ToSocketAddrs,
         deadline: Duration,
     ) -> std::io::Result<Self> {
+        Self::connect_deadline_inner(addr, deadline, false)
+    }
+
+    /// [`Client::connect_with_deadline`] over binary framing — what the
+    /// federation coordinator uses, so cross-machine candidate traffic
+    /// is integrity-checked end to end.
+    pub fn connect_framed_with_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Duration,
+    ) -> std::io::Result<Self> {
+        Self::connect_deadline_inner(addr, deadline, true)
+    }
+
+    fn connect_deadline_inner(
+        addr: impl ToSocketAddrs,
+        deadline: Duration,
+        framed: bool,
+    ) -> std::io::Result<Self> {
         // `TcpStream::connect_timeout` wants one concrete SocketAddr;
         // resolve and try each like `connect` does.
         let mut last_err = None;
         for addr in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&addr, deadline) {
-                Ok(stream) => return Self::from_stream(stream, Some(deadline)),
+                Ok(stream) => return Self::from_stream(stream, Some(deadline), framed),
                 Err(e) => last_err = Some(e),
             }
         }
@@ -53,13 +123,28 @@ impl Client {
         }))
     }
 
-    fn from_stream(stream: TcpStream, deadline: Option<Duration>) -> std::io::Result<Self> {
+    fn from_stream(
+        stream: TcpStream,
+        deadline: Option<Duration>,
+        framed: bool,
+    ) -> std::io::Result<Self> {
         stream.set_read_timeout(deadline)?;
         stream.set_write_timeout(deadline)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let read_stream = stream.try_clone()?;
+        let (reader, writer) = if framed {
+            (
+                ReadHalf::Framed(FrameReader::new(read_stream)),
+                WriteHalf::Framed(FrameWriter::new(stream)),
+            )
+        } else {
+            (
+                ReadHalf::Text(read_stream),
+                WriteHalf::Text(BufWriter::new(stream)),
+            )
+        };
         Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
+            reader: BufReader::new(reader),
+            writer,
             deadline,
         })
     }
@@ -87,8 +172,15 @@ impl Client {
 
     fn read_line(&mut self) -> Result<String, String> {
         let mut line = String::new();
-        match self.reader.read_line(&mut line) {
+        // cap the reply line like the server caps request lines: a
+        // corrupt or hostile peer streaming bytes without a newline must
+        // become an error, not unbounded memory
+        let cap = (MAX_REQUEST_LEN + 1) as u64;
+        match (&mut self.reader).take(cap).read_line(&mut line) {
             Ok(0) => Err("server closed the connection".into()),
+            Ok(_) if line.len() > MAX_REQUEST_LEN && !line.ends_with('\n') => Err(format!(
+                "receive failed: reply line exceeds {MAX_REQUEST_LEN} bytes"
+            )),
             Ok(_) => Ok(line.trim_end().to_string()),
             Err(e) => Err(self.io_error("receive", e)),
         }

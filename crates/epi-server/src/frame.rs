@@ -1,0 +1,345 @@
+//! Length-prefixed binary framing — the optional transport under the
+//! text protocol.
+//!
+//! A frame is a 15-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic 0xEB 0x33  (0xEB is not valid UTF-8 text, so the
+//!                                 server detects framing on byte one)
+//!      2     1  version (currently 1)
+//!      3     4  payload length, u32 little-endian, 1..=65536
+//!      7     8  checksum, u64 little-endian:
+//!               ContentHash64(FRAME_HASH_SEED) over the payload
+//!     15     n  payload
+//! ```
+//!
+//! Framing is a pure transport: the payload bytes are exactly the text
+//! protocol's byte stream (requests end with `\n`, replies are the same
+//! lines a text client would read), chunked at [`MAX_FRAME_PAYLOAD`].
+//! Frame boundaries carry no meaning — a request may span frames and a
+//! frame may carry several pipelined lines — which is what guarantees
+//! framed and text clients see bit-identical RESULT/PARTIAL payloads:
+//! both transports move the same bytes. What framing adds is integrity
+//! (the checksum turns a truncated or corrupted reply into a clean
+//! `receive` error instead of a silent parse of garbage) and a place to
+//! version the transport independently of verb semantics.
+
+use epi_core::integrity::hash_bytes;
+use std::io::{self, Read, Write};
+
+/// First bytes of every frame. `0xEB` doubles as the transport
+/// auto-detection octet: no text-protocol request can start with it.
+pub const FRAME_MAGIC: [u8; 2] = [0xEB, 0x33];
+
+/// Current transport version; bumped only for layout changes.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes before the payload: magic + version + length + checksum.
+pub const FRAME_HEADER_LEN: usize = 15;
+
+/// Hard cap on one frame's payload. Longer byte streams are split
+/// across frames; a header declaring more is rejected before any
+/// payload is buffered.
+pub const MAX_FRAME_PAYLOAD: usize = 64 * 1024;
+
+/// Seed of the frame checksum ("EPI3" "FR", v1). Changing it is a wire
+/// break: every peer would see checksum mismatches.
+pub const FRAME_HASH_SEED: u64 = 0x4550_4933_4652_0001;
+
+/// Checksum over one frame payload.
+pub fn checksum(payload: &[u8]) -> u64 {
+    hash_bytes(FRAME_HASH_SEED, payload)
+}
+
+/// Append `payload` (chunked at [`MAX_FRAME_PAYLOAD`]) to `out` as one
+/// or more complete frames. Empty payloads encode no frame.
+pub fn encode_into(payload: &[u8], out: &mut Vec<u8>) {
+    for chunk in payload.chunks(MAX_FRAME_PAYLOAD) {
+        out.reserve(FRAME_HEADER_LEN + chunk.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(FRAME_VERSION);
+        out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum(chunk).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Copy `N` bytes starting at `at` out of `buf`, if present.
+fn take<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+    buf.get(at..at.checked_add(N)?)
+        .and_then(|b| b.try_into().ok())
+}
+
+/// One step of incremental decoding over an accumulating byte buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete, checksum-verified payload; its bytes were drained
+    /// from the buffer.
+    Payload(Vec<u8>),
+    /// The buffer holds a partial frame; read more bytes.
+    NeedMore,
+}
+
+/// Try to decode one frame from the front of `buf`. On success the
+/// frame's bytes are drained from `buf`. Errors (bad magic, unsupported
+/// version, oversized or empty declared length, checksum mismatch) are
+/// unrecoverable for the connection: the byte stream can no longer be
+/// trusted to realign.
+pub fn decode_step(buf: &mut Vec<u8>) -> Result<Decoded, String> {
+    let Some(magic) = take::<2>(buf, 0) else {
+        return Ok(Decoded::NeedMore);
+    };
+    if magic != FRAME_MAGIC {
+        return Err("bad frame magic".to_string());
+    }
+    let Some([version]) = take::<1>(buf, 2) else {
+        return Ok(Decoded::NeedMore);
+    };
+    if version != FRAME_VERSION {
+        return Err(format!("unsupported frame version {version}"));
+    }
+    let Some(len_bytes) = take::<4>(buf, 3) else {
+        return Ok(Decoded::NeedMore);
+    };
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err("empty frame".to_string());
+    }
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(format!("frame too long ({len} > {MAX_FRAME_PAYLOAD})"));
+    }
+    let Some(sum_bytes) = take::<8>(buf, 7) else {
+        return Ok(Decoded::NeedMore);
+    };
+    let declared = u64::from_le_bytes(sum_bytes);
+    let Some(payload) = buf.get(FRAME_HEADER_LEN..FRAME_HEADER_LEN + len) else {
+        return Ok(Decoded::NeedMore);
+    };
+    if checksum(payload) != declared {
+        return Err("frame checksum mismatch".to_string());
+    }
+    let payload = payload.to_vec();
+    buf.drain(..FRAME_HEADER_LEN + len);
+    Ok(Decoded::Payload(payload))
+}
+
+/// Blocking framed reader: unwraps a stream of frames back into the
+/// text protocol's byte stream. Frame errors surface as
+/// [`io::ErrorKind::InvalidData`], which the [`Client`](crate::Client)
+/// reports as a `receive` failure — a transport error, like the
+/// truncation it detects.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    payload: Vec<u8>,
+    pos: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            payload: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Read and verify the next frame; `Ok(false)` is clean EOF (the
+    /// stream ended exactly on a frame boundary). EOF mid-frame is a
+    /// truncation error.
+    fn fill_payload(&mut self) -> io::Result<bool> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        let mut have = 0;
+        while have < FRAME_HEADER_LEN {
+            let n = self.inner.read(header.get_mut(have..).unwrap_or(&mut []))?;
+            if n == 0 {
+                return if have == 0 {
+                    Ok(false)
+                } else {
+                    Err(bad("truncated frame header".to_string()))
+                };
+            }
+            have += n;
+        }
+        let mut buf = header.to_vec();
+        // a 15-byte buffer decodes either a header error or NeedMore
+        // (the payload is still on the wire); read it and re-step
+        match decode_step(&mut buf) {
+            Err(e) => return Err(bad(e)),
+            Ok(Decoded::Payload(p)) => {
+                self.payload = p;
+                self.pos = 0;
+                return Ok(true);
+            }
+            Ok(Decoded::NeedMore) => {}
+        }
+        let len = take::<4>(buf.as_slice(), 3)
+            .map(|b| u32::from_le_bytes(b) as usize)
+            .ok_or_else(|| bad("frame header vanished".to_string()))?;
+        let start = buf.len();
+        buf.resize(start + len, 0);
+        self.inner
+            .read_exact(buf.get_mut(start..).unwrap_or(&mut []))?;
+        match decode_step(&mut buf) {
+            Ok(Decoded::Payload(p)) => {
+                self.payload = p;
+                self.pos = 0;
+                Ok(true)
+            }
+            Ok(Decoded::NeedMore) => Err(bad("short frame".to_string())),
+            Err(e) => Err(bad(e)),
+        }
+    }
+}
+
+impl<R: Read> Read for FrameReader<R> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.payload.len() && !self.fill_payload()? {
+            return Ok(0);
+        }
+        let src = self.payload.get(self.pos..).unwrap_or_default();
+        let n = src.len().min(out.len());
+        if let (Some(dst), Some(src)) = (out.get_mut(..n), src.get(..n)) {
+            dst.copy_from_slice(src);
+        }
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Framed writer: buffers the text protocol's outgoing bytes and emits
+/// them as frames on `flush` (one frame per ≤[`MAX_FRAME_PAYLOAD`]
+/// chunk). The client writes one request line then flushes, so each
+/// request normally travels as exactly one frame.
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for FrameWriter<W> {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            let mut framed = Vec::with_capacity(self.buf.len() + FRAME_HEADER_LEN);
+            encode_into(self.buf.as_slice(), &mut framed);
+            self.buf.clear();
+            self.inner.write_all(framed.as_slice())?;
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let mut wire = Vec::new();
+        encode_into(b"PING\n", &mut wire);
+        assert_eq!(wire.len(), FRAME_HEADER_LEN + 5);
+        assert_eq!(wire[0], 0xEB);
+        match decode_step(&mut wire).unwrap() {
+            Decoded::Payload(p) => assert_eq!(p, b"PING\n"),
+            Decoded::NeedMore => panic!("complete frame must decode"),
+        }
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn long_payloads_split_and_reassemble() {
+        let payload: Vec<u8> = (0..MAX_FRAME_PAYLOAD * 2 + 17)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut wire = Vec::new();
+        encode_into(payload.as_slice(), &mut wire);
+        let mut got = Vec::new();
+        while let Decoded::Payload(p) = decode_step(&mut wire).unwrap() {
+            got.extend_from_slice(&p);
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more() {
+        let mut wire = Vec::new();
+        encode_into(b"STATUS 1\n", &mut wire);
+        for cut in [0, 1, 3, 7, FRAME_HEADER_LEN, wire.len() - 1] {
+            let mut partial = wire[..cut].to_vec();
+            assert!(matches!(
+                decode_step(&mut partial).unwrap(),
+                Decoded::NeedMore
+            ));
+            assert_eq!(partial.len(), cut, "partial frames are not consumed");
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        // flipped checksum byte
+        let mut wire = Vec::new();
+        encode_into(b"PING\n", &mut wire);
+        wire[7] ^= 0xFF;
+        assert!(decode_step(&mut wire)
+            .unwrap_err()
+            .contains("checksum mismatch"));
+
+        // flipped payload byte
+        let mut wire = Vec::new();
+        encode_into(b"PING\n", &mut wire);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert!(decode_step(&mut wire)
+            .unwrap_err()
+            .contains("checksum mismatch"));
+
+        // wrong magic, wrong version, oversized and empty lengths
+        let mut wire = vec![0xEB, 0x34, 1];
+        assert!(decode_step(&mut wire).unwrap_err().contains("magic"));
+        let mut wire = vec![0xEB, 0x33, 9, 0, 0, 0, 0];
+        assert!(decode_step(&mut wire).unwrap_err().contains("version"));
+        let mut wire = vec![0xEB, 0x33, 1];
+        wire.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(decode_step(&mut wire).unwrap_err().contains("too long"));
+        let mut wire = vec![0xEB, 0x33, 1];
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_step(&mut wire).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn reader_and_writer_round_trip_across_chunk_boundaries() {
+        use std::io::{BufRead, BufReader, Cursor};
+        let mut text = String::new();
+        for i in 0..4000 {
+            text.push_str(&format!("CAND {i} {} {} deadbeef\n", i + 1, i + 2));
+        }
+        let mut w = FrameWriter::new(Vec::new());
+        w.write_all(text.as_bytes()).unwrap();
+        w.flush().unwrap();
+        let wire = w.inner;
+        assert!(wire.len() > MAX_FRAME_PAYLOAD, "test must span frames");
+
+        let mut reader = BufReader::new(FrameReader::new(Cursor::new(wire)));
+        let mut got = String::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            got.push_str(&line);
+            line.clear();
+        }
+        assert_eq!(got, text);
+    }
+}

@@ -47,7 +47,7 @@
 //! | `CANCEL <id>` | status line; pending shards dropped, finished ones kept |
 //! | `RESUME <id>` | status line; missing shards re-enqueued |
 //! | `JOBS` | `OK count=<n>`, `n` x `JOB <status fields>`, `END` |
-//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w> pair_hits=<h> pair_misses=<m> pair_hit_rate=<r> pair_hit_min=<r> pair_hit_max=<r>` |
+//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w> pair_hits=<h> pair_misses=<m> pair_hit_rate=<r> pair_hit_min=<r> pair_hit_max=<r> accept_errors=<n>` |
 //! | `PING` | `OK pong` |
 //! | `SHUTDOWN` | `OK bye`, then the server stops |
 //!
@@ -72,6 +72,22 @@
 //! States: `queued → running → done`, with `cancelled` (resumable) and
 //! `failed` (diagnostic in `error=`) off the main path.
 //!
+//! ## Transports and limits
+//!
+//! The server runs a single-threaded nonblocking readiness loop
+//! ([`server`] module docs) and speaks two transports, picked per
+//! connection by its first byte: the text protocol above, or
+//! length-prefixed binary frames ([`frame`]) whose payloads carry
+//! exactly the same text byte stream under a per-frame checksum
+//! ([`epi_core::integrity::ContentHash64`]). Framed and text clients
+//! therefore receive bit-identical replies; [`Client::connect_framed`]
+//! and the federation coordinator use framing so cross-machine
+//! candidate traffic is integrity-checked in transit. Request lines are
+//! capped at [`server::MAX_REQUEST_LEN`] (`ERR request too long` and
+//! the connection drops beyond it), and reply streaming pauses while a
+//! connection's write buffer is above its high-water mark, so one slow
+//! or hostile peer costs bounded memory.
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -95,6 +111,7 @@
 pub mod client;
 pub mod codec;
 pub mod engine;
+pub mod frame;
 pub mod job;
 pub mod server;
 pub mod spec;

@@ -1,0 +1,244 @@
+//! Network-edge tests of the readiness-loop server: request caps,
+//! slow/partial writers, accept-error backoff, the framed transport's
+//! bit-identity with text, corrupt-frame rejection, and a
+//! many-connections smoke test — all against one single-threaded
+//! accept loop.
+
+use epi_server::frame;
+use epi_server::server::MAX_REQUEST_LEN;
+use epi_server::{Client, EngineConfig, JobSpec, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const IO_DEADLINE: Duration = Duration::from_secs(30);
+
+fn start_server(workers: usize) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers,
+            spool_dir: None,
+            default_simd: None,
+            dataset_root: None,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+/// A raw text-protocol socket (no Client conveniences), with a read
+/// deadline so a buggy server fails the test instead of hanging it.
+fn raw_socket(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(IO_DEADLINE)).unwrap();
+    stream.set_write_timeout(Some(IO_DEADLINE)).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn write_dataset(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("epi3_net_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}.epi3", std::process::id()));
+    let data = datagen::DatasetSpec::with_planted_triple(24, 256, [3, 11, 19], 77).generate();
+    datagen::io::save_binary(&path, &data).unwrap();
+    path
+}
+
+#[test]
+fn oversized_request_is_refused_and_the_server_survives() {
+    let (addr, handle) = start_server(1);
+    let (mut stream, mut reader) = raw_socket(addr);
+
+    // a request line that never ends: the server must answer with a
+    // clean error once the cap is crossed, then drop the connection
+    let blob = vec![b'A'; MAX_REQUEST_LEN + 16 * 1024];
+    stream.write_all(&blob).expect("send oversized request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read refusal");
+    assert_eq!(line, "ERR request too long\n");
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection closes after the refusal");
+
+    // the server itself is unaffected
+    let mut client = Client::connect(addr).expect("reconnect");
+    client.ping().expect("server still answers");
+    handle.shutdown();
+}
+
+#[test]
+fn partial_line_from_a_slow_client_does_not_block_others() {
+    let (addr, handle) = start_server(1);
+
+    // the slow-loris socket parks mid-request…
+    let (mut slow, mut slow_reader) = raw_socket(addr);
+    slow.write_all(b"PI").expect("send partial request");
+
+    // …while other clients are served normally on the same one thread
+    let mut other = Client::connect(addr).expect("connect");
+    for _ in 0..3 {
+        other
+            .ping()
+            .expect("served while another line is incomplete");
+    }
+
+    // the slow client eventually finishes its line and is served too
+    slow.write_all(b"NG\n").expect("finish request");
+    let mut line = String::new();
+    slow_reader.read_line(&mut line).expect("read reply");
+    assert_eq!(line, "OK pong\n");
+    handle.shutdown();
+}
+
+#[test]
+fn accept_errors_back_off_and_are_counted_in_stats() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers: 1,
+            spool_dir: None,
+            default_simd: None,
+            dataset_root: None,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    // the next 3 accept wakes fail; the pending connection below sits
+    // in the backlog until the backoff ladder (5→10→20 ms) finishes
+    server.inject_accept_errors(3);
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect queues in backlog");
+    client.ping().expect("accepted after the backoff drains");
+
+    let (mut stream, mut reader) = raw_socket(addr);
+    stream.write_all(b"STATS\n").expect("send STATS");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read STATS");
+    let errors: u64 = line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("accept_errors="))
+        .expect("STATS reports accept_errors=")
+        .parse()
+        .expect("accept_errors is a number");
+    assert!(errors >= 3, "expected >=3 accept errors, got {errors}");
+    handle.shutdown();
+}
+
+#[test]
+fn framed_and_text_transports_yield_bit_identical_replies() {
+    let path = write_dataset("framed-vs-text");
+    let (addr, handle) = start_server(2);
+
+    let mut text = Client::connect(addr).expect("text connect");
+    let mut framed = Client::connect_framed(addr).expect("framed connect");
+    framed.ping().expect("framed ping");
+
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.shards = 12;
+    spec.top_k = 8;
+    let a = text.submit(&spec).expect("submit via text");
+    let b = framed.submit(&spec).expect("submit via framed");
+    let a = text.wait(a.id, IO_DEADLINE).expect("wait text job");
+    let b = framed.wait(b.id, IO_DEADLINE).expect("wait framed job");
+    assert_eq!(a.done, b.done);
+    assert_eq!(a.total, b.total);
+
+    // cross-read each job over the *other* transport too: same verbs,
+    // same bytes, bit-identical scores everywhere
+    let r_text = text.result(a.id).expect("RESULT over text");
+    let r_framed = framed.result(a.id).expect("RESULT over framed");
+    assert_eq!(r_text.len(), r_framed.len());
+    for (x, y) in r_text.iter().zip(&r_framed) {
+        assert_eq!(x.triple, y.triple);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+    let r_own = framed.result(b.id).expect("RESULT of framed-submitted job");
+    for (x, y) in r_text.iter().zip(&r_own) {
+        assert_eq!(x.triple, y.triple);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+
+    let p_text = text.partial(a.id).expect("PARTIAL over text");
+    let p_framed = framed.partial(a.id).expect("PARTIAL over framed");
+    assert_eq!(p_text.len(), p_framed.len());
+    for ((sa, ca), (sb, cb)) in p_text.iter().zip(&p_framed) {
+        assert_eq!(sa, sb);
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(cb) {
+            assert_eq!(x.triple, y.triple);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+    assert_eq!(
+        text.shards_done(a.id)
+            .expect("SHARDS_DONE text")
+            .to_compact(),
+        framed
+            .shards_done(a.id)
+            .expect("SHARDS_DONE framed")
+            .to_compact(),
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_frame_gets_a_clean_error_and_the_server_survives() {
+    let (addr, handle) = start_server(1);
+    let (mut stream, mut reader) = raw_socket(addr);
+
+    // hand-build a PING frame, then flip a checksum byte
+    let payload = b"PING\n";
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&frame::FRAME_MAGIC);
+    wire.push(frame::FRAME_VERSION);
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&(frame::checksum(payload) ^ 0xFF).to_le_bytes());
+    wire.extend_from_slice(payload);
+    stream.write_all(&wire).expect("send corrupt frame");
+
+    // the reply comes back framed (the magic byte selected the framed
+    // transport before the checksum failed)
+    let mut framed_reply = frame::FrameReader::new(reader.get_mut().try_clone().unwrap());
+    let mut reply = String::new();
+    BufReader::new(&mut framed_reply)
+        .read_line(&mut reply)
+        .expect("read framed error");
+    assert_eq!(reply, "ERR frame checksum mismatch\n");
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection closes after the refusal");
+
+    // a well-formed framed client and a text client both still work
+    let mut framed = Client::connect_framed(addr).expect("framed reconnect");
+    framed.ping().expect("framed ping");
+    let mut text = Client::connect(addr).expect("text reconnect");
+    text.ping().expect("text ping");
+    handle.shutdown();
+}
+
+#[test]
+fn one_thread_sustains_hundreds_of_concurrent_connections() {
+    let (addr, handle) = start_server(1);
+
+    // open them all before reading anything: every connection is live
+    // on the single accept/serve thread at once
+    let mut socks = Vec::new();
+    for i in 0..256 {
+        let (stream, reader) = raw_socket(addr);
+        socks.push((i, stream, reader));
+    }
+    for (_, stream, _) in socks.iter_mut() {
+        stream.write_all(b"PING\n").expect("send PING");
+    }
+    for (i, _, reader) in socks.iter_mut() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        assert_eq!(line, "OK pong\n", "connection {i}");
+    }
+    drop(socks);
+    handle.shutdown();
+}

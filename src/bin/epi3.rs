@@ -86,6 +86,10 @@ job service (line-delimited TCP, see epi_server crate docs):
   result JOB    fetch the merged top-K of a finished job [--addr]
   cancel JOB    cancel a job, keeping its checkpoint [--addr]
   resume JOB    resume a cancelled job from its checkpoint [--addr]
+
+All job-service client commands accept [--framed]: talk to the server
+over length-prefixed, checksummed binary frames instead of plain text
+(same verbs, bit-identical replies; see README \"Wire protocol\").
   federate FILE split one sharded scan across a fleet of epi-servers,
                 merging the per-shard top-Ks bit-identically and
                 stealing work from slow or dead nodes
@@ -411,7 +415,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn connect(args: &[String]) -> Result<Client, String> {
     let addr = opt_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
-    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    if opt_flag(args, "--framed") {
+        Client::connect_framed(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    } else {
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    }
 }
 
 fn print_status(s: &threeway_epistasis::epi_server::JobStatus) {
