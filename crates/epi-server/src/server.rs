@@ -274,11 +274,14 @@ impl<'a> EventLoop<'a> {
             return;
         }
         for _ in 0..ACCEPT_BATCH {
-            let budget = self.server.accept_fault_budget.load(Ordering::Relaxed);
-            let result = if budget > 0 {
-                self.server
-                    .accept_fault_budget
-                    .store(budget - 1, Ordering::Relaxed);
+            // atomic decrement: a concurrent inject_accept_errors from a
+            // test thread must not be lost between a load and a store
+            let faulted = self
+                .server
+                .accept_fault_budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            let result = if faulted {
                 Err(std::io::Error::other("injected accept fault"))
             } else {
                 self.server.listener.accept().map(|(stream, _)| stream)
@@ -326,7 +329,7 @@ impl<'a> EventLoop<'a> {
 
     fn close_conn(&mut self, slot: usize) {
         if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
-            let _ = self.poller.delete(&conn.stream);
+            let _ = self.poller.delete(&conn.stream, conn.key);
         }
     }
 
@@ -484,7 +487,11 @@ impl<'a> EventLoop<'a> {
             && conn.pending.is_none()
             && conn.outbuf.len() < HIGH_WATER
             && !draining;
-        let want_write = !conn.outbuf.is_empty();
+        // write interest must stay armed while a reply stream is in
+        // flight even if outbuf drained completely: writable is
+        // level-triggered, so it is what wakes the loop to pump the
+        // remaining chunks once the socket has buffer space again
+        let want_write = !conn.outbuf.is_empty() || conn.pending.is_some();
         if (want_read, want_write) != (conn.want_read, conn.want_write) {
             let ev = Event {
                 key: conn.key,

@@ -221,6 +221,46 @@ fn corrupt_frame_gets_a_clean_error_and_the_server_survives() {
 }
 
 #[test]
+fn a_result_larger_than_the_high_water_mark_streams_to_completion() {
+    // C(48,3) = 17,296 candidates at ~40 bytes per CAND line is a
+    // ~700 KiB reply, far past the 256 KiB write high-water mark.
+    // Regression: once the kernel sndbuf absorbed the whole write
+    // buffer mid-stream, the loop parked the connection with no
+    // interest armed (outbuf empty, reply still pending) and the fetch
+    // hung forever — write interest must stay armed while a reply
+    // stream is in flight. The deadline client turns a relapse into a
+    // clean test failure instead of a wedged run.
+    let dir = std::env::temp_dir().join("epi3_net_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("big-result-{}.epi3", std::process::id()));
+    let data = datagen::DatasetSpec::with_planted_triple(48, 256, [3, 11, 19], 77).generate();
+    datagen::io::save_binary(&path, &data).unwrap();
+
+    let (addr, handle) = start_server(2);
+    let mut client =
+        Client::connect_with_deadline(addr, IO_DEADLINE).expect("connect");
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.shards = 8;
+    spec.top_k = 20_000; // above C(48,3): keep every candidate
+    let st = client.submit(&spec).expect("submit");
+    client.wait(st.id, IO_DEADLINE).expect("job completes");
+
+    let cands = client.result(st.id).expect("RESULT streams past 256 KiB");
+    assert_eq!(cands.len(), 17_296, "every candidate arrives");
+
+    // the framed transport shares the same pump; same job, same bytes
+    let mut framed =
+        Client::connect_framed_with_deadline(addr, IO_DEADLINE).expect("framed connect");
+    let framed_cands = framed.result(st.id).expect("framed RESULT past 256 KiB");
+    assert_eq!(framed_cands.len(), cands.len());
+    for (x, y) in cands.iter().zip(&framed_cands) {
+        assert_eq!(x.triple, y.triple);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn one_thread_sustains_hundreds_of_concurrent_connections() {
     let (addr, handle) = start_server(1);
 

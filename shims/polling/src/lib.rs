@@ -152,8 +152,11 @@ impl Poller {
         }
     }
 
-    /// Remove a source from the set.
-    pub fn delete(&mut self, source: &impl AsRawFd) -> io::Result<()> {
+    /// Remove a source from the set. Unlike the real crate, deletion
+    /// also takes the registration's `key`: the unix backend deletes by
+    /// fd, but the non-unix fallback has no fd and keys its registry on
+    /// `key` alone, so both signatures carry it.
+    pub fn delete(&mut self, source: &impl AsRawFd, _key: usize) -> io::Result<()> {
         let fd = source.as_raw_fd();
         self.sources.retain(|(f, _)| *f != fd);
         Ok(())
@@ -218,8 +221,10 @@ impl Poller {
 
 /// Non-unix fallback: no `poll(2)`; sleep a beat and report every armed
 /// interest as ready, degrading the readiness loop to a 1 ms busy poll.
-/// Correct (sockets are nonblocking, spurious readiness is retried) but
-/// slow — the workspace only targets unix.
+/// Correct (sockets are nonblocking, spurious readiness is retried;
+/// the registry is keyed on the caller's `key`, so add/modify/delete
+/// track slot reuse exactly) but slow — the workspace only targets
+/// unix.
 #[cfg(not(unix))]
 pub struct Poller {
     sources: Vec<Event>,
@@ -234,7 +239,14 @@ impl Poller {
     }
 
     pub fn add<T>(&mut self, _source: &T, interest: Event) -> io::Result<()> {
-        self.sources.push(interest);
+        // the registry is keyed on `interest.key` (no fds here): a
+        // re-added key replaces its old entry, so a reused connection
+        // slot cannot leave a duplicate behind for modify()/wait() to
+        // pick the stale half of
+        match self.sources.iter_mut().find(|ev| ev.key == interest.key) {
+            Some(ev) => *ev = interest,
+            None => self.sources.push(interest),
+        }
         Ok(())
     }
 
@@ -251,9 +263,8 @@ impl Poller {
         }
     }
 
-    pub fn delete<T>(&mut self, _source: &T) -> io::Result<()> {
-        // without fds there is nothing to key deletion on; the caller
-        // re-adds under a fresh key, and stale dormant entries are inert
+    pub fn delete<T>(&mut self, _source: &T, key: usize) -> io::Result<()> {
+        self.sources.retain(|ev| ev.key != key);
         Ok(())
     }
 
