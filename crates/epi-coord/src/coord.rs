@@ -156,6 +156,34 @@ pub fn partition(num_shards: u64, n: usize) -> Vec<ShardSet> {
     ShardSet::from_range(0..num_shards).split_chunks(n)
 }
 
+/// Derive the idempotent `job_token=` the coordinator pins into a
+/// sub-job: FNV-1a over the shard set's compact encoding and the
+/// submission sequence, prefixed by the caller's own token when the
+/// federated spec carries one. Deterministic per submission (so the
+/// client's over-capacity retry loop resends it verbatim) yet unique
+/// across submissions (so a re-owned shard set admits a *new* job
+/// instead of being echoed the cancelled one's status).
+fn derive_job_token(base: Option<&str>, shards: &ShardSet, seq: u64) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in shards.to_compact().bytes().chain(seq.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{}-{h:016x}", base.unwrap_or("fed"))
+}
+
+/// Parse the `retry_after_ms=` hint out of an `over capacity` refusal
+/// (100 ms when absent or malformed).
+fn retry_hint_ms(err: &str) -> u64 {
+    err.split_once("retry_after_ms=")
+        .and_then(|(_, rest)| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .filter(|&ms| ms > 0)
+        .unwrap_or(100)
+}
+
 /// One sub-job tracked on one node.
 struct Assignment {
     node: usize,
@@ -181,6 +209,14 @@ struct Run<'a> {
     spec: JobSpec,
     nodes: Vec<NodeHandle>,
     idle_since: Vec<Option<Instant>>,
+    /// Admission backpressure: a node that refused a SUBMIT with
+    /// `over capacity` is skipped for new work until this instant —
+    /// backpressure, never a health strike.
+    busy_until: Vec<Option<Instant>>,
+    /// Submission sequence for derived `job_token=`s: stable within one
+    /// SUBMIT (the client's retry loop reuses it), unique across
+    /// submissions so a re-owned shard set admits a fresh job.
+    token_seq: u64,
     assignments: Vec<Assignment>,
     pending: Vec<PendingWork>,
     merged: ShardSet,
@@ -210,6 +246,8 @@ fn new_run<'a>(spec: JobSpec, cfg: &'a FederationConfig) -> Run<'a> {
             })
             .collect(),
         idle_since: vec![None; n],
+        busy_until: vec![None; n],
+        token_seq: 0,
         assignments: Vec::new(),
         pending: Vec::new(),
         merged: ShardSet::new(),
@@ -413,8 +451,10 @@ impl Run<'_> {
     /// Submit `shards` as a new sub-job on `node`. On failure the work
     /// goes (back) to the pending pool — nothing is ever lost. A
     /// `hash mismatch` refusal quarantines the node on the spot: its
-    /// replica diverged and no amount of retrying fixes data. Returns
-    /// true when the submission was acked.
+    /// replica diverged and no amount of retrying fixes data; an
+    /// `over capacity` refusal marks the node backpressured until the
+    /// server's `retry_after_ms=` hint passes so the next tick prefers
+    /// other owners. Returns true when the submission was acked.
     fn submit_to(
         &mut self,
         node: usize,
@@ -423,6 +463,16 @@ impl Run<'_> {
     ) -> bool {
         let mut sub = self.spec.clone();
         sub.shard_set = Some(shards.clone());
+        // Pin an idempotent token (tenant= and deadline_ms= ride along
+        // in the spec clone): the client's over-capacity retry loop
+        // resends it verbatim, so a SUBMIT whose ack was lost is echoed
+        // back by the node instead of admitting a duplicate scan.
+        self.token_seq += 1;
+        sub.job_token = Some(derive_job_token(
+            self.spec.job_token.as_deref(),
+            &shards,
+            self.token_seq,
+        ));
         match self.nodes[node].rpc(|c| c.submit(&sub)) {
             Ok(st) => {
                 self.assignments.push(Assignment {
@@ -448,6 +498,12 @@ impl Run<'_> {
             Err(e) => {
                 if e.contains("hash mismatch") {
                     self.nodes[node].quarantine(e);
+                } else if e.contains("over capacity") {
+                    // admission refusal, not node death: the node is
+                    // healthy but full, so honor its retry hint and
+                    // route around it until the window passes
+                    let ms = retry_hint_ms(&e);
+                    self.busy_until[node] = Some(Instant::now() + Duration::from_millis(ms));
                 }
                 // requeue; the health machinery decides whether the node
                 // is dying, and the next tick finds another owner
@@ -622,13 +678,20 @@ impl Run<'_> {
             }
         }
 
-        // 2. Reassign pending work to the least-loaded living node.
+        // 2. Reassign pending work to the least-loaded living node that
+        //    isn't inside an over-capacity backoff window.
         let mut pending = std::mem::take(&mut self.pending);
         for work in pending.drain(..) {
             match self.least_loaded_alive() {
                 Some(node) => {
                     self.submit_to(node, work.shards.clone(), Some(work));
                     progressed = true;
+                }
+                None if (0..self.nodes.len()).any(|i| !self.nodes[i].is_dead()) => {
+                    // the fleet lives but every node is backpressured:
+                    // hold the work and let the poll loop's sleep pace
+                    // the retry — capacity frees as shards drain
+                    self.pending.push(work);
                 }
                 None => {
                     let unscanned = work.shards.len()
@@ -668,10 +731,13 @@ impl Run<'_> {
         Ok(progressed)
     }
 
-    /// Living node with the smallest outstanding shard count.
+    /// Living, non-backpressured node with the smallest outstanding
+    /// shard count.
     fn least_loaded_alive(&self) -> Option<usize> {
+        let now = Instant::now();
         (0..self.nodes.len())
             .filter(|&i| !self.nodes[i].is_dead())
+            .filter(|&i| self.busy_until[i].is_none_or(|t| now >= t))
             .min_by_key(|&i| {
                 self.assignments
                     .iter()
@@ -723,7 +789,16 @@ impl Run<'_> {
                 .saturating_sub(self.started.elapsed()),
         );
         let (floor, cap) = (self.cfg.poll_floor, self.cfg.poll_cap);
-        let _ = self.nodes[victim].rpc(|c| c.wait_with_backoff(job_id, quiesce, floor, cap));
+        let _ = self.nodes[victim].rpc(|c| {
+            // wait's deadline error is transport-classified by design,
+            // but an *expected* quiesce timeout must not count against
+            // the victim's health — confirm liveness with one STATUS
+            // so the rpc outcome reflects the node, not the clock
+            match c.wait_with_backoff(job_id, quiesce, floor, cap) {
+                Err(e) if e.starts_with("receive timed out") => c.status(job_id),
+                other => other,
+            }
+        });
         let _ = self.harvest(ai);
         self.assignments[ai].active = false;
 

@@ -29,6 +29,7 @@ fn spawn_fleet(workers: &[usize]) -> (Vec<SocketAddr>, Vec<ServerHandle>) {
                 spool_dir: None,
                 default_simd: None,
                 dataset_root: None,
+                ..EngineConfig::default()
             },
         )
         .expect("bind loopback");
@@ -251,4 +252,66 @@ fn a_fully_dead_fleet_is_a_clean_error() {
     spec.shards = 8;
     let err = federate(&spec, &cfg).unwrap_err();
     assert!(err.contains("dead"), "unhelpful error: {err}");
+}
+
+#[test]
+fn over_capacity_node_is_routed_around_not_declared_dead() {
+    let path = write_dataset("backpressure", 20, 224, 31);
+
+    // node 0 is healthy; node 1 has a 1-byte memory budget and refuses
+    // every SUBMIT with `over capacity` — backpressure, not death
+    let healthy = Server::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("bind healthy node");
+    let full = Server::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers: 1,
+            mem_budget: Some(1),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("bind full node");
+    let addrs = vec![healthy.local_addr(), full.local_addr()];
+    let handles = vec![healthy.spawn(), full.spawn()];
+
+    let mut spec = JobSpec::new(path.to_str().unwrap());
+    spec.shards = 8;
+    spec.top_k = 6;
+    // a tight RPC deadline keeps the client's own over-capacity retry
+    // loop short, so each refusal costs about a second, not thirty
+    let mut cfg = test_config(&addrs);
+    cfg.rpc_deadline = Duration::from_secs(1);
+
+    let report = federate(&spec, &cfg).expect("federation completes despite backpressure");
+    assert_bit_identical(&report.top, &monolithic(&path, 6));
+
+    // the refusing node was treated as busy and routed around: it is
+    // neither dead nor quarantined, and the healthy node absorbed the
+    // requeued partition
+    assert!(
+        report.dead_nodes.is_empty(),
+        "over capacity must not kill a node: {:?}",
+        report.dead_nodes
+    );
+    assert!(report.quarantined.is_empty());
+    let contributed: u64 = report.per_node_shards.iter().map(|(_, n)| n).sum();
+    assert_eq!(contributed, 8);
+    assert!(
+        report
+            .per_node_shards
+            .iter()
+            .all(|(a, n)| *n == 0 || *a == addrs[0].to_string()),
+        "every merged shard should come from the healthy node: {:?}",
+        report.per_node_shards
+    );
+
+    for h in handles {
+        h.shutdown();
+    }
 }

@@ -41,6 +41,7 @@ fn node_config() -> EngineConfig {
         spool_dir: None,
         default_simd: None,
         dataset_root: None,
+        ..EngineConfig::default()
     }
 }
 

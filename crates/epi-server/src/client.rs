@@ -51,6 +51,10 @@ impl Write for WriteHalf {
     }
 }
 
+/// [`Client::stats_governance`] reply: `(mem_used, mem_budget,
+/// rejected, queue_depth, per-tenant active job counts)`.
+pub type GovernanceStats = (u64, u64, u64, u64, Vec<(String, u64)>);
+
 /// One TCP connection to an epi-server. Requests are serialized; the
 /// protocol is strictly request/reply, so one connection serves any
 /// number of sequential calls.
@@ -203,9 +207,40 @@ impl Client {
     }
 
     /// Submit a job; returns its initial status.
+    ///
+    /// When the spec carries an idempotent `job_token=`, an `over
+    /// capacity` refusal (admission control: memory budget or tenant
+    /// quota) is retried with jittered exponential backoff seeded by the
+    /// server's `retry_after_ms=` hint — the token makes the retry safe,
+    /// because a SUBMIT that actually landed is echoed back by the
+    /// server, never duplicated. Without a token the refusal is returned
+    /// as-is: a blind retry could double-scan.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobStatus, String> {
-        let line = self.send(&format!("SUBMIT {}", spec.to_tokens()))?;
-        parse_status(Self::expect_ok(&line)?)
+        const MAX_RETRIES: u64 = 6;
+        // never spend longer retrying than the connection's own I/O
+        // deadline: a coordinator on a tight rpc budget fails fast and
+        // reroutes the work, an interactive client climbs the ladder
+        let budget = self.deadline.unwrap_or(Duration::from_secs(30));
+        let start = Instant::now();
+        let mut attempt = 0u64;
+        loop {
+            let line = self.send(&format!("SUBMIT {}", spec.to_tokens()))?;
+            match Self::expect_ok(&line) {
+                Ok(rest) => return parse_status(rest),
+                Err(e) => {
+                    let retryable = spec.job_token.is_some() && e.contains("over capacity");
+                    if !retryable || attempt >= MAX_RETRIES {
+                        return Err(e);
+                    }
+                    let delay = retry_backoff(&e, spec.job_token.as_deref(), attempt);
+                    if start.elapsed() + delay > budget {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Progress of one job.
@@ -335,6 +370,36 @@ impl Client {
         ))
     }
 
+    /// Resource-governance counters from STATS: `(mem_used, mem_budget,
+    /// rejected, queue_depth, per-tenant active job counts)`.
+    /// `mem_budget == 0` means the server runs unlimited; `rejected`
+    /// counts SUBMIT/RESUME refusals from admission control (memory
+    /// budget and tenant quotas) since startup.
+    pub fn stats_governance(&mut self) -> Result<GovernanceStats, String> {
+        let line = self.send("STATS")?;
+        let fields = parse_kv(Self::expect_ok(&line)?)?;
+        let raw: String = field(&fields, "tenant_jobs")?;
+        let mut tenants = Vec::new();
+        if raw != "-" {
+            for entry in raw.split(',') {
+                let (name, n) = entry
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("malformed tenant_jobs entry {entry:?}"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("malformed tenant_jobs count {entry:?}"))?;
+                tenants.push((unescape(name)?, n));
+            }
+        }
+        Ok((
+            field(&fields, "mem_used")?,
+            field(&fields, "mem_budget")?,
+            field(&fields, "rejected")?,
+            field(&fields, "queue_depth")?,
+            tenants,
+        ))
+    }
+
     /// Ask the server to stop accepting connections and shut down.
     pub fn shutdown(&mut self) -> Result<(), String> {
         let line = self.send("SHUTDOWN")?;
@@ -346,6 +411,13 @@ impl Client {
     /// — 2 ms doubling to a 250 ms cap — so short jobs still resolve in
     /// milliseconds while a coordinator waiting on many long-running
     /// nodes doesn't busy-spin the fleet with STATUS traffic.
+    ///
+    /// The timeout is a hard deadline: a job still unstable when it
+    /// elapses yields a `receive timed out …` error (classified like a
+    /// transport timeout, since both mean "the answer didn't arrive in
+    /// time") rather than silently returning an in-flight status —
+    /// callers that used to poll forever behind a quota'd queue now get
+    /// a clean failure carrying the job's last observed progress.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
         self.wait_with_backoff(
             id,
@@ -375,9 +447,15 @@ impl Client {
         let mut last_done: Option<u64> = None;
         loop {
             let status = self.status(id)?;
-            let now = Instant::now();
-            if status.is_stable() || now >= deadline {
+            if status.is_stable() {
                 return Ok(status);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!(
+                    "receive timed out after {timeout:?}: job {id} still {} (done {}/{})",
+                    status.state, status.done, status.total
+                ));
             }
             if last_done.is_some_and(|d| status.done > d) {
                 backoff = floor;
@@ -389,6 +467,39 @@ impl Client {
             backoff = (backoff * 2).min(cap);
         }
     }
+}
+
+/// Backoff before retrying an `over capacity` SUBMIT: the server's
+/// `retry_after_ms=` hint (default 100 ms) doubled per attempt, plus a
+/// deterministic jitter hashed from the job token and attempt number so
+/// a herd of refused clients fans out instead of thundering back in
+/// lockstep. Capped at 5 s per sleep.
+fn retry_backoff(err: &str, token: Option<&str>, attempt: u64) -> Duration {
+    let hint: u64 = err
+        .split_once("retry_after_ms=")
+        .map(|(_, rest)| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(100);
+    let base = hint.saturating_mul(1 << attempt.min(6));
+    // FNV-1a over the token bytes and attempt: deterministic per
+    // (client, attempt) but distinct across clients, which is all the
+    // decorrelation a jitter needs — no RNG, no wall clock.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token
+        .unwrap_or_default()
+        .bytes()
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    let jitter = if base >= 2 { h % (base / 2) } else { 0 };
+    Duration::from_millis(base.saturating_add(jitter).min(5_000))
 }
 
 /// Parse one `CAND i0 i1 i2 <score-bits-hex> [...]` line, score

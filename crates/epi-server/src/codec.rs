@@ -73,6 +73,10 @@ impl Checkpoint {
             ckpt_seq: 0,
             dataset_hash: None,
             fail_partial_left,
+            // restored jobs carry no deadline or memory charge until
+            // RESUME re-admits them through the accountant
+            deadline: None,
+            mem_charge: 0,
         };
         if job.shard_results.len() as u64 != job.plan.num_shards() {
             job.state = JobState::Failed;

@@ -1,6 +1,10 @@
-//! The job engine: a shared shard queue drained by a worker pool.
+//! The job engine: a weighted-fair shard queue drained by a worker pool
+//! behind an admission-controlled front door.
 //!
-//! All jobs feed one FIFO queue of `(job, shard)` tasks; workers claim
+//! All jobs feed one [`DispatchQueue`] of `(job, shard)` tasks —
+//! per-`(priority, tenant)` lanes under stride scheduling, so a bulk
+//! low-priority scan shares the pool instead of starving everyone
+//! behind it; workers claim
 //! work dynamically (the self-scheduling idiom of `epi_core::pool`, here
 //! with a `Mutex` + `Condvar` because tasks arrive over time from
 //! concurrent submissions) — and claim it **run-aware**: a claim takes a
@@ -15,21 +19,33 @@
 //! shards currently in flight; a cancel also makes the worker abandon
 //! the unscanned remainder of its batch, so batching never widens the
 //! cancel window beyond the shard mid-scan.
+//!
+//! Resource governance sits in front of all of that: a memory
+//! accountant charges every admitted job its encoded-dataset + result
+//! scratch footprint against a configurable budget, per-tenant quotas
+//! bound concurrent jobs and queued shards, `deadline_ms=` budgets are
+//! enforced by a sweep on every API call and worker wake, and an
+//! idempotent `job_token=` lets clients retry `over capacity`
+//! rejections without ever duplicating work. All spool I/O goes
+//! through the injectable [`SpoolFs`] layer so the recovery suite can
+//! prove disk faults mid-checkpoint never corrupt job state.
 
 use crate::codec::Checkpoint;
-use crate::job::{EncodedData, Job, JobState, JobStatus};
+use crate::job::{EncodedData, Job, JobState, JobStatus, DEFAULT_TENANT};
+use crate::queue::DispatchQueue;
 use crate::spec::JobSpec;
+use crate::spool::{RealSpoolFs, SpoolFs};
 use bitgenome::{SplitDataset, UnsplitDataset};
 use epi_core::prefixcache::PairPrefixCache;
 use epi_core::result::Candidate;
 use epi_core::scan::Version;
 use epi_core::shard::{scan_shard_split_cached, scan_shard_unsplit, ShardPlan, ShardSet};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lock a mutex, recovering the data if a previous holder panicked.
 ///
@@ -71,12 +87,36 @@ pub struct EngineConfig {
     /// exactly when `dataset_hash=` verification matters: replicas
     /// drift, and the hash is what catches a stale or corrupted copy.
     pub dataset_root: Option<PathBuf>,
+    /// Memory budget in bytes for admitted jobs (encoded datasets +
+    /// result scratch, accounted per job the way `epi_core`'s cache
+    /// cost model accounts blocks). `None` = unlimited. A SUBMIT that
+    /// would exceed it is refused with `over capacity
+    /// (retry_after_ms=N)` *before* anything is allocated.
+    pub mem_budget: Option<u64>,
+    /// Per-tenant cap on concurrent (queued/running) jobs; `None` =
+    /// unlimited.
+    pub max_jobs_per_tenant: Option<u64>,
+    /// Per-tenant cap on queued shards; `None` = unlimited.
+    pub max_queued_per_tenant: Option<u64>,
+    /// Spool I/O layer; `None` = the real filesystem. Tests inject
+    /// [`crate::spool::FaultySpoolFs`] here to prove disk faults never
+    /// corrupt job state.
+    pub spool_fs: Option<Arc<dyn SpoolFs>>,
 }
 
 struct EngineState {
     jobs: HashMap<u64, Job>,
-    queue: VecDeque<(u64, u64)>,
+    queue: DispatchQueue,
     next_id: u64,
+    /// `job_token=` → job id. A retried SUBMIT carrying a token the
+    /// engine has seen gets the existing job's status echoed back
+    /// instead of a duplicate job — the idempotency half of the
+    /// retry-on-`over capacity` contract.
+    tokens: HashMap<String, u64>,
+    /// Bytes currently charged by the memory accountant (reservations
+    /// of in-flight admissions plus every admitted job's
+    /// [`Job::mem_charge`]).
+    mem_used: u64,
 }
 
 struct Shared {
@@ -105,6 +145,17 @@ struct Shared {
     /// are skipped, so a newer checkpoint is never overwritten by an
     /// older one.
     spool_written: Mutex<HashMap<u64, u64>>,
+    /// All spool reads/writes go through this (fault injection point).
+    fs: Arc<dyn SpoolFs>,
+    /// Memory budget; see [`EngineConfig::mem_budget`].
+    mem_budget: Option<u64>,
+    /// See [`EngineConfig::max_jobs_per_tenant`].
+    max_jobs_per_tenant: Option<u64>,
+    /// See [`EngineConfig::max_queued_per_tenant`].
+    max_queued_per_tenant: Option<u64>,
+    /// Submissions refused by admission control (budget or quota)
+    /// since engine start — the STATS `rejected=` counter.
+    rejected: AtomicU64,
 }
 
 /// Multi-tenant scan-job engine. Cloneable handle; dropping the last
@@ -122,11 +173,17 @@ impl Engine {
         // `0` = all cores; explicit requests are clamped to the host's
         // parallelism like every other thread knob (epi_core::pool).
         let threads = epi_core::pool::resolve_threads(cfg.workers);
+        let fs: Arc<dyn SpoolFs> = cfg
+            .spool_fs
+            .clone()
+            .unwrap_or_else(|| Arc::new(RealSpoolFs));
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 jobs: HashMap::new(),
-                queue: VecDeque::new(),
+                queue: DispatchQueue::new(),
                 next_id: 1,
+                tokens: HashMap::new(),
+                mem_used: 0,
             }),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -139,9 +196,14 @@ impl Engine {
                 .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
                 .collect(),
             spool_written: Mutex::new(HashMap::new()),
+            fs,
+            mem_budget: cfg.mem_budget,
+            max_jobs_per_tenant: cfg.max_jobs_per_tenant,
+            max_queued_per_tenant: cfg.max_queued_per_tenant,
+            rejected: AtomicU64::new(0),
         });
         if let Some(dir) = &cfg.spool_dir {
-            let _ = std::fs::create_dir_all(dir);
+            let _ = shared.fs.create_dir_all(dir);
             Self::restore_spool(&shared, dir);
         }
         let mut workers = Vec::with_capacity(threads);
@@ -156,41 +218,63 @@ impl Engine {
     }
 
     fn restore_spool(shared: &Shared, dir: &Path) {
-        let Ok(entries) = std::fs::read_dir(dir) else {
+        let Ok(mut paths) = shared.fs.read_dir(dir) else {
             return;
         };
+        paths.sort();
         let mut state = lock(&shared.state);
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
-                continue;
-            }
-            let Ok(file) = std::fs::File::open(&path) else {
-                continue;
-            };
-            let Ok(ck) = Checkpoint::read_from(std::io::BufReader::new(file)) else {
-                continue;
+        for path in &paths {
+            let name = path.to_string_lossy().into_owned();
+            let restored = if name.ends_with(".ckpt") {
+                // Torn-file fallback: a disk fault (or crash) mid-write
+                // can leave the primary unreadable; checkpoint rotation
+                // keeps the previous good snapshot as `.ckpt.prev`.
+                restore_ckpt(&*shared.fs, path)
+                    .or_else(|| restore_ckpt(&*shared.fs, Path::new(&format!("{name}.prev"))))
+            } else if name.ends_with(".ckpt.prev") {
+                // Orphaned rotation: the primary vanished entirely (a
+                // fault between the two renames). Restore from the
+                // `.prev` unless the primary is present in the listing
+                // (then the branch above already handled this job).
+                let primary = PathBuf::from(name.trim_end_matches(".prev"));
+                if paths.binary_search(&primary).is_err() {
+                    restore_ckpt(&*shared.fs, path)
+                } else {
+                    None
+                }
+            } else {
+                None
             };
             // The checkpoint carries the shard plan's SNP count, so a
             // restore needs no dataset access at all; the file is only
             // reloaded (and validated) when the job is resumed.
-            let mut job = ck.into_job();
+            let Some(mut job) = restored else { continue };
             // A spool on shared storage may have been written by a more
             // capable host: re-clamp the forced tier exactly as submit()
             // does, or a resumed job would dispatch unsupported SIMD
             // intrinsics here. (Tiers only widen the kernel choice —
             // results are bit-identical at any tier.)
             job.spec.simd = job.spec.simd.map(|l| l.clamped_to_host());
+            // Re-register the job's idempotency token so a client retry
+            // that straddles a server restart still cannot duplicate it.
+            if let Some(token) = &job.spec.job_token {
+                state.tokens.insert(token.clone(), job.id);
+            }
             state.next_id = state.next_id.max(job.id + 1);
             state.jobs.insert(job.id, job);
         }
     }
 
-    /// Submit a new job. Loads and encodes the dataset synchronously so
-    /// invalid submissions fail at the protocol boundary, then enqueues
-    /// every shard. A requested SIMD tier is clamped to *this* host's
-    /// capability (the scan runs here, whatever the client supports) and
-    /// the clamped tier is what STATUS echoes back.
+    /// Submit a new job. Admission control runs first — token
+    /// idempotency, tenant quotas, and the memory budget are checked
+    /// (and an estimate reserved) *before* the dataset is touched, so an
+    /// `over capacity` rejection costs no allocation. The dataset is
+    /// then loaded and encoded synchronously so invalid submissions fail
+    /// at the protocol boundary, and every owned shard is enqueued on
+    /// the job's `(priority, tenant)` dispatch lane. A requested SIMD
+    /// tier is clamped to *this* host's capability (the scan runs here,
+    /// whatever the client supports) and the clamped tier is what STATUS
+    /// echoes back.
     pub fn submit(&self, spec: JobSpec) -> Result<JobStatus, String> {
         if spec.shards == 0 {
             return Err("a job needs at least one shard".into());
@@ -203,7 +287,83 @@ impl Engine {
             .simd
             .map(|l| l.clamped_to_host())
             .or(self.shared.default_simd);
-        let (data, m, hash) = load_encoded(&spec, self.shared.dataset_root.as_deref())?;
+        // Size the job from file metadata alone (a stat, not a read):
+        // the refusal path must not pay for what it refuses.
+        let est = estimate_footprint(&spec, self.shared.dataset_root.as_deref())?;
+        let tenant = spec
+            .tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        // Phase A — admission under the lock: on success the estimate is
+        // reserved and the id + token registered, so concurrent
+        // duplicates and over-budget bursts are decided here while the
+        // slow load below runs outside the lock.
+        let id = {
+            let mut state = lock(&self.shared.state);
+            let st = &mut *state;
+            sweep_deadlines(st);
+            if let Some(token) = &spec.job_token {
+                if let Some(&existing) = st.tokens.get(token) {
+                    return match st.jobs.get(&existing) {
+                        // idempotent echo: the token was already
+                        // admitted — report that job, duplicate nothing
+                        Some(job) => Ok(job.status()),
+                        // reserved by a submit still loading its dataset
+                        None => Err(format!("job_token {token:?} is mid-admission; retry")),
+                    };
+                }
+            }
+            if let Some(max) = self.shared.max_jobs_per_tenant {
+                let active = active_tenant_jobs(&st.jobs, &tenant);
+                if active >= max {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "over capacity (retry_after_ms=100): tenant {tenant} has \
+                         {active} active jobs (quota {max})"
+                    ));
+                }
+            }
+            if let Some(max) = self.shared.max_queued_per_tenant {
+                let queued = st.queue.queued_for_tenant(&tenant);
+                let incoming = match &spec.shard_set {
+                    Some(set) => set.len(),
+                    None => spec.shards,
+                };
+                if queued.saturating_add(incoming) > max {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "over capacity (retry_after_ms=100): tenant {tenant} would \
+                         have {} queued shards (quota {max})",
+                        queued.saturating_add(incoming)
+                    ));
+                }
+            }
+            if let Some(budget) = self.shared.mem_budget {
+                if st.mem_used.saturating_add(est) > budget {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "over capacity (retry_after_ms=100): job needs ~{est} bytes, \
+                         {} of {budget} budget in use",
+                        st.mem_used
+                    ));
+                }
+            }
+            st.mem_used = st.mem_used.saturating_add(est);
+            let id = st.next_id;
+            st.next_id += 1;
+            if let Some(token) = &spec.job_token {
+                st.tokens.insert(token.clone(), id);
+            }
+            id
+        };
+        let loaded = load_encoded(&spec, self.shared.dataset_root.as_deref());
+        let (data, m, hash) = match loaded {
+            Ok(v) => v,
+            Err(e) => {
+                self.rollback_admission(est, spec.job_token.as_deref());
+                return Err(e);
+            }
+        };
         let plan = ShardPlan::triples(m, spec.shards);
         let shards = plan.num_shards();
         if let Some(set) = &spec.shard_set {
@@ -213,11 +373,15 @@ impl Engine {
             match set.max() {
                 Some(max) if max < shards => {}
                 Some(max) => {
+                    self.rollback_admission(est, spec.job_token.as_deref());
                     return Err(format!(
                         "shard_set index {max} out of range: plan has {shards} shards"
-                    ))
+                    ));
                 }
-                None => return Err("shard_set selects no shards".into()),
+                None => {
+                    self.rollback_admission(est, spec.job_token.as_deref());
+                    return Err("shard_set selects no shards".into());
+                }
             }
         }
         // The global shard indices this job actually scans. Results are
@@ -227,9 +391,16 @@ impl Engine {
             Some(set) => set.iter().collect(),
             None => (0..shards).collect(),
         };
+        // Phase B — commit under the lock: swap the stat-based
+        // reservation for the encoded planes' exact resident size.
         let mut state = lock(&self.shared.state);
-        let id = state.next_id;
-        state.next_id += 1;
+        let st = &mut *state;
+        let actual = data.resident_bytes().saturating_add(scratch_bytes(&spec));
+        st.mem_used = st.mem_used.saturating_sub(est).saturating_add(actual);
+        let deadline = spec
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let priority = spec.priority;
         let fail_partial_left = spec.fail_partial;
         let mut job = Job {
             id,
@@ -243,6 +414,8 @@ impl Engine {
             ckpt_seq: 0,
             dataset_hash: Some(hash),
             fail_partial_left,
+            deadline,
+            mem_charge: actual,
         };
         if job.plan.total_combos() == 0 {
             // Degenerate dataset (M < 3): complete immediately with the
@@ -252,26 +425,40 @@ impl Engine {
             }
             job.state = JobState::Done;
             job.data = None;
+            st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+            job.mem_charge = 0;
             let status = job.status();
             let snapshot = snapshot_if_spooled(&mut job, self.shared.spool_dir.as_deref());
-            state.jobs.insert(id, job);
+            st.jobs.insert(id, job);
             drop(state);
             self.shared.write_checkpoint(snapshot);
             return Ok(status);
         }
         for shard in owned {
-            state.queue.push_back((id, shard));
+            st.queue.push(&tenant, priority, (id, shard));
         }
         let status = job.status();
-        state.jobs.insert(id, job);
+        st.jobs.insert(id, job);
         drop(state);
         self.shared.work_ready.notify_all();
         Ok(status)
     }
 
+    /// Undo a Phase-A admission reservation after the dataset load (or
+    /// plan validation) failed outside the lock: release the estimate
+    /// and free the token so the client can retry cleanly.
+    fn rollback_admission(&self, est: u64, token: Option<&str>) {
+        let mut state = lock(&self.shared.state);
+        state.mem_used = state.mem_used.saturating_sub(est);
+        if let Some(token) = token {
+            state.tokens.remove(token);
+        }
+    }
+
     /// Progress snapshot of one job.
     pub fn status(&self, id: u64) -> Result<JobStatus, String> {
-        let state = lock(&self.shared.state);
+        let mut state = lock(&self.shared.state);
+        sweep_deadlines(&mut state);
         state
             .jobs
             .get(&id)
@@ -281,7 +468,8 @@ impl Engine {
 
     /// Snapshot of every job, newest first.
     pub fn jobs(&self) -> Vec<JobStatus> {
-        let state = lock(&self.shared.state);
+        let mut state = lock(&self.shared.state);
+        sweep_deadlines(&mut state);
         let mut all: Vec<JobStatus> = state.jobs.values().map(Job::status).collect();
         all.sort_by_key(|s| std::cmp::Reverse(s.id));
         all
@@ -309,8 +497,9 @@ impl Engine {
     /// finished jobs.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
         let mut state = lock(&self.shared.state);
-        state.queue.retain(|&(job_id, _)| job_id != id);
-        let job = state
+        let st = &mut *state;
+        st.queue.retain(|&(job_id, _)| job_id != id);
+        let job = st
             .jobs
             .get_mut(&id)
             .ok_or_else(|| format!("no such job {id}"))?;
@@ -321,8 +510,11 @@ impl Engine {
             // Release the encoded dataset (O(M*N) bits) while the job is
             // parked; resume reloads it from spec.path. With shards still
             // in flight the workers hold their own Arc clones, and the
-            // last completion drops it instead (worker_loop).
+            // last completion drops it instead (worker_loop). The memory
+            // accountant releases the charge with the data.
             job.data = None;
+            st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+            job.mem_charge = 0;
         }
         let status = job.status();
         let snapshot = snapshot_if_spooled(job, self.shared.spool_dir.as_deref());
@@ -376,7 +568,8 @@ impl Engine {
         // Phase 2 — commit under the lock, re-checking the state (another
         // client may have resumed or the job may have finished meanwhile).
         let mut state = lock(&self.shared.state);
-        let job = state
+        let st = &mut *state;
+        let job = st
             .jobs
             .get_mut(&id)
             .ok_or_else(|| format!("no such job {id}"))?;
@@ -400,10 +593,34 @@ impl Engine {
                 job.error = Some(msg.clone());
                 return Err(msg);
             }
+            // Re-admission: resuming re-loads the dataset, so the job
+            // must clear the memory budget again. A refusal leaves the
+            // job parked exactly as it was — retry later.
+            let actual = data
+                .resident_bytes()
+                .saturating_add(scratch_bytes(&job.spec));
+            if let Some(budget) = self.shared.mem_budget {
+                if st.mem_used.saturating_add(actual) > budget {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "over capacity (retry_after_ms=100): resume needs ~{actual} \
+                         bytes, {} of {budget} budget in use",
+                        st.mem_used
+                    ));
+                }
+            }
+            st.mem_used = st.mem_used.saturating_add(actual);
+            job.mem_charge = actual;
             job.data = Some(Arc::new(data));
             job.dataset_hash = Some(hash);
         }
         job.error = None;
+        // A resumed job gets a fresh deadline window: the time it spent
+        // parked was not its own spending.
+        job.deadline = job
+            .spec
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
         if job.missing_shards().is_empty() {
             job.state = JobState::Done;
             let status = job.status();
@@ -420,9 +637,11 @@ impl Engine {
         } else {
             JobState::Queued
         };
+        let tenant = job.tenant().to_string();
+        let priority = job.spec.priority;
         let status = job.status();
         for shard in resumable {
-            state.queue.push_back((id, shard));
+            st.queue.push(&tenant, priority, (id, shard));
         }
         drop(state);
         self.shared.work_ready.notify_all();
@@ -506,6 +725,44 @@ impl Engine {
         lock(&self.workers).len()
     }
 
+    /// Bytes currently charged by the memory accountant (STATS
+    /// `mem_used=`).
+    pub fn mem_used(&self) -> u64 {
+        lock(&self.shared.state).mem_used
+    }
+
+    /// Configured memory budget in bytes; `0` = unlimited (STATS
+    /// `mem_budget=`).
+    pub fn mem_budget(&self) -> u64 {
+        self.shared.mem_budget.unwrap_or(0)
+    }
+
+    /// Submissions refused by admission control since engine start
+    /// (STATS `rejected=`).
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Shards waiting for a worker across all dispatch lanes (STATS
+    /// `queue_depth=`).
+    pub fn queue_depth(&self) -> u64 {
+        lock(&self.shared.state).queue.len() as u64
+    }
+
+    /// Active (queued/running) job count per tenant, sorted by tenant
+    /// name (STATS `tenant_jobs=`).
+    pub fn tenant_jobs(&self) -> Vec<(String, u64)> {
+        let mut state = lock(&self.shared.state);
+        sweep_deadlines(&mut state);
+        let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+        for job in state.jobs.values() {
+            if matches!(job.state, JobState::Queued | JobState::Running) {
+                *counts.entry(job.tenant().to_string()).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
     /// Block until the job reaches a stable snapshot (terminal state and
     /// no shard mid-scan) or the timeout elapses; returns the last status
     /// seen.
@@ -538,12 +795,15 @@ impl Engine {
         let mut snapshots = Vec::new();
         {
             let mut state = lock(&self.shared.state);
-            state.queue.clear();
-            for job in state.jobs.values_mut() {
+            let st = &mut *state;
+            st.queue.retain(|_| false);
+            for job in st.jobs.values_mut() {
                 if matches!(job.state, JobState::Queued | JobState::Running) {
                     job.state = JobState::Cancelled;
                     job.error = Some("engine stopped before completion; RESUME to continue".into());
                     job.data = None;
+                    st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+                    job.mem_charge = 0;
                     snapshots.push(snapshot_if_spooled(job, self.shared.spool_dir.as_deref()));
                 }
             }
@@ -572,7 +832,7 @@ impl Shared {
         // Hold the write guard through the file write: it serialises the
         // writes themselves, so an older snapshot can never land after a
         // newer one even at the filesystem level.
-        write_checkpoint_file(dir, &ck);
+        write_checkpoint_file(&*self.fs, dir, &ck);
     }
 }
 
@@ -586,16 +846,28 @@ fn snapshot_if_spooled(job: &mut Job, spool: Option<&Path>) -> Option<(Checkpoin
     Some((Checkpoint::of_job(job), job.ckpt_seq))
 }
 
-/// Atomically write `<dir>/job-<id>.ckpt` (write + rename).
-fn write_checkpoint_file(dir: &Path, ck: &Checkpoint) {
+/// Atomically write `<dir>/job-<id>.ckpt`: serialize to a buffer,
+/// write the `.tmp`, rotate the current primary aside as `.ckpt.prev`,
+/// then rename the tmp into place (the same tmp→prev→rename discipline
+/// as `epi_coord`'s federation checkpoint). Any single disk fault —
+/// failed write, failed rename, or a torn tmp that lied about success —
+/// leaves either the previous good primary or the `.prev` rotation on
+/// disk, and `restore_spool` knows to fall back to it.
+fn write_checkpoint_file(fs: &dyn SpoolFs, dir: &Path, ck: &Checkpoint) {
     let tmp = dir.join(format!("job-{}.ckpt.tmp", ck.job_id));
     let path = dir.join(format!("job-{}.ckpt", ck.job_id));
+    let prev = dir.join(format!("job-{}.ckpt.prev", ck.job_id));
     let write = || -> std::io::Result<()> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-        ck.write_to(&mut f)?;
-        std::io::Write::flush(&mut f)?;
-        drop(f);
-        std::fs::rename(&tmp, &path)
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf)?;
+        fs.write(&tmp, &buf)?;
+        match fs.rename(&path, &prev) {
+            Ok(()) => {}
+            // first checkpoint of this job: nothing to rotate
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs.rename(&tmp, &path)
     };
     if let Err(e) = write() {
         eprintln!(
@@ -603,6 +875,96 @@ fn write_checkpoint_file(dir: &Path, ck: &Checkpoint) {
             ck.job_id
         );
     }
+}
+
+/// Parse one checkpoint file through the spool layer; `None` on any
+/// read or decode failure (the caller decides the fallback).
+fn restore_ckpt(fs: &dyn SpoolFs, path: &Path) -> Option<Job> {
+    let bytes = fs.read(path).ok()?;
+    let ck = Checkpoint::read_from(bytes.as_slice()).ok()?;
+    Some(ck.into_job())
+}
+
+/// Fail every queued/running job whose `deadline_ms=` budget has
+/// expired, drain their queued shards, and release the memory charge of
+/// any that have nothing left in flight. Runs under the state lock on
+/// every API call and worker wake, so a deadline fires even on an
+/// otherwise idle engine. Workers abandon the rest of a claimed batch
+/// through the existing failed-job abandon path. (Nothing new needs
+/// checkpointing: shard results were persisted as they landed, and the
+/// checkpoint format does not store the lifecycle state.)
+fn sweep_deadlines(state: &mut EngineState) {
+    let now = Instant::now();
+    let st = &mut *state;
+    let mut expired = false;
+    for job in st.jobs.values_mut() {
+        if !matches!(job.state, JobState::Queued | JobState::Running) {
+            continue;
+        }
+        let Some(deadline) = job.deadline else {
+            continue;
+        };
+        if now < deadline {
+            continue;
+        }
+        job.state = JobState::Failed;
+        job.error = Some(format!(
+            "deadline exceeded: deadline_ms={} elapsed before completion",
+            job.spec.deadline_ms.unwrap_or(0)
+        ));
+        expired = true;
+        if job.in_flight.is_empty() {
+            job.data = None;
+            st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+            job.mem_charge = 0;
+        }
+    }
+    if expired {
+        let jobs = &st.jobs;
+        st.queue.retain(|&(id, _)| {
+            jobs.get(&id)
+                .map(|j| matches!(j.state, JobState::Queued | JobState::Running))
+                .unwrap_or(false)
+        });
+    }
+}
+
+/// Queued/Running jobs accounted to `tenant` (concurrent-job quota).
+fn active_tenant_jobs(jobs: &HashMap<u64, Job>, tenant: &str) -> u64 {
+    let mut active = 0;
+    for job in jobs.values() {
+        if job.tenant() == tenant && matches!(job.state, JobState::Queued | JobState::Running) {
+            active += 1;
+        }
+    }
+    active
+}
+
+/// Stat-only admission estimate of a job's resident footprint: the
+/// on-disk binary stores one byte per genotype while the split bitplane
+/// encoding packs ~4 bits per genotype, so half the file size (plus
+/// fixed slack) bounds the encoded planes; [`scratch_bytes`] adds the
+/// result-side scratch. Refined to [`EncodedData::resident_bytes`] once
+/// the dataset is actually encoded.
+fn estimate_footprint(spec: &JobSpec, root: Option<&Path>) -> Result<u64, String> {
+    let path = resolve_dataset_path(&spec.path, root);
+    let meta = std::fs::metadata(&path)
+        .map_err(|e| format!("cannot read dataset {}: {e}", path.display()))?;
+    Ok((meta.len() / 2 + 4096).saturating_add(scratch_bytes(spec)))
+}
+
+/// Result-side scratch a job can pin: one sorted candidate list per
+/// owned shard, `top_k` entries each — the same per-candidate
+/// accounting the kernel's cost model uses for its heap.
+fn scratch_bytes(spec: &JobSpec) -> u64 {
+    let owned = match &spec.shard_set {
+        Some(set) => set.len(),
+        None => spec.shards,
+    };
+    let per_candidate = std::mem::size_of::<Candidate>() as u64;
+    owned
+        .saturating_mul(spec.top_k.max(1) as u64)
+        .saturating_mul(per_candidate)
 }
 
 /// Resolve a spec's dataset path against an optional node-local root:
@@ -673,7 +1035,11 @@ fn worker_loop(shared: &Shared, widx: usize) {
                     return;
                 }
                 let st = &mut *state;
-                if let Some((job_id, shard)) = st.queue.pop_front() {
+                // Deadlines fire on worker wakes too, so an expired job
+                // is failed (and its queue entries drained) even while
+                // every client is silent.
+                sweep_deadlines(st);
+                if let Some((job_id, shard)) = st.queue.pop() {
                     match st.jobs.get_mut(&job_id) {
                         Some(job)
                             if job.state == JobState::Queued || job.state == JobState::Running =>
@@ -688,15 +1054,14 @@ fn worker_loop(shared: &Shared, widx: usize) {
                             );
                             let mut shards = vec![shard];
                             while shards.len() < cap {
-                                match st.queue.front() {
-                                    Some(&(jid, s))
-                                        if jid == job_id
-                                            && s == *shards.last().expect("nonempty") + 1 =>
-                                    {
-                                        st.queue.pop_front();
-                                        shards.push(s);
-                                    }
-                                    _ => break,
+                                // extend the claim only through the same
+                                // dispatch lane, so batching cannot leak
+                                // scheduling credit across tenants
+                                let next = *shards.last().expect("nonempty") + 1;
+                                if st.queue.pop_next_consecutive((job_id, next)) {
+                                    shards.push(next);
+                                } else {
+                                    break;
                                 }
                             }
                             for &s in &shards {
@@ -778,9 +1143,10 @@ fn worker_loop(shared: &Shared, widx: usize) {
                     let msg = panic_message(payload.as_ref());
                     let checkpoint = {
                         let mut state = lock(&shared.state);
+                        let st = &mut *state;
                         // drop the job's pending shards: it cannot finish
-                        state.queue.retain(|&(jid, _)| jid != job_id);
-                        let Some(job) = state.jobs.get_mut(&job_id) else {
+                        st.queue.retain(|&(jid, _)| jid != job_id);
+                        let Some(job) = st.jobs.get_mut(&job_id) else {
                             break;
                         };
                         // this shard and the unscanned rest of the batch
@@ -792,6 +1158,8 @@ fn worker_loop(shared: &Shared, widx: usize) {
                         job.error = Some(format!("worker panicked on shard {shard}: {msg}"));
                         if job.in_flight.is_empty() {
                             job.data = None; // resume reloads from spec.path
+                            st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+                            job.mem_charge = 0;
                         }
                         snapshot_if_spooled(job, shared.spool_dir.as_deref())
                     };
@@ -816,7 +1184,8 @@ fn worker_loop(shared: &Shared, widx: usize) {
             // record the result
             let (checkpoint, abandon) = {
                 let mut state = lock(&shared.state);
-                let Some(job) = state.jobs.get_mut(&job_id) else {
+                let st = &mut *state;
+                let Some(job) = st.jobs.get_mut(&job_id) else {
                     break;
                 };
                 job.in_flight.remove(&shard);
@@ -850,6 +1219,8 @@ fn worker_loop(shared: &Shared, widx: usize) {
                     && job.in_flight.is_empty();
                 if job.data.is_some() && (job.state == JobState::Done || parked) {
                     job.data = None; // release the encoded dataset; resume reloads
+                    st.mem_used = st.mem_used.saturating_sub(job.mem_charge);
+                    job.mem_charge = 0;
                 }
                 (
                     snapshot_if_spooled(job, shared.spool_dir.as_deref()),
@@ -867,6 +1238,7 @@ fn worker_loop(shared: &Shared, widx: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spool::FaultySpoolFs;
     use datagen::DatasetSpec;
 
     fn write_dataset(name: &str, m: usize, n: usize, seed: u64) -> PathBuf {
@@ -886,6 +1258,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 9;
@@ -912,6 +1285,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         // Split one 12-shard plan into two sub-jobs with interleaved,
         // gappy ownership — the worst case for batch claiming.
@@ -975,6 +1349,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec_a = JobSpec::new(path_a.to_str().unwrap());
         spec_a.shards = 5;
@@ -1005,6 +1380,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
 
         // unforced reference
@@ -1050,6 +1426,7 @@ mod tests {
             spool_dir: None,
             default_simd: Some(SimdLevel::Scalar),
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
         assert_eq!(st.simd, Some(SimdLevel::Scalar));
@@ -1066,6 +1443,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 20;
@@ -1110,6 +1488,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         assert!(engine.submit(JobSpec::new("/no/such/file.epi3")).is_err());
         assert!(engine.status(99).is_err());
@@ -1129,6 +1508,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let st = engine.submit(JobSpec::new(path.to_str().unwrap())).unwrap();
         assert_eq!(st.state, JobState::Done);
@@ -1146,6 +1526,7 @@ mod tests {
             spool_dir: Some(spool.clone()),
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 24;
@@ -1204,6 +1585,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 18;
@@ -1236,6 +1618,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 12;
@@ -1273,6 +1656,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 8;
@@ -1315,6 +1699,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 20; // one worker claims a batch of up to 10
@@ -1352,6 +1737,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         // Poison the state mutex the hard way: panic while holding it.
         let shared = Arc::clone(&engine.shared);
@@ -1382,6 +1768,7 @@ mod tests {
             spool_dir: Some(spool.clone()),
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 16;
@@ -1404,6 +1791,7 @@ mod tests {
             spool_dir: Some(spool.clone()),
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let restored = engine2.status(st.id).unwrap();
         assert!(matches!(
@@ -1435,6 +1823,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let (g, p) = datagen::io::load(&path).unwrap();
         let want = epi_core::integrity::dataset_hash(&g, &p);
@@ -1479,6 +1868,7 @@ mod tests {
             spool_dir: Some(spool.clone()),
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let (g, p) = datagen::io::load(&path).unwrap();
         let mut spec = JobSpec::new(path.to_str().unwrap());
@@ -1522,6 +1912,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: Some(root.clone()),
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(format!(
             "/somewhere/else/{}",
@@ -1543,6 +1934,7 @@ mod tests {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         });
         let mut spec = JobSpec::new(path.to_str().unwrap());
         spec.shards = 4;
@@ -1557,5 +1949,285 @@ mod tests {
         let harvest = engine.partial(st.id).unwrap();
         assert_eq!(harvest.len(), 4);
         engine.stop();
+    }
+
+    #[test]
+    fn memory_budget_refuses_then_admits_after_release() {
+        let path = write_dataset("budget", 14, 256, 91);
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 4;
+        spec.throttle_ms = 25;
+        // budget sized so the first job fits but a concurrent second
+        // (its resident charge + the newcomer's stat estimate) does not
+        let est = estimate_footprint(&spec, None).unwrap();
+        let (data, _, _) = load_encoded(&spec, None).unwrap();
+        let actual = data.resident_bytes() + scratch_bytes(&spec);
+        drop(data);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            mem_budget: Some(actual + est - 1),
+            ..EngineConfig::default()
+        });
+        let a = engine.submit(spec.clone()).unwrap();
+        assert!(engine.mem_used() > 0, "admitted job carries no charge");
+        let err = engine.submit(spec.clone()).unwrap_err();
+        assert!(
+            err.contains("over capacity (retry_after_ms="),
+            "refusal lacks the retry contract: {err}"
+        );
+        assert_eq!(engine.rejected(), 1);
+        // the refusal allocated nothing: the accountant still charges
+        // exactly the admitted job
+        assert_eq!(engine.mem_used(), actual);
+
+        let done = engine.wait(a.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        // completion releases the encoded planes and their charge …
+        assert_eq!(engine.mem_used(), 0);
+        // … so the retried submission now clears admission
+        let b = engine.submit(spec).unwrap();
+        let done = engine.wait(b.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(engine.mem_used(), 0);
+        engine.stop();
+    }
+
+    #[test]
+    fn tenant_quotas_bound_jobs_and_queued_shards() {
+        let path = write_dataset("quota", 14, 192, 92);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            max_jobs_per_tenant: Some(1),
+            max_queued_per_tenant: Some(8),
+            ..EngineConfig::default()
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 4;
+        spec.throttle_ms = 25;
+        spec.tenant = Some("acme".into());
+        let a = engine.submit(spec.clone()).unwrap();
+        // same tenant, second concurrent job: refused by the job quota
+        let err = engine.submit(spec.clone()).unwrap_err();
+        assert!(err.contains("over capacity"), "{err}");
+        assert!(err.contains("quota 1"), "{err}");
+        // a different tenant is unaffected by acme's quota …
+        let mut other = spec.clone();
+        other.tenant = Some("zeta".into());
+        let b = engine.submit(other).unwrap();
+        // … but the queued-shard quota bounds any single tenant's
+        // backlog (9 incoming > 8 allowed)
+        let mut wide = spec.clone();
+        wide.tenant = Some("theta".into());
+        wide.shards = 9;
+        let err = engine.submit(wide).unwrap_err();
+        assert!(err.contains("queued shards (quota 8)"), "{err}");
+        assert_eq!(engine.rejected(), 2);
+        let tenants = engine.tenant_jobs();
+        assert_eq!(tenants, vec![("acme".into(), 1), ("zeta".into(), 1)]);
+        for id in [a.id, b.id] {
+            let done = engine.wait(id, Duration::from_secs(30)).unwrap();
+            assert_eq!(done.state, JobState::Done);
+        }
+        // drained tenants disappear from the accounting
+        assert!(engine.tenant_jobs().is_empty());
+        assert_eq!(engine.queue_depth(), 0);
+        engine.stop();
+    }
+
+    #[test]
+    fn job_token_is_idempotent_within_a_run_and_across_restart() {
+        let path = write_dataset("token", 14, 160, 93);
+        let spool = std::env::temp_dir().join(format!("epi_token_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+            ..EngineConfig::default()
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 4;
+        spec.job_token = Some("tok-1".into());
+        let first = engine.submit(spec.clone()).unwrap();
+        // the retried SUBMIT is echoed the existing job, never duplicated
+        let echoed = engine.submit(spec.clone()).unwrap();
+        assert_eq!(echoed.id, first.id);
+        assert_eq!(engine.jobs().len(), 1);
+        let done = engine.wait(first.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(engine.shards_scanned(), 4);
+        engine.stop();
+
+        // idempotency survives a server restart: the token is
+        // re-registered from the spool, so a client retry that straddles
+        // the crash still cannot double-scan
+        let engine2 = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+            ..EngineConfig::default()
+        });
+        let echoed = engine2.submit(spec).unwrap();
+        assert_eq!(echoed.id, first.id);
+        assert_eq!(echoed.state, JobState::Done);
+        assert_eq!(engine2.shards_scanned(), 0);
+        engine2.stop();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn deadline_expiry_fails_the_job_and_releases_its_memory() {
+        let path = write_dataset("deadline", 14, 192, 94);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        // the worker is busy with a bulk job while the deadlined job
+        // waits its turn — exactly the overload shape deadlines exist for
+        let mut bulk = JobSpec::new(path.to_str().unwrap());
+        bulk.shards = 8;
+        bulk.throttle_ms = 30;
+        let b = engine.submit(bulk).unwrap();
+        let mut hot = JobSpec::new(path.to_str().unwrap());
+        hot.shards = 4;
+        hot.deadline_ms = Some(1);
+        let h = engine.submit(hot).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let st = engine.status(h.id).unwrap();
+        assert_eq!(st.state, JobState::Failed);
+        let err = st.error.unwrap_or_default();
+        assert!(err.contains("deadline exceeded: deadline_ms=1"), "{err}");
+        let done = engine.wait(b.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        // both the expired job's queue entries and its charge are gone
+        assert_eq!(engine.queue_depth(), 0);
+        assert_eq!(engine.mem_used(), 0);
+        engine.stop();
+    }
+
+    #[test]
+    fn high_priority_job_completes_while_bulk_scan_still_runs() {
+        let path = write_dataset("prio", 14, 160, 95);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut bulk = JobSpec::new(path.to_str().unwrap());
+        bulk.shards = 40;
+        bulk.throttle_ms = 10;
+        bulk.priority = 0;
+        let b = engine.submit(bulk).unwrap();
+        let mut hot = JobSpec::new(path.to_str().unwrap());
+        hot.shards = 3;
+        hot.throttle_ms = 10;
+        hot.priority = 9;
+        let h = engine.submit(hot).unwrap();
+        let hot_done = engine.wait(h.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(hot_done.state, JobState::Done);
+        // weighted-fair dispatch: the interactive job finished while the
+        // bulk scan — submitted first, 13x the shards — is still going
+        let bulk_st = engine.status(b.id).unwrap();
+        assert!(
+            bulk_st.done < 40,
+            "bulk scan finished before the high-priority job"
+        );
+        let done = engine.wait(b.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        engine.stop();
+    }
+
+    #[test]
+    fn torn_spool_primary_restores_from_the_rotated_prev() {
+        let path = write_dataset("torn", 14, 160, 96);
+        let spool = std::env::temp_dir().join(format!("epi_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+            ..EngineConfig::default()
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 6;
+        let st = engine.submit(spec).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        let want = engine.result(st.id).unwrap();
+        engine.stop();
+
+        // tear the primary mid-record (a crash between write and flush)
+        let primary = spool.join(format!("job-{}.ckpt", st.id));
+        let bytes = std::fs::read(&primary).unwrap();
+        std::fs::write(&primary, &bytes[..bytes.len() / 2]).unwrap();
+
+        // restart: no panic, and the job comes back from the `.prev`
+        // rotation — the last good checkpoint before the torn write
+        let engine2 = Engine::start(EngineConfig {
+            workers: 1,
+            spool_dir: Some(spool.clone()),
+            ..EngineConfig::default()
+        });
+        let restored = engine2.status(st.id).unwrap();
+        assert!(restored.done >= 1, "no shard survived the torn primary");
+        // completed shards recover bit-identically; the torn-off tail is
+        // rescanned by resume, never invented
+        engine2.resume(st.id).unwrap();
+        let done = engine2.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(engine2.result(st.id).unwrap(), want);
+        engine2.stop();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn seeded_spool_chaos_recovers_bit_identical_results() {
+        // Every spool write runs behind a seeded fault schedule
+        // (ENOSPC / EIO / torn writes); whatever the faults leave on
+        // disk, a restart must restore a loadable checkpoint and resume
+        // to the exact monolithic result. EPI3_SPOOL_SEED picks the
+        // schedule (the CI chaos legs run two).
+        let seed: u64 = std::env::var("EPI3_SPOOL_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let path = write_dataset("chaos", 14, 160, 97);
+        let spool =
+            std::env::temp_dir().join(format!("epi_spool_chaos_{seed}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let faulty = Arc::new(FaultySpoolFs::seeded(seed));
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: Some(spool.clone()),
+            spool_fs: Some(faulty.clone()),
+            ..EngineConfig::default()
+        });
+        let mut spec = JobSpec::new(path.to_str().unwrap());
+        spec.shards = 12;
+        spec.top_k = 6;
+        let st = engine.submit(spec).unwrap();
+        let done = engine.wait(st.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        let want = engine.result(st.id).unwrap();
+        engine.stop();
+        assert!(faulty.faults_injected() > 0, "schedule injected nothing");
+
+        // restart on the *real* filesystem: whatever the fault schedule
+        // did to the spool, the rotation discipline must have left a
+        // loadable last-good checkpoint
+        let engine2 = Engine::start(EngineConfig {
+            workers: 2,
+            spool_dir: Some(spool.clone()),
+            ..EngineConfig::default()
+        });
+        let restored = engine2
+            .status(st.id)
+            .expect("no loadable checkpoint survived the fault schedule");
+        if restored.state != JobState::Done {
+            engine2.resume(st.id).unwrap();
+            let done = engine2.wait(st.id, Duration::from_secs(30)).unwrap();
+            assert_eq!(done.state, JobState::Done);
+        }
+        // completed shards recovered bit-identically: the merged result
+        // equals the pre-crash scan exactly
+        assert_eq!(engine2.result(st.id).unwrap(), want);
+        engine2.stop();
+        let _ = std::fs::remove_dir_all(&spool);
     }
 }

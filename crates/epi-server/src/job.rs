@@ -85,7 +85,28 @@ impl EncodedData {
             EncodedData::Unsplit(ds) => ds.num_snps(),
         }
     }
+
+    /// Resident footprint of the encoded bitplanes in bytes — what the
+    /// engine's memory accountant charges an admitted job while its
+    /// dataset stays loaded.
+    pub fn resident_bytes(&self) -> u64 {
+        let word = std::mem::size_of::<bitgenome::Word>() as u64;
+        match self {
+            // two bitplanes per SNP per class (cases + controls)
+            EncodedData::Split(ds) => {
+                let per_snp = 2 * (ds.cases().num_words() + ds.controls().num_words()) as u64;
+                ds.num_snps() as u64 * per_snp * word
+            }
+            // three genotype planes per SNP, plus the phenotype plane
+            EncodedData::Unsplit(ds) => {
+                (ds.num_snps() as u64 * 3 + 1) * ds.num_words() as u64 * word
+            }
+        }
+    }
 }
+
+/// Tenant a spec without a `tenant=` key is accounted to.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// One tracked job.
 pub struct Job {
@@ -114,9 +135,24 @@ pub struct Job {
     /// Remaining `PARTIAL` requests to fail for this job (fault
     /// injection, counts down from `spec.fail_partial`).
     pub fail_partial_left: u32,
+    /// Wall-clock moment the job's `deadline_ms=` budget expires; the
+    /// engine fails the job (`deadline exceeded`) and drains its queued
+    /// shards once this passes. `None` = no deadline. Re-anchored on
+    /// RESUME — a resumed job gets a fresh window.
+    pub deadline: Option<std::time::Instant>,
+    /// Bytes the engine's memory accountant currently charges this job
+    /// (encoded planes + result scratch); released back to the budget
+    /// when the job parks or completes and its dataset is dropped.
+    pub mem_charge: u64,
 }
 
 impl Job {
+    /// Tenant this job is accounted to ([`DEFAULT_TENANT`] when the spec
+    /// names none).
+    pub fn tenant(&self) -> &str {
+        self.spec.tenant.as_deref().unwrap_or(DEFAULT_TENANT)
+    }
+
     /// Does this job own (and therefore scan) the given global shard
     /// index? Jobs without a `shard_set` own the whole plan.
     pub fn owns(&self, shard: u64) -> bool {
@@ -256,6 +292,8 @@ mod tests {
             ckpt_seq: 0,
             dataset_hash: None,
             fail_partial_left: 0,
+            deadline: None,
+            mem_charge: 0,
         }
     }
 

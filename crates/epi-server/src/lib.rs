@@ -47,7 +47,7 @@
 //! | `CANCEL <id>` | status line; pending shards dropped, finished ones kept |
 //! | `RESUME <id>` | status line; missing shards re-enqueued |
 //! | `JOBS` | `OK count=<n>`, `n` x `JOB <status fields>`, `END` |
-//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w> pair_hits=<h> pair_misses=<m> pair_hit_rate=<r> pair_hit_min=<r> pair_hit_max=<r> accept_errors=<n>` |
+//! | `STATS` | `OK jobs=<n> scanned=<shards> workers=<w> pair_hits=<h> pair_misses=<m> pair_hit_rate=<r> pair_hit_min=<r> pair_hit_max=<r> accept_errors=<n> mem_used=<b> mem_budget=<b> rejected=<n> queue_depth=<s> tenant_jobs=<t:c,…or->` |
 //! | `PING` | `OK pong` |
 //! | `SHUTDOWN` | `OK bye`, then the server stops |
 //!
@@ -61,8 +61,33 @@
 //! [`epi_core::integrity::dataset_hash`] of the dataset; the server
 //! hashes its local copy at SUBMIT and refuses a diverging replica
 //! with `ERR hash mismatch …`; the job's actual hash is echoed in
-//! STATUS for later audit), and `panic_shard=N` / `fail_partial=N`
-//! (fault injection, tests only).
+//! STATUS for later audit), `tenant=<name>` (the quota account the
+//! job is charged to), `priority=<0-9>` (weighted-fair dispatch
+//! weight, 9 highest), `deadline_ms=<N>` (wall-clock completion
+//! budget; expiry fails the job and workers abandon its remaining
+//! shards), `job_token=<tok>` (idempotency token — resubmitting the
+//! same token echoes the original job, making `over capacity` retries
+//! safe), and `panic_shard=N` / `fail_partial=N` (fault injection,
+//! tests only).
+//!
+//! ## Resource governance
+//!
+//! Admission control happens *before* any allocation: a memory
+//! accountant charges each job its encoded-dataset + result-scratch
+//! footprint against [`EngineConfig::mem_budget`], and per-tenant
+//! quotas ([`EngineConfig::max_jobs_per_tenant`],
+//! [`EngineConfig::max_queued_per_tenant`]) bound what one `tenant=`
+//! can hold. Work the server cannot take is refused with
+//! `ERR over capacity (retry_after_ms=N)`; [`Client::submit`] retries
+//! that refusal with jittered backoff when the spec carries a
+//! `job_token=`. Dispatch is stride-scheduled per (priority, tenant)
+//! lane ([`queue::DispatchQueue`]) with shard-granularity preemption,
+//! and `deadline_ms=` windows are swept on every admission/claim wake.
+//! The spool behind checkpoint persistence goes through an injectable
+//! [`spool::SpoolFs`] ([`spool::FaultySpoolFs`] injects ENOSPC/EIO/
+//! torn writes on a seeded schedule); checkpoints rotate
+//! tmp → `.prev` → primary so a torn primary restores from the
+//! rotated previous copy.
 //!
 //! `STATUS`'s `done` counts completed shards but not *which* ones;
 //! `SHARDS_DONE` + `PARTIAL` exist so a coordinator can harvest exactly
@@ -113,12 +138,16 @@ pub mod codec;
 pub mod engine;
 pub mod frame;
 pub mod job;
+pub mod queue;
 pub mod server;
 pub mod spec;
+pub mod spool;
 
 pub use client::Client;
 pub use codec::Checkpoint;
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobState, JobStatus};
+pub use queue::DispatchQueue;
 pub use server::{Server, ServerHandle};
 pub use spec::{escape, unescape, JobSpec};
+pub use spool::{FaultySpoolFs, RealSpoolFs, SpoolFault, SpoolFs, SpoolSchedule};

@@ -1,0 +1,349 @@
+//! Weighted-fair shard dispatch.
+//!
+//! The engine used to feed workers from one global FIFO, so a bulk
+//! C(M,3) scan enqueued first would starve every job behind it until
+//! its last shard drained. [`DispatchQueue`] replaces that FIFO with
+//! per-`(priority, tenant)` lanes scheduled by *stride scheduling*:
+//! each lane advances a virtual-time pass counter by
+//! `STRIDE_SCALE / weight` per shard it dispatches, and the scheduler
+//! always serves the non-empty lane with the smallest pass. A lane
+//! with weight `w` therefore receives `w / Σweights` of the worker
+//! pool over any window, which is exactly the weighted-fair share —
+//! low-priority bulk work keeps flowing, but can no longer monopolize
+//! the pool. Preemption happens at shard granularity: shards are
+//! already resumable checkpoints, so nothing mid-shard is ever torn
+//! away — and a worker's consecutive-batch claim stops extending the
+//! moment a higher-priority lane falls behind in virtual time, so an
+//! interactive job waits for at most the shard currently mid-scan.
+//!
+//! Determinism: lanes live in a `Vec` in creation order and ties on
+//! pass break toward the oldest lane, so dispatch order is a pure
+//! function of the push/pop sequence — no HashMap iteration order
+//! leaks into scheduling.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Pass increments are `STRIDE_SCALE / weight`. 2520 = lcm(1..=10),
+/// so every priority weight (1..=10) divides it exactly and strides
+/// stay integral.
+const STRIDE_SCALE: u64 = 2520;
+
+/// One `(priority, tenant)` dispatch lane.
+#[derive(Debug)]
+struct Lane {
+    tenant: String,
+    /// Virtual-time pass: the lane with the minimum pass runs next.
+    pass: u64,
+    /// Pass increment per dispatched shard (`STRIDE_SCALE / weight`).
+    stride: u64,
+    tasks: VecDeque<(u64, u64)>,
+}
+
+/// Weighted-fair queue of `(job_id, shard)` dispatch entries.
+#[derive(Debug, Default)]
+pub struct DispatchQueue {
+    /// Lanes in creation order (deterministic tie-break).
+    lanes: Vec<Lane>,
+    /// `(priority, tenant)` → index into `lanes`. Lookup only — never
+    /// iterated, so map order cannot influence scheduling.
+    index: HashMap<(u8, String), usize>,
+    /// Pass of the most recently served lane; newly busy lanes start
+    /// here so an idle lane cannot hoard credit and then burst.
+    vtime: u64,
+    /// Lane the last `pop` served, for consecutive-batch claiming.
+    last_served: Option<usize>,
+    len: usize,
+}
+
+impl DispatchQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued shards across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued shards accounted to `tenant` (across all priorities).
+    pub fn queued_for_tenant(&self, tenant: &str) -> u64 {
+        self.lanes
+            .iter()
+            .filter(|l| l.tenant == tenant)
+            .map(|l| l.tasks.len() as u64)
+            .sum()
+    }
+
+    /// Enqueue one shard on the `(priority, tenant)` lane, creating
+    /// the lane on first use. Higher priority → larger weight →
+    /// smaller stride → more frequent service.
+    pub fn push(&mut self, tenant: &str, priority: u8, task: (u64, u64)) {
+        let key = (priority, tenant.to_string());
+        let at = match self.index.get(&key) {
+            Some(&at) => at,
+            None => {
+                let at = self.lanes.len();
+                self.lanes.push(Lane {
+                    tenant: tenant.to_string(),
+                    pass: self.vtime,
+                    // weight = priority + 1 keeps priority 0 serviceable
+                    stride: STRIDE_SCALE / (u64::from(priority) + 1),
+                    tasks: VecDeque::new(),
+                });
+                self.index.insert(key, at);
+                at
+            }
+        };
+        if let Some(lane) = self.lanes.get_mut(at) {
+            if lane.tasks.is_empty() {
+                // lane was idle: re-anchor at current virtual time so
+                // it competes fairly instead of replaying saved credit
+                lane.pass = lane.pass.max(self.vtime);
+            }
+            lane.tasks.push_back(task);
+            self.len += 1;
+        }
+    }
+
+    /// Index of the non-empty lane with the minimum pass. Ties break
+    /// toward the smaller stride (higher priority) — a fresh
+    /// high-priority lane anchors at the current virtual time, and at
+    /// equal pass the heavier weight has the stronger claim — then
+    /// toward the oldest lane.
+    fn next_lane(&self) -> Option<usize> {
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (at, lane) in self.lanes.iter().enumerate() {
+            if lane.tasks.is_empty() {
+                continue;
+            }
+            match best {
+                Some((_, pass, stride)) if (pass, stride) <= (lane.pass, lane.stride) => {}
+                _ => best = Some((at, lane.pass, lane.stride)),
+            }
+        }
+        best.map(|(at, _, _)| at)
+    }
+
+    /// Dispatch the next shard under weighted-fair order.
+    pub fn pop(&mut self) -> Option<(u64, u64)> {
+        let at = self.next_lane()?;
+        let lane = self.lanes.get_mut(at)?;
+        let task = lane.tasks.pop_front()?;
+        lane.pass = lane.pass.saturating_add(lane.stride);
+        self.vtime = self.vtime.max(lane.pass);
+        self.last_served = Some(at);
+        self.len -= 1;
+        Some(task)
+    }
+
+    /// Claim `task` only if it is the *very next* entry of the lane
+    /// `pop` last served — the batch-claiming hook: a worker that just
+    /// popped `(job, s)` may extend its claim to `(job, s+1)` when the
+    /// run is contiguous, and each extension is charged to the lane
+    /// like a normal dispatch so fairness accounting stays exact.
+    ///
+    /// An extension is refused the moment a *higher-priority* lane is
+    /// behind the served lane in virtual time: every extension advances
+    /// the served lane's pass, so a waiting interactive lane undercuts
+    /// a bulk batch within one shard — preemption at shard granularity.
+    /// Equal-priority lanes do not cut batches short (the balance cap
+    /// already bounds them) so batch locality between peer tenants is
+    /// preserved.
+    pub fn pop_next_consecutive(&mut self, task: (u64, u64)) -> bool {
+        let Some(at) = self.last_served else {
+            return false;
+        };
+        if self.preempted(at) {
+            return false;
+        }
+        let Some(lane) = self.lanes.get_mut(at) else {
+            return false;
+        };
+        if lane.tasks.front() != Some(&task) {
+            return false;
+        }
+        lane.tasks.pop_front();
+        lane.pass = lane.pass.saturating_add(lane.stride);
+        self.vtime = self.vtime.max(lane.pass);
+        self.len -= 1;
+        true
+    }
+
+    /// Does a non-empty lane with a smaller stride (= higher priority)
+    /// and a pass no greater than `at`'s exist — i.e. should lane `at`
+    /// stop batching and yield the worker? `<=` matches
+    /// [`DispatchQueue::next_lane`]'s tie-break: at equal pass the
+    /// higher priority holds the stronger claim.
+    fn preempted(&self, at: usize) -> bool {
+        let Some(lane) = self.lanes.get(at) else {
+            return true;
+        };
+        self.lanes.iter().enumerate().any(|(i, l)| {
+            i != at && !l.tasks.is_empty() && l.stride < lane.stride && l.pass <= lane.pass
+        })
+    }
+
+    /// Keep only entries satisfying `keep` (cancel/expiry drain).
+    pub fn retain<F: FnMut(&(u64, u64)) -> bool>(&mut self, mut keep: F) {
+        for lane in &mut self.lanes {
+            lane.tasks.retain(|t| keep(t));
+        }
+        self.len = self.lanes.iter().map(|l| l.tasks.len()).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_lane() {
+        let mut q = DispatchQueue::new();
+        for s in 0..5 {
+            q.push("a", 1, (1, s));
+        }
+        assert_eq!(q.len(), 5);
+        for s in 0..5 {
+            assert_eq!(q.pop(), Some((1, s)));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn weighted_share_tracks_priority() {
+        // priority 5 (weight 6) vs priority 1 (weight 2): over a long
+        // window the high lane should get ~3x the dispatches.
+        let mut q = DispatchQueue::new();
+        for s in 0..400 {
+            q.push("bulk", 1, (1, s));
+            q.push("hot", 5, (2, s));
+        }
+        let mut hot = 0u32;
+        for _ in 0..200 {
+            let (job, _) = q.pop().unwrap();
+            if job == 2 {
+                hot += 1;
+            }
+        }
+        // exact share is 6/8 = 150 of 200; allow slack for stride phase
+        assert!((140..=160).contains(&hot), "hot got {hot}/200");
+    }
+
+    #[test]
+    fn priority_zero_not_starved() {
+        let mut q = DispatchQueue::new();
+        for s in 0..1000 {
+            q.push("bg", 0, (1, s));
+            q.push("fg", 9, (2, s));
+        }
+        // weight 1 vs 10 → bg should still appear within ~11 pops
+        let mut seen_bg_at = None;
+        for i in 0..30 {
+            if q.pop().unwrap().0 == 1 {
+                seen_bg_at = Some(i);
+                break;
+            }
+        }
+        assert!(seen_bg_at.is_some(), "priority 0 starved for 30 pops");
+    }
+
+    #[test]
+    fn idle_lane_cannot_hoard_credit() {
+        let mut q = DispatchQueue::new();
+        // lane A runs alone for a while, advancing vtime
+        for s in 0..100 {
+            q.push("a", 1, (1, s));
+        }
+        for _ in 0..100 {
+            q.pop().unwrap();
+        }
+        // lane B arrives late at the same priority: it must not burst
+        // 100 shards before A gets service again
+        for s in 100..200 {
+            q.push("a", 1, (1, s));
+            q.push("b", 1, (2, s));
+        }
+        let first_20: Vec<u64> = (0..20).map(|_| q.pop().unwrap().0).collect();
+        assert!(
+            first_20.contains(&1) && first_20.contains(&2),
+            "equal-priority lanes should interleave, got {first_20:?}"
+        );
+    }
+
+    #[test]
+    fn consecutive_claim_only_extends_last_lane() {
+        let mut q = DispatchQueue::new();
+        q.push("a", 1, (1, 0));
+        q.push("a", 1, (1, 1));
+        q.push("a", 1, (1, 3));
+        assert_eq!(q.pop(), Some((1, 0)));
+        assert!(q.pop_next_consecutive((1, 1)));
+        // front is now (1,3): not the requested successor
+        assert!(!q.pop_next_consecutive((1, 2)));
+        assert_eq!(q.len(), 1);
+        // fresh queue: no pop yet → no last lane → claim refused
+        let mut q2 = DispatchQueue::new();
+        q2.push("a", 1, (1, 0));
+        assert!(!q2.pop_next_consecutive((1, 0)));
+    }
+
+    #[test]
+    fn higher_priority_lane_cuts_a_bulk_batch_short() {
+        let mut q = DispatchQueue::new();
+        for s in 0..10 {
+            q.push("bulk", 0, (1, s));
+        }
+        // bulk alone: batches extend freely
+        assert_eq!(q.pop(), Some((1, 0)));
+        assert!(q.pop_next_consecutive((1, 1)));
+        // an interactive lane arrives with work: the very next extension
+        // attempt is refused, even though the bulk run is contiguous
+        q.push("hot", 9, (2, 0));
+        assert!(!q.pop_next_consecutive((1, 2)));
+        // and the scheduler's next pick is the interactive lane
+        assert_eq!(q.pop(), Some((2, 0)));
+        // a fresh high-priority lane also wins a pass tie against an
+        // older bulk lane (tie-break by stride, then age)
+        let mut q2 = DispatchQueue::new();
+        q2.push("bulk", 0, (1, 0));
+        q2.push("bulk", 0, (1, 1));
+        assert_eq!(q2.pop(), Some((1, 0)));
+        let anchored = q2.vtime;
+        q2.push("hot", 9, (2, 0));
+        assert_eq!(q2.lanes[1].pass, anchored);
+        assert_eq!(q2.pop(), Some((2, 0)));
+        assert_eq!(q2.pop(), Some((1, 1)));
+    }
+
+    #[test]
+    fn retain_drains_one_job() {
+        let mut q = DispatchQueue::new();
+        for s in 0..4 {
+            q.push("a", 1, (1, s));
+            q.push("b", 3, (2, s));
+        }
+        q.retain(|&(job, _)| job != 1);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.queued_for_tenant("a"), 0);
+        assert_eq!(q.queued_for_tenant("b"), 4);
+        while let Some((job, _)) = q.pop() {
+            assert_eq!(job, 2);
+        }
+    }
+
+    #[test]
+    fn tenant_accounting_spans_priorities() {
+        let mut q = DispatchQueue::new();
+        q.push("a", 1, (1, 0));
+        q.push("a", 4, (2, 0));
+        q.push("b", 1, (3, 0));
+        assert_eq!(q.queued_for_tenant("a"), 2);
+        assert_eq!(q.queued_for_tenant("b"), 1);
+        assert_eq!(q.queued_for_tenant("c"), 0);
+    }
+}

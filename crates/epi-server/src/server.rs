@@ -797,11 +797,26 @@ fn dispatch(request: &str, engine: &Engine, accept_errors: u64) -> (Reply, bool)
             // Pool-wide pair-prefix cache statistics: hits/misses summed
             // across every worker plus the per-worker rate spread, so a
             // monitoring gate sees the whole pool, not worker 0 — plus
-            // the accept-error counter of the network edge.
+            // the accept-error counter of the network edge and the
+            // resource-governance gauges (memory accountant, admission
+            // rejections, queue depth, active jobs per tenant).
             let cache = engine.pair_cache_stats();
+            // `a:1,b:2` sorted by tenant; `-` when nothing is active, so
+            // the field count of the reply line stays fixed
+            let tenants = engine.tenant_jobs();
+            let tenant_jobs = if tenants.is_empty() {
+                "-".to_string()
+            } else {
+                tenants
+                    .iter()
+                    .map(|(t, n)| format!("{}:{n}", crate::spec::escape(t)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
             Ok(Reply::Line(format!(
                 "OK jobs={} scanned={} workers={} pair_hits={} pair_misses={} \
-                 pair_hit_rate={:.4} pair_hit_min={:.4} pair_hit_max={:.4} accept_errors={}\n",
+                 pair_hit_rate={:.4} pair_hit_min={:.4} pair_hit_max={:.4} accept_errors={} \
+                 mem_used={} mem_budget={} rejected={} queue_depth={} tenant_jobs={}\n",
                 engine.jobs().len(),
                 engine.shards_scanned(),
                 engine.num_workers(),
@@ -811,6 +826,11 @@ fn dispatch(request: &str, engine: &Engine, accept_errors: u64) -> (Reply, bool)
                 cache.min_hit_rate(),
                 cache.max_hit_rate(),
                 accept_errors,
+                engine.mem_used(),
+                engine.mem_budget(),
+                engine.rejected(),
+                engine.queue_depth(),
+                tenant_jobs,
             )))
         }
         "SHUTDOWN" => {

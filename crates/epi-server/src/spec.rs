@@ -55,9 +55,39 @@ pub struct JobSpec {
     /// key). `0` in production; the chaos tests use it to prove the
     /// coordinator retries harvests instead of losing shards.
     pub fail_partial: u32,
+    /// Tenant this job is accounted to (`tenant=` key). Per-tenant
+    /// concurrent-job and queued-shard quotas apply at SUBMIT, and the
+    /// weighted-fair dispatcher round-robins shard claims across the
+    /// tenants of one priority band. `None` = the `default` tenant.
+    pub tenant: Option<String>,
+    /// Dispatch priority 0–9 (`priority=` key), default
+    /// [`JobSpec::DEFAULT_PRIORITY`]. The shard dispatcher is
+    /// weighted-fair, not strict: a priority-`p` lane gets `p + 1`
+    /// shares, so high-priority interactive jobs dominate the pool while
+    /// a bulk priority-0 scan still makes progress instead of starving.
+    pub priority: u8,
+    /// Wall-clock budget in milliseconds from admission (`deadline_ms=`
+    /// key). When it expires the engine fails the job with
+    /// `deadline exceeded` and workers abandon its remaining shards;
+    /// completed shards stay checkpointed. `None` = no deadline. A
+    /// RESUME restarts the window.
+    pub deadline_ms: Option<u64>,
+    /// Client-supplied idempotency token (`job_token=` key). A SUBMIT
+    /// whose token the engine has already admitted returns the existing
+    /// job's status instead of creating a duplicate — what makes the
+    /// client's retry-on-`over capacity` backoff loop safe even when a
+    /// reply was lost in transit. `None` = every SUBMIT is a new job.
+    pub job_token: Option<String>,
 }
 
 impl JobSpec {
+    /// Default dispatch priority (`priority=` absent): one notch above
+    /// the bulk floor, so operators can both boost (`priority=9`) and
+    /// demote (`priority=0`) relative to unmarked jobs.
+    pub const DEFAULT_PRIORITY: u8 = 1;
+    /// Highest accepted `priority=` value.
+    pub const MAX_PRIORITY: u8 = 9;
+
     /// Spec with the service defaults: V5, 64 shards, top-10, K2.
     pub fn new(path: impl Into<String>) -> Self {
         Self {
@@ -72,6 +102,10 @@ impl JobSpec {
             panic_shard: None,
             dataset_hash: None,
             fail_partial: 0,
+            tenant: None,
+            priority: Self::DEFAULT_PRIORITY,
+            deadline_ms: None,
+            job_token: None,
         }
     }
 
@@ -116,6 +150,18 @@ impl JobSpec {
         }
         if self.fail_partial > 0 {
             s.push_str(&format!(" fail_partial={}", self.fail_partial));
+        }
+        if let Some(tenant) = &self.tenant {
+            s.push_str(&format!(" tenant={}", escape(tenant)));
+        }
+        if self.priority != Self::DEFAULT_PRIORITY {
+            s.push_str(&format!(" priority={}", self.priority));
+        }
+        if let Some(ms) = self.deadline_ms {
+            s.push_str(&format!(" deadline_ms={ms}"));
+        }
+        if let Some(token) = &self.job_token {
+            s.push_str(&format!(" job_token={}", escape(token)));
         }
         s
     }
@@ -188,6 +234,40 @@ impl JobSpec {
                     spec.fail_partial = value
                         .parse::<u32>()
                         .map_err(|_| format!("fail_partial expects a number, got {value:?}"))?
+                }
+                "tenant" => {
+                    let tenant = unescape(value)?;
+                    if tenant.is_empty() {
+                        return Err("tenant expects a non-empty name".into());
+                    }
+                    spec.tenant = Some(tenant);
+                }
+                "priority" => {
+                    spec.priority = value
+                        .parse::<u8>()
+                        .ok()
+                        .filter(|&p| p <= Self::MAX_PRIORITY)
+                        .ok_or_else(|| {
+                            format!("priority expects 0-{}, got {value:?}", Self::MAX_PRIORITY)
+                        })?
+                }
+                "deadline_ms" => {
+                    spec.deadline_ms = Some(
+                        value
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&ms| ms > 0)
+                            .ok_or_else(|| {
+                                format!("deadline_ms expects a positive number, got {value:?}")
+                            })?,
+                    )
+                }
+                "job_token" => {
+                    let token = unescape(value)?;
+                    if token.is_empty() {
+                        return Err("job_token expects a non-empty token".into());
+                    }
+                    spec.job_token = Some(token);
                 }
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -269,9 +349,42 @@ mod tests {
         spec.shard_set = Some(ShardSet::from_indices([0, 1, 2, 5]));
         spec.dataset_hash = Some(0x0123_4567_89ab_cdef);
         spec.fail_partial = 2;
+        spec.tenant = Some("team a/β".into());
+        spec.priority = 7;
+        spec.deadline_ms = Some(1500);
+        spec.job_token = Some("retry token %1".into());
         let line = spec.to_tokens();
         let tokens: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn governance_keys_roundtrip_and_validate() {
+        // defaults: no tenant/token/deadline, default priority
+        let spec = JobSpec::parse_tokens(&["path=x"]).unwrap();
+        assert_eq!(spec.tenant, None);
+        assert_eq!(spec.priority, JobSpec::DEFAULT_PRIORITY);
+        assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.job_token, None);
+        // the default priority is not emitted, so old wire forms persist
+        assert!(!spec.to_tokens().contains("priority="));
+
+        let spec =
+            JobSpec::parse_tokens(&["path=x", "tenant=alice", "priority=9", "deadline_ms=250"])
+                .unwrap();
+        assert_eq!(spec.tenant.as_deref(), Some("alice"));
+        assert_eq!(spec.priority, 9);
+        assert_eq!(spec.deadline_ms, Some(250));
+        let line = spec.to_tokens();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(JobSpec::parse_tokens(&tokens).unwrap(), spec);
+
+        // validation failures are clean parse errors
+        assert!(JobSpec::parse_tokens(&["path=x", "priority=10"]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "priority=-1"]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "deadline_ms=0"]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "tenant="]).is_err());
+        assert!(JobSpec::parse_tokens(&["path=x", "job_token="]).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn start_server(workers: usize) -> (SocketAddr, ServerHandle) {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         },
     )
     .expect("bind loopback");
@@ -102,6 +103,7 @@ fn accept_errors_back_off_and_are_counted_in_stats() {
             spool_dir: None,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         },
     )
     .expect("bind loopback");
@@ -237,8 +239,7 @@ fn a_result_larger_than_the_high_water_mark_streams_to_completion() {
     datagen::io::save_binary(&path, &data).unwrap();
 
     let (addr, handle) = start_server(2);
-    let mut client =
-        Client::connect_with_deadline(addr, IO_DEADLINE).expect("connect");
+    let mut client = Client::connect_with_deadline(addr, IO_DEADLINE).expect("connect");
     let mut spec = JobSpec::new(path.to_str().unwrap());
     spec.shards = 8;
     spec.top_k = 20_000; // above C(48,3): keep every candidate

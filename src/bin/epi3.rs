@@ -76,11 +76,21 @@ job service (line-delimited TCP, see epi_server crate docs):
                   [--simd TIER]  (default tier for jobs without simd=)
                   [--data-root DIR]  (resolve spec paths as file names
                   under DIR — the node-local dataset replica directory)
+                  [--mem-budget BYTES]  (admission control: refuse
+                  SUBMITs that would push resident job data past this;
+                  0 = unlimited)
+                  [--max-tenant-jobs N] [--max-tenant-queue N]
+                  (per-tenant quotas on concurrent jobs / queued shards)
   submit FILE   submit a scan job to a server
                   [--addr HOST:PORT] [--version vN] [--shards S]
                   [--top K] [--mi] [--throttle-ms N] [--wait]
                   [--simd TIER]  (sent as the simd= spec key; the server
                   clamps it to its own capability and echoes it in STATUS)
+                  [--tenant NAME] [--priority 0-9]  (quota accounting and
+                  weighted-fair dispatch; higher priority = bigger share)
+                  [--deadline-ms N]  (job fails once N ms elapse)
+                  [--job-token TOK]  (idempotency key: lets the client
+                  retry an over-capacity SUBMIT without duplicating work)
   status [JOB]  poll one job, or all jobs with --all
                   [--addr HOST:PORT]
   result JOB    fetch the merged top-K of a finished job [--addr]
@@ -405,12 +415,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // node-local dataset directory: spec paths resolve as file
         // names under it, the fleet shape dataset_hash= verifies
         dataset_root: opt_value(args, "--data-root").map(Into::into),
+        // resource governance: 0 = unlimited, matching the STATS
+        // mem_budget=0 convention
+        mem_budget: nonzero_u64(opt_usize(args, "--mem-budget", 0)? as u64),
+        max_jobs_per_tenant: nonzero_u64(opt_usize(args, "--max-tenant-jobs", 0)? as u64),
+        max_queued_per_tenant: nonzero_u64(opt_usize(args, "--max-tenant-queue", 0)? as u64),
+        ..EngineConfig::default()
     };
     let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("epi3 job server listening on {}", server.local_addr());
     server.run();
     println!("epi3 job server stopped");
     Ok(())
+}
+
+fn nonzero_u64(v: u64) -> Option<u64> {
+    (v > 0).then_some(v)
 }
 
 fn connect(args: &[String]) -> Result<Client, String> {
@@ -465,6 +485,19 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     spec.simd = requested_simd(args)?;
     if opt_flag(args, "--mi") {
         spec.objective = ObjectiveKind::NegMutualInformation;
+    }
+    // resource-governance keys (validated server-side at admission)
+    if let Some(t) = opt_value(args, "--tenant") {
+        spec.tenant = Some(t.to_string());
+    }
+    if let Some(p) = opt_value(args, "--priority") {
+        spec.priority = p.parse().map_err(|_| "priority must be 0-9")?;
+    }
+    if let Some(ms) = opt_value(args, "--deadline-ms") {
+        spec.deadline_ms = Some(ms.parse().map_err(|_| "deadline-ms must be a number")?);
+    }
+    if let Some(tok) = opt_value(args, "--job-token") {
+        spec.job_token = Some(tok.to_string());
     }
     let mut client = connect(args)?;
     let st = client.submit(&spec)?;
@@ -549,6 +582,7 @@ fn spawn_loopback_fleet(
                 spool_dir: None,
                 default_simd,
                 dataset_root: None,
+                ..EngineConfig::default()
             },
         )
         .map_err(|e| format!("cannot bind a loopback server: {e}"))?;
@@ -1524,6 +1558,7 @@ fn bench_recovery(data: &Dataset, shards: u64) -> Result<RecoveryBench, String> 
                 spool_dir: None,
                 default_simd: None,
                 dataset_root: None,
+                ..EngineConfig::default()
             },
         )
         .ok()

@@ -369,6 +369,7 @@ fn federated_scan_matches_monolithic_at_every_tier() {
                     spool_dir: None,
                     default_simd: None,
                     dataset_root: None,
+                    ..EngineConfig::default()
                 },
             )
             .expect("bind loopback");

@@ -29,6 +29,7 @@ fn start_server(
             spool_dir: spool,
             default_simd: None,
             dataset_root: None,
+            ..EngineConfig::default()
         },
     )
     .expect("bind loopback");
